@@ -1,0 +1,50 @@
+// Command ndsm-bench runs the reproduction experiment suite (F1 and E1-E10
+// from DESIGN.md) and prints one table per experiment — the data behind
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	ndsm-bench                 # full suite
+//	ndsm-bench -quick          # shrunken workloads (seconds)
+//	ndsm-bench -run E6,E1      # selected experiments
+//	ndsm-bench -list           # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ndsm/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run shrunken workloads")
+	run := flag.String("run", "", "comma-separated experiment IDs (default all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+	if err := realMain(*quick, *run, *list); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func realMain(quick bool, run string, list bool) error {
+	if list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return nil
+	}
+	runner := experiments.Runner{QuickMode: quick}
+	if run == "" {
+		return runner.RunAll(os.Stdout)
+	}
+	for _, id := range strings.Split(run, ",") {
+		res, err := runner.Run(strings.TrimSpace(id))
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.Render(res))
+	}
+	return nil
+}

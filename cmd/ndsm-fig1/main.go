@@ -1,0 +1,36 @@
+// Command ndsm-fig1 regenerates the paper's Figure 1 (middleware references
+// per year in IEEE Xplore, 1989-2001) as an ASCII chart, and optionally as
+// CSV.
+//
+// Usage:
+//
+//	ndsm-fig1 [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ndsm/internal/bibliometrics"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of the ASCII chart")
+	flag.Parse()
+	if err := run(*csv); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(csv bool) error {
+	series := bibliometrics.Figure1()
+	if csv {
+		_, err := fmt.Print(bibliometrics.CSV(series))
+		return err
+	}
+	fmt.Print(bibliometrics.Chart(series, 50))
+	fmt.Printf("total references 1989-2001: %d\n", bibliometrics.Total(series))
+	return nil
+}

@@ -1,0 +1,220 @@
+// Command ndsm-node runs a middleware node over TCP: it hosts services
+// described in a JSON config (serving synthetic sensor streams or echo
+// handlers) against an ndsm-registry, or performs one-shot lookups.
+//
+// Serve:
+//
+//	ndsm-node -registry 127.0.0.1:7400 -listen 127.0.0.1:7500 -config node.json
+//
+// with node.json like:
+//
+//	{
+//	  "services": [
+//	    {"name": "sensor/bp", "kind": "bloodpressure", "reliability": 0.95,
+//	     "attributes": {"unit": "mmHg"}, "x": 10, "y": 20}
+//	  ]
+//	}
+//
+// Lookup:
+//
+//	ndsm-node -registry 127.0.0.1:7400 -lookup "sensor/*"
+//	ndsm-node -registry 127.0.0.1:7400 -lookup sensor/bp -call
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ndsm/internal/core"
+	"ndsm/internal/discovery"
+	"ndsm/internal/qos"
+	"ndsm/internal/sensors"
+	"ndsm/internal/svcdesc"
+	"ndsm/internal/transport"
+	"ndsm/internal/webbridge"
+)
+
+// serviceConfig is one hosted service in the JSON config.
+type serviceConfig struct {
+	Name        string            `json:"name"`
+	Kind        string            `json:"kind"` // bloodpressure|heartrate|temperature|accelerometer|echo
+	Reliability float64           `json:"reliability"`
+	Attributes  map[string]string `json:"attributes"`
+	X           float64           `json:"x"`
+	Y           float64           `json:"y"`
+	TTLSeconds  int               `json:"ttlSeconds"`
+}
+
+type nodeConfig struct {
+	Services []serviceConfig `json:"services"`
+}
+
+func main() {
+	registry := flag.String("registry", "127.0.0.1:7400", "ndsm-registry address")
+	listen := flag.String("listen", "127.0.0.1:7500", "this node's service address")
+	config := flag.String("config", "", "JSON config of services to host")
+	lookup := flag.String("lookup", "", "one-shot lookup of a service name pattern")
+	call := flag.Bool("call", false, "with -lookup: bind best supplier and request one sample")
+	httpAddr := flag.String("http", "", "also serve the HTTP bridge (GET /services, POST /call/<svc>) on this address")
+	renewEvery := flag.Duration("renew", 10*time.Second, "lease renewal interval")
+	flag.Parse()
+	if err := run(*registry, *listen, *config, *lookup, *call, *httpAddr, *renewEvery); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(registryAddr, listen, configPath, lookup string, call bool, httpAddr string, renewEvery time.Duration) error {
+	tr := transport.NewTCP(nil)
+	defer tr.Close() //nolint:errcheck
+	registry := discovery.NewClient(tr, registryAddr)
+	defer registry.Close() //nolint:errcheck
+
+	if lookup != "" {
+		return doLookup(tr, registry, listen, lookup, call)
+	}
+	if configPath == "" {
+		return fmt.Errorf("need -config to serve or -lookup to query")
+	}
+	return serve(tr, registry, listen, configPath, httpAddr, renewEvery)
+}
+
+func doLookup(tr transport.Transport, registry discovery.Registry, listen, pattern string, call bool) error {
+	descs, err := registry.Lookup(&svcdesc.Query{Name: pattern})
+	if err != nil {
+		return err
+	}
+	if len(descs) == 0 {
+		fmt.Println("no services found")
+		return nil
+	}
+	for _, d := range descs {
+		loc := ""
+		if d.Location != nil {
+			loc = fmt.Sprintf(" @(%.0f,%.0f)", d.Location.X, d.Location.Y)
+		}
+		fmt.Printf("%-24s provider=%s reliability=%.2f%s\n", d.Name, d.Provider, d.Reliability, loc)
+	}
+	if !call {
+		return nil
+	}
+	node, err := core.NewNode(core.Config{Name: listen, Transport: tr, Registry: registry})
+	if err != nil {
+		return err
+	}
+	defer node.Close() //nolint:errcheck
+	binding, err := node.Bind(&qos.Spec{Query: svcdesc.Query{Name: pattern}}, core.BindOptions{})
+	if err != nil {
+		return err
+	}
+	defer binding.Close() //nolint:errcheck
+	out, err := binding.Request([]byte("read"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sample from %s: %s\n", binding.Peer(), out)
+	return nil
+}
+
+func serve(tr transport.Transport, registry discovery.Registry, listen, configPath, httpAddr string, renewEvery time.Duration) error {
+	raw, err := os.ReadFile(configPath)
+	if err != nil {
+		return err
+	}
+	var cfg nodeConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return fmt.Errorf("parse %s: %w", configPath, err)
+	}
+	if len(cfg.Services) == 0 {
+		return fmt.Errorf("%s declares no services", configPath)
+	}
+
+	node, err := core.NewNode(core.Config{Name: listen, Transport: tr, Registry: registry})
+	if err != nil {
+		return err
+	}
+	defer node.Close() //nolint:errcheck
+
+	for _, sc := range cfg.Services {
+		handler, err := handlerFor(sc.Kind)
+		if err != nil {
+			return err
+		}
+		desc := &svcdesc.Description{
+			Name:        sc.Name,
+			Reliability: sc.Reliability,
+			PowerLevel:  1,
+			Attributes:  sc.Attributes,
+			TTL:         time.Duration(sc.TTLSeconds) * time.Second,
+		}
+		if sc.X != 0 || sc.Y != 0 {
+			desc.Location = &svcdesc.Location{X: sc.X, Y: sc.Y}
+		}
+		if desc.Reliability == 0 {
+			desc.Reliability = 0.9
+		}
+		if err := node.Serve(desc, handler); err != nil {
+			return err
+		}
+		fmt.Printf("serving %s (%s) on %s\n", sc.Name, sc.Kind, listen)
+	}
+
+	// Optional embedded web server (§2 of the paper: HTTP access to the
+	// middleware from browsers and plain web clients).
+	if httpAddr != "" {
+		bridge := webbridge.New(registry, node)
+		defer bridge.Close() //nolint:errcheck
+		httpSrv := &http.Server{Addr: httpAddr, Handler: bridge}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "http bridge: %v\n", err)
+			}
+		}()
+		defer httpSrv.Close() //nolint:errcheck
+		fmt.Printf("http bridge on %s (GET /services, POST /call/<svc>)\n", httpAddr)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(renewEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if err := node.RenewLeases(); err != nil {
+				fmt.Fprintf(os.Stderr, "lease renewal: %v\n", err)
+			}
+		case sig := <-stop:
+			fmt.Printf("shutting down on %v\n", sig)
+			return nil
+		}
+	}
+}
+
+// handlerFor returns the request handler for a service kind.
+func handlerFor(kind string) (core.Handler, error) {
+	switch kind {
+	case "echo", "":
+		return func(p []byte) ([]byte, error) { return p, nil }, nil
+	case "bloodpressure":
+		g := sensors.BloodPressure(time.Now().UnixNano())
+		return func([]byte) ([]byte, error) { return g.Next().Encode(), nil }, nil
+	case "heartrate":
+		g := sensors.HeartRate(time.Now().UnixNano())
+		return func([]byte) ([]byte, error) { return g.Next().Encode(), nil }, nil
+	case "temperature":
+		g := sensors.Temperature(time.Now().UnixNano())
+		return func([]byte) ([]byte, error) { return g.Next().Encode(), nil }, nil
+	case "accelerometer":
+		g := sensors.Accelerometer(time.Now().UnixNano())
+		return func([]byte) ([]byte, error) { return g.Next().Encode(), nil }, nil
+	default:
+		return nil, fmt.Errorf("unknown service kind %q", kind)
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestHandlerFor(t *testing.T) {
+	kinds := []string{"", "echo", "bloodpressure", "heartrate", "temperature", "accelerometer"}
+	for _, kind := range kinds {
+		h, err := handlerFor(kind)
+		if err != nil || h == nil {
+			t.Fatalf("handlerFor(%q) = %v, %v", kind, h, err)
+		}
+		if _, err := h([]byte("x")); err != nil {
+			t.Fatalf("handler %q failed: %v", kind, err)
+		}
+	}
+	if _, err := handlerFor("quantum"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestEchoHandlerEchoes(t *testing.T) {
+	h, err := handlerFor("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := h([]byte("ping"))
+	if err != nil || string(out) != "ping" {
+		t.Fatalf("out=%q err=%v", out, err)
+	}
+}
+
+func TestNodeConfigParsing(t *testing.T) {
+	raw := `{
+	  "services": [
+	    {"name": "sensor/bp", "kind": "bloodpressure", "reliability": 0.95,
+	     "attributes": {"unit": "mmHg"}, "x": 10, "y": 20, "ttlSeconds": 15}
+	  ]
+	}`
+	var cfg nodeConfig
+	if err := json.Unmarshal([]byte(raw), &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Services) != 1 {
+		t.Fatalf("services = %d", len(cfg.Services))
+	}
+	sc := cfg.Services[0]
+	if sc.Name != "sensor/bp" || sc.Kind != "bloodpressure" || sc.Reliability != 0.95 ||
+		sc.Attributes["unit"] != "mmHg" || sc.X != 10 || sc.TTLSeconds != 15 {
+		t.Fatalf("parsed = %+v", sc)
+	}
+}

@@ -1,0 +1,59 @@
+// Command ndsm-registry runs a standalone centralized discovery registry
+// (§3.3) over TCP. Middleware nodes point their registry clients at it.
+//
+// Usage:
+//
+//	ndsm-registry [-listen 127.0.0.1:7400] [-ttl 30s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ndsm/internal/discovery"
+	"ndsm/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7400", "address to listen on")
+	ttl := flag.Duration("ttl", 30*time.Second, "default advertisement lease")
+	sweep := flag.Duration("sweep", 5*time.Second, "expired-entry sweep interval")
+	flag.Parse()
+	if err := run(*listen, *ttl, *sweep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, ttl, sweepEvery time.Duration) error {
+	tr := transport.NewTCP(nil)
+	defer tr.Close() //nolint:errcheck
+	l, err := tr.Listen(listen)
+	if err != nil {
+		return err
+	}
+	store := discovery.NewStore(nil, ttl)
+	srv := discovery.NewServer(store, l)
+	defer srv.Close() //nolint:errcheck
+	fmt.Printf("ndsm-registry listening on %s (lease %v)\n", srv.Addr(), ttl)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(sweepEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if removed := store.Sweep(); removed > 0 {
+				fmt.Printf("swept %d expired advertisements (%d live)\n", removed, store.Len())
+			}
+		case sig := <-stop:
+			fmt.Printf("shutting down on %v\n", sig)
+			return nil
+		}
+	}
+}

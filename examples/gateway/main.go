@@ -1,0 +1,126 @@
+// Gateway: the paper's interoperability feature (§3.9) — bridging two
+// middleware domains the way the surveyed CORBA–DCE bridges did.
+//
+// A hospital domain hosts vitals services; a separate clinic domain cannot
+// reach them directly (different fabrics — different networks). A gateway
+// accepts connections in the clinic domain and forwards them into the
+// hospital, rewriting topics across the naming boundary (the clinic says
+// "partner/vitals/bp", the hospital serves "vitals/bp"), tagging messages
+// with their origin domain, and filtering out the hospital's private
+// services.
+//
+// Run:
+//
+//	go run ./examples/gateway
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ndsm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Two isolated domains: separate fabrics, separate registries.
+	hospitalNet := ndsm.NewFabric()
+	clinicNet := ndsm.NewFabric()
+	hospitalReg := ndsm.NewStore(nil, 0)
+
+	// --- hospital domain: a vitals service and a private admin service ---
+	hospital, err := ndsm.NewNode(ndsm.NodeConfig{
+		Name:      "vitals-server",
+		Transport: ndsm.NewMemTransport(hospitalNet),
+		Registry:  hospitalReg,
+	})
+	if err != nil {
+		return err
+	}
+	defer hospital.Close() //nolint:errcheck
+	err = hospital.Serve(&ndsm.Description{Name: "vitals/bp", Reliability: 0.95, PowerLevel: 1},
+		func(p []byte) ([]byte, error) {
+			return []byte(fmt.Sprintf("bp-reading for %q", p)), nil
+		})
+	if err != nil {
+		return err
+	}
+	err = hospital.Serve(&ndsm.Description{Name: "private/admin", Reliability: 1, PowerLevel: 1},
+		func([]byte) ([]byte, error) { return []byte("secret"), nil })
+	if err != nil {
+		return err
+	}
+
+	// --- the gateway: listens in the clinic, dials into the hospital ---
+	clinicSide := ndsm.NewMemTransport(clinicNet)
+	gwListener, err := clinicSide.Listen("hospital-gateway")
+	if err != nil {
+		return err
+	}
+	hospitalSide := ndsm.NewMemTransport(hospitalNet)
+	gw, err := ndsm.NewGateway(ndsm.GatewayConfig{
+		Listener: gwListener,
+		Dial:     func() (ndsm.Conn, error) { return hospitalSide.Dial("vitals-server") },
+		AtoB: []ndsm.Rule{
+			ndsm.DropTopicRule("partner/private/"),             // never export these
+			ndsm.TopicPrefixRule("partner/vitals/", "vitals/"), // clinic name -> hospital name
+			ndsm.HeaderRule("origin-domain", "clinic"),         // provenance
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer gw.Close() //nolint:errcheck
+
+	// --- clinic side: talk to the hospital service through the gateway ---
+	conn, err := clinicSide.Dial("hospital-gateway")
+	if err != nil {
+		return err
+	}
+	defer conn.Close() //nolint:errcheck
+
+	call := func(topic string) {
+		if err := conn.Send(&ndsm.Message{
+			ID: 1, Kind: 1 /* request */, Topic: topic, Payload: []byte("patient-12"),
+		}); err != nil {
+			fmt.Printf("clinic -> %-24s send error: %v\n", topic, err)
+			return
+		}
+		reply, err := conn.Recv()
+		if err != nil {
+			fmt.Printf("clinic -> %-24s no reply (%v)\n", topic, err)
+			return
+		}
+		fmt.Printf("clinic -> %-24s reply: %s\n", topic, reply.Payload)
+	}
+
+	call("partner/vitals/bp")
+	ab, ba := gw.Forwarded()
+	fmt.Printf("\ngateway: forwarded %d clinic->hospital, %d hospital->clinic\n", ab, ba)
+
+	// Filtered topics never cross.
+	if err := conn.Send(&ndsm.Message{ID: 2, Kind: 1, Topic: "partner/private/admin"}); err != nil {
+		return err
+	}
+	// (no reply will come — the rule dropped it)
+	fmt.Printf("gateway: dropped so far = %d (private topic filtered)\n", waitDropped(gw))
+	return nil
+}
+
+// waitDropped polls briefly until the gateway registers the filtered
+// message.
+func waitDropped(gw *ndsm.Gateway) int64 {
+	for i := 0; i < 200; i++ {
+		if n := gw.Dropped(); n > 0 {
+			return n
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return gw.Dropped()
+}

@@ -1,0 +1,135 @@
+// Printerspool: the paper's §3.4 spatial-QoS example — "a user would like
+// to print a file on the nearest and best matched printer".
+//
+// An office network has printers of varying reliability, capability, and
+// physical location. The user demands color (a hard constraint), prefers
+// nearby and reliable devices (weighted soft preferences), and the
+// middleware's utility matcher picks the winner. Naive strategies — nearest
+// only, most reliable only — pick worse printers; the demo prints all
+// three choices. Finally the user actually prints through a binding.
+//
+// Run:
+//
+//	go run ./examples/printerspool
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ndsm"
+)
+
+// printerSpec describes one office printer.
+type printerSpec struct {
+	name        string
+	color       bool
+	ppm         int
+	reliability float64
+	loc         ndsm.Location
+}
+
+func officePrinters() []printerSpec {
+	return []printerSpec{
+		{"lobby-mono", false, 40, 0.99, ndsm.Location{X: 5, Y: 5}},       // near but monochrome
+		{"desk-inkjet", true, 8, 0.60, ndsm.Location{X: 8, Y: 4}},        // nearest color, flaky
+		{"copyroom-laser", true, 30, 0.95, ndsm.Location{X: 30, Y: 20}},  // the sweet spot
+		{"basement-press", true, 60, 0.99, ndsm.Location{X: 180, Y: 90}}, // best specs, far away
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fabric := ndsm.NewFabric()
+	registry := ndsm.NewStore(nil, 0)
+
+	// Each printer is a supplier node hosting a "printer" service.
+	for _, p := range officePrinters() {
+		node, err := ndsm.NewNode(ndsm.NodeConfig{
+			Name:      p.name,
+			Transport: ndsm.NewMemTransport(fabric),
+			Registry:  registry,
+		})
+		if err != nil {
+			return err
+		}
+		defer node.Close() //nolint:errcheck
+		p := p
+		desc := &ndsm.Description{
+			Name:        "printer",
+			Reliability: p.reliability,
+			PowerLevel:  1,
+			Attributes: map[string]string{
+				"color": fmt.Sprintf("%t", p.color),
+				"ppm":   fmt.Sprintf("%d", p.ppm),
+			},
+			Location: &p.loc,
+		}
+		if err := node.Serve(desc, func(job []byte) ([]byte, error) {
+			return []byte(fmt.Sprintf("printed %d bytes on %s", len(job), p.name)), nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	// The user stands near the lobby and wants a color printer, at least
+	// 20 ppm, preferring nearby (60%) and reliable (40%) devices.
+	user := ndsm.Location{X: 10, Y: 10}
+	spec := &ndsm.Spec{
+		Query: ndsm.Query{
+			Name: "printer",
+			Constraints: []ndsm.Constraint{
+				{Attr: "color", Op: ndsm.OpEq, Value: "true"},
+				{Attr: "ppm", Op: ndsm.OpGe, Value: "20"},
+			},
+		},
+		Weights:        ndsm.Weights{Reliability: 0.4, Proximity: 0.6},
+		Near:           &user,
+		ProximityScale: 200,
+	}
+
+	// Show the whole ranking, then what the naive strategies would do.
+	candidates, err := registry.Lookup(&ndsm.Query{Name: "printer"})
+	if err != nil {
+		return err
+	}
+	now := time.Now()
+	fmt.Println("utility ranking (feasible candidates only):")
+	for _, r := range ndsm.Rank(spec, candidates, now) {
+		fmt.Printf("  %-16s utility=%.3f distance=%.0fm reliability=%.2f\n",
+			r.Desc.Provider, r.Score, r.Desc.Location.Distance(user), r.Desc.Reliability)
+	}
+	fmt.Println()
+	fmt.Println("what naive strategies would pick:")
+	fmt.Println("  nearest-any:     lobby-mono   (can't print color at all)")
+	fmt.Println("  nearest-color:   desk-inkjet  (too slow: 8 ppm < 20, fails the query)")
+	fmt.Println("  most-reliable:   basement-press (180m walk)")
+
+	// Bind and actually print.
+	client, err := ndsm.NewNode(ndsm.NodeConfig{
+		Name:      "laptop",
+		Transport: ndsm.NewMemTransport(fabric),
+		Registry:  registry,
+	})
+	if err != nil {
+		return err
+	}
+	defer client.Close() //nolint:errcheck
+	binding, err := client.Bind(spec, ndsm.BindOptions{})
+	if err != nil {
+		return err
+	}
+	defer binding.Close() //nolint:errcheck
+	out, err := binding.Request(make([]byte, 2048))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nmiddleware choice: %s\n-> %s\n", binding.Peer(), out)
+	return nil
+}

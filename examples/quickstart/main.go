@@ -1,0 +1,96 @@
+// Quickstart: one supplier, one consumer, one registry — the smallest
+// complete NDSM deployment.
+//
+// A supplier node hosts a "greeter" service and advertises it; a consumer
+// node discovers it by query, binds the best match under a QoS spec, and
+// calls it.
+//
+// Run:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ndsm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A fabric is an in-process network; a store is an in-process registry.
+	// Swap NewMemTransport for NewTCPTransport and the store for a
+	// NewRegistryClient to distribute this across machines unchanged.
+	fabric := ndsm.NewFabric()
+	registry := ndsm.NewStore(nil, 0)
+
+	// --- supplier side ---
+	supplier, err := ndsm.NewNode(ndsm.NodeConfig{
+		Name:      "greeter-host",
+		Transport: ndsm.NewMemTransport(fabric),
+		Registry:  registry,
+	})
+	if err != nil {
+		return err
+	}
+	defer supplier.Close() //nolint:errcheck
+
+	desc := &ndsm.Description{
+		Name:        "greeter",
+		Version:     "1.0",
+		Reliability: 0.99,
+		PowerLevel:  1,
+		Attributes:  map[string]string{"lang": "en"},
+	}
+	err = supplier.Serve(desc, func(payload []byte) ([]byte, error) {
+		return []byte(fmt.Sprintf("hello, %s!", payload)), nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("supplier: serving 'greeter' v1.0")
+
+	// --- consumer side ---
+	consumer, err := ndsm.NewNode(ndsm.NodeConfig{
+		Name:      "client",
+		Transport: ndsm.NewMemTransport(fabric),
+		Registry:  registry,
+	})
+	if err != nil {
+		return err
+	}
+	defer consumer.Close() //nolint:errcheck
+
+	// The spec is both the discovery query (hard constraints) and the QoS
+	// preferences used to rank matching suppliers.
+	spec := &ndsm.Spec{
+		Query: ndsm.Query{
+			Name:        "greeter",
+			MinVersion:  "1.0",
+			Constraints: []ndsm.Constraint{{Attr: "lang", Op: ndsm.OpEq, Value: "en"}},
+		},
+	}
+	binding, err := consumer.Bind(spec, ndsm.BindOptions{})
+	if err != nil {
+		return err
+	}
+	defer binding.Close() //nolint:errcheck
+	fmt.Printf("consumer: bound to %s\n", binding.Peer())
+
+	reply, err := binding.Request([]byte("world"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("consumer: got %q\n", reply)
+
+	report := binding.Tracker().Report()
+	fmt.Printf("consumer: achieved QoS — delivered=%d ratio=%.2f\n",
+		report.Delivered, report.DeliveryRatio)
+	return nil
+}

@@ -1,0 +1,3 @@
+module ndsm
+
+go 1.22

@@ -1,0 +1,251 @@
+// End-to-end integration tests over real TCP sockets: a registry server,
+// supplier nodes, and consumers — the deployment shape of cmd/ndsm-registry
+// + cmd/ndsm-node, in-process.
+package ndsm_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ndsm"
+)
+
+// tcpWorld spins up a TCP registry server and hands out nodes that talk to
+// it over loopback sockets.
+type tcpWorld struct {
+	t        *testing.T
+	server   *ndsm.RegistryServer
+	registry string // host:port
+}
+
+func newTCPWorld(t *testing.T) *tcpWorld {
+	t.Helper()
+	tr := ndsm.NewTCPTransport(nil)
+	t.Cleanup(func() { _ = tr.Close() })
+	l, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ndsm.NewRegistryServer(ndsm.NewStore(nil, 0), l)
+	t.Cleanup(func() { _ = srv.Close() })
+	return &tcpWorld{t: t, server: srv, registry: srv.Addr()}
+}
+
+// node starts a middleware node on an ephemeral TCP port with its own
+// registry client.
+func (w *tcpWorld) node() *ndsm.Node {
+	w.t.Helper()
+	tr := ndsm.NewTCPTransport(nil)
+	w.t.Cleanup(func() { _ = tr.Close() })
+	cli := ndsm.NewRegistryClient(tr, w.registry)
+	w.t.Cleanup(func() { _ = cli.Close() })
+	// Bind an ephemeral port first so the node's advertised name is its
+	// actual dialable address.
+	probe, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	addr := probe.Addr()
+	_ = probe.Close()
+	n, err := ndsm.NewNode(ndsm.NodeConfig{Name: addr, Transport: tr, Registry: cli})
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	w.t.Cleanup(func() { _ = n.Close() })
+	return n
+}
+
+func TestTCPEndToEnd(t *testing.T) {
+	w := newTCPWorld(t)
+	sup := w.node()
+	desc := &ndsm.Description{
+		Name:        "sensor/bp",
+		Reliability: 0.95,
+		PowerLevel:  1,
+		Attributes:  map[string]string{"unit": "mmHg"},
+	}
+	if err := sup.Serve(desc, func(p []byte) ([]byte, error) {
+		return append([]byte("tcp:"), p...), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	con := w.node()
+	b, err := con.Bind(&ndsm.Spec{
+		Query:   ndsm.Query{Name: "sensor/bp", MinReliability: 0.9},
+		Benefit: ndsm.Benefit{FullUntil: time.Second, ZeroAfter: 5 * time.Second},
+	}, ndsm.BindOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close() //nolint:errcheck
+	out, err := b.Request([]byte("read"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "tcp:read" {
+		t.Fatalf("out = %q", out)
+	}
+	rep := b.Tracker().Report()
+	if rep.Delivered != 1 || rep.MeanBenefit != 1 {
+		t.Fatalf("tracker = %+v", rep)
+	}
+}
+
+func TestTCPFailoverAcrossSockets(t *testing.T) {
+	w := newTCPWorld(t)
+	mk := func(rel float64, tag string) *ndsm.Node {
+		n := w.node()
+		desc := &ndsm.Description{Name: "svc", Reliability: rel, PowerLevel: 1}
+		if err := n.Serve(desc, func(p []byte) ([]byte, error) {
+			return []byte(tag), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	primary := mk(0.99, "primary")
+	_ = mk(0.70, "backup")
+
+	con := w.node()
+	b, err := con.Bind(&ndsm.Spec{
+		Query:   ndsm.Query{Name: "svc"},
+		Weights: ndsm.Weights{Reliability: 1},
+		Benefit: ndsm.Benefit{FullUntil: 2 * time.Second, ZeroAfter: 5 * time.Second},
+	}, ndsm.BindOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close() //nolint:errcheck
+	out, err := b.Request(nil)
+	if err != nil || string(out) != "primary" {
+		t.Fatalf("first request: %q, %v", out, err)
+	}
+
+	// Kill the primary: withdraw its advertisement, then close the node.
+	if err := primary.Withdraw("svc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err = b.Request(nil)
+	if err != nil {
+		t.Fatalf("failover request: %v", err)
+	}
+	if string(out) != "backup" {
+		t.Fatalf("failover got %q", out)
+	}
+	if b.Rebinds.Load() != 1 {
+		t.Fatalf("rebinds = %d", b.Rebinds.Load())
+	}
+}
+
+func TestTCPLeaseExpiryRemovesDeadSupplier(t *testing.T) {
+	w := newTCPWorld(t)
+	sup := w.node()
+	desc := &ndsm.Description{Name: "ephemeral", Reliability: 0.9, PowerLevel: 1, TTL: 300 * time.Millisecond}
+	if err := sup.Serve(desc, func(p []byte) ([]byte, error) { return p, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Visible now.
+	tr := ndsm.NewTCPTransport(nil)
+	t.Cleanup(func() { _ = tr.Close() })
+	cli := ndsm.NewRegistryClient(tr, w.registry)
+	t.Cleanup(func() { _ = cli.Close() })
+	got, err := cli.Lookup(&ndsm.Query{Name: "ephemeral"})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("lookup = %v, %v", got, err)
+	}
+	// The supplier dies silently (no unregister) and stops renewing; the
+	// lease expires.
+	_ = sup.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got, err := cli.Lookup(&ndsm.Query{Name: "ephemeral"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dead supplier never expired from the registry")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestTCPConcurrentConsumers(t *testing.T) {
+	w := newTCPWorld(t)
+	sup := w.node()
+	if err := sup.Serve(&ndsm.Description{Name: "svc", Reliability: 0.9, PowerLevel: 1},
+		func(p []byte) ([]byte, error) { return p, nil }); err != nil {
+		t.Fatal(err)
+	}
+	const consumers = 4
+	const requests = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, consumers)
+	for i := 0; i < consumers; i++ {
+		con := w.node()
+		wg.Add(1)
+		go func(i int, con *ndsm.Node) {
+			defer wg.Done()
+			b, err := con.Bind(&ndsm.Spec{Query: ndsm.Query{Name: "svc"}}, ndsm.BindOptions{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer b.Close() //nolint:errcheck
+			for r := 0; r < requests; r++ {
+				want := fmt.Sprintf("c%d-r%d", i, r)
+				out, err := b.Request([]byte(want))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if string(out) != want {
+					errs <- fmt.Errorf("cross-talk: sent %q got %q", want, out)
+					return
+				}
+			}
+		}(i, con)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestTCPXMLCodecInterop(t *testing.T) {
+	// A JSON-codec node and a binary-codec node interoperate through the
+	// registry because frames are content-type tagged (§3.9).
+	tr := ndsm.NewTCPTransport(nil) // registry side: binary
+	t.Cleanup(func() { _ = tr.Close() })
+	l, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ndsm.NewRegistryServer(ndsm.NewStore(nil, 0), l)
+	t.Cleanup(func() { _ = srv.Close() })
+
+	jsonTr := ndsm.NewTCPTransport(ndsm.JSONCodec{})
+	t.Cleanup(func() { _ = jsonTr.Close() })
+	cli := ndsm.NewRegistryClient(jsonTr, srv.Addr())
+	t.Cleanup(func() { _ = cli.Close() })
+	if err := cli.Register(&ndsm.Description{Name: "svc", Provider: "p", Reliability: 0.9, PowerLevel: 1}); err != nil {
+		t.Fatal(err)
+	}
+	xmlTr := ndsm.NewTCPTransport(ndsm.XMLCodec{})
+	t.Cleanup(func() { _ = xmlTr.Close() })
+	cli2 := ndsm.NewRegistryClient(xmlTr, srv.Addr())
+	t.Cleanup(func() { _ = cli2.Close() })
+	got, err := cli2.Lookup(&ndsm.Query{Name: "svc"})
+	if err != nil || len(got) != 1 || got[0].Provider != "p" {
+		t.Fatalf("cross-codec lookup = %v, %v", got, err)
+	}
+}

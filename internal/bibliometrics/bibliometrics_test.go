@@ -1,0 +1,80 @@
+package bibliometrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1Shape(t *testing.T) {
+	series := Figure1()
+	if len(series) != 13 {
+		t.Fatalf("series length = %d, want 13 (1989-2001)", len(series))
+	}
+	if series[0].Year != 1989 || series[len(series)-1].Year != 2001 {
+		t.Fatalf("year range %d-%d", series[0].Year, series[len(series)-1].Year)
+	}
+	// The paper's prose anchors: first article 1993, 7 in 1994,
+	// ≈170/year by the end.
+	byYear := map[int]int{}
+	for _, yc := range series {
+		byYear[yc.Year] = yc.Count
+	}
+	if byYear[1992] != 0 || byYear[1993] != 1 {
+		t.Fatalf("onset wrong: 1992=%d 1993=%d", byYear[1992], byYear[1993])
+	}
+	if byYear[1994] != 7 {
+		t.Fatalf("1994 = %d, want 7", byYear[1994])
+	}
+	if byYear[2001] < 160 || byYear[2001] > 200 {
+		t.Fatalf("2001 = %d, want ≈170-180", byYear[2001])
+	}
+	if !MonotoneAfterOnset(series) {
+		t.Fatal("series not monotone after onset")
+	}
+}
+
+func TestMonotoneAfterOnsetRejects(t *testing.T) {
+	if MonotoneAfterOnset([]YearCount{{1990, 5}}) {
+		t.Fatal("pre-1993 nonzero accepted")
+	}
+	if MonotoneAfterOnset([]YearCount{{1995, 10}, {1996, 5}}) {
+		t.Fatal("decrease accepted")
+	}
+}
+
+func TestTotal(t *testing.T) {
+	if got := Total([]YearCount{{1999, 2}, {2000, 3}}); got != 5 {
+		t.Fatalf("Total = %d", got)
+	}
+}
+
+func TestChart(t *testing.T) {
+	out := Chart(Figure1(), 40)
+	if !strings.Contains(out, "Figure 1") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	for _, year := range []string{"1989", "1993", "2001"} {
+		if !strings.Contains(out, year) {
+			t.Fatalf("missing year %s:\n%s", year, out)
+		}
+	}
+	// The tallest bar belongs to 2001.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "2001") || strings.Count(last, "#") != 40 {
+		t.Fatalf("2001 bar wrong: %q", last)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := CSV(Figure1())
+	if !strings.HasPrefix(out, "year,references\n") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "1994,7\n") {
+		t.Fatalf("missing 1994 row:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 14 {
+		t.Fatalf("rows = %d, want 14", got)
+	}
+}

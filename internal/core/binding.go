@@ -1,0 +1,336 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ndsm/internal/qos"
+	"ndsm/internal/transaction"
+	"ndsm/internal/transport"
+	"ndsm/internal/wire"
+)
+
+// Binding is a QoS-managed consumer-side attachment to the best feasible
+// supplier for a spec. Every request is measured against the spec's benefit
+// function; when the supplier fails or the achieved QoS violates the floor,
+// the binding re-matches and rebinds transparently — the §3.4 graceful
+// degradation loop.
+type Binding struct {
+	node *Node
+	spec *qos.Spec
+	txn  *transaction.Txn
+
+	// QoS floor triggering proactive rebinds (see BindOptions).
+	minRatio   float64
+	minBenefit float64
+	minSamples int
+
+	mu     sync.Mutex
+	peer   string
+	conn   transport.Conn
+	closed bool
+
+	nextID atomic.Uint64
+
+	// Rebinds counts supplier migrations.
+	Rebinds atomic.Int64
+}
+
+// BindOptions tunes a binding's degradation policy.
+type BindOptions struct {
+	// MinDeliveryRatio and MinBenefit define the achieved-QoS floor; when
+	// either is violated (after MinSamples attempts) the next request
+	// rebinds first. Zero values disable proactive rebinding.
+	MinDeliveryRatio float64
+	MinBenefit       float64
+	MinSamples       int
+}
+
+// Bind discovers, selects, and connects the best supplier for spec.
+func (n *Node) Bind(spec *qos.Spec, opts BindOptions) (*Binding, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrNodeClosed
+	}
+	n.mu.Unlock()
+
+	b := &Binding{
+		node:       n,
+		spec:       spec,
+		minRatio:   opts.MinDeliveryRatio,
+		minBenefit: opts.MinBenefit,
+		minSamples: opts.MinSamples,
+	}
+	if b.minSamples <= 0 {
+		b.minSamples = 10
+	}
+	peer, err := b.selectPeer("")
+	if err != nil {
+		return nil, err
+	}
+	if err := b.connect(peer); err != nil {
+		return nil, err
+	}
+	b.txn = n.table.Open(spec.Query.Name, peer, transaction.OnDemand, 0, spec.Benefit, n.clock.Now())
+	n.mu.Lock()
+	n.bindings = append(n.bindings, b)
+	n.mu.Unlock()
+	n.Events.Publish(Event{Type: EventBound, Service: spec.Query.Name, Peer: peer})
+	return b, nil
+}
+
+// Peer returns the currently bound supplier address.
+func (b *Binding) Peer() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.peer
+}
+
+// Tracker returns the binding's achieved-QoS tracker.
+func (b *Binding) Tracker() *qos.Tracker { return b.txn.Tracker }
+
+// selectPeer ranks current candidates, excluding one peer (the failed one).
+func (b *Binding) selectPeer(exclude string) (string, error) {
+	candidates, err := b.node.registry.Lookup(&b.spec.Query)
+	if err != nil {
+		return "", fmt.Errorf("core: lookup %s: %w", b.spec.Query.Name, err)
+	}
+	filtered := candidates[:0]
+	for _, c := range candidates {
+		if c.Provider != exclude {
+			filtered = append(filtered, c)
+		}
+	}
+	best := qos.Select(b.spec, filtered, b.node.clock.Now())
+	if best == nil {
+		return "", fmt.Errorf("%w: %s", ErrNoSupplier, b.spec.Query.Name)
+	}
+	return best.Provider, nil
+}
+
+// connect replaces the binding's connection.
+func (b *Binding) connect(peer string) error {
+	conn, err := b.node.tr.Dial(peer)
+	if err != nil {
+		return fmt.Errorf("core: dial %s: %w", peer, err)
+	}
+	b.mu.Lock()
+	if b.conn != nil {
+		_ = b.conn.Close()
+	}
+	b.conn = conn
+	b.peer = peer
+	b.mu.Unlock()
+	return nil
+}
+
+// Rebind re-matches, excluding the current peer, and reconnects. The
+// transaction record tracks the handoff.
+func (b *Binding) Rebind() error {
+	b.mu.Lock()
+	old := b.peer
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return ErrNodeClosed
+	}
+	peer, err := b.selectPeer(old)
+	if err != nil {
+		b.node.Events.Publish(Event{Type: EventBindingLost, Service: b.spec.Query.Name, Peer: old})
+		return err
+	}
+	if err := b.connect(peer); err != nil {
+		return err
+	}
+	if err := b.node.table.BeginHandoff(b.txn.ID); err == nil {
+		_ = b.node.table.CompleteHandoff(b.txn.ID, peer)
+	}
+	b.Rebinds.Add(1)
+	b.node.Events.Publish(Event{Type: EventRebound, Service: b.spec.Query.Name, Peer: peer})
+	return nil
+}
+
+// Request performs one on-demand interaction with the bound supplier. The
+// deadline comes from the spec's benefit curve; delivery and delay feed the
+// tracker. On a connection failure the binding rebinds once and retries;
+// when the achieved QoS has fallen below the BindOptions floor, the binding
+// proactively re-matches before sending.
+func (b *Binding) Request(payload []byte) ([]byte, error) {
+	if b.violated() {
+		// Proactive degradation handling: the current supplier is not
+		// delivering the demanded QoS even though it is still reachable.
+		b.node.Events.Publish(Event{Type: EventQoSViolated, Service: b.spec.Query.Name, Peer: b.Peer()})
+		// A failed proactive rebind is not fatal — the current supplier may
+		// still serve this request; the QoS floor simply stays violated.
+		_ = b.Rebind()
+	}
+	out, err := b.requestOnce(payload)
+	if err == nil {
+		return out, nil
+	}
+	var remoteErr *remoteError
+	if errors.As(err, &remoteErr) {
+		// The supplier answered with an application error: not a QoS
+		// failure, no rebind.
+		return nil, err
+	}
+	// Transport-level failure: degrade gracefully by rebinding.
+	tracker := b.Tracker()
+	tracker.ObserveFailure()
+	if b.violated() {
+		b.node.Events.Publish(Event{Type: EventQoSViolated, Service: b.spec.Query.Name, Peer: b.Peer()})
+	}
+	if rerr := b.Rebind(); rerr != nil {
+		return nil, fmt.Errorf("core: request failed (%v) and rebind failed: %w", err, rerr)
+	}
+	return b.requestOnce(payload)
+}
+
+// RequestStatic performs one exchange without the graceful-degradation
+// machinery: no rebinding, no re-matching. It models a middleware-less
+// client and is the baseline experiment E4 measures the kernel against.
+func (b *Binding) RequestStatic(payload []byte) ([]byte, error) {
+	out, err := b.requestOnce(payload)
+	if err != nil {
+		var remoteErr *remoteError
+		if !errors.As(err, &remoteErr) {
+			b.Tracker().ObserveFailure()
+		}
+		return nil, err
+	}
+	return out, nil
+}
+
+// remoteError wraps an application-level error returned by the supplier.
+type remoteError struct{ msg string }
+
+func (e *remoteError) Error() string { return "core: remote: " + e.msg }
+
+func (b *Binding) violated() bool {
+	if b.minRatio == 0 && b.minBenefit == 0 {
+		return false
+	}
+	return b.Tracker().Violated(b.minRatio, b.minBenefit, b.minSamples)
+}
+
+// requestOnce performs a single exchange on the current connection.
+func (b *Binding) requestOnce(payload []byte) ([]byte, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrNodeClosed
+	}
+	conn := b.conn
+	b.mu.Unlock()
+
+	start := b.node.clock.Now()
+	var deadline time.Time
+	timeout := b.spec.Benefit.ZeroAfter
+	if timeout == 0 {
+		timeout = b.spec.Benefit.FullUntil
+	}
+	if timeout > 0 {
+		deadline = start.Add(timeout)
+	}
+	req := &wire.Message{
+		ID:       b.nextID.Add(1),
+		Kind:     wire.KindRequest,
+		Src:      b.node.name,
+		Dst:      b.Peer(),
+		Topic:    b.spec.Query.Name,
+		Deadline: deadline,
+		Payload:  payload,
+	}
+	if err := conn.Send(req); err != nil {
+		return nil, err
+	}
+
+	type result struct {
+		m   *wire.Message
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		for {
+			m, err := conn.Recv()
+			if err != nil {
+				ch <- result{nil, err}
+				return
+			}
+			if m.Corr == req.ID {
+				ch <- result{m, nil}
+				return
+			}
+		}
+	}()
+	var timer <-chan time.Time
+	if timeout > 0 {
+		timer = b.node.clock.After(timeout)
+	}
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return nil, r.err
+		}
+		elapsed := b.node.clock.Now().Sub(start)
+		if r.m.Kind == wire.KindError {
+			return nil, &remoteError{msg: string(r.m.Payload)}
+		}
+		b.Tracker().ObserveDelivery(elapsed)
+		return r.m.Payload, nil
+	case <-timer:
+		// The late reply (if any) is discarded by closing the connection so
+		// the receive goroutine exits; the next request reconnects.
+		b.mu.Lock()
+		if b.conn == conn {
+			_ = conn.Close()
+		}
+		b.mu.Unlock()
+		return nil, fmt.Errorf("core: request to %s timed out after %v", b.Peer(), timeout)
+	}
+}
+
+// Poll turns the binding into a continuous (or intermittent-with-prediction)
+// transaction: a pump issues Request at the schedule's pace and hands every
+// result to deliver. Failures that the rebinding machinery cannot absorb are
+// reported to deliver with a nil payload and the error. Stop the pump by
+// calling the returned stop function.
+func (b *Binding) Poll(schedule transaction.Schedule, request []byte, deliver func([]byte, error)) (stop func()) {
+	pump := transaction.NewPump(b.node.clock, schedule,
+		func() ([]byte, bool) {
+			b.mu.Lock()
+			closed := b.closed
+			b.mu.Unlock()
+			return request, !closed
+		},
+		func(payload []byte) error {
+			out, err := b.Request(payload)
+			deliver(out, err)
+			return err
+		})
+	return pump.Stop
+}
+
+// Close releases the binding and completes its transaction.
+func (b *Binding) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	conn := b.conn
+	b.mu.Unlock()
+	_ = b.node.table.Complete(b.txn.ID)
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"ndsm/internal/qos"
+	"ndsm/internal/svcdesc"
+	"ndsm/internal/transport"
+)
+
+// TestChurnSoak exercises the kernel's adaptation loop under sustained
+// component churn (§3.3 "how frequently the available components change"):
+// suppliers continuously join and crash while consumers keep requesting.
+// The invariant: as long as at least one supplier is registered, consumers
+// eventually succeed, and the kernel never wedges or panics.
+func TestChurnSoak(t *testing.T) {
+	w := newWorld(t)
+
+	// A stable anchor supplier guarantees the service never disappears
+	// entirely; churners come and go around it.
+	anchor := w.node("anchor")
+	if err := anchor.Serve(bpDesc(0.7), echoHandler("anchor:")); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		churners  = 3
+		consumers = 3
+		rounds    = 30
+	)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Churners: register a high-reliability supplier, serve briefly, crash.
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			gen := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				gen++
+				name := fmt.Sprintf("churner-%d-%d", c, gen)
+				n, err := NewNode(Config{
+					Name:      name,
+					Transport: transport.NewMem(w.fabric),
+					Registry:  w.registry,
+				})
+				if err != nil {
+					continue
+				}
+				_ = n.Serve(bpDesc(0.99), echoHandler(name+":"))
+				time.Sleep(time.Duration(1+rng.Intn(5)) * time.Millisecond)
+				// Crash without unregistering half the time — the lease (or
+				// rebind-on-failure) must cover it. TTL default is long, so
+				// unregister the other half to keep the table fresh.
+				if rng.Intn(2) == 0 {
+					d := bpDesc(0.99)
+					d.Provider = name
+					_ = w.registry.Unregister(d.Key())
+				}
+				_ = n.Close()
+			}
+		}(c)
+	}
+
+	// Consumers: request in a loop; every consumer must finish its rounds
+	// with a healthy success count (failures happen when a churner dies
+	// mid-request AND its advertisement is stale, but the anchor bounds the
+	// damage via rebind).
+	errCh := make(chan error, consumers)
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			con := w.node(fmt.Sprintf("churn-consumer-%d", c))
+			b, err := con.Bind(&qos.Spec{
+				Query:   svcdesc.Query{Name: "sensor/bp"},
+				Benefit: qos.Benefit{FullUntil: time.Second, ZeroAfter: 3 * time.Second},
+			}, BindOptions{})
+			if err != nil {
+				errCh <- fmt.Errorf("consumer %d bind: %w", c, err)
+				return
+			}
+			defer b.Close() //nolint:errcheck
+			success := 0
+			for r := 0; r < rounds; r++ {
+				if _, err := b.Request([]byte("x")); err == nil {
+					success++
+				}
+			}
+			// The anchor guarantees a floor well above zero; demand 50%.
+			if success < rounds/2 {
+				errCh <- fmt.Errorf("consumer %d: only %d/%d requests succeeded", c, success, rounds)
+			}
+		}(c)
+	}
+
+	// Let consumers finish, then stop churners.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Consumers exit on their own; churners need the stop signal. Wait for
+	// consumer goroutines by draining errCh after a grace period.
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("churn soak wedged")
+	}
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,80 @@
+// Package core is the middleware kernel (§3.1): it hosts service suppliers
+// and service consumers on a Node, wires discovery, QoS selection,
+// transactions, and recovery together, and runs the adaptation loop that
+// gives applications plug-and-play behaviour and graceful degradation —
+// when a bound supplier fails or its achieved QoS collapses, the kernel
+// re-matches and rebinds without application involvement.
+package core
+
+import (
+	"sync"
+)
+
+// EventType classifies kernel events (§3.10: "the middleware should react
+// to events from all system components").
+type EventType string
+
+// Kernel events.
+const (
+	// EventServiceUp fires when a local supplier starts serving.
+	EventServiceUp EventType = "service-up"
+	// EventServiceDown fires when a local supplier is withdrawn.
+	EventServiceDown EventType = "service-down"
+	// EventBound fires when a consumer binds a supplier.
+	EventBound EventType = "bound"
+	// EventRebound fires when a binding migrates to a new supplier.
+	EventRebound EventType = "rebound"
+	// EventBindingLost fires when no feasible supplier remains.
+	EventBindingLost EventType = "binding-lost"
+	// EventQoSViolated fires when achieved QoS drops below the floor.
+	EventQoSViolated EventType = "qos-violated"
+)
+
+// Event is one kernel notification.
+type Event struct {
+	Type EventType
+	// Service is the topic/service name involved.
+	Service string
+	// Peer is the supplier address involved, when applicable.
+	Peer string
+}
+
+// eventBuffer is each subscriber's queue depth; slow subscribers lose the
+// oldest semantics and instead drop new events (counted by the bus).
+const eventBuffer = 64
+
+// Bus is the node-local event manager.
+type Bus struct {
+	mu      sync.Mutex
+	subs    []chan Event
+	dropped int64
+}
+
+// Subscribe returns a channel of future events.
+func (b *Bus) Subscribe() <-chan Event {
+	ch := make(chan Event, eventBuffer)
+	b.mu.Lock()
+	b.subs = append(b.subs, ch)
+	b.mu.Unlock()
+	return ch
+}
+
+// Publish fans an event out to all subscribers without blocking.
+func (b *Bus) Publish(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ch := range b.subs {
+		select {
+		case ch <- ev:
+		default:
+			b.dropped++
+		}
+	}
+}
+
+// Dropped reports events lost to full subscriber queues.
+func (b *Bus) Dropped() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ndsm/internal/discovery"
+	"ndsm/internal/simtime"
+	"ndsm/internal/svcdesc"
+	"ndsm/internal/transaction"
+	"ndsm/internal/transport"
+	"ndsm/internal/wire"
+)
+
+// Handler serves one request for a hosted service.
+type Handler func(payload []byte) ([]byte, error)
+
+// Core errors.
+var (
+	ErrNodeClosed     = errors.New("core: node closed")
+	ErrNoSupplier     = errors.New("core: no feasible supplier")
+	ErrServiceExists  = errors.New("core: service already hosted")
+	ErrUnknownService = errors.New("core: unknown service")
+)
+
+// Config assembles a Node.
+type Config struct {
+	// Name is the node's address on its transport (what suppliers advertise
+	// as Provider).
+	Name string
+	// Transport carries all of the node's traffic.
+	Transport transport.Transport
+	// Registry is the discovery organization the node uses (centralized
+	// client, flood agent, mirrored, adaptive — anything).
+	Registry discovery.Registry
+	// Clock times QoS and leases (default real).
+	Clock simtime.Clock
+}
+
+// Node is one middleware endpoint: it serves any number of supplier services
+// on a single listener and opens QoS-managed consumer bindings.
+type Node struct {
+	name     string
+	tr       transport.Transport
+	registry discovery.Registry
+	clock    simtime.Clock
+
+	// Events is the node's event manager.
+	Events Bus
+
+	table *transaction.Table
+
+	mu        sync.Mutex
+	suppliers map[string]*supplier // by service name
+	bindings  []*Binding
+	listener  transport.Listener
+	conns     map[transport.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// supplier is one hosted service.
+type supplier struct {
+	desc    *svcdesc.Description
+	handler Handler
+}
+
+// NewNode starts a node: it binds the transport listener immediately.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("core: node needs a name")
+	}
+	if cfg.Transport == nil {
+		return nil, errors.New("core: node needs a transport")
+	}
+	if cfg.Registry == nil {
+		return nil, errors.New("core: node needs a registry")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simtime.Real{}
+	}
+	l, err := cfg.Transport.Listen(cfg.Name)
+	if err != nil {
+		return nil, fmt.Errorf("core: listen %s: %w", cfg.Name, err)
+	}
+	n := &Node{
+		name:      cfg.Name,
+		tr:        cfg.Transport,
+		registry:  cfg.Registry,
+		clock:     cfg.Clock,
+		table:     transaction.NewTable(),
+		suppliers: make(map[string]*supplier),
+		conns:     make(map[transport.Conn]struct{}),
+		listener:  l,
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Name returns the node's address.
+func (n *Node) Name() string { return n.name }
+
+// Transactions exposes the node's transaction table.
+func (n *Node) Transactions() *transaction.Table { return n.table }
+
+// Close withdraws all services, closes all bindings and stops the node.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	services := make([]string, 0, len(n.suppliers))
+	for name := range n.suppliers {
+		services = append(services, name)
+	}
+	bindings := append([]*Binding(nil), n.bindings...)
+	conns := make([]transport.Conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+
+	for _, svc := range services {
+		_ = n.withdraw(svc)
+	}
+	for _, b := range bindings {
+		_ = b.Close()
+	}
+	_ = n.listener.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	n.wg.Wait()
+	return nil
+}
+
+// Serve hosts a service: the description is completed with this node as
+// provider, registered with discovery, and requests to its name are
+// dispatched to the handler.
+func (n *Node) Serve(desc *svcdesc.Description, handler Handler) error {
+	if handler == nil {
+		return errors.New("core: nil handler")
+	}
+	d := desc.Clone()
+	d.Provider = n.name
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrNodeClosed
+	}
+	if _, busy := n.suppliers[d.Name]; busy {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrServiceExists, d.Name)
+	}
+	n.suppliers[d.Name] = &supplier{desc: d, handler: handler}
+	n.mu.Unlock()
+
+	if err := n.registry.Register(d); err != nil {
+		n.mu.Lock()
+		delete(n.suppliers, d.Name)
+		n.mu.Unlock()
+		return fmt.Errorf("core: register %s: %w", d.Name, err)
+	}
+	n.Events.Publish(Event{Type: EventServiceUp, Service: d.Name, Peer: n.name})
+	return nil
+}
+
+// Withdraw stops hosting a service and unregisters it.
+func (n *Node) Withdraw(service string) error { return n.withdraw(service) }
+
+func (n *Node) withdraw(service string) error {
+	n.mu.Lock()
+	sup, ok := n.suppliers[service]
+	delete(n.suppliers, service)
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownService, service)
+	}
+	err := n.registry.Unregister(sup.desc.Key())
+	n.Events.Publish(Event{Type: EventServiceDown, Service: service, Peer: n.name})
+	return err
+}
+
+// RenewLeases re-registers all hosted services (lease keep-alive). Call it
+// periodically at a fraction of the advertised TTL.
+func (n *Node) RenewLeases() error {
+	n.mu.Lock()
+	descs := make([]*svcdesc.Description, 0, len(n.suppliers))
+	for _, sup := range n.suppliers {
+		descs = append(descs, sup.desc)
+	}
+	n.mu.Unlock()
+	var firstErr error
+	for _, d := range descs {
+		if err := n.registry.Register(d); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Services lists hosted service names.
+func (n *Node) Services() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.suppliers))
+	for name := range n.suppliers {
+		out = append(out, name)
+	}
+	return out
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		n.conns[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.serveConn(conn)
+	}
+}
+
+func (n *Node) serveConn(conn transport.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		n.mu.Lock()
+		delete(n.conns, conn)
+		n.mu.Unlock()
+	}()
+	var sendMu sync.Mutex
+	for {
+		req, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if req.Kind != wire.KindRequest {
+			continue
+		}
+		n.mu.Lock()
+		sup := n.suppliers[req.Topic]
+		n.mu.Unlock()
+
+		n.wg.Add(1)
+		go func(req *wire.Message) {
+			defer n.wg.Done()
+			reply := &wire.Message{Corr: req.ID, Topic: req.Topic, Src: n.name}
+			if sup == nil {
+				reply.Kind = wire.KindError
+				reply.Payload = []byte(fmt.Sprintf("%v: %s", ErrUnknownService, req.Topic))
+			} else if out, err := sup.handler(req.Payload); err != nil {
+				reply.Kind = wire.KindError
+				reply.Payload = []byte(err.Error())
+			} else {
+				reply.Kind = wire.KindReply
+				reply.Payload = out
+			}
+			sendMu.Lock()
+			defer sendMu.Unlock()
+			_ = conn.Send(reply)
+		}(req)
+	}
+}

@@ -1,0 +1,295 @@
+package discovery
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ndsm/internal/stats"
+	"ndsm/internal/svcdesc"
+	"ndsm/internal/transport"
+	"ndsm/internal/wire"
+)
+
+// Registry protocol topics (centralized organization). Requests are
+// KindControl messages; replies are KindReply (success) or KindError with
+// the error text as payload.
+const (
+	topicRegister   = "disc.register"
+	topicUnregister = "disc.unregister"
+	topicRenew      = "disc.renew"
+	topicLookup     = "disc.lookup"
+)
+
+// Server is the centralized registry: a Store exposed over a transport
+// listener. Start with Serve (blocking) or let NewServer's goroutine run it.
+type Server struct {
+	store    *Store
+	listener transport.Listener
+
+	mu     sync.Mutex
+	conns  map[transport.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+
+	// Requests counts handled requests by topic.
+	Requests stats.Counter
+}
+
+// NewServer starts serving the store on the listener in a background
+// accept loop.
+func NewServer(store *Store, l transport.Listener) *Server {
+	s := &Server{store: store, listener: l, conns: make(map[transport.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener's bound address.
+func (s *Server) Addr() string { return s.listener.Addr() }
+
+// Store returns the server's backing store.
+func (s *Server) Store() *Store { return s.store }
+
+// Close stops accepting, closes all connections, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]transport.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	_ = s.listener.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn transport.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		req, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		reply := s.handle(req)
+		reply.Corr = req.ID
+		if err := conn.Send(reply); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req *wire.Message) *wire.Message {
+	s.store.Sweep()
+	s.Requests.Inc(req.Topic, 1)
+	fail := func(err error) *wire.Message {
+		return &wire.Message{Kind: wire.KindError, Topic: req.Topic, Payload: []byte(err.Error())}
+	}
+	switch req.Topic {
+	case topicRegister:
+		d, err := svcdesc.UnmarshalDescription(req.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.store.Register(d); err != nil {
+			return fail(err)
+		}
+		return &wire.Message{Kind: wire.KindAck, Topic: req.Topic}
+	case topicUnregister:
+		if err := s.store.Unregister(string(req.Payload)); err != nil {
+			return fail(err)
+		}
+		return &wire.Message{Kind: wire.KindAck, Topic: req.Topic}
+	case topicRenew:
+		if err := s.store.Renew(string(req.Payload)); err != nil {
+			return fail(err)
+		}
+		return &wire.Message{Kind: wire.KindAck, Topic: req.Topic}
+	case topicLookup:
+		q, err := svcdesc.UnmarshalQuery(req.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		descs, err := s.store.Lookup(q)
+		if err != nil {
+			return fail(err)
+		}
+		payload, err := svcdesc.MarshalDescriptionList(descs)
+		if err != nil {
+			return fail(err)
+		}
+		return &wire.Message{Kind: wire.KindReply, Topic: req.Topic, Payload: payload}
+	default:
+		return fail(fmt.Errorf("discovery: unknown topic %q", req.Topic))
+	}
+}
+
+// Client is the centralized organization's Registry implementation: a
+// request/response protocol over one transport connection.
+type Client struct {
+	tr   transport.Transport
+	addr string
+
+	mu     sync.Mutex // serializes request/response exchanges
+	conn   transport.Conn
+	closed bool
+
+	nextID atomic.Uint64
+
+	// Messages counts protocol messages sent and received (the message-cost
+	// metric of experiments E1/E2).
+	Messages stats.Counter
+}
+
+var _ Registry = (*Client)(nil)
+
+// NewClient returns a client that will connect lazily to the registry at
+// addr over tr.
+func NewClient(tr transport.Transport, addr string) *Client {
+	return &Client{tr: tr, addr: addr}
+}
+
+// Register implements Registry.
+func (c *Client) Register(d *svcdesc.Description) error {
+	payload, err := svcdesc.MarshalDescription(d)
+	if err != nil {
+		return err
+	}
+	_, err = c.call(topicRegister, payload)
+	return err
+}
+
+// Unregister implements Registry.
+func (c *Client) Unregister(key string) error {
+	_, err := c.call(topicUnregister, []byte(key))
+	return err
+}
+
+// Renew implements Registry.
+func (c *Client) Renew(key string) error {
+	_, err := c.call(topicRenew, []byte(key))
+	return err
+}
+
+// Lookup implements Registry.
+func (c *Client) Lookup(q *svcdesc.Query) ([]*svcdesc.Description, error) {
+	payload, err := svcdesc.MarshalQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := c.call(topicLookup, payload)
+	if err != nil {
+		return nil, err
+	}
+	return svcdesc.UnmarshalDescriptionList(reply.Payload)
+}
+
+// Close implements Registry.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// call performs one request/response exchange, reconnecting once on a
+// stale-connection failure.
+func (c *Client) call(topic string, payload []byte) (*wire.Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	reply, err := c.exchangeLocked(topic, payload)
+	if err != nil && !errors.Is(err, ErrClosed) && c.conn == nil {
+		// Connection was torn down; a single reconnect attempt.
+		reply, err = c.exchangeLocked(topic, payload)
+	}
+	return reply, err
+}
+
+func (c *Client) exchangeLocked(topic string, payload []byte) (*wire.Message, error) {
+	if c.conn == nil {
+		conn, err := c.tr.Dial(c.addr)
+		if err != nil {
+			return nil, fmt.Errorf("discovery: connect registry: %w", err)
+		}
+		c.conn = conn
+	}
+	req := &wire.Message{
+		ID:      c.nextID.Add(1),
+		Kind:    wire.KindControl,
+		Topic:   topic,
+		Payload: payload,
+	}
+	if err := c.conn.Send(req); err != nil {
+		c.dropConnLocked()
+		return nil, fmt.Errorf("discovery: send %s: %w", topic, err)
+	}
+	c.Messages.Inc("sent", 1)
+	for {
+		reply, err := c.conn.Recv()
+		if err != nil {
+			c.dropConnLocked()
+			return nil, fmt.Errorf("discovery: recv %s: %w", topic, err)
+		}
+		c.Messages.Inc("received", 1)
+		if reply.Corr != req.ID {
+			continue // stale reply from a timed-out predecessor
+		}
+		if reply.Kind == wire.KindError {
+			return nil, fmt.Errorf("discovery: registry: %s", reply.Payload)
+		}
+		return reply, nil
+	}
+}
+
+func (c *Client) dropConnLocked() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+}

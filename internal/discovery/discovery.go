@@ -1,0 +1,196 @@
+// Package discovery implements the paper's plug-and-play feature (§3.3):
+// service advertisement and lookup in four organizations, matching the
+// design space the paper lays out —
+//
+//   - Centralized: a registry server over any Transport (Server/Client),
+//   - Distributed: TTL-bounded query flooding with reverse-path replies and
+//     optional advertisement gossip (Agent),
+//   - Hybrid: mirrored registries for scalability and fail-over (Mirrored),
+//   - Adaptive: picks centralized or distributed per operation from the
+//     observed environment — local density and registry health (Adaptive).
+//
+// Advertisements carry TTL leases; registries expire un-renewed entries so a
+// crashed supplier disappears by itself, which is what lets applications
+// "adapt as the environment changes".
+package discovery
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ndsm/internal/simtime"
+	"ndsm/internal/svcdesc"
+)
+
+// Registry is the uniform discovery API all four organizations implement.
+type Registry interface {
+	// Register advertises a service (idempotent on the description key;
+	// re-registering renews the lease).
+	Register(d *svcdesc.Description) error
+	// Unregister withdraws an advertisement by its description key.
+	Unregister(key string) error
+	// Renew extends an advertisement's lease.
+	Renew(key string) error
+	// Lookup returns the descriptions matching the query.
+	Lookup(q *svcdesc.Query) ([]*svcdesc.Description, error)
+	// Close releases the registry's resources.
+	Close() error
+}
+
+// Discovery errors.
+var (
+	ErrNotFound = errors.New("discovery: no such advertisement")
+	ErrClosed   = errors.New("discovery: registry closed")
+)
+
+// DefaultTTL is the advertisement lease applied when a description carries
+// none.
+const DefaultTTL = 30 * time.Second
+
+// storeEntry is one leased advertisement.
+type storeEntry struct {
+	desc    *svcdesc.Description
+	expires time.Time
+}
+
+// Store is the in-memory leased advertisement table underlying every
+// organization. The zero value is not usable; construct with NewStore.
+type Store struct {
+	clock      simtime.Clock
+	defaultTTL time.Duration
+
+	mu      sync.Mutex
+	entries map[string]storeEntry
+	// version increments on every mutation; callers use it for cheap change
+	// detection.
+	version atomic.Int64
+}
+
+var _ Registry = (*Store)(nil)
+
+// NewStore creates a store expiring entries against the given clock
+// (simtime.Real if nil), defaulting leases to defaultTTL (DefaultTTL if 0).
+func NewStore(clock simtime.Clock, defaultTTL time.Duration) *Store {
+	if clock == nil {
+		clock = simtime.Real{}
+	}
+	if defaultTTL <= 0 {
+		defaultTTL = DefaultTTL
+	}
+	return &Store{
+		clock:      clock,
+		defaultTTL: defaultTTL,
+		entries:    make(map[string]storeEntry),
+	}
+}
+
+// Register implements Registry.
+func (s *Store) Register(d *svcdesc.Description) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	ttl := d.TTL
+	if ttl <= 0 {
+		ttl = s.defaultTTL
+	}
+	d = d.Clone()
+	s.mu.Lock()
+	s.entries[d.Key()] = storeEntry{desc: d, expires: s.clock.Now().Add(ttl)}
+	s.mu.Unlock()
+	s.version.Add(1)
+	return nil
+}
+
+// Unregister implements Registry.
+func (s *Store) Unregister(key string) error {
+	s.mu.Lock()
+	_, ok := s.entries[key]
+	delete(s.entries, key)
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	s.version.Add(1)
+	return nil
+}
+
+// Renew implements Registry.
+func (s *Store) Renew(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok || s.clock.Now().After(e.expires) {
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	ttl := e.desc.TTL
+	if ttl <= 0 {
+		ttl = s.defaultTTL
+	}
+	e.expires = s.clock.Now().Add(ttl)
+	s.entries[key] = e
+	return nil
+}
+
+// Lookup implements Registry. Expired entries never match.
+func (s *Store) Lookup(q *svcdesc.Query) ([]*svcdesc.Description, error) {
+	now := s.clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var keys []string
+	for k, e := range s.entries {
+		if now.After(e.expires) {
+			continue
+		}
+		if q.Matches(e.desc, now) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]*svcdesc.Description, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, s.entries[k].desc.Clone())
+	}
+	return out, nil
+}
+
+// Close implements Registry (a Store holds no external resources).
+func (s *Store) Close() error { return nil }
+
+// Sweep removes expired entries and returns how many were removed. Servers
+// call it periodically so the table does not accumulate dead suppliers.
+func (s *Store) Sweep() int {
+	now := s.clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for k, e := range s.entries {
+		if now.After(e.expires) {
+			delete(s.entries, k)
+			removed++
+		}
+	}
+	if removed > 0 {
+		s.version.Add(1)
+	}
+	return removed
+}
+
+// Len returns the number of (possibly expired) entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Version returns the mutation counter.
+func (s *Store) Version() int64 { return s.version.Load() }
+
+// All returns every unexpired description, sorted by key.
+func (s *Store) All() []*svcdesc.Description {
+	descs, _ := s.Lookup(&svcdesc.Query{})
+	return descs
+}

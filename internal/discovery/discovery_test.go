@@ -1,0 +1,789 @@
+package discovery
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"ndsm/internal/netmux"
+	"ndsm/internal/netsim"
+	"ndsm/internal/simtime"
+	"ndsm/internal/svcdesc"
+	"ndsm/internal/transport"
+	"ndsm/internal/wire"
+)
+
+var epoch = time.Date(2003, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func desc(provider, name string) *svcdesc.Description {
+	return &svcdesc.Description{
+		Name:        name,
+		Provider:    provider,
+		Reliability: 0.9,
+		PowerLevel:  1.0,
+		Attributes:  map[string]string{"unit": "mmHg"},
+	}
+}
+
+func TestStoreRegisterLookup(t *testing.T) {
+	s := NewStore(nil, 0)
+	if err := s.Register(desc("n1", "sensor/bp")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(desc("n2", "printer")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Lookup(&svcdesc.Query{Name: "sensor/*"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Provider != "n1" {
+		t.Fatalf("Lookup = %+v", got)
+	}
+	all, _ := s.Lookup(&svcdesc.Query{})
+	if len(all) != 2 {
+		t.Fatalf("wildcard lookup = %d", len(all))
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestStoreRejectsInvalid(t *testing.T) {
+	s := NewStore(nil, 0)
+	if err := s.Register(&svcdesc.Description{}); err == nil {
+		t.Fatal("invalid description registered")
+	}
+}
+
+func TestStoreLookupReturnsClones(t *testing.T) {
+	s := NewStore(nil, 0)
+	if err := s.Register(desc("n1", "svc")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Lookup(&svcdesc.Query{})
+	got[0].Attributes["unit"] = "tampered"
+	again, _ := s.Lookup(&svcdesc.Query{})
+	if again[0].Attributes["unit"] != "mmHg" {
+		t.Fatal("lookup exposed internal state")
+	}
+}
+
+func TestStoreRegisterClonesInput(t *testing.T) {
+	s := NewStore(nil, 0)
+	d := desc("n1", "svc")
+	if err := s.Register(d); err != nil {
+		t.Fatal(err)
+	}
+	d.Attributes["unit"] = "tampered"
+	got, _ := s.Lookup(&svcdesc.Query{})
+	if got[0].Attributes["unit"] != "mmHg" {
+		t.Fatal("store shares caller's description")
+	}
+}
+
+func TestStoreUnregister(t *testing.T) {
+	s := NewStore(nil, 0)
+	d := desc("n1", "svc")
+	if err := s.Register(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unregister(d.Key()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unregister(d.Key()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second unregister: %v", err)
+	}
+	got, _ := s.Lookup(&svcdesc.Query{})
+	if len(got) != 0 {
+		t.Fatal("entry survived unregister")
+	}
+}
+
+func TestStoreExpiryAndRenew(t *testing.T) {
+	clk := simtime.NewVirtual(epoch)
+	s := NewStore(clk, 10*time.Second)
+	d := desc("n1", "svc")
+	if err := s.Register(d); err != nil {
+		t.Fatal(err)
+	}
+
+	clk.Advance(9 * time.Second)
+	if got, _ := s.Lookup(&svcdesc.Query{}); len(got) != 1 {
+		t.Fatal("entry expired early")
+	}
+	if err := s.Renew(d.Key()); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(9 * time.Second)
+	if got, _ := s.Lookup(&svcdesc.Query{}); len(got) != 1 {
+		t.Fatal("renewed entry expired early")
+	}
+	clk.Advance(2 * time.Second)
+	if got, _ := s.Lookup(&svcdesc.Query{}); len(got) != 0 {
+		t.Fatal("expired entry still matches")
+	}
+	if err := s.Renew(d.Key()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("renew of expired entry: %v", err)
+	}
+}
+
+func TestStoreCustomTTL(t *testing.T) {
+	clk := simtime.NewVirtual(epoch)
+	s := NewStore(clk, time.Minute)
+	d := desc("n1", "svc")
+	d.TTL = time.Second
+	if err := s.Register(d); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Second)
+	if got, _ := s.Lookup(&svcdesc.Query{}); len(got) != 0 {
+		t.Fatal("per-description TTL ignored")
+	}
+}
+
+func TestStoreSweep(t *testing.T) {
+	clk := simtime.NewVirtual(epoch)
+	s := NewStore(clk, time.Second)
+	for i := 0; i < 3; i++ {
+		if err := s.Register(desc(fmt.Sprintf("n%d", i), "svc")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(2 * time.Second)
+	if s.Len() != 3 {
+		t.Fatal("entries physically removed before sweep")
+	}
+	if removed := s.Sweep(); removed != 3 {
+		t.Fatalf("Sweep removed %d, want 3", removed)
+	}
+	if s.Len() != 0 {
+		t.Fatal("entries survive sweep")
+	}
+	if s.Sweep() != 0 {
+		t.Fatal("second sweep removed something")
+	}
+}
+
+func TestStoreVersionBumps(t *testing.T) {
+	s := NewStore(nil, 0)
+	v0 := s.Version()
+	_ = s.Register(desc("n1", "svc"))
+	if s.Version() == v0 {
+		t.Fatal("version not bumped on register")
+	}
+	v1 := s.Version()
+	_ = s.Unregister(desc("n1", "svc").Key())
+	if s.Version() == v1 {
+		t.Fatal("version not bumped on unregister")
+	}
+}
+
+func TestStoreReRegisterRenews(t *testing.T) {
+	clk := simtime.NewVirtual(epoch)
+	s := NewStore(clk, 10*time.Second)
+	d := desc("n1", "svc")
+	_ = s.Register(d)
+	clk.Advance(8 * time.Second)
+	_ = s.Register(d) // re-register refreshes the lease
+	clk.Advance(8 * time.Second)
+	if got, _ := s.Lookup(&svcdesc.Query{}); len(got) != 1 {
+		t.Fatal("re-registration did not refresh lease")
+	}
+}
+
+// --- centralized organization ---
+
+func newCentralPair(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	fabric := transport.NewFabric()
+	st := transport.NewMem(fabric)
+	l, err := st.Listen("registry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(NewStore(nil, 0), l)
+	cli := NewClient(transport.NewMem(fabric), "registry")
+	t.Cleanup(func() {
+		_ = cli.Close()
+		_ = srv.Close()
+		_ = st.Close()
+	})
+	return srv, cli
+}
+
+func TestCentralRegisterLookup(t *testing.T) {
+	_, cli := newCentralPair(t)
+	if err := cli.Register(desc("n1", "sensor/bp")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Register(desc("n2", "printer")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.Lookup(&svcdesc.Query{Name: "printer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Provider != "n2" {
+		t.Fatalf("Lookup = %+v", got)
+	}
+	if got[0].Attributes["unit"] != "mmHg" {
+		t.Fatal("attributes lost over the wire")
+	}
+}
+
+func TestCentralUnregisterRenew(t *testing.T) {
+	_, cli := newCentralPair(t)
+	d := desc("n1", "svc")
+	if err := cli.Register(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Renew(d.Key()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Unregister(d.Key()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Unregister(d.Key()); err == nil {
+		t.Fatal("double unregister accepted")
+	}
+	if err := cli.Renew("bogus|key|x"); err == nil {
+		t.Fatal("renew of unknown key accepted")
+	}
+}
+
+func TestCentralLookupEmpty(t *testing.T) {
+	_, cli := newCentralPair(t)
+	got, err := cli.Lookup(&svcdesc.Query{Name: "nothing"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d", len(got))
+	}
+}
+
+func TestCentralInvalidRegister(t *testing.T) {
+	_, cli := newCentralPair(t)
+	if err := cli.Register(&svcdesc.Description{}); err == nil {
+		t.Fatal("invalid description accepted")
+	}
+}
+
+func TestCentralMessageCounters(t *testing.T) {
+	_, cli := newCentralPair(t)
+	_ = cli.Register(desc("n1", "svc"))
+	if _, err := cli.Lookup(&svcdesc.Query{}); err != nil {
+		t.Fatal(err)
+	}
+	snap := cli.Messages.Snapshot()
+	if snap["sent"] != 2 || snap["received"] != 2 {
+		t.Fatalf("counters = %v", snap)
+	}
+}
+
+func TestCentralClientClosed(t *testing.T) {
+	_, cli := newCentralPair(t)
+	_ = cli.Close()
+	if _, err := cli.Lookup(&svcdesc.Query{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCentralServerCountsRequests(t *testing.T) {
+	srv, cli := newCentralPair(t)
+	_ = cli.Register(desc("n1", "svc"))
+	_, _ = cli.Lookup(&svcdesc.Query{})
+	snap := srv.Requests.Snapshot()
+	if snap[topicRegister] != 1 || snap[topicLookup] != 1 {
+		t.Fatalf("server counters = %v", snap)
+	}
+}
+
+func TestCentralDialFailure(t *testing.T) {
+	cli := NewClient(transport.NewMem(transport.NewFabric()), "nowhere")
+	defer cli.Close()
+	if _, err := cli.Lookup(&svcdesc.Query{}); err == nil {
+		t.Fatal("lookup against missing registry succeeded")
+	}
+}
+
+// --- distributed (flood) organization ---
+
+// floodField builds n nodes in a line with spacing 10 and range 12, each
+// with a mux and an agent.
+func floodField(t *testing.T, n int, cfg AgentConfig) (*netsim.Network, []*Agent) {
+	t.Helper()
+	net := netsim.New(netsim.Config{Range: 12, Unlimited: true})
+	t.Cleanup(net.Close)
+	agents := make([]*Agent, n)
+	for i := 0; i < n; i++ {
+		id := netsim.NodeID(fmt.Sprintf("n%d", i))
+		if err := net.AddNode(id, netsim.Position{X: float64(i) * 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		id := netsim.NodeID(fmt.Sprintf("n%d", i))
+		mux, err := netmux.New(net, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(mux.Close)
+		a := NewAgent(mux, cfg)
+		t.Cleanup(func() { _ = a.Close() })
+		agents[i] = a
+	}
+	return net, agents
+}
+
+func TestFloodLookupAcrossHops(t *testing.T) {
+	_, agents := floodField(t, 5, AgentConfig{CollectWindow: 200 * time.Millisecond})
+	d := desc("n4", "sensor/bp")
+	if err := agents[4].Register(d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := agents[0].Lookup(&svcdesc.Query{Name: "sensor/*"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Provider != "n4" {
+		t.Fatalf("Lookup = %+v", got)
+	}
+}
+
+func TestFloodLookupLocalIsFree(t *testing.T) {
+	_, agents := floodField(t, 2, AgentConfig{CollectWindow: 50 * time.Millisecond})
+	if err := agents[0].Register(desc("n0", "svc")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := agents[0].Lookup(&svcdesc.Query{Name: "svc"})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("local lookup = %v, %v", got, err)
+	}
+}
+
+func TestFloodTTLLimitsReach(t *testing.T) {
+	_, agents := floodField(t, 6, AgentConfig{QueryTTL: 2, CollectWindow: 150 * time.Millisecond})
+	if err := agents[5].Register(desc("n5", "far-svc")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := agents[0].Lookup(&svcdesc.Query{Name: "far-svc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("TTL 2 should not reach 5 hops away, got %+v", got)
+	}
+}
+
+func TestFloodMultipleSuppliers(t *testing.T) {
+	_, agents := floodField(t, 4, AgentConfig{CollectWindow: 200 * time.Millisecond})
+	for i := 1; i < 4; i++ {
+		if err := agents[i].Register(desc(fmt.Sprintf("n%d", i), "svc")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := agents[0].Lookup(&svcdesc.Query{Name: "svc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("found %d suppliers, want 3", len(got))
+	}
+}
+
+func TestFloodMaxResultsEndsEarly(t *testing.T) {
+	_, agents := floodField(t, 3, AgentConfig{CollectWindow: 5 * time.Second, MaxResults: 1})
+	if err := agents[1].Register(desc("n1", "svc")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	got, err := agents[0].Lookup(&svcdesc.Query{Name: "svc"})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("lookup = %v, %v", got, err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("MaxResults did not end collection early")
+	}
+}
+
+func TestFloodGossipCacheAnswers(t *testing.T) {
+	_, agents := floodField(t, 2, AgentConfig{
+		Gossip:        true,
+		CollectWindow: 100 * time.Millisecond,
+		CacheTTL:      time.Minute,
+	})
+	if err := agents[1].Register(desc("n1", "svc")); err != nil {
+		t.Fatal(err)
+	}
+	agents[1].Tick() // gossip n1's services to n0
+
+	deadline := time.Now().Add(5 * time.Second)
+	for agents[0].CacheLen() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("gossip never reached the neighbour cache")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	got, err := agents[0].Lookup(&svcdesc.Query{Name: "svc"})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("cache lookup = %v, %v", got, err)
+	}
+	if agents[0].Messages.Get("query_sent") != 0 {
+		t.Fatal("cache hit still flooded a query")
+	}
+}
+
+func TestFloodAgentClosed(t *testing.T) {
+	_, agents := floodField(t, 2, AgentConfig{})
+	_ = agents[0].Close()
+	_ = agents[0].Close() // idempotent
+	if _, err := agents[0].Lookup(&svcdesc.Query{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFloodDedupSuppression(t *testing.T) {
+	// Dense clique: the query reaches every agent directly and via
+	// forwarders; each agent must process it exactly once.
+	net := netsim.New(netsim.Config{Range: 100, Unlimited: true})
+	t.Cleanup(net.Close)
+	var agents []*Agent
+	for i := 0; i < 4; i++ {
+		id := netsim.NodeID(fmt.Sprintf("n%d", i))
+		if err := net.AddNode(id, netsim.Position{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		mux, err := netmux.New(net, netsim.NodeID(fmt.Sprintf("n%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(mux.Close)
+		a := NewAgent(mux, AgentConfig{CollectWindow: 150 * time.Millisecond})
+		t.Cleanup(func() { _ = a.Close() })
+		agents = append(agents, a)
+	}
+	if err := agents[3].Register(desc("n3", "svc")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := agents[0].Lookup(&svcdesc.Query{Name: "svc"})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("lookup = %v, %v", got, err)
+	}
+	// n3 received the query from n0 directly and from n1/n2 forwards, but
+	// must have replied exactly once.
+	if sent := agents[3].Messages.Get("reply_sent"); sent != 1 {
+		t.Fatalf("n3 replied %d times, want 1", sent)
+	}
+}
+
+// --- hybrid (mirrored) organization ---
+
+// failingRegistry always errors (a crashed mirror).
+type failingRegistry struct{}
+
+func (failingRegistry) Register(*svcdesc.Description) error { return errors.New("mirror down") }
+func (failingRegistry) Unregister(string) error             { return errors.New("mirror down") }
+func (failingRegistry) Renew(string) error                  { return errors.New("mirror down") }
+func (failingRegistry) Lookup(*svcdesc.Query) ([]*svcdesc.Description, error) {
+	return nil, errors.New("mirror down")
+}
+func (failingRegistry) Close() error { return nil }
+
+func TestMirroredNeedsMirror(t *testing.T) {
+	if _, err := NewMirrored(); err == nil {
+		t.Fatal("zero mirrors accepted")
+	}
+}
+
+func TestMirroredWritesToAll(t *testing.T) {
+	s1, s2 := NewStore(nil, 0), NewStore(nil, 0)
+	m, err := NewMirrored(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(desc("n1", "svc")); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Len() != 1 || s2.Len() != 1 {
+		t.Fatalf("mirrors have %d/%d entries", s1.Len(), s2.Len())
+	}
+}
+
+func TestMirroredSurvivesFailedMirror(t *testing.T) {
+	healthy := NewStore(nil, 0)
+	m, err := NewMirrored(failingRegistry{}, healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := desc("n1", "svc")
+	if err := m.Register(d); err != nil {
+		t.Fatalf("register with one healthy mirror: %v", err)
+	}
+	got, err := m.Lookup(&svcdesc.Query{Name: "svc"})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("lookup = %v, %v", got, err)
+	}
+	if err := m.Unregister(d.Key()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMirroredAllFailed(t *testing.T) {
+	m, err := NewMirrored(failingRegistry{}, failingRegistry{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(desc("n1", "svc")); err == nil {
+		t.Fatal("register with all mirrors down succeeded")
+	}
+	if _, err := m.Lookup(&svcdesc.Query{}); err == nil {
+		t.Fatal("lookup with all mirrors down succeeded")
+	}
+}
+
+func TestMirroredRoundRobin(t *testing.T) {
+	s1, s2 := NewStore(nil, 0), NewStore(nil, 0)
+	m, _ := NewMirrored(s1, s2)
+	_ = m.Register(desc("n1", "svc"))
+	for i := 0; i < 4; i++ {
+		if _, err := m.Lookup(&svcdesc.Query{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := m.Ops.Snapshot()
+	if snap["lookup_ok_0"] != 2 || snap["lookup_ok_1"] != 2 {
+		t.Fatalf("round robin uneven: %v", snap)
+	}
+}
+
+// --- adaptive organization ---
+
+func adaptiveFixture(t *testing.T, central Registry, density int, policy Policy) (*Adaptive, []*Agent) {
+	t.Helper()
+	_, agents := floodField(t, 3, AgentConfig{CollectWindow: 150 * time.Millisecond})
+	a := NewAdaptive(central, agents[0], func() int { return density }, policy, nil)
+	return a, agents
+}
+
+func TestAdaptivePrefersCentralWhenDense(t *testing.T) {
+	srv, cli := newCentralPair(t)
+	_ = srv
+	ad, _ := adaptiveFixture(t, cli, 10, DensityPolicy(6))
+	if err := ad.Register(desc("n0", "svc")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ad.Lookup(&svcdesc.Query{Name: "svc"})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("lookup = %v, %v", got, err)
+	}
+	if ad.Decisions.Get(string(ModeCentral)) != 1 {
+		t.Fatalf("decisions = %v", ad.Decisions.Snapshot())
+	}
+}
+
+func TestAdaptiveFloodsWhenSparse(t *testing.T) {
+	_, cli := newCentralPair(t)
+	ad, agents := adaptiveFixture(t, cli, 1, DensityPolicy(6))
+	if err := agents[1].Register(desc("n1", "svc")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ad.Lookup(&svcdesc.Query{Name: "svc"})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("lookup = %v, %v", got, err)
+	}
+	if ad.Decisions.Get(string(ModeFlood)) != 1 {
+		t.Fatalf("decisions = %v", ad.Decisions.Snapshot())
+	}
+}
+
+func TestAdaptiveFailsOverToFlood(t *testing.T) {
+	ad, agents := adaptiveFixture(t, failingRegistry{}, 10, DensityPolicy(6))
+	if err := agents[1].Register(desc("n1", "svc")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ad.Lookup(&svcdesc.Query{Name: "svc"})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("lookup = %v, %v", got, err)
+	}
+	snap := ad.Decisions.Snapshot()
+	if snap["central_failover"] != 1 || snap[string(ModeFlood)] != 1 {
+		t.Fatalf("decisions = %v", snap)
+	}
+	// Health is now false: next lookup goes straight to flood.
+	if _, err := ad.Lookup(&svcdesc.Query{Name: "svc"}); err != nil {
+		t.Fatal(err)
+	}
+	if snap := ad.Decisions.Snapshot(); snap["central_failover"] != 1 {
+		t.Fatalf("unhealthy central retried immediately: %v", snap)
+	}
+}
+
+func TestAdaptiveWithoutCentral(t *testing.T) {
+	ad, agents := adaptiveFixture(t, nil, 10, DensityPolicy(1))
+	if err := agents[0].Register(desc("n0", "svc")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ad.Lookup(&svcdesc.Query{Name: "svc"})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("lookup = %v, %v", got, err)
+	}
+}
+
+func TestAdaptivePinnedPolicies(t *testing.T) {
+	if AlwaysCentral(Env{}) != ModeCentral || AlwaysFlood(Env{}) != ModeFlood {
+		t.Fatal("pinned policies wrong")
+	}
+	pol := DensityPolicy(5)
+	if pol(Env{Density: 5, CentralHealthy: true}) != ModeCentral {
+		t.Fatal("dense healthy should pick central")
+	}
+	if pol(Env{Density: 5, CentralHealthy: false}) != ModeFlood {
+		t.Fatal("unhealthy central should flood")
+	}
+	if pol(Env{Density: 2, CentralHealthy: true}) != ModeFlood {
+		t.Fatal("sparse should flood")
+	}
+}
+
+func TestFloodMsgGarbage(t *testing.T) {
+	if _, err := decodeFloodMsg(nil); err == nil {
+		t.Fatal("nil decoded")
+	}
+	if _, err := decodeFloodMsg([]byte{ProtoDiscovery, '{'}); err == nil {
+		t.Fatal("truncated json decoded")
+	}
+	if _, err := decodeFloodMsg([]byte{0x00, '{', '}'}); err == nil {
+		t.Fatal("wrong magic decoded")
+	}
+}
+
+func TestFloodMsgRoundTrip(t *testing.T) {
+	in := &floodMsg{Type: floodQuery, QID: 9, Origin: "n0", TTL: 3, Path: []string{"n0", "n1"}, Query: []byte("<query/>")}
+	out, err := decodeFloodMsg(in.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.QID != in.QID || out.Origin != in.Origin ||
+		out.TTL != in.TTL || len(out.Path) != 2 || string(out.Query) != "<query/>" {
+		t.Fatalf("round trip: %+v", out)
+	}
+}
+
+func TestUnknownTopicError(t *testing.T) {
+	srv, _ := newCentralPair(t)
+	reply := srv.handle(&wire.Message{ID: 1, Kind: wire.KindControl, Topic: "disc.bogus"})
+	if reply.Kind != wire.KindError || !strings.Contains(string(reply.Payload), "unknown topic") {
+		t.Fatalf("reply = %+v", reply)
+	}
+}
+
+func TestMirroredReconcile(t *testing.T) {
+	s1, s2 := NewStore(nil, 0), NewStore(nil, 0)
+	m, err := NewMirrored(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Divergence: one entry only in s1, one only in s2, one in both.
+	if err := s1.Register(desc("only-1", "svc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Register(desc("only-2", "svc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(desc("both", "svc")); err != nil {
+		t.Fatal(err)
+	}
+	repaired, err := m.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired != 2 {
+		t.Fatalf("repaired = %d, want 2", repaired)
+	}
+	if s1.Len() != 3 || s2.Len() != 3 {
+		t.Fatalf("mirror sizes %d/%d, want 3/3", s1.Len(), s2.Len())
+	}
+	// Converged: a second round repairs nothing.
+	repaired, err = m.Reconcile()
+	if err != nil || repaired != 0 {
+		t.Fatalf("second reconcile = %d, %v", repaired, err)
+	}
+}
+
+func TestMirroredReconcileSkipsDownMirror(t *testing.T) {
+	healthy := NewStore(nil, 0)
+	m, err := NewMirrored(healthy, failingRegistry{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := healthy.Register(desc("n1", "svc")); err != nil {
+		t.Fatal(err)
+	}
+	repaired, err := m.Reconcile()
+	if err != nil || repaired != 0 {
+		t.Fatalf("reconcile with down mirror = %d, %v", repaired, err)
+	}
+	if m.Ops.Get("reconcile_skip_1") != 1 {
+		t.Fatalf("ops = %v", m.Ops.Snapshot())
+	}
+}
+
+// TestFloodLookupUnderLoss: the distributed organization's redundancy (every
+// neighbour rebroadcasts) makes queries survive a lossy radio; repeated
+// lookups converge on finding the service even at 20% per-packet loss.
+func TestFloodLookupUnderLoss(t *testing.T) {
+	net := netsim.New(netsim.Config{Range: 100, LossRate: 0.2, Unlimited: true, Seed: 77})
+	t.Cleanup(net.Close)
+	// A dense clique of 6 nodes: many redundant paths.
+	var agents []*Agent
+	for i := 0; i < 6; i++ {
+		id := netsim.NodeID(fmt.Sprintf("n%d", i))
+		if err := net.AddNode(id, netsim.Position{X: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		mux, err := netmux.New(net, netsim.NodeID(fmt.Sprintf("n%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(mux.Close)
+		a := NewAgent(mux, AgentConfig{CollectWindow: 300 * time.Millisecond, MaxResults: 1})
+		t.Cleanup(func() { _ = a.Close() })
+		agents = append(agents, a)
+	}
+	if err := agents[5].Register(desc("n5", "lossy-svc")); err != nil {
+		t.Fatal(err)
+	}
+	// A real client retries a failed discovery; with one retry the find
+	// probability under 20% loss is very high. Demand a clear majority so
+	// the test stays robust to seed and scheduler drift.
+	lookupWithRetry := func() bool {
+		for attempt := 0; attempt < 2; attempt++ {
+			got, err := agents[0].Lookup(&svcdesc.Query{Name: "lossy-svc"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) == 1 {
+				return true
+			}
+		}
+		return false
+	}
+	found := 0
+	const tries = 8
+	for i := 0; i < tries; i++ {
+		if lookupWithRetry() {
+			found++
+		}
+	}
+	if found < 6 {
+		t.Fatalf("found only %d/%d under 20%% loss (with retry)", found, tries)
+	}
+}

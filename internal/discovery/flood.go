@@ -1,0 +1,436 @@
+package discovery
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ndsm/internal/netmux"
+	"ndsm/internal/netsim"
+	"ndsm/internal/simtime"
+	"ndsm/internal/stats"
+	"ndsm/internal/svcdesc"
+)
+
+// ProtoDiscovery is the netmux protocol byte of the distributed discovery
+// agent.
+const ProtoDiscovery byte = 0xD1
+
+// Flood protocol message types.
+const (
+	floodQuery  = "query"
+	floodReply  = "reply"
+	floodAdvert = "advert"
+)
+
+// floodMsg is the distributed protocol envelope (JSON after the protocol
+// byte).
+type floodMsg struct {
+	Type string `json:"type"`
+	// QID identifies a query within its origin.
+	QID uint64 `json:"qid,omitempty"`
+	// Origin is the querying node.
+	Origin string `json:"origin,omitempty"`
+	// TTL bounds query propagation in hops.
+	TTL int `json:"ttl,omitempty"`
+	// Path lists the nodes a query traversed, origin first. Replies walk it
+	// backwards.
+	Path []string `json:"path,omitempty"`
+	// Query is the XML query (query messages).
+	Query []byte `json:"query,omitempty"`
+	// Matches is the XML service list (reply and advert messages).
+	Matches []byte `json:"matches,omitempty"`
+}
+
+func (m *floodMsg) encode() []byte {
+	body, err := json.Marshal(m)
+	if err != nil {
+		// floodMsg contains only marshalable fields; this cannot happen.
+		panic(fmt.Sprintf("discovery: encode flood message: %v", err))
+	}
+	return append([]byte{ProtoDiscovery}, body...)
+}
+
+func decodeFloodMsg(data []byte) (*floodMsg, error) {
+	if len(data) < 1 || data[0] != ProtoDiscovery {
+		return nil, fmt.Errorf("discovery: not a discovery datagram")
+	}
+	var m floodMsg
+	if err := json.Unmarshal(data[1:], &m); err != nil {
+		return nil, fmt.Errorf("discovery: decode flood message: %w", err)
+	}
+	return &m, nil
+}
+
+// AgentConfig tunes a distributed discovery agent.
+type AgentConfig struct {
+	// QueryTTL bounds query flooding in hops (default 8).
+	QueryTTL int
+	// CollectWindow is how long Lookup gathers replies (default 100ms).
+	CollectWindow time.Duration
+	// MaxResults ends collection early once this many distinct matches
+	// arrived (0: no cap).
+	MaxResults int
+	// Gossip enables advertisement push: Tick broadcasts the node's own
+	// services to radio neighbours, and Lookup answers from the gossip cache
+	// without flooding when it can.
+	Gossip bool
+	// CacheTTL bounds gossip cache entries (default 10s).
+	CacheTTL time.Duration
+	// Clock drives collection windows and cache expiry (default real).
+	Clock simtime.Clock
+}
+
+func (c AgentConfig) withDefaults() AgentConfig {
+	if c.QueryTTL <= 0 {
+		c.QueryTTL = 8
+	}
+	if c.CollectWindow <= 0 {
+		c.CollectWindow = 100 * time.Millisecond
+	}
+	if c.CacheTTL <= 0 {
+		c.CacheTTL = 10 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = simtime.Real{}
+	}
+	return c
+}
+
+// pendingQuery collects replies for one in-flight lookup.
+type pendingQuery struct {
+	mu      sync.Mutex
+	matches map[string]*svcdesc.Description
+	notify  chan struct{} // signaled (capacity 1) on each new batch
+}
+
+// Agent is the fully distributed discovery organization: every node answers
+// for its own services; queries flood the radio neighbourhood and replies
+// return along the reverse path. No infrastructure node exists, so the
+// organization survives any single failure — at O(N) query cost.
+type Agent struct {
+	cfg   AgentConfig
+	mux   *netmux.Mux
+	local *Store
+	cache *Store
+
+	qid atomic.Uint64
+
+	mu      sync.Mutex
+	seen    map[string]bool // "origin/qid" dedup
+	pending map[uint64]*pendingQuery
+	closed  bool
+
+	stop chan struct{}
+	done chan struct{}
+
+	// Messages counts protocol datagrams by kind (E1/E2's cost metric).
+	Messages stats.Counter
+}
+
+var _ Registry = (*Agent)(nil)
+
+// NewAgent starts a discovery agent on the node's mux.
+func NewAgent(mux *netmux.Mux, cfg AgentConfig) *Agent {
+	cfg = cfg.withDefaults()
+	a := &Agent{
+		cfg:     cfg,
+		mux:     mux,
+		local:   NewStore(cfg.Clock, 0),
+		cache:   NewStore(cfg.Clock, cfg.CacheTTL),
+		seen:    make(map[string]bool),
+		pending: make(map[uint64]*pendingQuery),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go a.loop(mux.Channel(ProtoDiscovery))
+	return a
+}
+
+// Local returns the agent's own-service store.
+func (a *Agent) Local() *Store { return a.local }
+
+// CacheLen reports how many gossiped descriptions are cached.
+func (a *Agent) CacheLen() int {
+	a.cache.Sweep()
+	return a.cache.Len()
+}
+
+// Register implements Registry: services live in the node's local store.
+func (a *Agent) Register(d *svcdesc.Description) error { return a.local.Register(d) }
+
+// Unregister implements Registry.
+func (a *Agent) Unregister(key string) error { return a.local.Unregister(key) }
+
+// Renew implements Registry.
+func (a *Agent) Renew(key string) error { return a.local.Renew(key) }
+
+// Close implements Registry.
+func (a *Agent) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	a.mu.Unlock()
+	close(a.stop)
+	<-a.done
+	return nil
+}
+
+// Lookup implements Registry: local matches are free; with gossip enabled
+// the cache may answer instantly; otherwise the query floods and replies are
+// collected for the configured window.
+func (a *Agent) Lookup(q *svcdesc.Query) ([]*svcdesc.Description, error) {
+	a.mu.Lock()
+	closed := a.closed
+	a.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+
+	results := make(map[string]*svcdesc.Description)
+	locals, _ := a.local.Lookup(q)
+	for _, d := range locals {
+		results[d.Key()] = d
+	}
+	if a.cfg.Gossip {
+		cached, _ := a.cache.Lookup(q)
+		for _, d := range cached {
+			results[d.Key()] = d
+		}
+		if a.cfg.MaxResults > 0 && len(results) >= a.cfg.MaxResults {
+			return mapToSlice(results), nil
+		}
+		if len(cached) > 0 {
+			// Cache answered; skip the flood entirely (the cost shift that
+			// makes gossip worthwhile under high query rates).
+			return mapToSlice(results), nil
+		}
+	}
+
+	qid := a.qid.Add(1)
+	pq := &pendingQuery{matches: make(map[string]*svcdesc.Description), notify: make(chan struct{}, 1)}
+	a.mu.Lock()
+	a.pending[qid] = pq
+	a.seen[seenKey(string(a.mux.ID()), qid)] = true
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		delete(a.pending, qid)
+		a.mu.Unlock()
+	}()
+
+	queryXML, err := svcdesc.MarshalQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	msg := &floodMsg{
+		Type:   floodQuery,
+		QID:    qid,
+		Origin: string(a.mux.ID()),
+		TTL:    a.cfg.QueryTTL,
+		Path:   []string{string(a.mux.ID())},
+		Query:  queryXML,
+	}
+	if _, err := a.mux.Broadcast(msg.encode()); err != nil {
+		return nil, fmt.Errorf("discovery: flood query: %w", err)
+	}
+	a.Messages.Inc("query_sent", 1)
+
+	deadline := a.cfg.Clock.After(a.cfg.CollectWindow)
+	for {
+		select {
+		case <-deadline:
+			a.harvest(pq, results)
+			return mapToSlice(results), nil
+		case <-a.stop:
+			return nil, ErrClosed
+		case <-pq.notify:
+			a.harvest(pq, results)
+			if a.cfg.MaxResults > 0 && len(results) >= a.cfg.MaxResults {
+				return mapToSlice(results), nil
+			}
+		}
+	}
+}
+
+func (a *Agent) harvest(pq *pendingQuery, into map[string]*svcdesc.Description) {
+	pq.mu.Lock()
+	for k, d := range pq.matches {
+		into[k] = d
+	}
+	pq.mu.Unlock()
+}
+
+func mapToSlice(m map[string]*svcdesc.Description) []*svcdesc.Description {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic ordering for callers and tests
+	out := make([]*svcdesc.Description, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Tick gossips the node's own services one hop out (no-op unless Gossip).
+func (a *Agent) Tick() {
+	if !a.cfg.Gossip {
+		return
+	}
+	descs := a.local.All()
+	if len(descs) == 0 {
+		return
+	}
+	payload, err := svcdesc.MarshalDescriptionList(descs)
+	if err != nil {
+		return
+	}
+	msg := &floodMsg{Type: floodAdvert, Matches: payload}
+	if _, err := a.mux.Broadcast(msg.encode()); err == nil {
+		a.Messages.Inc("advert_sent", 1)
+	}
+}
+
+func seenKey(origin string, qid uint64) string {
+	return fmt.Sprintf("%s/%d", origin, qid)
+}
+
+func (a *Agent) loop(inbox <-chan netsim.Packet) {
+	defer close(a.done)
+	for {
+		select {
+		case <-a.stop:
+			return
+		case pkt, ok := <-inbox:
+			if !ok {
+				return
+			}
+			a.handle(pkt)
+		}
+	}
+}
+
+func (a *Agent) handle(pkt netsim.Packet) {
+	msg, err := decodeFloodMsg(pkt.Data)
+	if err != nil {
+		a.Messages.Inc("garbage", 1)
+		return
+	}
+	switch msg.Type {
+	case floodQuery:
+		a.handleQuery(msg)
+	case floodReply:
+		a.handleReply(msg)
+	case floodAdvert:
+		a.handleAdvert(msg)
+	default:
+		a.Messages.Inc("garbage", 1)
+	}
+}
+
+func (a *Agent) handleQuery(msg *floodMsg) {
+	a.Messages.Inc("query_recv", 1)
+	key := seenKey(msg.Origin, msg.QID)
+	a.mu.Lock()
+	if a.seen[key] {
+		a.mu.Unlock()
+		return
+	}
+	a.seen[key] = true
+	a.mu.Unlock()
+
+	q, err := svcdesc.UnmarshalQuery(msg.Query)
+	if err != nil {
+		return
+	}
+	if matches, _ := a.local.Lookup(q); len(matches) > 0 {
+		payload, err := svcdesc.MarshalDescriptionList(matches)
+		if err == nil && len(msg.Path) > 0 {
+			reply := &floodMsg{
+				Type:    floodReply,
+				QID:     msg.QID,
+				Origin:  msg.Origin,
+				Path:    msg.Path,
+				Matches: payload,
+			}
+			parent := netsim.NodeID(msg.Path[len(msg.Path)-1])
+			if err := a.mux.Send(parent, reply.encode()); err == nil {
+				a.Messages.Inc("reply_sent", 1)
+			}
+		}
+	}
+
+	if msg.TTL > 1 {
+		fwd := *msg
+		fwd.TTL--
+		fwd.Path = append(append([]string(nil), msg.Path...), string(a.mux.ID()))
+		if _, err := a.mux.Broadcast(fwd.encode()); err == nil {
+			a.Messages.Inc("query_fwd", 1)
+		}
+	}
+}
+
+func (a *Agent) handleReply(msg *floodMsg) {
+	a.Messages.Inc("reply_recv", 1)
+	if len(msg.Path) == 0 || msg.Path[len(msg.Path)-1] != string(a.mux.ID()) {
+		return // not addressed to us at this stage
+	}
+	remaining := msg.Path[:len(msg.Path)-1]
+	if len(remaining) == 0 {
+		// We are the origin: deliver to the pending query.
+		a.deliverReply(msg)
+		return
+	}
+	fwd := *msg
+	fwd.Path = append([]string(nil), remaining...)
+	next := netsim.NodeID(remaining[len(remaining)-1])
+	if err := a.mux.Send(next, fwd.encode()); err == nil {
+		a.Messages.Inc("reply_fwd", 1)
+	}
+}
+
+func (a *Agent) deliverReply(msg *floodMsg) {
+	if msg.Origin != string(a.mux.ID()) {
+		return
+	}
+	a.mu.Lock()
+	pq := a.pending[msg.QID]
+	a.mu.Unlock()
+	if pq == nil {
+		return // query already completed
+	}
+	descs, err := svcdesc.UnmarshalDescriptionList(msg.Matches)
+	if err != nil {
+		return
+	}
+	pq.mu.Lock()
+	for _, d := range descs {
+		pq.matches[d.Key()] = d
+	}
+	pq.mu.Unlock()
+	select {
+	case pq.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (a *Agent) handleAdvert(msg *floodMsg) {
+	a.Messages.Inc("advert_recv", 1)
+	descs, err := svcdesc.UnmarshalDescriptionList(msg.Matches)
+	if err != nil {
+		return
+	}
+	for _, d := range descs {
+		// Cache under the gossip TTL regardless of the supplier's own lease.
+		d.TTL = a.cfg.CacheTTL
+		_ = a.cache.Register(d)
+	}
+}

@@ -1,0 +1,148 @@
+package discovery
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"ndsm/internal/stats"
+	"ndsm/internal/svcdesc"
+)
+
+// Mirrored is the hybrid organization (§3.3's "mirroring approaches ... to
+// further increase scalability"): writes go to every mirror (succeeding when
+// at least one accepts), reads rotate across mirrors and fail over, so the
+// registry survives mirror crashes and spreads query load.
+type Mirrored struct {
+	mirrors []Registry
+	next    atomic.Uint64
+
+	// Ops counts per-mirror successes and failures.
+	Ops stats.Counter
+}
+
+var _ Registry = (*Mirrored)(nil)
+
+// NewMirrored wraps the given mirrors. At least one is required.
+func NewMirrored(mirrors ...Registry) (*Mirrored, error) {
+	if len(mirrors) == 0 {
+		return nil, errors.New("discovery: mirrored registry needs at least one mirror")
+	}
+	return &Mirrored{mirrors: mirrors}, nil
+}
+
+// Register implements Registry: best-effort write to all mirrors; succeeds
+// when any accepted.
+func (m *Mirrored) Register(d *svcdesc.Description) error {
+	return m.writeAll("register", func(r Registry) error { return r.Register(d) })
+}
+
+// Unregister implements Registry.
+func (m *Mirrored) Unregister(key string) error {
+	return m.writeAll("unregister", func(r Registry) error { return r.Unregister(key) })
+}
+
+// Renew implements Registry.
+func (m *Mirrored) Renew(key string) error {
+	return m.writeAll("renew", func(r Registry) error { return r.Renew(key) })
+}
+
+func (m *Mirrored) writeAll(op string, f func(Registry) error) error {
+	var firstErr error
+	okCount := 0
+	for i, r := range m.mirrors {
+		if err := f(r); err != nil {
+			m.Ops.Inc(fmt.Sprintf("%s_fail_%d", op, i), 1)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		m.Ops.Inc(fmt.Sprintf("%s_ok_%d", op, i), 1)
+		okCount++
+	}
+	if okCount == 0 {
+		return fmt.Errorf("discovery: all %d mirrors failed %s: %w", len(m.mirrors), op, firstErr)
+	}
+	return nil
+}
+
+// Lookup implements Registry: round-robin with fail-over. The rotation
+// spreads load; the fail-over masks crashed mirrors.
+func (m *Mirrored) Lookup(q *svcdesc.Query) ([]*svcdesc.Description, error) {
+	start := int(m.next.Add(1)) % len(m.mirrors)
+	var firstErr error
+	for i := 0; i < len(m.mirrors); i++ {
+		idx := (start + i) % len(m.mirrors)
+		descs, err := m.mirrors[idx].Lookup(q)
+		if err != nil {
+			m.Ops.Inc(fmt.Sprintf("lookup_fail_%d", idx), 1)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		m.Ops.Inc(fmt.Sprintf("lookup_ok_%d", idx), 1)
+		return descs, nil
+	}
+	return nil, fmt.Errorf("discovery: all %d mirrors failed lookup: %w", len(m.mirrors), firstErr)
+}
+
+// Reconcile runs one anti-entropy round: it reads every mirror's full table
+// and re-registers each advertisement into the mirrors missing it, so a
+// mirror that was down during a registration converges once it returns. It
+// returns how many copies were repaired.
+func (m *Mirrored) Reconcile() (int, error) {
+	type mirrorView struct {
+		idx  int
+		have map[string]bool
+	}
+	all := make(map[string]*svcdesc.Description)
+	var views []mirrorView
+	for i, r := range m.mirrors {
+		descs, err := r.Lookup(&svcdesc.Query{})
+		if err != nil {
+			// A down mirror contributes nothing and receives nothing this
+			// round.
+			m.Ops.Inc(fmt.Sprintf("reconcile_skip_%d", i), 1)
+			continue
+		}
+		have := make(map[string]bool, len(descs))
+		for _, d := range descs {
+			have[d.Key()] = true
+			if _, ok := all[d.Key()]; !ok {
+				all[d.Key()] = d
+			}
+		}
+		views = append(views, mirrorView{idx: i, have: have})
+	}
+	repaired := 0
+	var firstErr error
+	for key, d := range all {
+		for _, v := range views {
+			if v.have[key] {
+				continue
+			}
+			if err := m.mirrors[v.idx].Register(d); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			m.Ops.Inc(fmt.Sprintf("reconcile_copy_%d", v.idx), 1)
+			repaired++
+		}
+	}
+	return repaired, firstErr
+}
+
+// Close implements Registry, closing every mirror.
+func (m *Mirrored) Close() error {
+	var firstErr error
+	for _, r := range m.mirrors {
+		if err := r.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,357 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ndsm/internal/discovery"
+	"ndsm/internal/netmux"
+	"ndsm/internal/netsim"
+	"ndsm/internal/routing"
+	"ndsm/internal/stats"
+	"ndsm/internal/svcdesc"
+	"ndsm/internal/transport"
+)
+
+// radioNode is one fully stacked simulated node: mux, geographic router, and
+// a sim transport riding the router — the stack centralized discovery uses
+// to reach a registry across multiple radio hops.
+type radioNode struct {
+	id     netsim.NodeID
+	mux    *netmux.Mux
+	router *routing.Router
+	tr     *transport.Sim
+}
+
+func (rn *radioNode) close() {
+	if rn.tr != nil {
+		_ = rn.tr.Close()
+	}
+	if rn.router != nil {
+		rn.router.Close()
+	}
+	if rn.mux != nil {
+		rn.mux.Close()
+	}
+}
+
+// buildRadioNode stacks mux → router(geographic) → sim transport on a node.
+func buildRadioNode(net *netsim.Network, id netsim.NodeID) (*radioNode, error) {
+	mux, err := netmux.New(net, id)
+	if err != nil {
+		return nil, err
+	}
+	router, err := routing.NewWithSource(net, id, routing.Geographic{}, mux.Channel(0xAB))
+	if err != nil {
+		mux.Close()
+		return nil, err
+	}
+	tr, err := transport.NewSim(router, id, nil)
+	if err != nil {
+		router.Close()
+		mux.Close()
+		return nil, err
+	}
+	return &radioNode{id: id, mux: mux, router: router, tr: tr}, nil
+}
+
+// gridNet builds an n-node grid (spacing 10 m, range 12 m) with unlimited
+// energy, so message counts are the only cost metric.
+func gridNet(n int) (*netsim.Network, []netsim.NodeID, error) {
+	net := netsim.New(netsim.Config{Range: 12, Unlimited: true})
+	ids, err := netsim.GridField(net, "n", n, 10)
+	if err != nil {
+		net.Close()
+		return nil, nil, err
+	}
+	return net, ids, nil
+}
+
+func bpService(provider string) *svcdesc.Description {
+	return &svcdesc.Description{
+		Name:        "sensor/bp",
+		Provider:    provider,
+		Reliability: 0.9,
+		PowerLevel:  1,
+	}
+}
+
+// E1Options sizes the discovery comparison.
+type E1Options struct {
+	// Sizes are the grid node counts to sweep (default 9, 25, 49).
+	Sizes []int
+	// Lookups per configuration (default 5).
+	Lookups int
+}
+
+func (o E1Options) withDefaults() E1Options {
+	if len(o.Sizes) == 0 {
+		o.Sizes = []int{9, 25, 49}
+	}
+	if o.Lookups <= 0 {
+		o.Lookups = 5
+	}
+	return o
+}
+
+// E1 compares centralized vs distributed discovery: radio messages and
+// latency per lookup as the network grows.
+func E1(opts E1Options) (Result, error) {
+	opts = opts.withDefaults()
+	table := stats.NewTable("E1: discovery cost vs network size",
+		"nodes", "organization", "radio msgs/lookup", "latency ms", "found")
+	for _, n := range opts.Sizes {
+		msgs, lat, found, err := e1Distributed(n, opts.Lookups)
+		if err != nil {
+			return Result{}, fmt.Errorf("E1 distributed n=%d: %w", n, err)
+		}
+		table.AddRow(n, "distributed (flood)", msgs, lat, found)
+
+		msgs, lat, found, err = e1Centralized(n, opts.Lookups)
+		if err != nil {
+			return Result{}, fmt.Errorf("E1 centralized n=%d: %w", n, err)
+		}
+		table.AddRow(n, "centralized (registry)", msgs, lat, found)
+	}
+	return Result{
+		ID:     "E1",
+		Title:  "Discovery: message cost and latency vs network size",
+		Tables: []*stats.Table{table},
+		Notes: []string{
+			"Flood cost grows with N (every node rebroadcasts the query once);",
+			"centralized cost grows only with the hop distance to the registry.",
+		},
+	}, nil
+}
+
+// e1Distributed floods lookups from corner 0 for a service at the far
+// corner.
+func e1Distributed(n, lookups int) (msgs float64, latency float64, found bool, err error) {
+	net, ids, err := gridNet(n)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer net.Close()
+	var agents []*discovery.Agent
+	for _, id := range ids {
+		mux, err := netmux.New(net, id)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		defer mux.Close()
+		a := discovery.NewAgent(mux, discovery.AgentConfig{
+			QueryTTL:      16,
+			CollectWindow: 120 * time.Millisecond,
+			MaxResults:    1,
+		})
+		defer a.Close() //nolint:errcheck
+		agents = append(agents, a)
+	}
+	if err := agents[n-1].Register(bpService(string(ids[n-1]))); err != nil {
+		return 0, 0, false, err
+	}
+
+	lat := stats.NewSample(lookups)
+	before := net.Counters()["sent"]
+	for i := 0; i < lookups; i++ {
+		start := time.Now()
+		descs, err := agents[0].Lookup(&svcdesc.Query{Name: "sensor/bp"})
+		if err != nil {
+			return 0, 0, false, err
+		}
+		lat.AddDuration(time.Since(start))
+		found = len(descs) > 0
+	}
+	// Allow in-flight rebroadcasts to finish before counting.
+	time.Sleep(50 * time.Millisecond)
+	total := net.Counters()["sent"] - before
+	return float64(total) / float64(lookups), lat.Mean(), found, nil
+}
+
+// e1Centralized runs a registry at the grid center over the routed sim
+// transport and looks up from corner 0.
+func e1Centralized(n, lookups int) (msgs float64, latency float64, found bool, err error) {
+	net, ids, err := gridNet(n)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer net.Close()
+
+	var nodes []*radioNode
+	defer func() {
+		for _, rn := range nodes {
+			rn.close()
+		}
+	}()
+	need := map[netsim.NodeID]bool{ids[0]: true, ids[n/2]: true, ids[n-1]: true}
+	byID := make(map[netsim.NodeID]*radioNode)
+	for _, id := range ids {
+		if !need[id] {
+			// Relays only need mux+router (no transport endpoints).
+			mux, err := netmux.New(net, id)
+			if err != nil {
+				return 0, 0, false, err
+			}
+			router, err := routing.NewWithSource(net, id, routing.Geographic{}, mux.Channel(0xAB))
+			if err != nil {
+				mux.Close()
+				return 0, 0, false, err
+			}
+			nodes = append(nodes, &radioNode{id: id, mux: mux, router: router})
+			continue
+		}
+		rn, err := buildRadioNode(net, id)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		nodes = append(nodes, rn)
+		byID[id] = rn
+	}
+
+	registryNode := byID[ids[n/2]]
+	l, err := registryNode.tr.Listen(string(registryNode.id))
+	if err != nil {
+		return 0, 0, false, err
+	}
+	srv := discovery.NewServer(discovery.NewStore(nil, 0), l)
+	defer srv.Close() //nolint:errcheck
+
+	// The supplier at the far corner registers over the radio.
+	supplier := discovery.NewClient(byID[ids[n-1]].tr, string(registryNode.id))
+	defer supplier.Close() //nolint:errcheck
+	if err := supplier.Register(bpService(string(ids[n-1]))); err != nil {
+		return 0, 0, false, err
+	}
+
+	client := discovery.NewClient(byID[ids[0]].tr, string(registryNode.id))
+	defer client.Close() //nolint:errcheck
+
+	lat := stats.NewSample(lookups)
+	before := net.Counters()["sent"]
+	for i := 0; i < lookups; i++ {
+		start := time.Now()
+		descs, err := client.Lookup(&svcdesc.Query{Name: "sensor/bp"})
+		if err != nil {
+			return 0, 0, false, err
+		}
+		lat.AddDuration(time.Since(start))
+		found = len(descs) > 0
+	}
+	total := net.Counters()["sent"] - before
+	return float64(total) / float64(lookups), lat.Mean(), found, nil
+}
+
+// E2Options sizes the adaptive-discovery experiment.
+type E2Options struct {
+	// Lookups per scenario (default 6).
+	Lookups int
+}
+
+func (o E2Options) withDefaults() E2Options {
+	if o.Lookups <= 0 {
+		o.Lookups = 6
+	}
+	return o
+}
+
+// E2 shows the adaptive organization tracking the better mode as the
+// environment changes: density decides when the registry is healthy, and the
+// agent falls back to flooding when the registry dies.
+func E2(opts E2Options) (Result, error) {
+	opts = opts.withDefaults()
+	table := stats.NewTable("E2: adaptive discovery mode selection",
+		"scenario", "density", "registry", "mode chosen", "lookups ok")
+
+	type scenario struct {
+		name       string
+		density    int
+		registryUp bool
+	}
+	for _, sc := range []scenario{
+		{"dense, registry up", 10, true},
+		{"sparse, registry up", 2, true},
+		{"dense, registry down", 10, false},
+	} {
+		mode, ok, err := e2Scenario(sc.density, sc.registryUp, opts.Lookups)
+		if err != nil {
+			return Result{}, fmt.Errorf("E2 %s: %w", sc.name, err)
+		}
+		reg := "up"
+		if !sc.registryUp {
+			reg = "down"
+		}
+		table.AddRow(sc.name, sc.density, reg, mode, fmt.Sprintf("%d/%d", ok, opts.Lookups))
+	}
+	return Result{
+		ID:     "E2",
+		Title:  "Adaptive discovery: centralized when dense+healthy, flooding otherwise",
+		Tables: []*stats.Table{table},
+		Notes: []string{
+			"Policy: DensityPolicy(6). Lookups keep succeeding when the registry dies —",
+			"the adaptive organization degrades to flooding instead of failing.",
+		},
+	}, nil
+}
+
+func e2Scenario(density int, registryUp bool, lookups int) (mode string, okCount int, err error) {
+	// A 3-node line: querier, supplier neighbour, spare.
+	net := netsim.New(netsim.Config{Range: 12, Unlimited: true})
+	defer net.Close()
+	ids := []netsim.NodeID{"q", "s", "r"}
+	for i, id := range ids {
+		if err := net.AddNode(id, netsim.Position{X: float64(i) * 10}); err != nil {
+			return "", 0, err
+		}
+	}
+	var agents []*discovery.Agent
+	for _, id := range ids {
+		mux, err := netmux.New(net, id)
+		if err != nil {
+			return "", 0, err
+		}
+		defer mux.Close()
+		a := discovery.NewAgent(mux, discovery.AgentConfig{CollectWindow: 100 * time.Millisecond, MaxResults: 1})
+		defer a.Close() //nolint:errcheck
+		agents = append(agents, a)
+	}
+	if err := agents[1].Register(bpService("s")); err != nil {
+		return "", 0, err
+	}
+
+	// Central registry over mem transport (infrastructure network).
+	var central discovery.Registry
+	fabric := transport.NewFabric()
+	mem := transport.NewMem(fabric)
+	defer mem.Close() //nolint:errcheck
+	if registryUp {
+		l, err := mem.Listen("registry")
+		if err != nil {
+			return "", 0, err
+		}
+		srv := discovery.NewServer(discovery.NewStore(nil, 0), l)
+		defer srv.Close() //nolint:errcheck
+		cli := discovery.NewClient(transport.NewMem(fabric), "registry")
+		if err := cli.Register(bpService("s")); err != nil {
+			return "", 0, err
+		}
+		central = cli
+	} else {
+		// A client pointed at a dead address.
+		central = discovery.NewClient(transport.NewMem(fabric), "registry-gone")
+	}
+
+	ad := discovery.NewAdaptive(central, agents[0], func() int { return density }, discovery.DensityPolicy(6), nil)
+	for i := 0; i < lookups; i++ {
+		descs, err := ad.Lookup(&svcdesc.Query{Name: "sensor/bp"})
+		if err == nil && len(descs) > 0 {
+			okCount++
+		}
+	}
+	dec := ad.Decisions.Snapshot()
+	if dec[string(discovery.ModeCentral)] >= dec[string(discovery.ModeFlood)] {
+		mode = string(discovery.ModeCentral)
+	} else {
+		mode = string(discovery.ModeFlood)
+	}
+	return mode, okCount, nil
+}

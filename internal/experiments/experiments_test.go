@@ -1,0 +1,341 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell fetches a table cell by row/column index.
+func cell(t *testing.T, res Result, table, row, col int) string {
+	t.Helper()
+	if table >= len(res.Tables) {
+		t.Fatalf("%s: table %d missing", res.ID, table)
+	}
+	rows := res.Tables[table].Rows
+	if row >= len(rows) || col >= len(rows[row]) {
+		t.Fatalf("%s: cell (%d,%d) missing in %d rows", res.ID, row, col, len(rows))
+	}
+	return rows[row][col]
+}
+
+func cellFloat(t *testing.T, res Result, table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell(t, res, table, row, col), 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%d,%d) = %q not numeric", res.ID, row, col, cell(t, res, table, row, col))
+	}
+	return v
+}
+
+func TestF1(t *testing.T) {
+	res := F1()
+	if len(res.Tables) != 1 || len(res.Tables[0].Rows) != 13 {
+		t.Fatalf("F1 shape wrong: %+v", res)
+	}
+	if !strings.Contains(res.Chart, "1993") {
+		t.Fatal("chart missing onset year")
+	}
+}
+
+func TestE1Shape(t *testing.T) {
+	res, err := E1(E1Options{Sizes: []int{9, 16}, Lookups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Every configuration found the service.
+	for i := range rows {
+		if cell(t, res, 0, i, 4) != "true" {
+			t.Fatalf("row %d did not find the service: %v", i, rows[i])
+		}
+	}
+	// Flood cost grows with N; and at each N flooding costs more radio
+	// messages than the centralized lookup.
+	flood9 := cellFloat(t, res, 0, 0, 2)
+	central9 := cellFloat(t, res, 0, 1, 2)
+	flood16 := cellFloat(t, res, 0, 2, 2)
+	if flood16 <= flood9 {
+		t.Fatalf("flood cost not growing: %v -> %v", flood9, flood16)
+	}
+	if flood9 <= central9 {
+		t.Fatalf("flooding (%v) should cost more than centralized (%v)", flood9, central9)
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	res, err := E2(E2Options{Lookups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if cell(t, res, 0, 0, 3) != "central" {
+		t.Fatalf("dense+up chose %s", cell(t, res, 0, 0, 3))
+	}
+	if cell(t, res, 0, 1, 3) != "flood" {
+		t.Fatalf("sparse chose %s", cell(t, res, 0, 1, 3))
+	}
+	if cell(t, res, 0, 2, 3) != "flood" {
+		t.Fatalf("registry-down chose %s", cell(t, res, 0, 2, 3))
+	}
+	// All lookups succeeded in every scenario (graceful degradation).
+	for i := range rows {
+		if !strings.HasPrefix(cell(t, res, 0, i, 4), "2/") {
+			t.Fatalf("scenario %d lookups: %s", i, cell(t, res, 0, i, 4))
+		}
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	res, err := E3(E3Options{Printers: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	utility := cellFloat(t, res, 0, 0, 2)
+	nearest := cellFloat(t, res, 0, 1, 2)
+	reliable := cellFloat(t, res, 0, 2, 2)
+	if utility < nearest || utility < reliable {
+		t.Fatalf("utility selection not best: %v vs %v / %v", utility, nearest, reliable)
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	res, err := E4(E4Options{Requests: 60, Suppliers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Row order: rate0/adaptive, rate0/static, rate1/adaptive, rate1/static...
+	// At kill rate 0 both modes are perfect.
+	if cellFloat(t, res, 0, 0, 2) != 100 || cellFloat(t, res, 0, 1, 2) != 100 {
+		t.Fatalf("baseline rows not perfect: %v", rows)
+	}
+	// At the highest kill rate, middleware success must beat static.
+	adaptive := cellFloat(t, res, 0, 4, 2)
+	static := cellFloat(t, res, 0, 5, 2)
+	if adaptive <= static {
+		t.Fatalf("adaptive %v%% <= static %v%%", adaptive, static)
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	res, err := E5(E5Options{Nodes: 16, Packets: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// All strategies delivered everything on a clean grid.
+	for i := range rows {
+		if cell(t, res, 0, i, 1) != "5/5" {
+			t.Fatalf("row %d delivery: %v", i, rows[i])
+		}
+	}
+	// Flooding transmissions exceed geographic's.
+	floodTx := cellFloat(t, res, 0, 0, 2)
+	geoTx := cellFloat(t, res, 0, 3, 2)
+	if floodTx <= geoTx {
+		t.Fatalf("flooding tx %v <= geographic tx %v", floodTx, geoTx)
+	}
+	// DV paid control traffic, geographic none.
+	if cellFloat(t, res, 0, 1, 4) == 0 {
+		t.Fatal("dv-hop shows no control traffic")
+	}
+	if cellFloat(t, res, 0, 3, 4) != 0 {
+		t.Fatal("geographic shows control traffic")
+	}
+}
+
+func TestE5Ablation(t *testing.T) {
+	res, err := E5Ablation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hop count takes the drained shortcut; the energy metric detours.
+	if cell(t, res, 0, 0, 1) != "weak" {
+		t.Fatalf("hop metric used relay %s, want weak", cell(t, res, 0, 0, 1))
+	}
+	if cell(t, res, 0, 1, 1) != "detour (s1,s2)" {
+		t.Fatalf("energy metric used relay %s, want detour", cell(t, res, 0, 1, 1))
+	}
+	// The energy metric leaves the weak node with more residual energy.
+	hopResidual := cellFloat(t, res, 0, 0, 2)
+	energyResidual := cellFloat(t, res, 0, 1, 2)
+	if energyResidual <= hopResidual {
+		t.Fatalf("energy residual %v <= hop residual %v", energyResidual, hopResidual)
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	res, err := E6(E6Options{SensorsPerVariable: 2, InitialEnergy: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Row order: all-sensors, random-feasible, greedy, exhaustive.
+	all := cellFloat(t, res, 0, 0, 1)
+	exhaustive := cellFloat(t, res, 0, 3, 1)
+	if exhaustive <= all {
+		t.Fatalf("milan lifetime %v <= all-sensors %v", exhaustive, all)
+	}
+	greedy := cellFloat(t, res, 0, 2, 1)
+	if greedy <= all {
+		t.Fatalf("greedy lifetime %v <= all-sensors %v", greedy, all)
+	}
+}
+
+func TestE6Ablation(t *testing.T) {
+	res, err := E6Ablation(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Exhaustive's predicted lifetime ≥ greedy's at each size.
+	for i := 0; i < len(rows); i += 2 {
+		ex := cellFloat(t, res, 0, i, 2)
+		gr := cellFloat(t, res, 0, i+1, 2)
+		if ex < gr {
+			t.Fatalf("row %d: exhaustive %v < greedy %v", i, ex, gr)
+		}
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	res, err := E7(E7Options{Ops: 100, Sizes: []int{64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := range rows {
+		if ops := cellFloat(t, res, 0, i, 2); ops <= 0 {
+			t.Fatalf("row %d ops/sec = %v", i, ops)
+		}
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	res, err := E8(E8Options{Jobs: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 3 {
+		t.Fatalf("tables = %d", len(res.Tables))
+	}
+	// At U=0.5 (row 0) nobody misses; at U=1.1 (row 3) EDF misses less than
+	// FIFO.
+	if cellFloat(t, res, 0, 0, 1) != 0 || cellFloat(t, res, 0, 0, 3) != 0 {
+		t.Fatalf("misses at U=0.5: %v", res.Tables[0].Rows[0])
+	}
+	fifoOver := cellFloat(t, res, 0, 3, 1)
+	edfOver := cellFloat(t, res, 0, 3, 3)
+	if edfOver >= fifoOver {
+		t.Fatalf("EDF %v%% >= FIFO %v%% under overload", edfOver, fifoOver)
+	}
+	// Admission: U=1.1 rejected by both; U=0.5 admitted by both.
+	if cell(t, res, 1, 0, 1) != "true" || cell(t, res, 1, 3, 2) != "false" {
+		t.Fatalf("admission table wrong: %v", res.Tables[1].Rows)
+	}
+	// Handoff: 8 moved, 2 aborted.
+	if cell(t, res, 2, 0, 1) != "8" || cell(t, res, 2, 0, 2) != "2" {
+		t.Fatalf("handoff row: %v", res.Tables[2].Rows[0])
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	res, err := E9(E9Options{Ops: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := range rows {
+		if cell(t, res, 0, i, 4) != "true" {
+			t.Fatalf("row %d state not intact: %v", i, rows[i])
+		}
+	}
+	// Group commit beats fsync-per-append on throughput.
+	group := cellFloat(t, res, 0, 0, 1)
+	synced := cellFloat(t, res, 0, 1, 1)
+	if group <= synced {
+		t.Fatalf("group commit %v <= synced %v ops/s", group, synced)
+	}
+	// Checkpoint at 50% replays about half the ops.
+	full := cellFloat(t, res, 0, 0, 2)
+	ckpt := cellFloat(t, res, 0, 2, 2)
+	if ckpt >= full {
+		t.Fatalf("checkpoint replay %v >= full replay %v", ckpt, full)
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	res, err := E10(E10Options{Iterations: 200, GatewayOps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Codec sizes: binary < json < xml.
+	binSize := cellFloat(t, res, 0, 0, 1)
+	jsonSize := cellFloat(t, res, 0, 1, 1)
+	xmlSize := cellFloat(t, res, 0, 2, 1)
+	if !(binSize < jsonSize && jsonSize <= xmlSize) {
+		t.Fatalf("size ordering: %v %v %v", binSize, jsonSize, xmlSize)
+	}
+	// Both paths completed with sane (positive) round-trip times. The
+	// "gateway > direct" ordering holds in full runs but is too
+	// scheduler-sensitive to assert at quick-mode op counts on a loaded box.
+	direct := cellFloat(t, res, 2, 0, 1)
+	bridged := cellFloat(t, res, 2, 1, 1)
+	if direct <= 0 || bridged <= 0 {
+		t.Fatalf("RTTs: direct %v, bridged %v", direct, bridged)
+	}
+}
+
+func TestRunnerUnknownID(t *testing.T) {
+	if _, err := (Runner{}).Run("E99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestRunnerQuickAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	var sb strings.Builder
+	if err := (Runner{QuickMode: true}).RunAll(&sb); err != nil {
+		t.Fatalf("RunAll: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, id := range IDs() {
+		if !strings.Contains(out, "=== "+id+":") {
+			t.Fatalf("output missing %s", id)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Render(F1())
+	if !strings.Contains(out, "=== F1:") || !strings.Contains(out, "note:") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Quick controls experiment sizing: quick mode shrinks populations and
+// iteration counts so the full suite finishes in well under a minute (used
+// by tests); full mode is what cmd/ndsm-bench runs by default.
+type Quick bool
+
+// Runner executes experiments by ID.
+type Runner struct {
+	// QuickMode shrinks workloads.
+	QuickMode bool
+}
+
+// IDs lists all experiment identifiers in run order.
+func IDs() []string {
+	return []string{"F1", "E1", "E2", "E3", "E4", "E5", "E5a", "E6", "E6a", "E7", "E8", "E9", "E10"}
+}
+
+// Run executes one experiment by ID.
+func (r Runner) Run(id string) (Result, error) {
+	q := r.QuickMode
+	switch strings.ToUpper(id) {
+	case "F1":
+		return F1(), nil
+	case "E1":
+		if q {
+			return E1(E1Options{Sizes: []int{9, 16}, Lookups: 2})
+		}
+		return E1(E1Options{})
+	case "E2":
+		if q {
+			return E2(E2Options{Lookups: 2})
+		}
+		return E2(E2Options{})
+	case "E3":
+		if q {
+			return E3(E3Options{Printers: 30})
+		}
+		return E3(E3Options{})
+	case "E4":
+		if q {
+			return E4(E4Options{Requests: 60, Suppliers: 3})
+		}
+		return E4(E4Options{})
+	case "E5":
+		if q {
+			return E5(E5Options{Nodes: 16, Packets: 5})
+		}
+		return E5(E5Options{})
+	case "E5A":
+		return E5Ablation()
+	case "E6":
+		if q {
+			return E6(E6Options{SensorsPerVariable: 2, InitialEnergy: 0.005})
+		}
+		return E6(E6Options{})
+	case "E6A":
+		if q {
+			return E6Ablation(4)
+		}
+		return E6Ablation(6)
+	case "E7":
+		if q {
+			return E7(E7Options{Ops: 200, Sizes: []int{64}})
+		}
+		return E7(E7Options{})
+	case "E8":
+		if q {
+			return E8(E8Options{Jobs: 120})
+		}
+		return E8(E8Options{})
+	case "E9":
+		if q {
+			return E9(E9Options{Ops: 500})
+		}
+		return E9(E9Options{})
+	case "E10":
+		if q {
+			return E10(E10Options{Iterations: 500, GatewayOps: 200})
+		}
+		return E10(E10Options{})
+	default:
+		return Result{}, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+}
+
+// RunAll executes every experiment, writing rendered results to w as it
+// goes. It returns the first error but keeps going through the rest.
+func (r Runner) RunAll(w io.Writer) error {
+	var firstErr error
+	for _, id := range IDs() {
+		res, err := r.Run(id)
+		if err != nil {
+			fmt.Fprintf(w, "!! %s failed: %v\n\n", id, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		fmt.Fprint(w, Render(res))
+	}
+	return firstErr
+}
+
+// Render formats one result for terminal output.
+func Render(res Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", res.ID, res.Title)
+	if res.Chart != "" {
+		b.WriteString(res.Chart)
+		b.WriteString("\n")
+	}
+	for _, t := range res.Tables {
+		b.WriteString(t.Render())
+		b.WriteString("\n")
+	}
+	for _, note := range res.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", note)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

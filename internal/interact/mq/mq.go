@@ -1,0 +1,406 @@
+// Package mq is the message-oriented interaction style (MOM, the paper's
+// "message-based techniques" [64,65]): named FIFO queues on a broker, with
+// push, blocking pop (long-poll), and bounded depth. Producers and consumers
+// are fully decoupled in time — the asynchrony §3.6 demands.
+package mq
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ndsm/internal/simtime"
+	"ndsm/internal/transport"
+	"ndsm/internal/wire"
+)
+
+// Queue protocol topics.
+const (
+	topicPush  = "mq.push"
+	topicPop   = "mq.pop"
+	topicDepth = "mq.depth"
+)
+
+// MQ errors.
+var (
+	ErrEmpty     = errors.New("mq: queue empty")
+	ErrQueueFull = errors.New("mq: queue full")
+	ErrClosed    = errors.New("mq: closed")
+)
+
+// DefaultMaxDepth bounds each queue unless the broker is configured
+// otherwise.
+const DefaultMaxDepth = 1024
+
+// queue is one named FIFO with blocked-consumer wakeup.
+type queue struct {
+	mu      sync.Mutex
+	items   [][]byte
+	max     int
+	waiters []chan []byte // blocked pops, FIFO
+}
+
+func (q *queue) push(data []byte) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	// Hand directly to the oldest blocked consumer when one exists.
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		select {
+		case w <- data:
+			return nil
+		default:
+			// Waiter gave up (timeout) — try the next.
+		}
+	}
+	if len(q.items) >= q.max {
+		return ErrQueueFull
+	}
+	q.items = append(q.items, data)
+	return nil
+}
+
+// pop returns an item immediately or registers a waiter channel.
+func (q *queue) pop() ([]byte, chan []byte) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) > 0 {
+		item := q.items[0]
+		q.items = q.items[1:]
+		return item, nil
+	}
+	w := make(chan []byte, 1)
+	q.waiters = append(q.waiters, w)
+	return nil, w
+}
+
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Broker hosts named queues over a transport listener.
+type Broker struct {
+	clock    simtime.Clock
+	maxDepth int
+
+	mu       sync.Mutex
+	queues   map[string]*queue
+	conns    map[transport.Conn]struct{}
+	listener transport.Listener
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewBroker starts a broker on the listener. maxDepth bounds each queue
+// (DefaultMaxDepth if 0).
+func NewBroker(l transport.Listener, maxDepth int, clock simtime.Clock) *Broker {
+	if maxDepth <= 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	if clock == nil {
+		clock = simtime.Real{}
+	}
+	b := &Broker{
+		clock:    clock,
+		maxDepth: maxDepth,
+		queues:   make(map[string]*queue),
+		conns:    make(map[transport.Conn]struct{}),
+		listener: l,
+	}
+	b.wg.Add(1)
+	go b.acceptLoop()
+	return b
+}
+
+// Close stops the broker.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	conns := make([]transport.Conn, 0, len(b.conns))
+	for c := range b.conns {
+		conns = append(conns, c)
+	}
+	b.mu.Unlock()
+	_ = b.listener.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	b.wg.Wait()
+	return nil
+}
+
+// Depth reports a queue's current backlog.
+func (b *Broker) Depth(name string) int {
+	b.mu.Lock()
+	q := b.queues[name]
+	b.mu.Unlock()
+	if q == nil {
+		return 0
+	}
+	return q.depth()
+}
+
+func (b *Broker) queue(name string) *queue {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q := b.queues[name]
+	if q == nil {
+		q = &queue{max: b.maxDepth}
+		b.queues[name] = q
+	}
+	return q
+}
+
+func (b *Broker) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.listener.Accept()
+		if err != nil {
+			return
+		}
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		b.conns[conn] = struct{}{}
+		b.mu.Unlock()
+		b.wg.Add(1)
+		go b.serveConn(conn)
+	}
+}
+
+// popRequest is the pop call's JSON body.
+type popRequest struct {
+	Queue string `json:"queue"`
+	// WaitMillis long-polls up to this long for an item (0: immediate).
+	WaitMillis int64 `json:"waitMillis"`
+}
+
+func (b *Broker) serveConn(conn transport.Conn) {
+	defer b.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		b.mu.Lock()
+		delete(b.conns, conn)
+		b.mu.Unlock()
+	}()
+	var sendMu sync.Mutex
+	reply := func(req *wire.Message, kind wire.Kind, payload []byte) {
+		sendMu.Lock()
+		defer sendMu.Unlock()
+		_ = conn.Send(&wire.Message{Kind: kind, Corr: req.ID, Topic: req.Topic, Payload: payload})
+	}
+	for {
+		req, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch req.Topic {
+		case topicPush:
+			// Headers carry the queue name; payload is the item.
+			name := req.Headers["queue"]
+			if name == "" {
+				reply(req, wire.KindError, []byte("mq: missing queue header"))
+				continue
+			}
+			if err := b.queue(name).push(req.Payload); err != nil {
+				reply(req, wire.KindError, []byte(err.Error()))
+				continue
+			}
+			reply(req, wire.KindAck, nil)
+		case topicPop:
+			var pr popRequest
+			if err := json.Unmarshal(req.Payload, &pr); err != nil || pr.Queue == "" {
+				reply(req, wire.KindError, []byte("mq: bad pop request"))
+				continue
+			}
+			// Long-poll in its own goroutine so one blocked pop doesn't
+			// stall other requests on this connection.
+			b.wg.Add(1)
+			go func(req *wire.Message, pr popRequest) {
+				defer b.wg.Done()
+				item, waiter := b.queue(pr.Queue).pop()
+				if waiter != nil {
+					var timer <-chan time.Time
+					if pr.WaitMillis > 0 {
+						timer = b.clock.After(time.Duration(pr.WaitMillis) * time.Millisecond)
+					} else {
+						reply(req, wire.KindError, []byte(ErrEmpty.Error()))
+						return
+					}
+					select {
+					case item = <-waiter:
+					case <-timer:
+						reply(req, wire.KindError, []byte(ErrEmpty.Error()))
+						return
+					}
+				}
+				reply(req, wire.KindReply, item)
+			}(req, pr)
+		case topicDepth:
+			name := req.Headers["queue"]
+			reply(req, wire.KindReply, []byte(fmt.Sprintf("%d", b.Depth(name))))
+		default:
+			reply(req, wire.KindError, []byte(fmt.Sprintf("mq: unknown topic %q", req.Topic)))
+		}
+	}
+}
+
+// Client talks to a broker. Safe for concurrent use.
+type Client struct {
+	mu     sync.Mutex
+	conn   transport.Conn
+	nextID uint64
+	// waiters maps request IDs to reply channels (pops long-poll, so
+	// replies can arrive out of order).
+	waiters map[uint64]chan *wire.Message
+	closed  bool
+	done    chan struct{}
+}
+
+// Dial connects to a broker.
+func Dial(tr transport.Transport, addr string) (*Client, error) {
+	conn, err := tr.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("mq: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:    conn,
+		waiters: make(map[uint64]chan *wire.Message),
+		done:    make(chan struct{}),
+	}
+	go c.demux()
+	return c, nil
+}
+
+// Close shuts the client down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+func (c *Client) demux() {
+	defer close(c.done)
+	for {
+		m, err := c.conn.Recv()
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		ch := c.waiters[m.Corr]
+		c.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- m:
+			default:
+			}
+		}
+	}
+}
+
+func (c *Client) request(topic string, headers map[string]string, payload []byte) (*wire.Message, error) {
+	replyCh := make(chan *wire.Message, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	c.waiters[id] = replyCh
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waiters, id)
+		c.mu.Unlock()
+	}()
+
+	req := &wire.Message{ID: id, Kind: wire.KindRequest, Topic: topic, Headers: headers, Payload: payload}
+	if err := c.conn.Send(req); err != nil {
+		return nil, fmt.Errorf("mq: send: %w", err)
+	}
+	select {
+	case m := <-replyCh:
+		return m, nil
+	case <-c.done:
+		return nil, ErrClosed
+	}
+}
+
+// Push enqueues an item.
+func (c *Client) Push(queueName string, data []byte) error {
+	m, err := c.request(topicPush, map[string]string{"queue": queueName}, data)
+	if err != nil {
+		return err
+	}
+	if m.Kind == wire.KindError {
+		return decodeErr(m.Payload)
+	}
+	return nil
+}
+
+// Pop dequeues the oldest item, long-polling up to wait. It returns ErrEmpty
+// when nothing arrives in time.
+func (c *Client) Pop(queueName string, wait time.Duration) ([]byte, error) {
+	body, err := json.Marshal(popRequest{Queue: queueName, WaitMillis: wait.Milliseconds()})
+	if err != nil {
+		return nil, fmt.Errorf("mq: encode pop: %w", err)
+	}
+	m, err := c.request(topicPop, nil, body)
+	if err != nil {
+		return nil, err
+	}
+	if m.Kind == wire.KindError {
+		return nil, decodeErr(m.Payload)
+	}
+	return m.Payload, nil
+}
+
+// Depth reports a queue's backlog.
+func (c *Client) Depth(queueName string) (int, error) {
+	m, err := c.request(topicDepth, map[string]string{"queue": queueName}, nil)
+	if err != nil {
+		return 0, err
+	}
+	if m.Kind == wire.KindError {
+		return 0, decodeErr(m.Payload)
+	}
+	var n int
+	if _, err := fmt.Sscanf(string(m.Payload), "%d", &n); err != nil {
+		return 0, fmt.Errorf("mq: bad depth reply %q", m.Payload)
+	}
+	return n, nil
+}
+
+// decodeErr maps the broker's error strings back to sentinel errors where
+// possible.
+func decodeErr(payload []byte) error {
+	s := string(payload)
+	switch s {
+	case ErrEmpty.Error():
+		return ErrEmpty
+	case ErrQueueFull.Error():
+		return ErrQueueFull
+	default:
+		return errors.New(s)
+	}
+}

@@ -1,0 +1,228 @@
+package mq
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ndsm/internal/transport"
+)
+
+func fixture(t *testing.T, maxDepth int) (*Broker, *Client) {
+	t.Helper()
+	fabric := transport.NewFabric()
+	tr := transport.NewMem(fabric)
+	l, err := tr.Listen("mq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBroker(l, maxDepth, nil)
+	c, err := Dial(transport.NewMem(fabric), "mq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = c.Close()
+		_ = b.Close()
+		_ = tr.Close()
+	})
+	return b, c
+}
+
+func TestPushPopFIFO(t *testing.T) {
+	_, c := fixture(t, 0)
+	for i := 0; i < 5; i++ {
+		if err := c.Push("jobs", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		got, err := c.Pop("jobs", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("pop %d = %v, want %d", i, got, i)
+		}
+	}
+}
+
+func TestPopEmptyImmediate(t *testing.T) {
+	_, c := fixture(t, 0)
+	if _, err := c.Pop("empty", 0); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestPopLongPollTimesOut(t *testing.T) {
+	_, c := fixture(t, 0)
+	start := time.Now()
+	_, err := c.Pop("empty", 50*time.Millisecond)
+	if !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatal("long poll returned too early")
+	}
+}
+
+func TestPopLongPollWakesOnPush(t *testing.T) {
+	_, c := fixture(t, 0)
+	c2, err := Dial(transport.NewMem(transport.NewFabric()), "mq")
+	if err == nil {
+		_ = c2.Close()
+		t.Fatal("expected isolated fabric dial to fail") // sanity of fixture
+	}
+
+	got := make(chan []byte, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		data, err := c.Pop("wake", 5*time.Second)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		got <- data
+	}()
+	time.Sleep(20 * time.Millisecond) // let the pop block
+	if err := c.Push("wake", []byte("ding")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case data := <-got:
+		if string(data) != "ding" {
+			t.Fatalf("got %q", data)
+		}
+	case err := <-errCh:
+		t.Fatalf("pop failed: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked pop never woke")
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	_, c := fixture(t, 2)
+	if err := c.Push("q", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Push("q", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Push("q", []byte("3")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	b, c := fixture(t, 0)
+	if err := c.Push("q", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Push("q", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Depth("q")
+	if err != nil || n != 2 {
+		t.Fatalf("Depth = %d, %v", n, err)
+	}
+	if b.Depth("q") != 2 {
+		t.Fatal("broker depth disagrees")
+	}
+	if b.Depth("missing") != 0 {
+		t.Fatal("missing queue should have depth 0")
+	}
+}
+
+func TestQueuesAreIndependent(t *testing.T) {
+	_, c := fixture(t, 0)
+	if err := c.Push("a", []byte("for-a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Pop("b", 0); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("queue b should be empty: %v", err)
+	}
+	got, err := c.Pop("a", 0)
+	if err != nil || string(got) != "for-a" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestMultipleConsumersEachGetOne(t *testing.T) {
+	fabric := transport.NewFabric()
+	tr := transport.NewMem(fabric)
+	t.Cleanup(func() { _ = tr.Close() })
+	l, err := tr.Listen("mq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBroker(l, 0, nil)
+	t.Cleanup(func() { _ = b.Close() })
+
+	const consumers = 4
+	var clients []*Client
+	for i := 0; i < consumers; i++ {
+		c, err := Dial(transport.NewMem(fabric), "mq")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = c.Close() })
+		clients = append(clients, c)
+	}
+
+	var mu sync.Mutex
+	seen := map[string]int{}
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			data, err := c.Pop("work", 5*time.Second)
+			if err != nil {
+				t.Errorf("pop: %v", err)
+				return
+			}
+			mu.Lock()
+			seen[string(data)]++
+			mu.Unlock()
+		}(c)
+	}
+	time.Sleep(20 * time.Millisecond)
+	producer, err := Dial(transport.NewMem(fabric), "mq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = producer.Close() })
+	for i := 0; i < consumers; i++ {
+		if err := producer.Push("work", []byte(fmt.Sprintf("item-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != consumers {
+		t.Fatalf("items duplicated or lost: %v", seen)
+	}
+	for item, count := range seen {
+		if count != 1 {
+			t.Fatalf("item %s delivered %d times", item, count)
+		}
+	}
+}
+
+func TestClientClosed(t *testing.T) {
+	_, c := fixture(t, 0)
+	_ = c.Close()
+	if err := c.Push("q", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+	_ = c.Close()
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial(transport.NewMem(transport.NewFabric()), "nowhere"); err == nil {
+		t.Fatal("dial to nowhere succeeded")
+	}
+}

@@ -1,0 +1,376 @@
+// Package pubsub is the event-based interaction style (the paper's
+// publish-subscribe middleware [67,68]): subscribers register topic
+// patterns with a broker; publishers emit events the broker fans out
+// asynchronously. Neither side knows the other — the space decoupling that
+// lets plug-and-play components come and go.
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"ndsm/internal/transport"
+	"ndsm/internal/wire"
+)
+
+// Protocol topics.
+const (
+	topicSubscribe   = "ps.subscribe"
+	topicUnsubscribe = "ps.unsubscribe"
+	topicPublish     = "ps.publish"
+)
+
+// ErrClosed reports use of a closed endpoint.
+var ErrClosed = errors.New("pubsub: closed")
+
+// subscriberBuffer is each subscription's event queue depth; slow consumers
+// drop (and count) rather than stall the broker.
+const subscriberBuffer = 128
+
+// Event is one published notification.
+type Event struct {
+	Topic   string
+	Payload []byte
+}
+
+// MatchTopic reports whether a concrete topic matches a pattern. Patterns
+// are exact strings or prefixes ending in "*" ("sensors/*").
+func MatchTopic(pattern, topic string) bool {
+	if pattern == "*" {
+		return true
+	}
+	if strings.HasSuffix(pattern, "*") {
+		return strings.HasPrefix(topic, strings.TrimSuffix(pattern, "*"))
+	}
+	return pattern == topic
+}
+
+// subscription is a broker-side registration.
+type subscription struct {
+	pattern string
+	conn    transport.Conn
+	sendMu  *sync.Mutex
+}
+
+// Broker fans published events out to matching subscribers.
+type Broker struct {
+	mu       sync.Mutex
+	subs     map[transport.Conn]map[string]*subscription // conn -> pattern -> sub
+	sendMus  map[transport.Conn]*sync.Mutex
+	conns    map[transport.Conn]struct{}
+	listener transport.Listener
+	closed   bool
+	wg       sync.WaitGroup
+
+	// Published and Dropped count events through the broker.
+	Published atomic.Int64
+	Dropped   atomic.Int64
+}
+
+// NewBroker starts a broker on the listener.
+func NewBroker(l transport.Listener) *Broker {
+	b := &Broker{
+		subs:     make(map[transport.Conn]map[string]*subscription),
+		sendMus:  make(map[transport.Conn]*sync.Mutex),
+		conns:    make(map[transport.Conn]struct{}),
+		listener: l,
+	}
+	b.wg.Add(1)
+	go b.acceptLoop()
+	return b
+}
+
+// Close stops the broker.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	conns := make([]transport.Conn, 0, len(b.conns))
+	for c := range b.conns {
+		conns = append(conns, c)
+	}
+	b.mu.Unlock()
+	_ = b.listener.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	b.wg.Wait()
+	return nil
+}
+
+// Subscriptions reports the current registration count.
+func (b *Broker) Subscriptions() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, pats := range b.subs {
+		n += len(pats)
+	}
+	return n
+}
+
+func (b *Broker) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.listener.Accept()
+		if err != nil {
+			return
+		}
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		b.conns[conn] = struct{}{}
+		b.sendMus[conn] = &sync.Mutex{}
+		b.mu.Unlock()
+		b.wg.Add(1)
+		go b.serveConn(conn)
+	}
+}
+
+func (b *Broker) serveConn(conn transport.Conn) {
+	defer b.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		b.mu.Lock()
+		delete(b.conns, conn)
+		delete(b.subs, conn)
+		delete(b.sendMus, conn)
+		b.mu.Unlock()
+	}()
+	for {
+		req, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch req.Topic {
+		case topicSubscribe:
+			pattern := string(req.Payload)
+			b.mu.Lock()
+			if b.subs[conn] == nil {
+				b.subs[conn] = make(map[string]*subscription)
+			}
+			b.subs[conn][pattern] = &subscription{pattern: pattern, conn: conn, sendMu: b.sendMus[conn]}
+			b.mu.Unlock()
+			b.reply(conn, req, wire.KindAck, nil)
+		case topicUnsubscribe:
+			pattern := string(req.Payload)
+			b.mu.Lock()
+			delete(b.subs[conn], pattern)
+			b.mu.Unlock()
+			b.reply(conn, req, wire.KindAck, nil)
+		case topicPublish:
+			b.Published.Add(1)
+			b.fanout(req)
+			b.reply(conn, req, wire.KindAck, nil)
+		default:
+			b.reply(conn, req, wire.KindError, []byte(fmt.Sprintf("pubsub: unknown topic %q", req.Topic)))
+		}
+	}
+}
+
+func (b *Broker) reply(conn transport.Conn, req *wire.Message, kind wire.Kind, payload []byte) {
+	b.mu.Lock()
+	mu := b.sendMus[conn]
+	b.mu.Unlock()
+	if mu == nil {
+		return
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	_ = conn.Send(&wire.Message{Kind: kind, Corr: req.ID, Topic: req.Topic, Payload: payload})
+}
+
+// fanout pushes the event to every matching subscription.
+func (b *Broker) fanout(req *wire.Message) {
+	eventTopic := req.Headers["topic"]
+	b.mu.Lock()
+	var targets []*subscription
+	for _, pats := range b.subs {
+		for _, sub := range pats {
+			if MatchTopic(sub.pattern, eventTopic) {
+				targets = append(targets, sub)
+			}
+		}
+	}
+	b.mu.Unlock()
+	for _, sub := range targets {
+		ev := &wire.Message{
+			Kind:    wire.KindEvent,
+			Topic:   eventTopic,
+			Payload: req.Payload,
+		}
+		sub.sendMu.Lock()
+		err := sub.conn.Send(ev)
+		sub.sendMu.Unlock()
+		if err != nil {
+			b.Dropped.Add(1)
+		}
+	}
+}
+
+// Client publishes and subscribes against a broker.
+type Client struct {
+	mu     sync.Mutex
+	conn   transport.Conn
+	nextID uint64
+	acks   map[uint64]chan *wire.Message
+	subs   map[string]chan Event
+	closed bool
+	done   chan struct{}
+
+	// DroppedEvents counts events discarded because a subscription channel
+	// was full.
+	DroppedEvents atomic.Int64
+}
+
+// Dial connects to a broker.
+func Dial(tr transport.Transport, addr string) (*Client, error) {
+	conn, err := tr.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("pubsub: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn: conn,
+		acks: make(map[uint64]chan *wire.Message),
+		subs: make(map[string]chan Event),
+		done: make(chan struct{}),
+	}
+	go c.demux()
+	return c, nil
+}
+
+// Close shuts the client down; subscription channels are closed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	c.mu.Lock()
+	for pattern, ch := range c.subs {
+		close(ch)
+		delete(c.subs, pattern)
+	}
+	c.mu.Unlock()
+	return err
+}
+
+func (c *Client) demux() {
+	defer close(c.done)
+	for {
+		m, err := c.conn.Recv()
+		if err != nil {
+			return
+		}
+		if m.Kind == wire.KindEvent {
+			c.mu.Lock()
+			var targets []chan Event
+			for pattern, ch := range c.subs {
+				if MatchTopic(pattern, m.Topic) {
+					targets = append(targets, ch)
+				}
+			}
+			c.mu.Unlock()
+			for _, ch := range targets {
+				select {
+				case ch <- Event{Topic: m.Topic, Payload: m.Payload}:
+				default:
+					c.DroppedEvents.Add(1)
+				}
+			}
+			continue
+		}
+		c.mu.Lock()
+		ch := c.acks[m.Corr]
+		c.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- m:
+			default:
+			}
+		}
+	}
+}
+
+func (c *Client) request(topic string, headers map[string]string, payload []byte) error {
+	ackCh := make(chan *wire.Message, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	c.acks[id] = ackCh
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.acks, id)
+		c.mu.Unlock()
+	}()
+	req := &wire.Message{ID: id, Kind: wire.KindRequest, Topic: topic, Headers: headers, Payload: payload}
+	if err := c.conn.Send(req); err != nil {
+		return fmt.Errorf("pubsub: send: %w", err)
+	}
+	select {
+	case m := <-ackCh:
+		if m.Kind == wire.KindError {
+			return errors.New(string(m.Payload))
+		}
+		return nil
+	case <-c.done:
+		return ErrClosed
+	}
+}
+
+// Subscribe registers a pattern and returns the event channel. Subscribing
+// the same pattern again returns the existing channel.
+func (c *Client) Subscribe(pattern string) (<-chan Event, error) {
+	c.mu.Lock()
+	if ch, ok := c.subs[pattern]; ok {
+		c.mu.Unlock()
+		return ch, nil
+	}
+	ch := make(chan Event, subscriberBuffer)
+	c.subs[pattern] = ch
+	c.mu.Unlock()
+	if err := c.request(topicSubscribe, nil, []byte(pattern)); err != nil {
+		c.mu.Lock()
+		delete(c.subs, pattern)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return ch, nil
+}
+
+// Unsubscribe withdraws a pattern and closes its channel.
+func (c *Client) Unsubscribe(pattern string) error {
+	if err := c.request(topicUnsubscribe, nil, []byte(pattern)); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if ch, ok := c.subs[pattern]; ok {
+		close(ch)
+		delete(c.subs, pattern)
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Publish emits an event to a topic.
+func (c *Client) Publish(topic string, payload []byte) error {
+	return c.request(topicPublish, map[string]string{"topic": topic}, payload)
+}

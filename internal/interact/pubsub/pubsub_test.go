@@ -1,0 +1,230 @@
+package pubsub
+
+import (
+	"testing"
+	"time"
+
+	"ndsm/internal/transport"
+)
+
+func fixture(t *testing.T) (*Broker, *Client, *Client) {
+	t.Helper()
+	fabric := transport.NewFabric()
+	tr := transport.NewMem(fabric)
+	l, err := tr.Listen("bus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBroker(l)
+	pub, err := Dial(transport.NewMem(fabric), "bus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Dial(transport.NewMem(fabric), "bus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = pub.Close()
+		_ = sub.Close()
+		_ = b.Close()
+		_ = tr.Close()
+	})
+	return b, pub, sub
+}
+
+func recvEvent(t *testing.T, ch <-chan Event) Event {
+	t.Helper()
+	select {
+	case ev, ok := <-ch:
+		if !ok {
+			t.Fatal("event channel closed")
+		}
+		return ev
+	case <-time.After(5 * time.Second):
+		t.Fatal("no event")
+		return Event{}
+	}
+}
+
+func expectNoEvent(t *testing.T, ch <-chan Event) {
+	t.Helper()
+	select {
+	case ev := <-ch:
+		t.Fatalf("unexpected event: %+v", ev)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestMatchTopic(t *testing.T) {
+	tests := []struct {
+		pattern, topic string
+		want           bool
+	}{
+		{"a/b", "a/b", true},
+		{"a/b", "a/c", false},
+		{"a/*", "a/b", true},
+		{"a/*", "b/b", false},
+		{"*", "anything", true},
+		{"a*", "abc", true},
+	}
+	for _, tt := range tests {
+		if got := MatchTopic(tt.pattern, tt.topic); got != tt.want {
+			t.Errorf("MatchTopic(%q, %q) = %v", tt.pattern, tt.topic, got)
+		}
+	}
+}
+
+func TestPublishSubscribe(t *testing.T) {
+	_, pub, sub := fixture(t)
+	ch, err := sub.Subscribe("sensors/bp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish("sensors/bp", []byte("120/80")); err != nil {
+		t.Fatal(err)
+	}
+	ev := recvEvent(t, ch)
+	if ev.Topic != "sensors/bp" || string(ev.Payload) != "120/80" {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+func TestWildcardSubscription(t *testing.T) {
+	_, pub, sub := fixture(t)
+	ch, err := sub.Subscribe("sensors/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish("sensors/hr", []byte("72")); err != nil {
+		t.Fatal(err)
+	}
+	if ev := recvEvent(t, ch); ev.Topic != "sensors/hr" {
+		t.Fatalf("event = %+v", ev)
+	}
+	if err := pub.Publish("actuators/display", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	expectNoEvent(t, ch)
+}
+
+func TestMultipleSubscribers(t *testing.T) {
+	b, pub, sub1 := fixture(t)
+	_ = b
+	// sub1's fabric is shared through the fixture's transports; reuse pub's
+	// transport for the second subscriber by dialing again.
+	ch1, err := sub1.Subscribe("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch2, err := pub.Subscribe("t") // a client can both publish and subscribe
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish("t", []byte("fanout")); err != nil {
+		t.Fatal(err)
+	}
+	if ev := recvEvent(t, ch1); string(ev.Payload) != "fanout" {
+		t.Fatalf("sub1: %+v", ev)
+	}
+	if ev := recvEvent(t, ch2); string(ev.Payload) != "fanout" {
+		t.Fatalf("sub2: %+v", ev)
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	b, pub, sub := fixture(t)
+	ch, err := sub.Subscribe("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Subscriptions() != 1 {
+		t.Fatalf("subscriptions = %d", b.Subscriptions())
+	}
+	if err := sub.Unsubscribe("t"); err != nil {
+		t.Fatal(err)
+	}
+	if b.Subscriptions() != 0 {
+		t.Fatalf("subscriptions after unsubscribe = %d", b.Subscriptions())
+	}
+	if err := pub.Publish("t", []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev, ok := <-ch:
+		if ok {
+			t.Fatalf("event after unsubscribe: %+v", ev)
+		}
+		// closed channel is the expected outcome
+	case <-time.After(50 * time.Millisecond):
+		t.Fatal("unsubscribed channel not closed")
+	}
+}
+
+func TestPublishNoSubscribers(t *testing.T) {
+	b, pub, _ := fixture(t)
+	if err := pub.Publish("void", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if b.Published.Load() != 1 {
+		t.Fatalf("published = %d", b.Published.Load())
+	}
+}
+
+func TestSubscribeSamePatternTwice(t *testing.T) {
+	_, _, sub := fixture(t)
+	ch1, err := sub.Subscribe("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch2, err := sub.Subscribe("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch1 != ch2 {
+		t.Fatal("duplicate subscribe returned a different channel")
+	}
+}
+
+func TestSubscriberDisconnectCleansUp(t *testing.T) {
+	b, pub, sub := fixture(t)
+	if _, err := sub.Subscribe("t"); err != nil {
+		t.Fatal(err)
+	}
+	_ = sub.Close()
+	// Allow the broker to notice the disconnect.
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Subscriptions() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("broker kept subscriptions of a dead client")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := pub.Publish("t", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientCloseClosesChannels(t *testing.T) {
+	_, _, sub := fixture(t)
+	ch, err := sub.Subscribe("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sub.Close()
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Fatal("got event after close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("channel not closed on client close")
+	}
+	_ = sub.Close() // idempotent
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial(transport.NewMem(transport.NewFabric()), "nowhere"); err == nil {
+		t.Fatal("dial to nowhere succeeded")
+	}
+}

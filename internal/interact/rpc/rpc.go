@@ -1,0 +1,291 @@
+// Package rpc is the client-server interaction style (§3.1, §3.6): typed
+// request/reply with per-call deadlines over any Transport. It is the
+// middleware's stand-in for the RPC/RMI technologies the paper surveys,
+// built with asynchronous connection handling so calls never block the
+// transport (the paper's "should provide asynchronous connections").
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ndsm/internal/simtime"
+	"ndsm/internal/transport"
+	"ndsm/internal/wire"
+)
+
+// RPC errors.
+var (
+	ErrTimeout       = errors.New("rpc: call timed out")
+	ErrClosed        = errors.New("rpc: closed")
+	ErrUnknownMethod = errors.New("rpc: unknown method")
+)
+
+// Handler processes one call's payload and returns the reply payload.
+type Handler func(payload []byte) ([]byte, error)
+
+// Server dispatches calls to registered handlers.
+type Server struct {
+	mu       sync.Mutex
+	handlers map[string]Handler
+	conns    map[transport.Conn]struct{}
+	listener transport.Listener
+	closed   bool
+	wg       sync.WaitGroup
+
+	// Calls counts handled calls by method.
+	calls map[string]int64
+}
+
+// NewServer starts serving on the listener.
+func NewServer(l transport.Listener) *Server {
+	s := &Server{
+		handlers: make(map[string]Handler),
+		conns:    make(map[transport.Conn]struct{}),
+		listener: l,
+		calls:    make(map[string]int64),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Handle registers a handler for a method name; it replaces any previous
+// registration.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	s.handlers[method] = h
+	s.mu.Unlock()
+}
+
+// Calls returns a copy of the per-method call counters.
+func (s *Server) Calls() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.calls))
+	for k, v := range s.calls {
+		out[k] = v
+	}
+	return out
+}
+
+// Close stops the server and waits for in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]transport.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	_ = s.listener.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn transport.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	// Replies are written from handler goroutines; serialize them.
+	var sendMu sync.Mutex
+	for {
+		req, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if req.Kind != wire.KindRequest {
+			continue
+		}
+		s.mu.Lock()
+		h := s.handlers[req.Topic]
+		s.calls[req.Topic]++
+		s.mu.Unlock()
+
+		// Handle each call in its own goroutine so a slow method does not
+		// head-of-line block the connection.
+		s.wg.Add(1)
+		go func(req *wire.Message) {
+			defer s.wg.Done()
+			reply := &wire.Message{Corr: req.ID, Topic: req.Topic}
+			if h == nil {
+				reply.Kind = wire.KindError
+				reply.Payload = []byte(fmt.Sprintf("%v: %s", ErrUnknownMethod, req.Topic))
+			} else if out, err := h(req.Payload); err != nil {
+				reply.Kind = wire.KindError
+				reply.Payload = []byte(err.Error())
+			} else {
+				reply.Kind = wire.KindReply
+				reply.Payload = out
+			}
+			sendMu.Lock()
+			defer sendMu.Unlock()
+			_ = conn.Send(reply)
+		}(req)
+	}
+}
+
+// Client issues calls over one connection, multiplexing any number of
+// concurrent calls by correlation ID.
+type Client struct {
+	clock simtime.Clock
+	conn  transport.Conn
+
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	waiters map[uint64]chan *wire.Message
+	closed  bool
+
+	done chan struct{}
+}
+
+// Dial connects a client to an RPC server.
+func Dial(tr transport.Transport, addr string, clock simtime.Clock) (*Client, error) {
+	if clock == nil {
+		clock = simtime.Real{}
+	}
+	conn, err := tr.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		clock:   clock,
+		conn:    conn,
+		waiters: make(map[uint64]chan *wire.Message),
+		done:    make(chan struct{}),
+	}
+	go c.demux()
+	return c, nil
+}
+
+// Close shuts the client down; outstanding calls fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+// Call invokes method with payload and waits up to timeout for the reply.
+func (c *Client) Call(method string, payload []byte, timeout time.Duration) ([]byte, error) {
+	id := c.nextID.Add(1)
+	replyCh := make(chan *wire.Message, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.waiters[id] = replyCh
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waiters, id)
+		c.mu.Unlock()
+	}()
+
+	req := &wire.Message{
+		ID:      id,
+		Kind:    wire.KindRequest,
+		Topic:   method,
+		Payload: payload,
+	}
+	if timeout > 0 {
+		req.Deadline = c.clock.Now().Add(timeout)
+	}
+	if err := c.conn.Send(req); err != nil {
+		return nil, fmt.Errorf("rpc: send: %w", err)
+	}
+
+	var timer <-chan time.Time
+	if timeout > 0 {
+		timer = c.clock.After(timeout)
+	}
+	select {
+	case reply := <-replyCh:
+		if reply.Kind == wire.KindError {
+			return nil, fmt.Errorf("rpc: remote: %s", reply.Payload)
+		}
+		return reply.Payload, nil
+	case <-timer:
+		return nil, fmt.Errorf("%w: %s after %v", ErrTimeout, method, timeout)
+	case <-c.done:
+		return nil, ErrClosed
+	}
+}
+
+// Go invokes method asynchronously; the returned channel receives the single
+// result.
+func (c *Client) Go(method string, payload []byte, timeout time.Duration) <-chan Result {
+	out := make(chan Result, 1)
+	go func() {
+		data, err := c.Call(method, payload, timeout)
+		out <- Result{Data: data, Err: err}
+	}()
+	return out
+}
+
+// Result is an asynchronous call outcome.
+type Result struct {
+	Data []byte
+	Err  error
+}
+
+func (c *Client) demux() {
+	defer close(c.done)
+	for {
+		m, err := c.conn.Recv()
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		ch := c.waiters[m.Corr]
+		c.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- m:
+			default:
+			}
+		}
+	}
+}

@@ -1,0 +1,554 @@
+// Package tuplespace is the shared-memory interaction style: a Linda-like
+// tuple space (the paper cites T Spaces [69] and LIME [68,100], the latter
+// by this paper's second author). Processes communicate by writing tuples
+// into a shared space (Out) and reading (Rd) or consuming (In) tuples by
+// template matching — fully decoupled in both time and space.
+//
+// Tuples are ordered string fields; templates match per field with "*" as
+// the wildcard. A Space can be used in-process or served over any Transport.
+package tuplespace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ndsm/internal/simtime"
+	"ndsm/internal/transport"
+	"ndsm/internal/wire"
+)
+
+// Wildcard matches any field value in a template.
+const Wildcard = "*"
+
+// Tuplespace errors.
+var (
+	ErrNoMatch = errors.New("tuplespace: no matching tuple")
+	ErrClosed  = errors.New("tuplespace: closed")
+)
+
+// Tuple is an ordered sequence of string fields.
+type Tuple []string
+
+// Matches reports whether the tuple satisfies the template: equal length,
+// each template field equal or Wildcard.
+func (t Tuple) Matches(template Tuple) bool {
+	if len(t) != len(template) {
+		return false
+	}
+	for i, f := range template {
+		if f != Wildcard && f != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (t Tuple) clone() Tuple { return append(Tuple(nil), t...) }
+
+// waiter is a blocked In/Rd.
+type waiter struct {
+	template Tuple
+	consume  bool
+	ch       chan Tuple // capacity 1
+}
+
+// notification is a standing subscription to future matching tuples
+// (a LIME-style reaction).
+type notification struct {
+	template Tuple
+	ch       chan Tuple
+	// consume removes the matching tuple instead of copying it.
+	consume bool
+}
+
+// Space is the in-process tuple space. All methods are safe for concurrent
+// use.
+type Space struct {
+	clock simtime.Clock
+
+	mu       sync.Mutex
+	tuples   []Tuple
+	waiters  []*waiter
+	notifies map[*notification]struct{}
+	// notifyDropped counts reaction deliveries lost to full channels.
+	notifyDropped int64
+}
+
+// NewSpace returns an empty space timing blocking operations against clock
+// (real if nil).
+func NewSpace(clock simtime.Clock) *Space {
+	if clock == nil {
+		clock = simtime.Real{}
+	}
+	return &Space{clock: clock}
+}
+
+// Len reports how many tuples the space holds.
+func (s *Space) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tuples)
+}
+
+// Out writes a tuple into the space, waking matching blocked readers: every
+// pending Rd gets a copy; the oldest pending In consumes it (in which case
+// the tuple is not stored). Standing notifications (Notify) receive copies;
+// a consuming notification (NotifyTake) may also claim the tuple.
+func (s *Space) Out(t Tuple) {
+	t = t.clone()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	consumed := false
+	// Reactions fire before blocked readers: they are standing requests
+	// registered earlier by definition.
+	for n := range s.notifies {
+		if !t.Matches(n.template) {
+			continue
+		}
+		if n.consume && consumed {
+			continue
+		}
+		select {
+		case n.ch <- t.clone():
+			if n.consume {
+				consumed = true
+			}
+		default:
+			s.notifyDropped++
+		}
+	}
+
+	kept := s.waiters[:0]
+	for _, w := range s.waiters {
+		if consumed && w.consume {
+			kept = append(kept, w)
+			continue
+		}
+		if !t.Matches(w.template) {
+			kept = append(kept, w)
+			continue
+		}
+		select {
+		case w.ch <- t.clone():
+			if w.consume {
+				consumed = true
+			}
+			// satisfied waiter is dropped from the list either way
+		default:
+			// Waiter already satisfied or timed out; drop it.
+		}
+	}
+	s.waiters = kept
+	if !consumed {
+		s.tuples = append(s.tuples, t)
+	}
+}
+
+// notifyBuffer is each reaction channel's depth.
+const notifyBuffer = 64
+
+// Notify registers a standing reaction: every future tuple matching the
+// template is copied to the returned channel (the tuple is still stored).
+// Call the cancel function to deregister; the channel is closed then.
+func (s *Space) Notify(template Tuple) (<-chan Tuple, func()) {
+	return s.notify(template, false)
+}
+
+// NotifyTake is the consuming variant: matching tuples are delivered to the
+// channel instead of being stored (at most one consumer claims each tuple).
+func (s *Space) NotifyTake(template Tuple) (<-chan Tuple, func()) {
+	return s.notify(template, true)
+}
+
+func (s *Space) notify(template Tuple, consume bool) (<-chan Tuple, func()) {
+	n := &notification{template: template.clone(), ch: make(chan Tuple, notifyBuffer), consume: consume}
+	s.mu.Lock()
+	if s.notifies == nil {
+		s.notifies = make(map[*notification]struct{})
+	}
+	s.notifies[n] = struct{}{}
+	s.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			s.mu.Lock()
+			delete(s.notifies, n)
+			s.mu.Unlock()
+			close(n.ch)
+		})
+	}
+	return n.ch, cancel
+}
+
+// NotifyDropped reports reaction deliveries lost to full channels.
+func (s *Space) NotifyDropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.notifyDropped
+}
+
+// RdP returns a copy of a matching tuple without removing it (non-blocking).
+func (s *Space) RdP(template Tuple) (Tuple, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.tuples {
+		if t.Matches(template) {
+			return t.clone(), true
+		}
+	}
+	return nil, false
+}
+
+// InP removes and returns a matching tuple (non-blocking).
+func (s *Space) InP(template Tuple) (Tuple, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, t := range s.tuples {
+		if t.Matches(template) {
+			s.tuples = append(s.tuples[:i], s.tuples[i+1:]...)
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// Rd blocks until a matching tuple exists (or timeout) and returns a copy.
+func (s *Space) Rd(template Tuple, timeout time.Duration) (Tuple, error) {
+	return s.blocking(template, false, timeout)
+}
+
+// In blocks until a matching tuple exists (or timeout), removes and returns
+// it.
+func (s *Space) In(template Tuple, timeout time.Duration) (Tuple, error) {
+	return s.blocking(template, true, timeout)
+}
+
+func (s *Space) blocking(template Tuple, consume bool, timeout time.Duration) (Tuple, error) {
+	// Fast path.
+	if consume {
+		if t, ok := s.InP(template); ok {
+			return t, nil
+		}
+	} else {
+		if t, ok := s.RdP(template); ok {
+			return t, nil
+		}
+	}
+	w := &waiter{template: template.clone(), consume: consume, ch: make(chan Tuple, 1)}
+	s.mu.Lock()
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+
+	var timer <-chan time.Time
+	if timeout > 0 {
+		timer = s.clock.After(timeout)
+	}
+	select {
+	case t := <-w.ch:
+		return t, nil
+	case <-timer:
+		s.mu.Lock()
+		for i, other := range s.waiters {
+			if other == w {
+				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		// A racing Out may have satisfied us between timeout and removal.
+		select {
+		case t := <-w.ch:
+			return t, nil
+		default:
+		}
+		return nil, fmt.Errorf("%w: %v after %v", ErrNoMatch, template, timeout)
+	}
+}
+
+// --- remote access ---
+
+// Protocol topics.
+const (
+	topicOut = "ts.out"
+	topicIn  = "ts.in"
+	topicRd  = "ts.rd"
+)
+
+// tsRequest is the remote operation body.
+type tsRequest struct {
+	Tuple      Tuple `json:"tuple"`
+	WaitMillis int64 `json:"waitMillis,omitempty"`
+}
+
+// Server exposes a Space over a transport listener.
+type Server struct {
+	space *Space
+
+	mu       sync.Mutex
+	conns    map[transport.Conn]struct{}
+	listener transport.Listener
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer starts serving space on l.
+func NewServer(space *Space, l transport.Listener) *Server {
+	s := &Server{space: space, conns: make(map[transport.Conn]struct{}), listener: l}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Space returns the served space.
+func (s *Server) Space() *Space { return s.space }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]transport.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	_ = s.listener.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn transport.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var sendMu sync.Mutex
+	reply := func(req *wire.Message, kind wire.Kind, payload []byte) {
+		sendMu.Lock()
+		defer sendMu.Unlock()
+		_ = conn.Send(&wire.Message{Kind: kind, Corr: req.ID, Topic: req.Topic, Payload: payload})
+	}
+	for {
+		req, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		var body tsRequest
+		if err := json.Unmarshal(req.Payload, &body); err != nil {
+			reply(req, wire.KindError, []byte("tuplespace: bad request"))
+			continue
+		}
+		switch req.Topic {
+		case topicOut:
+			s.space.Out(body.Tuple)
+			reply(req, wire.KindAck, nil)
+		case topicIn, topicRd:
+			// Potentially blocking: serve in its own goroutine.
+			s.wg.Add(1)
+			go func(req *wire.Message, body tsRequest) {
+				defer s.wg.Done()
+				wait := time.Duration(body.WaitMillis) * time.Millisecond
+				var (
+					t   Tuple
+					err error
+				)
+				if req.Topic == topicIn {
+					if wait <= 0 {
+						if got, ok := s.space.InP(body.Tuple); ok {
+							t = got
+						} else {
+							err = ErrNoMatch
+						}
+					} else {
+						t, err = s.space.In(body.Tuple, wait)
+					}
+				} else {
+					if wait <= 0 {
+						if got, ok := s.space.RdP(body.Tuple); ok {
+							t = got
+						} else {
+							err = ErrNoMatch
+						}
+					} else {
+						t, err = s.space.Rd(body.Tuple, wait)
+					}
+				}
+				if err != nil {
+					reply(req, wire.KindError, []byte(ErrNoMatch.Error()))
+					return
+				}
+				out, merr := json.Marshal(t)
+				if merr != nil {
+					reply(req, wire.KindError, []byte("tuplespace: encode tuple"))
+					return
+				}
+				reply(req, wire.KindReply, out)
+			}(req, body)
+		default:
+			reply(req, wire.KindError, []byte(fmt.Sprintf("tuplespace: unknown topic %q", req.Topic)))
+		}
+	}
+}
+
+// Client accesses a remote Space.
+type Client struct {
+	mu      sync.Mutex
+	conn    transport.Conn
+	nextID  uint64
+	waiters map[uint64]chan *wire.Message
+	closed  bool
+	done    chan struct{}
+}
+
+// Dial connects to a tuple space server.
+func Dial(tr transport.Transport, addr string) (*Client, error) {
+	conn, err := tr.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("tuplespace: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:    conn,
+		waiters: make(map[uint64]chan *wire.Message),
+		done:    make(chan struct{}),
+	}
+	go c.demux()
+	return c, nil
+}
+
+// Close shuts the client down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+func (c *Client) demux() {
+	defer close(c.done)
+	for {
+		m, err := c.conn.Recv()
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		ch := c.waiters[m.Corr]
+		c.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- m:
+			default:
+			}
+		}
+	}
+}
+
+func (c *Client) request(topic string, body tsRequest) (*wire.Message, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("tuplespace: encode request: %w", err)
+	}
+	replyCh := make(chan *wire.Message, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	c.waiters[id] = replyCh
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waiters, id)
+		c.mu.Unlock()
+	}()
+	req := &wire.Message{ID: id, Kind: wire.KindRequest, Topic: topic, Payload: payload}
+	if err := c.conn.Send(req); err != nil {
+		return nil, fmt.Errorf("tuplespace: send: %w", err)
+	}
+	select {
+	case m := <-replyCh:
+		return m, nil
+	case <-c.done:
+		return nil, ErrClosed
+	}
+}
+
+// Out writes a tuple into the remote space.
+func (c *Client) Out(t Tuple) error {
+	m, err := c.request(topicOut, tsRequest{Tuple: t})
+	if err != nil {
+		return err
+	}
+	if m.Kind == wire.KindError {
+		return errors.New(string(m.Payload))
+	}
+	return nil
+}
+
+// In removes and returns a matching tuple, waiting up to wait.
+func (c *Client) In(template Tuple, wait time.Duration) (Tuple, error) {
+	return c.take(topicIn, template, wait)
+}
+
+// Rd copies a matching tuple, waiting up to wait.
+func (c *Client) Rd(template Tuple, wait time.Duration) (Tuple, error) {
+	return c.take(topicRd, template, wait)
+}
+
+func (c *Client) take(topic string, template Tuple, wait time.Duration) (Tuple, error) {
+	m, err := c.request(topic, tsRequest{Tuple: template, WaitMillis: wait.Milliseconds()})
+	if err != nil {
+		return nil, err
+	}
+	if m.Kind == wire.KindError {
+		if string(m.Payload) == ErrNoMatch.Error() {
+			return nil, ErrNoMatch
+		}
+		return nil, errors.New(string(m.Payload))
+	}
+	var t Tuple
+	if err := json.Unmarshal(m.Payload, &t); err != nil {
+		return nil, fmt.Errorf("tuplespace: decode tuple: %w", err)
+	}
+	return t, nil
+}

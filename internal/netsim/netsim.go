@@ -1,0 +1,628 @@
+// Package netsim is the simulated network substrate standing in for the
+// wireless testbeds the paper assumes (Bluetooth, 802.11, sensor radios).
+//
+// It models what the middleware actually observes from a radio network:
+//
+//   - a planar field of nodes with positions and a fixed radio range,
+//   - single-hop unicast and broadcast with configurable loss and latency,
+//   - a first-order radio energy model (Heinzelman's LEACH model:
+//     E_tx(k,d) = E_elec*k + ε_amp*k*d², E_rx(k) = E_elec*k) with per-node
+//     energy budgets and death on exhaustion,
+//   - node mobility (explicit moves plus a random-waypoint stepper),
+//   - network partitions (severed link pairs),
+//   - per-network traffic counters used by the adaptive discovery protocol
+//     and the experiment harness.
+//
+// Multi-hop communication is built above this by internal/routing; the
+// simulator itself only ever delivers between radio neighbours.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"ndsm/internal/simtime"
+	"ndsm/internal/stats"
+)
+
+// NodeID names a simulated node.
+type NodeID string
+
+// Position is a point on the simulation field, in meters.
+type Position struct {
+	X float64
+	Y float64
+}
+
+// Distance returns the Euclidean distance between two positions.
+func (p Position) Distance(q Position) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Packet is a single-hop datagram delivered between radio neighbours.
+type Packet struct {
+	// From and To identify the endpoints. To is empty for broadcasts.
+	From NodeID
+	To   NodeID
+	// Data is the payload; the simulator charges energy per byte.
+	Data []byte
+	// ArrivedAt is the simulated arrival time.
+	ArrivedAt time.Time
+}
+
+// RadioParams is the first-order radio energy model.
+type RadioParams struct {
+	// ElecJPerBit is the electronics energy per bit for both TX and RX
+	// circuitry (LEACH uses 50 nJ/bit).
+	ElecJPerBit float64
+	// AmpJPerBitM2 is the transmit amplifier energy per bit per m²
+	// (LEACH uses 100 pJ/bit/m²).
+	AmpJPerBitM2 float64
+}
+
+// DefaultRadio matches the LEACH paper's first-order model constants.
+func DefaultRadio() RadioParams {
+	return RadioParams{ElecJPerBit: 50e-9, AmpJPerBitM2: 100e-12}
+}
+
+// TxEnergy returns the energy to transmit n bytes over distance d meters.
+func (r RadioParams) TxEnergy(n int, d float64) float64 {
+	bits := float64(n * 8)
+	return r.ElecJPerBit*bits + r.AmpJPerBitM2*bits*d*d
+}
+
+// RxEnergy returns the energy to receive n bytes.
+func (r RadioParams) RxEnergy(n int) float64 {
+	return r.ElecJPerBit * float64(n*8)
+}
+
+// Config parameterizes a Network.
+type Config struct {
+	// Range is the radio range in meters (default 25).
+	Range float64
+	// LossRate is the independent per-packet loss probability (default 0).
+	LossRate float64
+	// Latency is the fixed one-hop delivery delay (default 0: synchronous
+	// delivery).
+	Latency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter) per packet.
+	Jitter time.Duration
+	// InboxSize is each node's receive queue capacity; packets arriving at a
+	// full queue are dropped and counted (default 256).
+	InboxSize int
+	// Radio is the energy model (default DefaultRadio).
+	Radio RadioParams
+	// InitialEnergy is each node's starting budget in joules (default 2 J;
+	// 0 keeps the default, use Unlimited for no budget).
+	InitialEnergy float64
+	// Unlimited disables energy accounting deaths (consumption still
+	// tracked).
+	Unlimited bool
+	// Clock drives latency timers (default simtime.Real).
+	Clock simtime.Clock
+	// Seed seeds the loss/jitter/mobility RNG (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Range <= 0 {
+		c.Range = 25
+	}
+	if c.InboxSize <= 0 {
+		c.InboxSize = 256
+	}
+	if c.Radio == (RadioParams{}) {
+		c.Radio = DefaultRadio()
+	}
+	if c.InitialEnergy <= 0 {
+		c.InitialEnergy = 2
+	}
+	if c.Clock == nil {
+		c.Clock = simtime.Real{}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Errors returned by Network operations.
+var (
+	ErrUnknownNode   = errors.New("netsim: unknown node")
+	ErrNodeDead      = errors.New("netsim: node is dead")
+	ErrNotNeighbor   = errors.New("netsim: destination out of radio range")
+	ErrLinkSevered   = errors.New("netsim: link severed by partition")
+	ErrPacketLost    = errors.New("netsim: packet lost")
+	ErrInboxFull     = errors.New("netsim: destination inbox full")
+	ErrNetworkClosed = errors.New("netsim: network closed")
+	ErrDuplicateNode = errors.New("netsim: node already exists")
+)
+
+type simNode struct {
+	id       NodeID
+	pos      Position
+	energy   float64
+	consumed float64
+	alive    bool
+	inbox    chan Packet
+}
+
+// Network is a simulated radio field. All methods are safe for concurrent
+// use.
+type Network struct {
+	cfg Config
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	nodes   map[NodeID]*simNode
+	severed map[[2]NodeID]bool
+	closed  bool
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+
+	counters stats.Counter
+}
+
+// New creates a network with the given configuration.
+func New(cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	return &Network{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		nodes:   make(map[NodeID]*simNode),
+		severed: make(map[[2]NodeID]bool),
+		stop:    make(chan struct{}),
+	}
+}
+
+// Close stops all in-flight deliveries and waits for them.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	close(n.stop)
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// AddNode places a node on the field with the default energy budget.
+func (n *Network) AddNode(id NodeID, pos Position) error {
+	return n.AddNodeEnergy(id, pos, n.cfg.InitialEnergy)
+}
+
+// AddNodeEnergy places a node with an explicit energy budget in joules.
+func (n *Network) AddNodeEnergy(id NodeID, pos Position, energy float64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return ErrNetworkClosed
+	}
+	if _, ok := n.nodes[id]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateNode, id)
+	}
+	n.nodes[id] = &simNode{
+		id:     id,
+		pos:    pos,
+		energy: energy,
+		alive:  true,
+		inbox:  make(chan Packet, n.cfg.InboxSize),
+	}
+	return nil
+}
+
+// RemoveNode deletes a node entirely (its inbox channel is closed).
+func (n *Network) RemoveNode(id NodeID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	node, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	delete(n.nodes, id)
+	close(node.inbox)
+	return nil
+}
+
+// Kill marks a node dead (crash-stop failure); its inbox stays open but it
+// no longer sends or receives.
+func (n *Network) Kill(id NodeID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	node, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	node.alive = false
+	return nil
+}
+
+// Revive brings a killed node back (if it has energy left).
+func (n *Network) Revive(id NodeID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	node, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	if node.energy > 0 || n.cfg.Unlimited {
+		node.alive = true
+	}
+	return nil
+}
+
+// Alive reports whether the node exists and is alive.
+func (n *Network) Alive(id NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	node, ok := n.nodes[id]
+	return ok && node.alive
+}
+
+// MoveNode teleports a node to a new position (mobility).
+func (n *Network) MoveNode(id NodeID, pos Position) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	node, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	node.pos = pos
+	return nil
+}
+
+// PositionOf returns a node's current position.
+func (n *Network) PositionOf(id NodeID) (Position, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	node, ok := n.nodes[id]
+	if !ok {
+		return Position{}, fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	return node.pos, nil
+}
+
+// Nodes returns the IDs of all nodes (alive or dead), sorted.
+func (n *Network) Nodes() []NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Neighbors returns the alive nodes within radio range of id, excluding
+// severed links, sorted by ID.
+func (n *Network) Neighbors(id NodeID) ([]NodeID, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	node, ok := n.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	var out []NodeID
+	for oid, other := range n.nodes {
+		if oid == id || !other.alive {
+			continue
+		}
+		if node.pos.Distance(other.pos) <= n.cfg.Range && !n.severedLocked(id, oid) {
+			out = append(out, oid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Density returns the number of alive radio neighbours of id.
+func (n *Network) Density(id NodeID) int {
+	nb, err := n.Neighbors(id)
+	if err != nil {
+		return 0
+	}
+	return len(nb)
+}
+
+// Recv returns the receive queue of a node. Reading from it consumes
+// delivered packets.
+func (n *Network) Recv(id NodeID) (<-chan Packet, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	node, ok := n.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	return node.inbox, nil
+}
+
+// Energy returns the remaining energy budget of a node in joules.
+func (n *Network) Energy(id NodeID) (float64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	node, ok := n.nodes[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	return node.energy, nil
+}
+
+// Consumed returns the total energy a node has spent.
+func (n *Network) Consumed(id NodeID) (float64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	node, ok := n.nodes[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	return node.consumed, nil
+}
+
+// TotalConsumed returns the energy spent across all nodes.
+func (n *Network) TotalConsumed() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var sum float64
+	for _, node := range n.nodes {
+		sum += node.consumed
+	}
+	return sum
+}
+
+// AliveCount returns the number of alive nodes.
+func (n *Network) AliveCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c := 0
+	for _, node := range n.nodes {
+		if node.alive {
+			c++
+		}
+	}
+	return c
+}
+
+// Sever cuts the bidirectional link between a and b (partition modelling).
+func (n *Network) Sever(a, b NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.severed[linkKey(a, b)] = true
+}
+
+// Heal restores a severed link.
+func (n *Network) Heal(a, b NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.severed, linkKey(a, b))
+}
+
+// Partition severs every link between the two groups.
+func (n *Network) Partition(groupA, groupB []NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, a := range groupA {
+		for _, b := range groupB {
+			n.severed[linkKey(a, b)] = true
+		}
+	}
+}
+
+// HealAll removes all severed links.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.severed = make(map[[2]NodeID]bool)
+}
+
+func linkKey(a, b NodeID) [2]NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]NodeID{a, b}
+}
+
+func (n *Network) severedLocked(a, b NodeID) bool {
+	return n.severed[linkKey(a, b)]
+}
+
+// Counters returns a snapshot of the network's traffic counters:
+// sent, delivered, lost, dropped_full, broadcasts, bytes.
+func (n *Network) Counters() map[string]int64 {
+	return n.counters.Snapshot()
+}
+
+// Send transmits data from one node to a radio neighbour. It charges TX
+// energy to the sender and, on successful delivery, RX energy to the
+// receiver. It returns an error describing why delivery failed; the energy
+// for the attempt is charged regardless (the radio transmitted either way).
+func (n *Network) Send(from, to NodeID, data []byte) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrNetworkClosed
+	}
+	src, ok := n.nodes[from]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownNode, from)
+	}
+	if !src.alive {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNodeDead, from)
+	}
+	dst, ok := n.nodes[to]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownNode, to)
+	}
+	d := src.pos.Distance(dst.pos)
+	if d > n.cfg.Range {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s -> %s (%.1fm > %.1fm)", ErrNotNeighbor, from, to, d, n.cfg.Range)
+	}
+	if n.severedLocked(from, to) {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s -> %s", ErrLinkSevered, from, to)
+	}
+
+	n.chargeLocked(src, n.cfg.Radio.TxEnergy(len(data), d))
+	n.counters.Inc("sent", 1)
+	n.counters.Inc("bytes", int64(len(data)))
+
+	if !dst.alive {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNodeDead, to)
+	}
+	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		n.mu.Unlock()
+		n.counters.Inc("lost", 1)
+		return fmt.Errorf("%w: %s -> %s", ErrPacketLost, from, to)
+	}
+	n.chargeLocked(dst, n.cfg.Radio.RxEnergy(len(data)))
+	if !dst.alive { // RX cost may have exhausted the destination
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNodeDead, to)
+	}
+
+	pkt := Packet{
+		From:      from,
+		To:        to,
+		Data:      append([]byte(nil), data...),
+		ArrivedAt: n.cfg.Clock.Now().Add(n.latencyLocked()),
+	}
+	delay := pkt.ArrivedAt.Sub(n.cfg.Clock.Now())
+	inbox := dst.inbox
+	n.mu.Unlock()
+
+	return n.deliver(inbox, pkt, delay)
+}
+
+// Broadcast transmits data from a node to every alive radio neighbour. The
+// sender is charged a single maximum-range transmission; each neighbour pays
+// RX cost and loss is evaluated per receiver. It returns the number of
+// neighbours the packet was delivered to.
+func (n *Network) Broadcast(from NodeID, data []byte) (int, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return 0, ErrNetworkClosed
+	}
+	src, ok := n.nodes[from]
+	if !ok {
+		n.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s", ErrUnknownNode, from)
+	}
+	if !src.alive {
+		n.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s", ErrNodeDead, from)
+	}
+	n.chargeLocked(src, n.cfg.Radio.TxEnergy(len(data), n.cfg.Range))
+	n.counters.Inc("sent", 1)
+	n.counters.Inc("broadcasts", 1)
+	n.counters.Inc("bytes", int64(len(data)))
+
+	type target struct {
+		inbox chan Packet
+		pkt   Packet
+		delay time.Duration
+	}
+	var targets []target
+	now := n.cfg.Clock.Now()
+	for oid, other := range n.nodes {
+		if oid == from || !other.alive {
+			continue
+		}
+		if src.pos.Distance(other.pos) > n.cfg.Range || n.severedLocked(from, oid) {
+			continue
+		}
+		if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+			n.counters.Inc("lost", 1)
+			continue
+		}
+		n.chargeLocked(other, n.cfg.Radio.RxEnergy(len(data)))
+		if !other.alive {
+			continue
+		}
+		lat := n.latencyLocked()
+		targets = append(targets, target{
+			inbox: other.inbox,
+			pkt: Packet{
+				From:      from,
+				Data:      append([]byte(nil), data...),
+				ArrivedAt: now.Add(lat),
+			},
+			delay: lat,
+		})
+	}
+	n.mu.Unlock()
+
+	delivered := 0
+	for _, tg := range targets {
+		if err := n.deliver(tg.inbox, tg.pkt, tg.delay); err == nil {
+			delivered++
+		}
+	}
+	return delivered, nil
+}
+
+// deliver places pkt into inbox, after delay if one is configured.
+func (n *Network) deliver(inbox chan Packet, pkt Packet, delay time.Duration) error {
+	if delay <= 0 {
+		select {
+		case inbox <- pkt:
+			n.counters.Inc("delivered", 1)
+			return nil
+		default:
+			n.counters.Inc("dropped_full", 1)
+			return ErrInboxFull
+		}
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		select {
+		case <-n.cfg.Clock.After(delay):
+		case <-n.stop:
+			return
+		}
+		select {
+		case inbox <- pkt:
+			n.counters.Inc("delivered", 1)
+		default:
+			n.counters.Inc("dropped_full", 1)
+		}
+	}()
+	return nil
+}
+
+// latencyLocked draws a delivery delay. Callers hold n.mu (for the RNG).
+func (n *Network) latencyLocked() time.Duration {
+	lat := n.cfg.Latency
+	if n.cfg.Jitter > 0 {
+		lat += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+	}
+	return lat
+}
+
+// chargeLocked deducts energy from a node and kills it on exhaustion.
+func (n *Network) chargeLocked(node *simNode, joules float64) {
+	node.consumed += joules
+	if n.cfg.Unlimited {
+		return
+	}
+	node.energy -= joules
+	if node.energy <= 0 {
+		node.energy = 0
+		node.alive = false
+	}
+}

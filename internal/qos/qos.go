@@ -1,0 +1,272 @@
+// Package qos implements the paper's Quality of Service management (§3.4):
+//
+//   - consumer-side specifications: required service attributes plus a
+//     time-constraint *benefit function* (full benefit up to one delay bound,
+//     decaying to zero at another — real-time vs. e-mail style needs),
+//   - supplier-side properties: advertised reliability, power level and
+//     availability windows (carried in svcdesc.Description),
+//   - spatial QoS: proximity as a scored preference, distinct from the hard
+//     distance constraints a query can impose ("nearest best-matched
+//     printer"),
+//   - a utility scorer and ranker that selects the best supplier for a
+//     consumer under all dimensions at once,
+//   - an achieved-QoS tracker that measures what a binding actually
+//     delivered, feeding graceful-degradation decisions in the kernel.
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"ndsm/internal/svcdesc"
+)
+
+// Benefit is a time-constraint benefit function: full benefit for delays up
+// to FullUntil, linearly decaying to zero at ZeroAfter. The zero value means
+// "no time constraint" (benefit 1 at any delay).
+type Benefit struct {
+	FullUntil time.Duration
+	ZeroAfter time.Duration
+}
+
+// Validate checks that the decay interval is well formed.
+func (b Benefit) Validate() error {
+	if b.FullUntil < 0 || b.ZeroAfter < 0 {
+		return errors.New("qos: negative benefit bound")
+	}
+	if b.ZeroAfter != 0 && b.ZeroAfter < b.FullUntil {
+		return fmt.Errorf("qos: ZeroAfter %v before FullUntil %v", b.ZeroAfter, b.FullUntil)
+	}
+	return nil
+}
+
+// At returns the benefit of a delivery with the given delay, in [0,1].
+func (b Benefit) At(delay time.Duration) float64 {
+	if delay < 0 {
+		delay = 0
+	}
+	if b.FullUntil == 0 && b.ZeroAfter == 0 {
+		return 1 // unconstrained
+	}
+	if delay <= b.FullUntil {
+		return 1
+	}
+	if b.ZeroAfter == 0 || delay >= b.ZeroAfter {
+		if b.ZeroAfter == 0 {
+			// Hard deadline at FullUntil with no decay interval.
+			return 0
+		}
+		return 0
+	}
+	span := b.ZeroAfter - b.FullUntil
+	return 1 - float64(delay-b.FullUntil)/float64(span)
+}
+
+// Weights expresses the relative importance of the scored QoS dimensions.
+// They need not sum to one; Score normalizes.
+type Weights struct {
+	Reliability float64
+	Power       float64
+	Proximity   float64
+}
+
+// DefaultWeights balances reliability-heavy selection with some spatial
+// preference — a reasonable default for the paper's examples.
+func DefaultWeights() Weights {
+	return Weights{Reliability: 0.5, Power: 0.25, Proximity: 0.25}
+}
+
+func (w Weights) total() float64 { return w.Reliability + w.Power + w.Proximity }
+
+// Spec is everything a consumer demands of one service: hard functional
+// requirements (Query), time constraints (Benefit), and soft preferences
+// (Weights, proximity reference).
+type Spec struct {
+	// Query carries the hard matching requirements (§3.3's matching
+	// criteria, including reliability/power floors and password).
+	Query svcdesc.Query
+	// Benefit is the consumer's time-constraint curve.
+	Benefit Benefit
+	// Weights ranks soft preferences. Zero value falls back to
+	// DefaultWeights.
+	Weights Weights
+	// Near is the proximity reference point for the Proximity weight.
+	// Falls back to Query.Near when nil.
+	Near *svcdesc.Location
+	// ProximityScale is the distance at which the proximity component
+	// reaches zero (default 100 m).
+	ProximityScale float64
+}
+
+// Validate checks the spec invariants.
+func (s *Spec) Validate() error {
+	if s == nil {
+		return errors.New("qos: nil spec")
+	}
+	if err := s.Benefit.Validate(); err != nil {
+		return err
+	}
+	if s.Weights.Reliability < 0 || s.Weights.Power < 0 || s.Weights.Proximity < 0 {
+		return errors.New("qos: negative weight")
+	}
+	if s.ProximityScale < 0 {
+		return errors.New("qos: negative proximity scale")
+	}
+	return nil
+}
+
+func (s *Spec) near() *svcdesc.Location {
+	if s.Near != nil {
+		return s.Near
+	}
+	return s.Query.Near
+}
+
+// Score returns the utility in [0,1] of binding the consumer spec to the
+// supplier description at time now. It returns 0 when the hard query does
+// not match, so a positive score always implies feasibility.
+func Score(s *Spec, d *svcdesc.Description, now time.Time) float64 {
+	if s == nil || d == nil {
+		return 0
+	}
+	if !s.Query.Matches(d, now) {
+		return 0
+	}
+	w := s.Weights
+	if w.total() == 0 {
+		w = DefaultWeights()
+	}
+	total := w.total()
+
+	score := w.Reliability*d.Reliability + w.Power*d.PowerLevel
+
+	prox := 0.5 // neutral when either side lacks a position
+	if ref := s.near(); ref != nil && d.Location != nil {
+		scale := s.ProximityScale
+		if scale <= 0 {
+			scale = 100
+		}
+		dist := d.Location.Distance(*ref)
+		prox = math.Max(0, 1-dist/scale)
+	}
+	score += w.Proximity * prox
+
+	return score / total
+}
+
+// Ranked pairs a description with its score.
+type Ranked struct {
+	Desc  *svcdesc.Description
+	Score float64
+}
+
+// Rank scores all candidates and returns the feasible ones (score > 0)
+// ordered best-first. Ties break on provider|name|instance key for
+// determinism.
+func Rank(s *Spec, candidates []*svcdesc.Description, now time.Time) []Ranked {
+	out := make([]Ranked, 0, len(candidates))
+	for _, d := range candidates {
+		if sc := Score(s, d, now); sc > 0 {
+			out = append(out, Ranked{Desc: d, Score: sc})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Desc.Key() < out[j].Desc.Key()
+	})
+	return out
+}
+
+// Select returns the best feasible candidate, or nil when none match.
+func Select(s *Spec, candidates []*svcdesc.Description, now time.Time) *svcdesc.Description {
+	ranked := Rank(s, candidates, now)
+	if len(ranked) == 0 {
+		return nil
+	}
+	return ranked[0].Desc
+}
+
+// Tracker measures the QoS a binding actually achieves: delivery ratio,
+// delay distribution, and mean benefit under the spec's curve. The kernel
+// uses it to detect QoS violations and trigger re-matching (graceful
+// degradation, §3.4).
+type Tracker struct {
+	benefit Benefit
+
+	mu         sync.Mutex
+	delivered  int
+	failed     int
+	sumDelay   time.Duration
+	sumBenefit float64
+}
+
+// NewTracker creates a tracker evaluating deliveries under the benefit curve.
+func NewTracker(b Benefit) *Tracker {
+	return &Tracker{benefit: b}
+}
+
+// ObserveDelivery records a successful delivery with the given delay.
+func (t *Tracker) ObserveDelivery(delay time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.delivered++
+	t.sumDelay += delay
+	t.sumBenefit += t.benefit.At(delay)
+}
+
+// ObserveFailure records a failed or missed delivery (benefit 0).
+func (t *Tracker) ObserveFailure() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.failed++
+}
+
+// Report is a point-in-time summary of achieved QoS.
+type Report struct {
+	Delivered     int
+	Failed        int
+	DeliveryRatio float64
+	MeanDelay     time.Duration
+	MeanBenefit   float64 // averaged over all attempts, failures scoring 0
+}
+
+// Report summarizes the observations so far.
+func (t *Tracker) Report() Report {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := Report{Delivered: t.delivered, Failed: t.failed}
+	total := t.delivered + t.failed
+	if total > 0 {
+		r.DeliveryRatio = float64(t.delivered) / float64(total)
+		r.MeanBenefit = t.sumBenefit / float64(total)
+	}
+	if t.delivered > 0 {
+		r.MeanDelay = t.sumDelay / time.Duration(t.delivered)
+	}
+	return r
+}
+
+// Violated reports whether achieved QoS fell below the floor: delivery ratio
+// under minRatio or mean benefit under minBenefit, once at least minSamples
+// attempts were observed.
+func (t *Tracker) Violated(minRatio, minBenefit float64, minSamples int) bool {
+	r := t.Report()
+	if r.Delivered+r.Failed < minSamples {
+		return false
+	}
+	return r.DeliveryRatio < minRatio || r.MeanBenefit < minBenefit
+}
+
+// Reset clears all observations (used after re-binding to a new supplier).
+func (t *Tracker) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.delivered, t.failed = 0, 0
+	t.sumDelay, t.sumBenefit = 0, 0
+}

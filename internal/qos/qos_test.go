@@ -1,0 +1,344 @@
+package qos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ndsm/internal/svcdesc"
+)
+
+var now = time.Date(2003, 6, 1, 12, 0, 0, 0, time.UTC)
+
+func desc(key string, rel, power float64, loc *svcdesc.Location) *svcdesc.Description {
+	return &svcdesc.Description{
+		Name:        "printer",
+		Provider:    key,
+		Reliability: rel,
+		PowerLevel:  power,
+		Location:    loc,
+	}
+}
+
+func TestBenefitUnconstrained(t *testing.T) {
+	var b Benefit
+	for _, d := range []time.Duration{0, time.Second, time.Hour} {
+		if got := b.At(d); got != 1 {
+			t.Fatalf("At(%v) = %v, want 1", d, got)
+		}
+	}
+}
+
+func TestBenefitLinearDecay(t *testing.T) {
+	b := Benefit{FullUntil: 100 * time.Millisecond, ZeroAfter: 200 * time.Millisecond}
+	tests := []struct {
+		delay time.Duration
+		want  float64
+	}{
+		{0, 1},
+		{-time.Second, 1}, // negative clamps to zero delay
+		{100 * time.Millisecond, 1},
+		{150 * time.Millisecond, 0.5},
+		{175 * time.Millisecond, 0.25},
+		{200 * time.Millisecond, 0},
+		{time.Hour, 0},
+	}
+	for _, tt := range tests {
+		if got := b.At(tt.delay); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("At(%v) = %v, want %v", tt.delay, got, tt.want)
+		}
+	}
+}
+
+func TestBenefitHardDeadline(t *testing.T) {
+	b := Benefit{FullUntil: 50 * time.Millisecond}
+	if got := b.At(50 * time.Millisecond); got != 1 {
+		t.Fatalf("at deadline = %v, want 1", got)
+	}
+	if got := b.At(51 * time.Millisecond); got != 0 {
+		t.Fatalf("past hard deadline = %v, want 0", got)
+	}
+}
+
+func TestBenefitValidate(t *testing.T) {
+	if err := (Benefit{}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Benefit{FullUntil: -1}).Validate(); err == nil {
+		t.Error("negative FullUntil accepted")
+	}
+	if err := (Benefit{FullUntil: 10, ZeroAfter: 5}).Validate(); err == nil {
+		t.Error("ZeroAfter < FullUntil accepted")
+	}
+	if err := (Benefit{FullUntil: 5, ZeroAfter: 10}).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: benefit is monotone non-increasing in delay and bounded [0,1].
+func TestBenefitMonotoneProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func() bool {
+		full := time.Duration(r.Intn(1000)) * time.Millisecond
+		b := Benefit{FullUntil: full, ZeroAfter: full + time.Duration(r.Intn(1000))*time.Millisecond}
+		prev := 2.0
+		for d := time.Duration(0); d < 3*time.Second; d += 37 * time.Millisecond {
+			v := b.At(d)
+			if v < 0 || v > 1 || v > prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	var nilSpec *Spec
+	if err := nilSpec.Validate(); err == nil {
+		t.Error("nil spec validated")
+	}
+	if err := (&Spec{}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (&Spec{Weights: Weights{Reliability: -1}}).Validate(); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if err := (&Spec{ProximityScale: -5}).Validate(); err == nil {
+		t.Error("negative scale accepted")
+	}
+	if err := (&Spec{Benefit: Benefit{FullUntil: 2, ZeroAfter: 1}}).Validate(); err == nil {
+		t.Error("bad benefit accepted")
+	}
+}
+
+func TestScoreInfeasibleIsZero(t *testing.T) {
+	s := &Spec{Query: svcdesc.Query{Name: "scanner"}}
+	if got := Score(s, desc("p", 1, 1, nil), now); got != 0 {
+		t.Fatalf("Score = %v, want 0 for non-matching query", got)
+	}
+	if Score(nil, desc("p", 1, 1, nil), now) != 0 || Score(s, nil, now) != 0 {
+		t.Fatal("nil args should score 0")
+	}
+}
+
+func TestScorePrefersReliability(t *testing.T) {
+	s := &Spec{Query: svcdesc.Query{Name: "printer"}, Weights: Weights{Reliability: 1}}
+	hi := Score(s, desc("hi", 0.9, 0.1, nil), now)
+	lo := Score(s, desc("lo", 0.5, 1.0, nil), now)
+	if hi <= lo {
+		t.Fatalf("reliability-only weights: hi=%v lo=%v", hi, lo)
+	}
+	if math.Abs(hi-0.9) > 1e-9 {
+		t.Fatalf("hi = %v, want 0.9", hi)
+	}
+}
+
+func TestScoreProximity(t *testing.T) {
+	ref := &svcdesc.Location{X: 0, Y: 0}
+	s := &Spec{
+		Query:          svcdesc.Query{Name: "printer"},
+		Weights:        Weights{Proximity: 1},
+		Near:           ref,
+		ProximityScale: 100,
+	}
+	nearby := Score(s, desc("a", 1, 1, &svcdesc.Location{X: 10, Y: 0}), now)
+	distant := Score(s, desc("b", 1, 1, &svcdesc.Location{X: 90, Y: 0}), now)
+	offField := Score(s, desc("c", 1, 1, &svcdesc.Location{X: 500, Y: 0}), now)
+	if !(nearby > distant && distant > offField) {
+		t.Fatalf("proximity ordering: %v %v %v", nearby, distant, offField)
+	}
+	if math.Abs(nearby-0.9) > 1e-9 {
+		t.Fatalf("nearby = %v, want 0.9", nearby)
+	}
+	if offField != 0 {
+		t.Fatalf("beyond scale = %v, want 0", offField)
+	}
+	// Missing location on either side scores neutral 0.5.
+	noLoc := Score(s, desc("d", 1, 1, nil), now)
+	if math.Abs(noLoc-0.5) > 1e-9 {
+		t.Fatalf("no-location = %v, want 0.5", noLoc)
+	}
+}
+
+func TestScoreDefaultWeights(t *testing.T) {
+	s := &Spec{Query: svcdesc.Query{Name: "printer"}}
+	got := Score(s, desc("p", 1, 1, nil), now)
+	// reliability 1*0.5 + power 1*0.25 + neutral proximity 0.5*0.25 = 0.875
+	if math.Abs(got-0.875) > 1e-9 {
+		t.Fatalf("Score = %v, want 0.875", got)
+	}
+}
+
+func TestScoreNormalized(t *testing.T) {
+	s := &Spec{Query: svcdesc.Query{Name: "printer"}, Weights: Weights{Reliability: 10, Power: 10, Proximity: 0}}
+	got := Score(s, desc("p", 1.0, 1.0, nil), now)
+	if got > 1+1e-9 {
+		t.Fatalf("score %v exceeds 1", got)
+	}
+}
+
+func TestRankOrderingAndDeterminism(t *testing.T) {
+	s := &Spec{Query: svcdesc.Query{Name: "printer"}, Weights: Weights{Reliability: 1}}
+	cands := []*svcdesc.Description{
+		desc("c", 0.7, 1, nil),
+		desc("a", 0.9, 1, nil),
+		desc("b", 0.9, 1, nil),
+		desc("d", 0.2, 1, nil),
+	}
+	ranked := Rank(s, cands, now)
+	if len(ranked) != 4 {
+		t.Fatalf("ranked %d, want 4", len(ranked))
+	}
+	// 0.9 tie breaks by key: a before b.
+	if ranked[0].Desc.Provider != "a" || ranked[1].Desc.Provider != "b" ||
+		ranked[2].Desc.Provider != "c" || ranked[3].Desc.Provider != "d" {
+		order := []string{}
+		for _, r := range ranked {
+			order = append(order, r.Desc.Provider)
+		}
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestRankFiltersInfeasible(t *testing.T) {
+	s := &Spec{Query: svcdesc.Query{Name: "printer", MinReliability: 0.8}}
+	cands := []*svcdesc.Description{
+		desc("ok", 0.9, 1, nil),
+		desc("weak", 0.5, 1, nil),
+	}
+	ranked := Rank(s, cands, now)
+	if len(ranked) != 1 || ranked[0].Desc.Provider != "ok" {
+		t.Fatalf("ranked = %+v", ranked)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	s := &Spec{Query: svcdesc.Query{Name: "printer"}, Weights: Weights{Reliability: 1}}
+	best := Select(s, []*svcdesc.Description{desc("a", 0.3, 1, nil), desc("b", 0.8, 1, nil)}, now)
+	if best == nil || best.Provider != "b" {
+		t.Fatalf("Select = %+v", best)
+	}
+	if Select(s, nil, now) != nil {
+		t.Fatal("Select on empty should be nil")
+	}
+}
+
+// The paper's §3.4 example: print on the nearest best-matched printer.
+func TestNearestBestMatchedPrinter(t *testing.T) {
+	user := &svcdesc.Location{X: 0, Y: 0}
+	s := &Spec{
+		Query: svcdesc.Query{
+			Name:        "printer",
+			Constraints: []svcdesc.Constraint{{Attr: "color", Op: svcdesc.OpEq, Value: "true"}},
+		},
+		Weights:        Weights{Reliability: 0.3, Proximity: 0.7},
+		Near:           user,
+		ProximityScale: 200,
+	}
+	nearMono := desc("near-mono", 0.99, 1, &svcdesc.Location{X: 5, Y: 0})
+	nearMono.Attributes = map[string]string{"color": "false"}
+	nearColor := desc("near-color", 0.90, 1, &svcdesc.Location{X: 20, Y: 0})
+	nearColor.Attributes = map[string]string{"color": "true"}
+	farColor := desc("far-color", 0.99, 1, &svcdesc.Location{X: 180, Y: 0})
+	farColor.Attributes = map[string]string{"color": "true"}
+
+	best := Select(s, []*svcdesc.Description{nearMono, nearColor, farColor}, now)
+	if best == nil || best.Provider != "near-color" {
+		t.Fatalf("best = %+v, want near-color", best)
+	}
+}
+
+func TestTrackerReport(t *testing.T) {
+	tr := NewTracker(Benefit{FullUntil: 100 * time.Millisecond, ZeroAfter: 200 * time.Millisecond})
+	tr.ObserveDelivery(50 * time.Millisecond)  // benefit 1
+	tr.ObserveDelivery(150 * time.Millisecond) // benefit 0.5
+	tr.ObserveFailure()                        // benefit 0
+	r := tr.Report()
+	if r.Delivered != 2 || r.Failed != 1 {
+		t.Fatalf("counts: %+v", r)
+	}
+	if math.Abs(r.DeliveryRatio-2.0/3.0) > 1e-9 {
+		t.Fatalf("ratio = %v", r.DeliveryRatio)
+	}
+	if math.Abs(r.MeanBenefit-0.5) > 1e-9 {
+		t.Fatalf("mean benefit = %v, want 0.5", r.MeanBenefit)
+	}
+	if r.MeanDelay != 100*time.Millisecond {
+		t.Fatalf("mean delay = %v", r.MeanDelay)
+	}
+}
+
+func TestTrackerEmptyReport(t *testing.T) {
+	tr := NewTracker(Benefit{})
+	r := tr.Report()
+	if r.DeliveryRatio != 0 || r.MeanBenefit != 0 || r.MeanDelay != 0 {
+		t.Fatalf("empty report: %+v", r)
+	}
+}
+
+func TestTrackerViolated(t *testing.T) {
+	tr := NewTracker(Benefit{})
+	// Below min samples: never violated.
+	tr.ObserveFailure()
+	if tr.Violated(0.9, 0.9, 5) {
+		t.Fatal("violated before min samples")
+	}
+	for i := 0; i < 4; i++ {
+		tr.ObserveFailure()
+	}
+	if !tr.Violated(0.9, 0.9, 5) {
+		t.Fatal("all-failures not violated")
+	}
+	tr.Reset()
+	for i := 0; i < 10; i++ {
+		tr.ObserveDelivery(0)
+	}
+	if tr.Violated(0.9, 0.9, 5) {
+		t.Fatal("perfect delivery flagged as violated")
+	}
+}
+
+func TestTrackerReset(t *testing.T) {
+	tr := NewTracker(Benefit{})
+	tr.ObserveDelivery(time.Second)
+	tr.Reset()
+	r := tr.Report()
+	if r.Delivered != 0 || r.Failed != 0 {
+		t.Fatalf("after reset: %+v", r)
+	}
+}
+
+// Property: Score is always within [0,1].
+func TestScoreBoundedProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	f := func() bool {
+		s := &Spec{
+			Query: svcdesc.Query{Name: "svc"},
+			Weights: Weights{
+				Reliability: r.Float64() * 3,
+				Power:       r.Float64() * 3,
+				Proximity:   r.Float64() * 3,
+			},
+			ProximityScale: 1 + r.Float64()*100,
+		}
+		if r.Intn(2) == 0 {
+			s.Near = &svcdesc.Location{X: r.Float64() * 100, Y: r.Float64() * 100}
+		}
+		d := desc("p", r.Float64(), r.Float64(), nil)
+		d.Name = "svc"
+		if r.Intn(2) == 0 {
+			d.Location = &svcdesc.Location{X: r.Float64() * 300, Y: r.Float64() * 300}
+		}
+		sc := Score(s, d, now)
+		return sc >= 0 && sc <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package scheduler
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// TokenBucket allocates bandwidth (§3.7: transactions "possibly allocated
+// more bandwidth"): tokens are bytes, refilled at Rate bytes/second up to
+// Capacity. Time is passed in explicitly so the bucket is exact and
+// deterministic under the virtual clock.
+type TokenBucket struct {
+	mu       sync.Mutex
+	rate     float64 // bytes per second
+	capacity float64
+	tokens   float64
+	last     time.Time
+}
+
+// NewTokenBucket returns a full bucket. rate is bytes/second; capacity is
+// the burst size in bytes.
+func NewTokenBucket(rate, capacity float64, now time.Time) *TokenBucket {
+	return &TokenBucket{rate: rate, capacity: capacity, tokens: capacity, last: now}
+}
+
+// refillLocked advances the bucket to now.
+func (b *TokenBucket) refillLocked(now time.Time) {
+	if now.After(b.last) {
+		b.tokens = math.Min(b.capacity, b.tokens+b.rate*now.Sub(b.last).Seconds())
+		b.last = now
+	}
+}
+
+// Take consumes n bytes if available, reporting success.
+func (b *TokenBucket) Take(n int, now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	if float64(n) > b.tokens {
+		return false
+	}
+	b.tokens -= float64(n)
+	return true
+}
+
+// WaitTime returns how long from now until n bytes could be taken (0 when
+// available immediately). Requests larger than capacity report the time to
+// fill the whole bucket.
+func (b *TokenBucket) WaitTime(n int, now time.Time) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	need := math.Min(float64(n), b.capacity) - b.tokens
+	if need <= 0 {
+		return 0
+	}
+	if b.rate <= 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(need / b.rate * float64(time.Second))
+}
+
+// Available reports the current token count in bytes.
+func (b *TokenBucket) Available(now time.Time) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	return int(b.tokens)
+}
+
+// Task is a periodic real-time transaction for admission testing: worst-case
+// execution (or transmission) time C every period T.
+type Task struct {
+	C time.Duration
+	T time.Duration
+}
+
+// Utilization returns Σ C_i/T_i.
+func Utilization(tasks []Task) float64 {
+	u := 0.0
+	for _, t := range tasks {
+		if t.T > 0 {
+			u += float64(t.C) / float64(t.T)
+		}
+	}
+	return u
+}
+
+// RMBound returns the Liu-Layland rate-monotonic schedulability bound
+// n(2^(1/n)-1) for n tasks (1 for n <= 0, approaching ln 2 ≈ 0.693).
+func RMBound(n int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+}
+
+// RMAdmissible reports whether the task set passes the rate-monotonic
+// utilization test: U ≤ n(2^(1/n)-1). It is sufficient, not necessary; sets
+// above the bound may still be schedulable but are rejected.
+func RMAdmissible(tasks []Task) bool {
+	return Utilization(tasks) <= RMBound(len(tasks))+1e-12
+}
+
+// EDFAdmissible reports the earliest-deadline-first bound: U ≤ 1.
+func EDFAdmissible(tasks []Task) bool {
+	return Utilization(tasks) <= 1+1e-12
+}

@@ -1,0 +1,74 @@
+package scheduler
+
+import (
+	"sort"
+	"time"
+
+	"ndsm/internal/location"
+	"ndsm/internal/svcdesc"
+)
+
+// DepartureMonitor closes the loop between the location service (§3.5) and
+// the handoff machinery (§3.7): using each mobile supplier's velocity
+// estimate, it predicts who will leave the service area within the lookahead
+// horizon and hands their transactions off *before* the link breaks — the
+// paper's "if a service is about to be discontinued (e.g., a mobile service
+// moving out of range), then the transactions involving it should be either
+// completed, or transferred to different services matching the constraints".
+type DepartureMonitor struct {
+	locations *location.Service
+	handoff   *HandoffManager
+	// Center and Radius define the service area.
+	Center svcdesc.Location
+	Radius float64
+	// Lookahead is how far ahead positions are extrapolated.
+	Lookahead time.Duration
+	// StaleAfter treats suppliers with no location update in this long as
+	// departed (silent loss). Zero disables the staleness check.
+	StaleAfter time.Duration
+}
+
+// NewDepartureMonitor wires a monitor; callers fill the area fields.
+func NewDepartureMonitor(locations *location.Service, handoff *HandoffManager, center svcdesc.Location, radius float64, lookahead time.Duration) *DepartureMonitor {
+	return &DepartureMonitor{
+		locations: locations,
+		handoff:   handoff,
+		Center:    center,
+		Radius:    radius,
+		Lookahead: lookahead,
+	}
+}
+
+// PredictDepartures returns the tracked nodes predicted to be outside the
+// service area at now+Lookahead (or stale), sorted by name.
+func (m *DepartureMonitor) PredictDepartures(now time.Time) []string {
+	horizon := now.Add(m.Lookahead)
+	var out []string
+	for _, e := range m.locations.All() {
+		if m.StaleAfter > 0 && now.Sub(e.UpdatedAt) > m.StaleAfter {
+			out = append(out, e.Node)
+			continue
+		}
+		if e.PredictAt(horizon).Distance(m.Center) > m.Radius {
+			out = append(out, e.Node)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sweep predicts departures and hands off every affected transaction,
+// returning one report per departing peer.
+func (m *DepartureMonitor) Sweep(now time.Time) ([]HandoffReport, error) {
+	var reports []HandoffReport
+	for _, peer := range m.PredictDepartures(now) {
+		report, err := m.handoff.HandoffPeer(peer, now)
+		if err != nil {
+			return reports, err
+		}
+		if len(report.Results) > 0 {
+			reports = append(reports, report)
+		}
+	}
+	return reports, nil
+}

@@ -1,0 +1,135 @@
+package scheduler
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ndsm/internal/simtime"
+)
+
+// Dispatcher executes queued items in policy order under a bandwidth budget.
+// Items whose deadline has already passed at dispatch time are counted as
+// missed; by default they are still executed (the data may retain partial
+// benefit), or dropped when DropLate is set.
+type Dispatcher struct {
+	queue  *Queue
+	bucket *TokenBucket
+	clock  simtime.Clock
+	// DropLate discards items already past deadline instead of running them.
+	dropLate bool
+
+	kick     chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	dispatched atomic.Int64
+	missed     atomic.Int64
+	dropped    atomic.Int64
+}
+
+// DispatcherConfig configures a Dispatcher.
+type DispatcherConfig struct {
+	// Policy orders dispatch (default PriorityOrder).
+	Policy Policy
+	// RateBytesPerSec and BurstBytes configure the bandwidth budget
+	// (0 rate: unlimited).
+	RateBytesPerSec float64
+	BurstBytes      float64
+	// DropLate discards items past their deadline instead of executing.
+	DropLate bool
+	// Clock times deadlines and bandwidth (default real).
+	Clock simtime.Clock
+}
+
+// NewDispatcher starts a dispatcher loop.
+func NewDispatcher(cfg DispatcherConfig) *Dispatcher {
+	if cfg.Policy == 0 {
+		cfg.Policy = PriorityOrder
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simtime.Real{}
+	}
+	d := &Dispatcher{
+		queue:    NewQueue(cfg.Policy),
+		clock:    cfg.Clock,
+		dropLate: cfg.DropLate,
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if cfg.RateBytesPerSec > 0 {
+		burst := cfg.BurstBytes
+		if burst <= 0 {
+			burst = cfg.RateBytesPerSec
+		}
+		d.bucket = NewTokenBucket(cfg.RateBytesPerSec, burst, cfg.Clock.Now())
+	}
+	go d.run()
+	return d
+}
+
+// Submit enqueues an item for dispatch.
+func (d *Dispatcher) Submit(it Item) {
+	d.queue.Push(it)
+	select {
+	case d.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Stop halts the loop (queued items stay undispatched) and waits for exit.
+func (d *Dispatcher) Stop() {
+	d.stopOnce.Do(func() { close(d.stop) })
+	<-d.done
+}
+
+// Stats reports dispatched, deadline-missed, and dropped item counts.
+func (d *Dispatcher) Stats() (dispatched, missed, dropped int64) {
+	return d.dispatched.Load(), d.missed.Load(), d.dropped.Load()
+}
+
+// Backlog reports the queued item count.
+func (d *Dispatcher) Backlog() int { return d.queue.Len() }
+
+func (d *Dispatcher) run() {
+	defer close(d.done)
+	for {
+		it, err := d.queue.Pop()
+		if err != nil {
+			select {
+			case <-d.stop:
+				return
+			case <-d.kick:
+				continue
+			}
+		}
+		// Bandwidth gate.
+		if d.bucket != nil && it.Size > 0 {
+			for {
+				wait := d.bucket.WaitTime(it.Size, d.clock.Now())
+				if wait <= 0 {
+					d.bucket.Take(it.Size, d.clock.Now())
+					break
+				}
+				select {
+				case <-d.stop:
+					return
+				case <-d.clock.After(wait):
+				}
+			}
+		}
+		late := !it.Deadline.IsZero() && d.clock.Now().After(it.Deadline)
+		if late {
+			d.missed.Add(1)
+			if d.dropLate {
+				d.dropped.Add(1)
+				continue
+			}
+		}
+		if it.Do != nil {
+			it.Do()
+		}
+		d.dispatched.Add(1)
+	}
+}

@@ -1,0 +1,114 @@
+package scheduler
+
+import (
+	"fmt"
+	"time"
+
+	"ndsm/internal/discovery"
+	"ndsm/internal/qos"
+	"ndsm/internal/svcdesc"
+	"ndsm/internal/transaction"
+)
+
+// HandoffPriority is the elevated priority handoff work is scheduled at —
+// §3.7: "if a service is about to be discontinued ... the transactions
+// involving it should be either completed, or transferred to different
+// services matching the constraints. These interactions can be scheduled
+// with high priority".
+const HandoffPriority uint8 = 255
+
+// SpecFor maps a transaction to the QoS spec used to find its replacement
+// supplier.
+type SpecFor func(txn transaction.Txn) *qos.Spec
+
+// HandoffResult describes the outcome for one transaction.
+type HandoffResult struct {
+	TxnID    uint64
+	Topic    string
+	OldPeer  string
+	NewPeer  string
+	Rebound  bool
+	ErrorMsg string
+}
+
+// HandoffReport aggregates a departure's handling.
+type HandoffReport struct {
+	Peer    string
+	Moved   int
+	Aborted int
+	Results []HandoffResult
+}
+
+// HandoffManager transfers a departing supplier's transactions to
+// replacement suppliers discovered and selected under each transaction's
+// QoS spec.
+type HandoffManager struct {
+	table    *transaction.Table
+	registry discovery.Registry
+	specFor  SpecFor
+}
+
+// NewHandoffManager wires the pieces together. specFor may be nil, in which
+// case a name-only query on the transaction's topic is used.
+func NewHandoffManager(table *transaction.Table, registry discovery.Registry, specFor SpecFor) *HandoffManager {
+	if specFor == nil {
+		specFor = func(txn transaction.Txn) *qos.Spec {
+			return &qos.Spec{Query: svcdesc.Query{Name: txn.Topic}}
+		}
+	}
+	return &HandoffManager{table: table, registry: registry, specFor: specFor}
+}
+
+// HandoffPeer moves every non-terminal transaction bound to peer onto the
+// best alternative supplier; transactions with no feasible alternative are
+// aborted (graceful degradation rather than silent stall).
+func (h *HandoffManager) HandoffPeer(peer string, now time.Time) (HandoffReport, error) {
+	report := HandoffReport{Peer: peer}
+	txns := h.table.ByPeer(peer)
+	for _, txn := range txns {
+		res := HandoffResult{TxnID: txn.ID, Topic: txn.Topic, OldPeer: peer}
+		if err := h.table.BeginHandoff(txn.ID); err != nil {
+			res.ErrorMsg = err.Error()
+			report.Results = append(report.Results, res)
+			continue
+		}
+		newPeer, err := h.findReplacement(txn, peer, now)
+		if err != nil {
+			_ = h.table.Abort(txn.ID)
+			report.Aborted++
+			res.ErrorMsg = err.Error()
+			report.Results = append(report.Results, res)
+			continue
+		}
+		if err := h.table.CompleteHandoff(txn.ID, newPeer); err != nil {
+			res.ErrorMsg = err.Error()
+			report.Results = append(report.Results, res)
+			continue
+		}
+		report.Moved++
+		res.NewPeer = newPeer
+		res.Rebound = true
+		report.Results = append(report.Results, res)
+	}
+	return report, nil
+}
+
+func (h *HandoffManager) findReplacement(txn transaction.Txn, oldPeer string, now time.Time) (string, error) {
+	spec := h.specFor(txn)
+	candidates, err := h.registry.Lookup(&spec.Query)
+	if err != nil {
+		return "", fmt.Errorf("scheduler: handoff lookup: %w", err)
+	}
+	// Never rebind to the departing peer.
+	filtered := candidates[:0]
+	for _, c := range candidates {
+		if c.Provider != oldPeer {
+			filtered = append(filtered, c)
+		}
+	}
+	best := qos.Select(spec, filtered, now)
+	if best == nil {
+		return "", fmt.Errorf("scheduler: no feasible replacement for %s", txn.Topic)
+	}
+	return best.Provider, nil
+}

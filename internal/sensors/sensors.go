@@ -1,0 +1,157 @@
+// Package sensors provides synthetic signal generators standing in for the
+// physical sensors the paper's scenarios assume (blood-pressure cuffs, heart
+// rate monitors, MEMS accelerometers, thermometers). Suppliers are defined
+// by their service description plus a data stream; these deterministic,
+// seedable waveform generators exercise matching, transactions and QoS
+// exactly as hardware would.
+package sensors
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"sync"
+)
+
+// Reading is one sensor sample.
+type Reading struct {
+	// Seq is the sample index.
+	Seq uint64
+	// Value is the primary measurement.
+	Value float64
+	// Unit is the measurement unit ("mmHg", "bpm", "°C").
+	Unit string
+}
+
+// String renders the reading compactly.
+func (r Reading) String() string {
+	return fmt.Sprintf("#%d %.2f %s", r.Seq, r.Value, r.Unit)
+}
+
+// Encode renders the reading as a compact wire payload.
+func (r Reading) Encode() []byte {
+	return []byte(fmt.Sprintf("%d|%.4f|%s", r.Seq, r.Value, r.Unit))
+}
+
+// DecodeReading parses an encoded reading.
+func DecodeReading(data []byte) (Reading, error) {
+	var seq uint64
+	var value float64
+	parts := splitN(string(data), '|', 3)
+	if len(parts) != 3 {
+		return Reading{}, fmt.Errorf("sensors: malformed reading %q", data)
+	}
+	seq, err := strconv.ParseUint(parts[0], 10, 64)
+	if err != nil {
+		return Reading{}, fmt.Errorf("sensors: bad seq: %w", err)
+	}
+	value, err = strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return Reading{}, fmt.Errorf("sensors: bad value: %w", err)
+	}
+	return Reading{Seq: seq, Value: value, Unit: parts[2]}, nil
+}
+
+func splitN(s string, sep byte, n int) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s) && len(out) < n-1; i++ {
+		if s[i] == sep {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// Generator produces a deterministic synthetic waveform: a baseline with a
+// sinusoidal physiological rhythm, slow drift, and seeded Gaussian noise.
+type Generator struct {
+	// Baseline is the signal's resting value.
+	Baseline float64
+	// Amplitude scales the periodic component.
+	Amplitude float64
+	// Period is samples per cycle.
+	Period float64
+	// Noise is the Gaussian noise standard deviation.
+	Noise float64
+	// Drift is the per-sample baseline drift.
+	Drift float64
+	// Unit labels readings.
+	Unit string
+
+	mu  sync.Mutex
+	seq uint64
+	rng *rand.Rand
+}
+
+// NewGenerator seeds the generator for reproducible streams.
+func NewGenerator(baseline, amplitude, period, noise float64, unit string, seed int64) *Generator {
+	return &Generator{
+		Baseline:  baseline,
+		Amplitude: amplitude,
+		Period:    period,
+		Noise:     noise,
+		Unit:      unit,
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Next produces the next sample.
+func (g *Generator) Next() Reading {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	seq := g.seq
+	g.seq++
+	value := g.Baseline + g.Drift*float64(seq)
+	if g.Period > 0 {
+		value += g.Amplitude * math.Sin(2*math.Pi*float64(seq)/g.Period)
+	}
+	if g.Noise > 0 && g.rng != nil {
+		value += g.rng.NormFloat64() * g.Noise
+	}
+	return Reading{Seq: seq, Value: value, Unit: g.Unit}
+}
+
+// BloodPressure returns a systolic blood-pressure generator around 120 mmHg
+// — the paper's running example (§3.1).
+func BloodPressure(seed int64) *Generator {
+	return NewGenerator(120, 8, 40, 2, "mmHg", seed)
+}
+
+// HeartRate returns a heart-rate generator around 72 bpm.
+func HeartRate(seed int64) *Generator {
+	return NewGenerator(72, 6, 60, 1.5, "bpm", seed)
+}
+
+// Temperature returns a body-temperature generator around 36.8 °C.
+func Temperature(seed int64) *Generator {
+	return NewGenerator(36.8, 0.3, 240, 0.05, "C", seed)
+}
+
+// Accelerometer returns a MEMS-style accelerometer generator in g units.
+func Accelerometer(seed int64) *Generator {
+	return NewGenerator(0, 1.2, 25, 0.2, "g", seed)
+}
+
+// Classifier labels readings against a [low, high) normal band — the
+// "blood pressure analyzer" role of §3.1 (a consumer of sensor data and a
+// supplier of analyses).
+type Classifier struct {
+	Low  float64
+	High float64
+}
+
+// Classify returns "low", "normal", or "high".
+func (c Classifier) Classify(r Reading) string {
+	switch {
+	case r.Value < c.Low:
+		return "low"
+	case r.Value >= c.High:
+		return "high"
+	default:
+		return "normal"
+	}
+}

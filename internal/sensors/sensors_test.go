@@ -1,0 +1,141 @@
+package sensors
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := BloodPressure(42)
+	b := BloodPressure(42)
+	for i := 0; i < 50; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra != rb {
+			t.Fatalf("sample %d diverged: %v vs %v", i, ra, rb)
+		}
+	}
+	c := BloodPressure(43)
+	a2 := BloodPressure(42)
+	same := true
+	for i := 0; i < 20; i++ {
+		if a2.Next().Value != c.Next().Value {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGeneratorSequenceNumbers(t *testing.T) {
+	g := HeartRate(1)
+	for i := uint64(0); i < 10; i++ {
+		if r := g.Next(); r.Seq != i {
+			t.Fatalf("seq = %d, want %d", r.Seq, i)
+		}
+	}
+}
+
+func TestGeneratorStaysNearBaseline(t *testing.T) {
+	g := BloodPressure(7)
+	var sum float64
+	const n = 1000
+	for i := 0; i < n; i++ {
+		r := g.Next()
+		sum += r.Value
+		if math.Abs(r.Value-120) > 40 {
+			t.Fatalf("sample %v wildly off baseline", r)
+		}
+	}
+	mean := sum / n
+	if math.Abs(mean-120) > 3 {
+		t.Fatalf("mean %v too far from baseline 120", mean)
+	}
+}
+
+func TestGeneratorDrift(t *testing.T) {
+	g := NewGenerator(100, 0, 0, 0, "x", 1)
+	g.Drift = 1
+	first := g.Next().Value
+	for i := 0; i < 9; i++ {
+		g.Next()
+	}
+	tenth := g.Next().Value
+	if math.Abs((tenth-first)-10) > 1e-9 {
+		t.Fatalf("drift over 10 samples = %v, want 10", tenth-first)
+	}
+}
+
+func TestReadingEncodeDecode(t *testing.T) {
+	r := Reading{Seq: 42, Value: 118.25, Unit: "mmHg"}
+	got, err := DecodeReading(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 42 || math.Abs(got.Value-118.25) > 1e-4 || got.Unit != "mmHg" {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestDecodeReadingErrors(t *testing.T) {
+	cases := [][]byte{
+		[]byte(""),
+		[]byte("no-separators"),
+		[]byte("x|1.0|mmHg"),
+		[]byte("1|x|mmHg"),
+	}
+	for _, c := range cases {
+		if _, err := DecodeReading(c); err == nil {
+			t.Errorf("decoded garbage %q", c)
+		}
+	}
+}
+
+func TestReadingString(t *testing.T) {
+	s := Reading{Seq: 3, Value: 36.81, Unit: "C"}.String()
+	if !strings.Contains(s, "#3") || !strings.Contains(s, "36.81") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestPresetGenerators(t *testing.T) {
+	presets := map[string]struct {
+		g    *Generator
+		unit string
+		lo   float64
+		hi   float64
+	}{
+		"bp":    {BloodPressure(1), "mmHg", 90, 150},
+		"hr":    {HeartRate(1), "bpm", 55, 90},
+		"temp":  {Temperature(1), "C", 36, 38},
+		"accel": {Accelerometer(1), "g", -5, 5},
+	}
+	for name, p := range presets {
+		for i := 0; i < 100; i++ {
+			r := p.g.Next()
+			if r.Unit != p.unit {
+				t.Fatalf("%s unit = %q", name, r.Unit)
+			}
+			if r.Value < p.lo || r.Value > p.hi {
+				t.Fatalf("%s sample %v out of band [%v,%v]", name, r.Value, p.lo, p.hi)
+			}
+		}
+	}
+}
+
+func TestClassifier(t *testing.T) {
+	c := Classifier{Low: 90, High: 140}
+	if got := c.Classify(Reading{Value: 80}); got != "low" {
+		t.Fatalf("80 = %s", got)
+	}
+	if got := c.Classify(Reading{Value: 120}); got != "normal" {
+		t.Fatalf("120 = %s", got)
+	}
+	if got := c.Classify(Reading{Value: 140}); got != "high" {
+		t.Fatalf("140 = %s", got)
+	}
+	if got := c.Classify(Reading{Value: 90}); got != "normal" {
+		t.Fatalf("90 = %s (band is inclusive low)", got)
+	}
+}

@@ -1,0 +1,202 @@
+package simtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2003, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestRealNow(t *testing.T) {
+	c := Real{}
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now() = %v, want between %v and %v", got, before, after)
+	}
+}
+
+func TestRealAfter(t *testing.T) {
+	c := Real{}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("Real.After never fired")
+	}
+}
+
+func TestVirtualNow(t *testing.T) {
+	v := NewVirtual(epoch)
+	if got := v.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", got, epoch)
+	}
+	v.Advance(3 * time.Second)
+	if got := v.Now(); !got.Equal(epoch.Add(3 * time.Second)) {
+		t.Fatalf("Now() after advance = %v, want %v", got, epoch.Add(3*time.Second))
+	}
+}
+
+func TestVirtualAfterFiresAtDeadline(t *testing.T) {
+	v := NewVirtual(epoch)
+	ch := v.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before advance")
+	default:
+	}
+
+	v.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired 1s early")
+	default:
+	}
+
+	v.Advance(time.Second)
+	select {
+	case at := <-ch:
+		if want := epoch.Add(10 * time.Second); !at.Equal(want) {
+			t.Fatalf("fired at %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("timer did not fire at deadline")
+	}
+}
+
+func TestVirtualAfterNonPositive(t *testing.T) {
+	v := NewVirtual(epoch)
+	select {
+	case <-v.After(0):
+	default:
+		t.Fatal("After(0) should fire immediately")
+	}
+	select {
+	case <-v.After(-time.Second):
+	default:
+		t.Fatal("After(<0) should fire immediately")
+	}
+}
+
+func TestVirtualFiringOrder(t *testing.T) {
+	v := NewVirtual(epoch)
+	var mu sync.Mutex
+	var order []int
+
+	var wg sync.WaitGroup
+	waitFor := func(id int, d time.Duration) {
+		ch := v.After(d)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-ch
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+		}()
+	}
+	// Register out of order; they must still complete by deadline order once
+	// the clock jumps past all of them. Because each goroutine just appends,
+	// we check set membership via sorted deadlines firing: the channel sends
+	// happen in deadline order inside Advance, but goroutine scheduling can
+	// reorder the appends, so we only verify all fired.
+	waitFor(3, 30*time.Millisecond)
+	waitFor(1, 10*time.Millisecond)
+	waitFor(2, 20*time.Millisecond)
+
+	v.Advance(time.Second)
+	wg.Wait()
+	if len(order) != 3 {
+		t.Fatalf("fired %d timers, want 3", len(order))
+	}
+}
+
+func TestVirtualSleepUnblocksOnAdvance(t *testing.T) {
+	v := NewVirtual(epoch)
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(time.Minute)
+		close(done)
+	}()
+	// Wait for the sleeper to register.
+	for v.Pending() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(time.Minute)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not return after Advance")
+	}
+}
+
+func TestVirtualAdvanceToNext(t *testing.T) {
+	v := NewVirtual(epoch)
+	ch1 := v.After(5 * time.Second)
+	ch2 := v.After(7 * time.Second)
+
+	if !v.AdvanceToNext() {
+		t.Fatal("AdvanceToNext() = false with pending timer")
+	}
+	if got := v.Now(); !got.Equal(epoch.Add(5 * time.Second)) {
+		t.Fatalf("Now() = %v, want +5s", got)
+	}
+	select {
+	case <-ch1:
+	default:
+		t.Fatal("first timer did not fire")
+	}
+	select {
+	case <-ch2:
+		t.Fatal("second timer fired early")
+	default:
+	}
+
+	if !v.AdvanceToNext() {
+		t.Fatal("AdvanceToNext() = false with one timer left")
+	}
+	select {
+	case <-ch2:
+	default:
+		t.Fatal("second timer did not fire")
+	}
+	if v.AdvanceToNext() {
+		t.Fatal("AdvanceToNext() = true with no timers")
+	}
+}
+
+func TestVirtualPending(t *testing.T) {
+	v := NewVirtual(epoch)
+	if got := v.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d, want 0", got)
+	}
+	v.After(time.Second)
+	v.After(2 * time.Second)
+	if got := v.Pending(); got != 2 {
+		t.Fatalf("Pending() = %d, want 2", got)
+	}
+	v.Advance(3 * time.Second)
+	if got := v.Pending(); got != 0 {
+		t.Fatalf("Pending() after advance = %d, want 0", got)
+	}
+}
+
+func TestVirtualTiesFireInRegistrationOrder(t *testing.T) {
+	v := NewVirtual(epoch)
+	ch1 := v.After(time.Second)
+	ch2 := v.After(time.Second)
+	v.Advance(time.Second)
+	// Both fired; deterministic pop order is 1 then 2. We can only observe
+	// both are ready since sends buffered; check both.
+	select {
+	case <-ch1:
+	default:
+		t.Fatal("ch1 not fired")
+	}
+	select {
+	case <-ch2:
+	default:
+		t.Fatal("ch2 not fired")
+	}
+}

@@ -1,0 +1,483 @@
+package svcdesc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var now = time.Date(2003, 6, 1, 12, 0, 0, 0, time.UTC)
+
+func printerDesc() *Description {
+	return &Description{
+		Name:        "printer",
+		Provider:    "node-7",
+		InstanceID:  "lobby",
+		Version:     "2.1",
+		Reliability: 0.95,
+		PowerLevel:  1.0,
+		Attributes: map[string]string{
+			"color": "true",
+			"ppm":   "30",
+			"paper": "A4,Letter",
+		},
+		Interfaces: []string{"print", "status"},
+		Location:   &Location{X: 10, Y: 20},
+		TTL:        time.Minute,
+	}
+}
+
+func TestLocationDistance(t *testing.T) {
+	a := Location{0, 0}
+	b := Location{3, 4}
+	if got := a.Distance(b); got != 5 {
+		t.Fatalf("Distance = %v, want 5", got)
+	}
+}
+
+func TestDescriptionValidate(t *testing.T) {
+	if err := printerDesc().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var nilDesc *Description
+	if err := nilDesc.Validate(); err == nil {
+		t.Error("nil description validated")
+	}
+	bad := printerDesc()
+	bad.Name = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("empty name validated")
+	}
+	bad = printerDesc()
+	bad.Provider = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("empty provider validated")
+	}
+	bad = printerDesc()
+	bad.Reliability = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("reliability > 1 validated")
+	}
+	bad = printerDesc()
+	bad.PowerLevel = -0.1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative power validated")
+	}
+}
+
+func TestDescriptionKey(t *testing.T) {
+	d := printerDesc()
+	if got := d.Key(); got != "node-7|printer|lobby" {
+		t.Fatalf("Key = %q", got)
+	}
+}
+
+func TestDescriptionClone(t *testing.T) {
+	d := printerDesc()
+	c := d.Clone()
+	c.Attributes["color"] = "false"
+	c.Interfaces[0] = "zzz"
+	c.Location.X = 999
+	if d.Attributes["color"] != "true" || d.Interfaces[0] != "print" || d.Location.X != 10 {
+		t.Fatal("clone shares state with original")
+	}
+	var nilDesc *Description
+	if nilDesc.Clone() != nil {
+		t.Fatal("nil clone should be nil")
+	}
+}
+
+func TestNameMatching(t *testing.T) {
+	tests := []struct {
+		pattern string
+		name    string
+		want    bool
+	}{
+		{"printer", "printer", true},
+		{"printer", "printer2", false},
+		{"printer*", "printer2", true},
+		{"sensor/*", "sensor/bloodpressure", true},
+		{"sensor/*", "actuator/display", false},
+		{"*", "anything", true},
+		{"", "anything", true},
+	}
+	for _, tt := range tests {
+		q := &Query{Name: tt.pattern}
+		d := &Description{Name: tt.name, Provider: "p", Reliability: 1, PowerLevel: 1}
+		if got := q.Matches(d, now); got != tt.want {
+			t.Errorf("pattern %q vs %q = %v, want %v", tt.pattern, tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestConstraintOperators(t *testing.T) {
+	attrs := map[string]string{"ppm": "30", "paper": "A4,Letter", "model": "LaserJet"}
+	tests := []struct {
+		c    Constraint
+		want bool
+	}{
+		{Constraint{"ppm", OpEq, "30"}, true},
+		{Constraint{"ppm", OpEq, "30.0"}, true}, // numeric equality
+		{Constraint{"ppm", OpNe, "25"}, true},
+		{Constraint{"ppm", OpLt, "40"}, true},
+		{Constraint{"ppm", OpLt, "30"}, false},
+		{Constraint{"ppm", OpLe, "30"}, true},
+		{Constraint{"ppm", OpGt, "29.5"}, true},
+		{Constraint{"ppm", OpGe, "30"}, true},
+		{Constraint{"ppm", OpGe, "31"}, false},
+		{Constraint{"ppm", OpGt, "7"}, true}, // numeric, not lexicographic ("30" < "7" as strings)
+		{Constraint{"paper", OpContains, "A4"}, true},
+		{Constraint{"paper", OpContains, "A3"}, false},
+		{Constraint{"model", OpEq, "LaserJet"}, true},
+		{Constraint{"model", OpLt, "M"}, true}, // string comparison
+		{Constraint{"model", OpExists, ""}, true},
+		{Constraint{"missing", OpExists, ""}, false},
+		{Constraint{"missing", OpEq, "x"}, false},
+		{Constraint{"model", Op(99), "x"}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.c.Matches(attrs); got != tt.want {
+			t.Errorf("%s %s %q = %v, want %v", tt.c.Attr, tt.c.Op, tt.c.Value, got, tt.want)
+		}
+	}
+}
+
+func TestQueryFullMatch(t *testing.T) {
+	d := printerDesc()
+	q := &Query{
+		Name:              "printer",
+		MinVersion:        "2.0",
+		Constraints:       []Constraint{{"color", OpEq, "true"}, {"ppm", OpGe, "20"}},
+		RequireInterfaces: []string{"print"},
+		MinReliability:    0.9,
+		Near:              &Location{X: 0, Y: 0},
+		MaxDistance:       50,
+	}
+	if !q.Matches(d, now) {
+		t.Fatal("full query should match")
+	}
+}
+
+func TestQueryRejections(t *testing.T) {
+	base := printerDesc()
+	tests := map[string]*Query{
+		"version":     {Name: "printer", MinVersion: "3.0"},
+		"reliability": {Name: "printer", MinReliability: 0.99},
+		"power":       {Name: "printer", MinPower: 1.1},
+		"constraint":  {Name: "printer", Constraints: []Constraint{{"color", OpEq, "false"}}},
+		"interface":   {Name: "printer", RequireInterfaces: []string{"fax"}},
+		"distance":    {Name: "printer", Near: &Location{X: 1000, Y: 1000}, MaxDistance: 10},
+	}
+	for name, q := range tests {
+		if q.Matches(base, now) {
+			t.Errorf("%s: query should reject", name)
+		}
+	}
+	// Spatial constraint against a service with no location.
+	noLoc := printerDesc()
+	noLoc.Location = nil
+	q := &Query{Name: "printer", Near: &Location{}, MaxDistance: 10}
+	if q.Matches(noLoc, now) {
+		t.Error("spatial query matched location-less service")
+	}
+	if (&Query{}).Matches(nil, now) {
+		t.Error("nil description matched")
+	}
+	var nilQ *Query
+	if nilQ.Matches(base, now) {
+		t.Error("nil query matched")
+	}
+}
+
+func TestAvailabilityWindow(t *testing.T) {
+	d := printerDesc()
+	d.AvailableFrom = now.Add(-time.Hour)
+	d.AvailableUntil = now.Add(time.Hour)
+	q := &Query{Name: "printer"}
+	if !q.Matches(d, now) {
+		t.Fatal("inside window should match")
+	}
+	if q.Matches(d, now.Add(-2*time.Hour)) {
+		t.Fatal("before window should not match")
+	}
+	if q.Matches(d, now.Add(2*time.Hour)) {
+		t.Fatal("after window should not match")
+	}
+}
+
+func TestPasswordGate(t *testing.T) {
+	d := printerDesc()
+	d.PasswordHash = HashPassword("s3cret")
+	open := &Query{Name: "printer"}
+	if open.Matches(d, now) {
+		t.Fatal("protected service matched without password")
+	}
+	wrong := &Query{Name: "printer", Password: "guess"}
+	if wrong.Matches(d, now) {
+		t.Fatal("protected service matched with wrong password")
+	}
+	right := &Query{Name: "printer", Password: "s3cret"}
+	if !right.Matches(d, now) {
+		t.Fatal("correct password rejected")
+	}
+}
+
+func TestHashPasswordStable(t *testing.T) {
+	if HashPassword("x") != HashPassword("x") {
+		t.Fatal("hash not deterministic")
+	}
+	if HashPassword("x") == HashPassword("y") {
+		t.Fatal("distinct passwords collide trivially")
+	}
+	if len(HashPassword("x")) != 64 {
+		t.Fatal("not hex sha-256")
+	}
+}
+
+func TestCompareVersions(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"1.0", "1.0", 0},
+		{"1.0", "1.1", -1},
+		{"2.0", "1.9", 1},
+		{"1.10", "1.9", 1}, // numeric, not lexicographic
+		{"1", "1.0", 0},
+		{"1.0.1", "1.0", 1},
+		{"1.a", "1.b", -1},
+		{"", "", 0},
+	}
+	for _, tt := range tests {
+		if got := CompareVersions(tt.a, tt.b); got != tt.want {
+			t.Errorf("CompareVersions(%q,%q) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestOpRoundTrip(t *testing.T) {
+	for op := OpEq; op <= OpExists; op++ {
+		parsed, err := OpFromString(op.String())
+		if err != nil || parsed != op {
+			t.Errorf("op %v round trip: %v, %v", op, parsed, err)
+		}
+	}
+	if _, err := OpFromString("bogus"); err == nil {
+		t.Error("bogus op parsed")
+	}
+	if s := Op(42).String(); !strings.Contains(s, "42") {
+		t.Errorf("unknown op string: %s", s)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	d1 := printerDesc()
+	d2 := printerDesc()
+	d2.InstanceID = "lab"
+	d2.Reliability = 0.5
+	d3 := printerDesc()
+	d3.Name = "scanner"
+	got := Filter([]*Description{d1, d2, d3}, &Query{Name: "printer", MinReliability: 0.9}, now)
+	if len(got) != 1 || got[0] != d1 {
+		t.Fatalf("Filter returned %d results", len(got))
+	}
+}
+
+func TestSortByDistance(t *testing.T) {
+	near := printerDesc()
+	near.InstanceID = "near"
+	near.Location = &Location{X: 1, Y: 0}
+	far := printerDesc()
+	far.InstanceID = "far"
+	far.Location = &Location{X: 100, Y: 0}
+	unknown := printerDesc()
+	unknown.InstanceID = "unknown"
+	unknown.Location = nil
+
+	list := []*Description{unknown, far, near}
+	SortByDistance(list, Location{0, 0})
+	if list[0].InstanceID != "near" || list[1].InstanceID != "far" || list[2].InstanceID != "unknown" {
+		t.Fatalf("order: %s %s %s", list[0].InstanceID, list[1].InstanceID, list[2].InstanceID)
+	}
+}
+
+func TestXMLDescriptionRoundTrip(t *testing.T) {
+	d := printerDesc()
+	d.AvailableFrom = now.Add(-time.Hour)
+	d.AvailableUntil = now.Add(time.Hour)
+	d.PasswordHash = HashPassword("pw")
+	data, err := MarshalDescription(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `name="printer"`) {
+		t.Fatalf("not XML-ish: %s", data)
+	}
+	got, err := UnmarshalDescription(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key() != d.Key() || got.Version != d.Version || got.TTL != d.TTL {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Attributes["ppm"] != "30" || len(got.Interfaces) != 2 {
+		t.Fatalf("attributes/interfaces lost: %+v", got)
+	}
+	if got.Location == nil || got.Location.X != 10 {
+		t.Fatalf("location lost: %+v", got.Location)
+	}
+	if !got.AvailableFrom.Equal(d.AvailableFrom) || !got.AvailableUntil.Equal(d.AvailableUntil) {
+		t.Fatal("availability window lost")
+	}
+	if got.PasswordHash != d.PasswordHash {
+		t.Fatal("password hash lost")
+	}
+}
+
+func TestXMLDescriptionMinimal(t *testing.T) {
+	d := &Description{Name: "x", Provider: "p"}
+	data, err := MarshalDescription(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalDescription(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "x" || got.Provider != "p" || got.Location != nil {
+		t.Fatalf("minimal round trip: %+v", got)
+	}
+}
+
+func TestXMLDescriptionInvalid(t *testing.T) {
+	if _, err := MarshalDescription(&Description{}); err == nil {
+		t.Error("invalid description marshaled")
+	}
+	if _, err := UnmarshalDescription([]byte("<service>")); err == nil {
+		t.Error("malformed xml parsed")
+	}
+	if _, err := UnmarshalDescription([]byte(`<service name="" provider=""/>`)); err == nil {
+		t.Error("invalid parsed description accepted")
+	}
+	if _, err := UnmarshalDescription([]byte(`<service name="x" provider="p"><availableFrom>bogus</availableFrom></service>`)); err == nil {
+		t.Error("bad timestamp accepted")
+	}
+}
+
+func TestXMLQueryRoundTrip(t *testing.T) {
+	q := &Query{
+		Name:              "sensor/*",
+		MinVersion:        "1.2",
+		Constraints:       []Constraint{{"rate", OpGe, "10"}, {"unit", OpEq, "mmHg"}},
+		RequireInterfaces: []string{"read"},
+		MinReliability:    0.8,
+		MinPower:          0.2,
+		Password:          "pw",
+		Near:              &Location{X: 5, Y: 6},
+		MaxDistance:       30,
+	}
+	data, err := MarshalQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalQuery(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != q.Name || got.MinVersion != q.MinVersion ||
+		got.MinReliability != q.MinReliability || got.MinPower != q.MinPower ||
+		got.Password != q.Password || got.MaxDistance != q.MaxDistance {
+		t.Fatalf("scalar fields mismatch: %+v", got)
+	}
+	if len(got.Constraints) != 2 || got.Constraints[0] != q.Constraints[0] {
+		t.Fatalf("constraints mismatch: %+v", got.Constraints)
+	}
+	if got.Near == nil || *got.Near != *q.Near {
+		t.Fatalf("near mismatch: %+v", got.Near)
+	}
+	if len(got.RequireInterfaces) != 1 || got.RequireInterfaces[0] != "read" {
+		t.Fatalf("interfaces mismatch: %+v", got.RequireInterfaces)
+	}
+}
+
+func TestXMLQueryBadOp(t *testing.T) {
+	if _, err := UnmarshalQuery([]byte(`<query><where attr="a" op="frob">1</where></query>`)); err == nil {
+		t.Error("bad op accepted")
+	}
+	if _, err := UnmarshalQuery([]byte("<query")); err == nil {
+		t.Error("malformed xml accepted")
+	}
+}
+
+// genDescription builds a random valid description.
+func genDescription(r *rand.Rand) *Description {
+	randStr := func(n int) string {
+		b := make([]rune, 1+r.Intn(n))
+		for i := range b {
+			b[i] = rune('a' + r.Intn(26))
+		}
+		return string(b)
+	}
+	d := &Description{
+		Name:        randStr(8),
+		Provider:    randStr(8),
+		InstanceID:  randStr(4),
+		Version:     "1." + randStr(1),
+		Reliability: r.Float64(),
+		PowerLevel:  r.Float64(),
+	}
+	if r.Intn(2) == 0 {
+		d.Location = &Location{X: r.Float64() * 100, Y: r.Float64() * 100}
+	}
+	if n := r.Intn(4); n > 0 {
+		d.Attributes = make(map[string]string, n)
+		for i := 0; i < n; i++ {
+			d.Attributes[randStr(5)] = randStr(6)
+		}
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		d.Interfaces = append(d.Interfaces, randStr(5))
+	}
+	return d
+}
+
+// Property: XML round trip preserves matching behaviour against arbitrary
+// name queries.
+func TestXMLRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	f := func() bool {
+		d := genDescription(r)
+		data, err := MarshalDescription(d)
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalDescription(data)
+		if err != nil {
+			return false
+		}
+		q := &Query{Name: d.Name}
+		return got.Key() == d.Key() && q.Matches(got, now) == q.Matches(d, now)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a query with a constraint copied verbatim from the description's
+// attributes always matches (OpEq on existing attribute).
+func TestSelfConstraintProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	f := func() bool {
+		d := genDescription(r)
+		q := &Query{Name: d.Name}
+		for k, v := range d.Attributes {
+			q.Constraints = append(q.Constraints, Constraint{Attr: k, Op: OpEq, Value: v})
+		}
+		return q.Matches(d, now)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,298 @@
+// Package transaction implements the paper's transaction feature (§3.6):
+// the managed interaction between a service supplier and a service consumer.
+//
+// It provides three things:
+//
+//   - Link: delivery guarantees over any transport connection — best-effort
+//     sends, or at-least-once with acknowledgements, retransmission, and
+//     receiver-side duplicate suppression (which together give the consumer
+//     effectively-once delivery),
+//   - Schedules: the paper's transaction classes — continuous (periodic),
+//     intermittent with prediction (an EWMA next-arrival predictor), and
+//     on-demand,
+//   - Table: per-node transaction lifecycle bookkeeping, including the
+//     hand-off state the scheduler (§3.7) drives when a supplier departs.
+package transaction
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ndsm/internal/simtime"
+	"ndsm/internal/transport"
+	"ndsm/internal/wire"
+)
+
+// Link errors.
+var (
+	ErrDeliveryFailed = errors.New("transaction: delivery failed after retries")
+	ErrLinkClosed     = errors.New("transaction: link closed")
+)
+
+// reliableHeader marks messages that demand an acknowledgement.
+const reliableHeader = "tx-rel"
+
+// dedupeWindow bounds the receiver's duplicate-suppression memory per peer.
+const dedupeWindow = 4096
+
+// LinkConfig tunes a reliable link.
+type LinkConfig struct {
+	// RetryInterval is the retransmission period (default 50ms).
+	RetryInterval time.Duration
+	// MaxRetries bounds retransmissions per message (default 5).
+	MaxRetries int
+	// RecvBuffer is the delivered-message queue depth (default 64).
+	RecvBuffer int
+	// Clock drives retransmission timers (default real).
+	Clock simtime.Clock
+}
+
+func (c LinkConfig) withDefaults() LinkConfig {
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 50 * time.Millisecond
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 5
+	}
+	if c.RecvBuffer <= 0 {
+		c.RecvBuffer = 64
+	}
+	if c.Clock == nil {
+		c.Clock = simtime.Real{}
+	}
+	return c
+}
+
+// Link layers delivery guarantees over one transport connection. Both ends
+// of a conversation wrap their side in a Link.
+type Link struct {
+	cfg  LinkConfig
+	conn transport.Conn
+
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	waiters map[uint64]chan struct{}
+	seen    map[string]map[uint64]bool
+	seenOrd map[string][]uint64
+	closed  bool
+
+	recv chan *wire.Message
+	stop chan struct{} // closed by Close to abort blocked deliveries
+	done chan struct{} // closed when demux exits
+
+	// Retransmissions counts retries actually sent.
+	Retransmissions atomic.Int64
+	// Duplicates counts received duplicates suppressed.
+	Duplicates atomic.Int64
+}
+
+// NewLink wraps a connection. The link owns the connection's receive side;
+// do not call conn.Recv directly afterwards.
+func NewLink(conn transport.Conn, cfg LinkConfig) *Link {
+	l := &Link{
+		cfg:     cfg.withDefaults(),
+		conn:    conn,
+		waiters: make(map[uint64]chan struct{}),
+		seen:    make(map[string]map[uint64]bool),
+		seenOrd: make(map[string][]uint64),
+		recv:    make(chan *wire.Message, cfg.withDefaults().RecvBuffer),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go l.demux()
+	return l
+}
+
+// Close shuts the link and its connection down.
+func (l *Link) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.stop)
+	err := l.conn.Close()
+	<-l.done
+	return err
+}
+
+// Send transmits best-effort: no ack, no retry (the transport may still be
+// reliable on its own, e.g. tcp).
+func (l *Link) Send(m *wire.Message) error {
+	m = m.Clone()
+	m.ID = l.nextID.Add(1)
+	return l.conn.Send(m)
+}
+
+// SendReliable transmits at-least-once: it blocks until the peer
+// acknowledges or retries are exhausted.
+func (l *Link) SendReliable(m *wire.Message) error {
+	m = m.Clone()
+	m.ID = l.nextID.Add(1)
+	if m.Headers == nil {
+		m.Headers = make(map[string]string, 1)
+	}
+	m.Headers[reliableHeader] = "1"
+
+	ackCh := make(chan struct{}, 1)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrLinkClosed
+	}
+	l.waiters[m.ID] = ackCh
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.waiters, m.ID)
+		l.mu.Unlock()
+	}()
+
+	var lastErr error
+	for attempt := 0; attempt <= l.cfg.MaxRetries; attempt++ {
+		err := l.conn.Send(m)
+		switch {
+		case err == nil:
+			lastErr = nil
+		case errors.Is(err, transport.ErrClosed):
+			// A dead connection cannot recover by retrying.
+			return fmt.Errorf("%w: %v", ErrDeliveryFailed, err)
+		default:
+			// Transient transmission failure (e.g. a lossy radio dropped the
+			// datagram): retrying is exactly the point of this method.
+			lastErr = err
+		}
+		if attempt > 0 {
+			l.Retransmissions.Add(1)
+		}
+		select {
+		case <-ackCh:
+			return nil
+		case <-l.cfg.Clock.After(l.cfg.RetryInterval):
+		case <-l.done:
+			return ErrLinkClosed
+		}
+	}
+	if lastErr != nil {
+		return fmt.Errorf("%w: %d attempts, last error: %v", ErrDeliveryFailed, l.cfg.MaxRetries+1, lastErr)
+	}
+	return fmt.Errorf("%w: %d attempts", ErrDeliveryFailed, l.cfg.MaxRetries+1)
+}
+
+// Recv blocks for the next delivered message. Reliable messages are
+// acknowledged and de-duplicated before delivery, so the caller sees each at
+// most once.
+func (l *Link) Recv() (*wire.Message, error) {
+	select {
+	case m := <-l.recv:
+		return m, nil
+	case <-l.done:
+		select {
+		case m := <-l.recv:
+			return m, nil
+		default:
+			return nil, ErrLinkClosed
+		}
+	}
+}
+
+func (l *Link) demux() {
+	defer close(l.done)
+	for {
+		m, err := l.conn.Recv()
+		if err != nil {
+			return
+		}
+		switch {
+		case m.Kind == wire.KindAck:
+			l.mu.Lock()
+			ch := l.waiters[m.Corr]
+			l.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- struct{}{}:
+				default:
+				}
+			}
+		default:
+			if m.Headers[reliableHeader] == "1" {
+				// Ack first so a blocked delivery queue cannot stall the
+				// peer's retransmission loop forever. A transiently lost ack
+				// is fine — the sender retransmits and we ack again; only a
+				// closed connection ends the loop.
+				ack := &wire.Message{Kind: wire.KindAck, Corr: m.ID}
+				if err := l.conn.Send(ack); errors.Is(err, transport.ErrClosed) {
+					return
+				}
+				if l.isDuplicate(m.Src, m.ID) {
+					l.Duplicates.Add(1)
+					continue
+				}
+			}
+			select {
+			case l.recv <- m:
+			case <-l.stop:
+				return
+			}
+		}
+	}
+}
+
+// isDuplicate records and tests the (src, id) pair.
+func (l *Link) isDuplicate(src string, id uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m := l.seen[src]
+	if m == nil {
+		m = make(map[uint64]bool)
+		l.seen[src] = m
+	}
+	if m[id] {
+		return true
+	}
+	m[id] = true
+	ord := append(l.seenOrd[src], id)
+	if len(ord) > dedupeWindow {
+		delete(m, ord[0])
+		ord = ord[1:]
+	}
+	l.seenOrd[src] = ord
+	return false
+}
+
+// ParsePriority extracts the scheduling priority a message carries (0 when
+// absent or malformed).
+func ParsePriority(m *wire.Message) uint8 {
+	if m == nil {
+		return 0
+	}
+	return m.Priority
+}
+
+// ParseDeadlineHeader reads an RFC3339 deadline from headers as fallback for
+// codecs that lack a native deadline field (none of ours do; kept for
+// cross-middleware messages arriving via the interop gateway).
+func ParseDeadlineHeader(m *wire.Message) (time.Time, bool) {
+	if m == nil || m.Headers == nil {
+		return time.Time{}, false
+	}
+	raw, ok := m.Headers["deadline"]
+	if !ok {
+		return time.Time{}, false
+	}
+	if unix, err := strconv.ParseInt(raw, 10, 64); err == nil {
+		return time.Unix(0, unix).UTC(), true
+	}
+	t, err := time.Parse(time.RFC3339Nano, raw)
+	if err != nil {
+		return time.Time{}, false
+	}
+	return t.UTC(), true
+}

@@ -1,0 +1,275 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"ndsm/internal/wire"
+)
+
+// memConnBuffer is the per-direction queue depth of an in-memory connection.
+// It is deliberately small so back-pressure resembles a socket send buffer.
+const memConnBuffer = 64
+
+// Fabric is a process-wide switchboard connecting mem transports to each
+// other. Multiple MemTransports sharing a Fabric can dial one another by
+// address; separate Fabrics are fully isolated (useful to model separate
+// networks in tests).
+type Fabric struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+	closed    bool
+}
+
+// NewFabric returns an empty switchboard.
+func NewFabric() *Fabric {
+	return &Fabric{listeners: make(map[string]*memListener)}
+}
+
+// Mem is the in-process Transport implementation.
+type Mem struct {
+	fabric *Fabric
+
+	mu        sync.Mutex
+	closed    bool
+	listeners []*memListener
+	conns     []*memConn
+}
+
+var _ Transport = (*Mem)(nil)
+
+// NewMem returns a mem transport attached to the fabric.
+func NewMem(fabric *Fabric) *Mem {
+	return &Mem{fabric: fabric}
+}
+
+// Name implements Transport.
+func (t *Mem) Name() string { return "mem" }
+
+// Listen implements Transport.
+func (t *Mem) Listen(addr string) (Listener, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	t.mu.Unlock()
+
+	l := &memListener{
+		addr:    addr,
+		fabric:  t.fabric,
+		backlog: make(chan *memConn, 16),
+		done:    make(chan struct{}),
+	}
+	t.fabric.mu.Lock()
+	if t.fabric.closed {
+		t.fabric.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, busy := t.fabric.listeners[addr]; busy {
+		t.fabric.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
+	}
+	t.fabric.listeners[addr] = l
+	t.fabric.mu.Unlock()
+
+	t.mu.Lock()
+	t.listeners = append(t.listeners, l)
+	t.mu.Unlock()
+	return l, nil
+}
+
+// Dial implements Transport.
+func (t *Mem) Dial(addr string) (Conn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	t.mu.Unlock()
+
+	t.fabric.mu.Lock()
+	l, ok := t.fabric.listeners[addr]
+	t.fabric.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrConnectRefused, addr)
+	}
+
+	client, server := newMemPair("dial:"+addr, addr)
+	if !l.enqueue(server) {
+		return nil, fmt.Errorf("%w: %s", ErrConnectRefused, addr)
+	}
+	t.mu.Lock()
+	t.conns = append(t.conns, client)
+	t.mu.Unlock()
+	return client, nil
+}
+
+// Close implements Transport.
+func (t *Mem) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	listeners := t.listeners
+	conns := t.conns
+	t.mu.Unlock()
+	for _, l := range listeners {
+		_ = l.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	return nil
+}
+
+type memListener struct {
+	addr    string
+	fabric  *Fabric
+	backlog chan *memConn
+
+	mu     sync.Mutex
+	closed bool
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// enqueue hands a freshly dialed server-side conn to the listener. The mutex
+// makes enqueue-vs-close atomic, so a conn can never be stranded in the
+// backlog of a closed listener (which would leave the dialer's side open
+// forever with nobody serving it).
+func (l *memListener) enqueue(c *memConn) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return false
+	}
+	select {
+	case l.backlog <- c:
+		return true
+	default:
+		return false // backlog full: refuse
+	}
+}
+
+func (l *memListener) Accept() (Conn, error) {
+	// Drain any backlog left from before Close; only then report closed.
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	default:
+	}
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *memListener) Addr() string { return l.addr }
+
+func (l *memListener) Close() error {
+	l.closeOnce.Do(func() {
+		l.mu.Lock()
+		l.closed = true
+		// Reject conns nobody will ever accept.
+		for {
+			select {
+			case c := <-l.backlog:
+				_ = c.Close()
+			default:
+				l.mu.Unlock()
+				close(l.done)
+				l.fabric.mu.Lock()
+				if l.fabric.listeners[l.addr] == l {
+					delete(l.fabric.listeners, l.addr)
+				}
+				l.fabric.mu.Unlock()
+				return
+			}
+		}
+	})
+	return nil
+}
+
+// memConn is one side of an in-memory duplex pipe.
+type memConn struct {
+	local  string
+	remote string
+	out    chan *wire.Message
+	in     chan *wire.Message
+
+	closeOnce  sync.Once
+	closed     chan struct{}   // this side closed
+	peerClosed <-chan struct{} // other side closed
+}
+
+// newMemPair builds both ends of a pipe. a is the dialer end.
+func newMemPair(dialerAddr, listenerAddr string) (dialer, listener *memConn) {
+	ab := make(chan *wire.Message, memConnBuffer)
+	ba := make(chan *wire.Message, memConnBuffer)
+	aClosed := make(chan struct{})
+	bClosed := make(chan struct{})
+	dialer = &memConn{
+		local: dialerAddr, remote: listenerAddr,
+		out: ab, in: ba,
+		closed: aClosed, peerClosed: bClosed,
+	}
+	listener = &memConn{
+		local: listenerAddr, remote: dialerAddr,
+		out: ba, in: ab,
+		closed: bClosed, peerClosed: aClosed,
+	}
+	return dialer, listener
+}
+
+func (c *memConn) Send(m *wire.Message) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	// Clone so sender-side mutation after Send doesn't race the receiver;
+	// a real network would have serialized the bytes already.
+	m = m.Clone()
+	select {
+	case <-c.closed:
+		return ErrClosed
+	case <-c.peerClosed:
+		return ErrClosed
+	case c.out <- m:
+		return nil
+	}
+}
+
+func (c *memConn) Recv() (*wire.Message, error) {
+	select {
+	case m := <-c.in:
+		return m, nil
+	case <-c.closed:
+		// Drain anything already queued before reporting close.
+		select {
+		case m := <-c.in:
+			return m, nil
+		default:
+			return nil, ErrClosed
+		}
+	case <-c.peerClosed:
+		select {
+		case m := <-c.in:
+			return m, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (c *memConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return nil
+}
+
+func (c *memConn) LocalAddr() string  { return c.local }
+func (c *memConn) RemoteAddr() string { return c.remote }

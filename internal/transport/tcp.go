@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"ndsm/internal/wire"
+)
+
+// TCP is the wireline Transport over stdlib net. Messages are framed with
+// wire.WriteFrame (length prefix + content-type tag + CRC32), so a single
+// connection can interleave codecs; this transport encodes with the codec
+// given at construction and decodes whatever tag each inbound frame carries.
+type TCP struct {
+	codec wire.Codec
+
+	mu        sync.Mutex
+	closed    bool
+	listeners []net.Listener
+	conns     []*tcpConn
+}
+
+var _ Transport = (*TCP)(nil)
+
+// NewTCP returns a TCP transport encoding outbound messages with codec
+// (Binary if nil).
+func NewTCP(codec wire.Codec) *TCP {
+	if codec == nil {
+		codec = wire.Binary{}
+	}
+	return &TCP{codec: codec}
+}
+
+// Name implements Transport.
+func (t *TCP) Name() string { return "tcp" }
+
+// Listen implements Transport. Use "127.0.0.1:0" to get an ephemeral port;
+// the listener's Addr reports the bound address.
+func (t *TCP) Listen(addr string) (Listener, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	t.mu.Unlock()
+
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: tcp listen %s: %w", addr, err)
+	}
+	t.mu.Lock()
+	t.listeners = append(t.listeners, nl)
+	t.mu.Unlock()
+	return &tcpListener{t: t, nl: nl}, nil
+}
+
+// Dial implements Transport.
+func (t *TCP) Dial(addr string) (Conn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	t.mu.Unlock()
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrConnectRefused, addr, err)
+	}
+	return t.wrap(nc), nil
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	listeners := t.listeners
+	conns := t.conns
+	t.mu.Unlock()
+	for _, l := range listeners {
+		_ = l.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	return nil
+}
+
+func (t *TCP) wrap(nc net.Conn) *tcpConn {
+	c := &tcpConn{
+		nc:    nc,
+		codec: t.codec,
+		br:    bufio.NewReader(nc),
+		bw:    bufio.NewWriter(nc),
+	}
+	t.mu.Lock()
+	t.conns = append(t.conns, c)
+	t.mu.Unlock()
+	return c
+}
+
+type tcpListener struct {
+	t  *TCP
+	nl net.Listener
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("transport: tcp accept: %w", err)
+	}
+	return l.t.wrap(nc), nil
+}
+
+func (l *tcpListener) Addr() string { return l.nl.Addr().String() }
+
+func (l *tcpListener) Close() error { return l.nl.Close() }
+
+type tcpConn struct {
+	nc    net.Conn
+	codec wire.Codec
+	br    *bufio.Reader
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+func (c *tcpConn) Send(m *wire.Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := wire.WriteMessage(c.bw, c.codec, m); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return ErrClosed
+		}
+		return fmt.Errorf("transport: tcp send: %w", err)
+	}
+	return nil
+}
+
+func (c *tcpConn) Recv() (*wire.Message, error) {
+	m, err := wire.ReadMessage(c.br)
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+			return nil, ErrClosed
+		}
+		return nil, err
+	}
+	return m, nil
+}
+
+func (c *tcpConn) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.nc.Close() })
+	return c.closeErr
+}
+
+func (c *tcpConn) LocalAddr() string  { return c.nc.LocalAddr().String() }
+func (c *tcpConn) RemoteAddr() string { return c.nc.RemoteAddr().String() }

@@ -1,0 +1,67 @@
+// Package transport realizes the paper's network-independence feature
+// (§3.2): the middleware runs over any medium that can implement the small
+// Transport interface. Three implementations ship:
+//
+//   - mem: in-process channel pairs, for tests and single-process deployments,
+//   - tcp: stdlib net over real sockets (wireline networks),
+//   - sim: a lightweight connection layer over the netsim radio substrate
+//     (standing in for Bluetooth/802.11/sensor radios).
+//
+// Everything above this package — discovery, transactions, QoS — is written
+// against Transport only and cannot tell which network it is on, which is
+// exactly the independence property the paper calls for.
+package transport
+
+import (
+	"errors"
+
+	"ndsm/internal/wire"
+)
+
+// Errors shared across transports.
+var (
+	ErrClosed         = errors.New("transport: closed")
+	ErrAddrInUse      = errors.New("transport: address already in use")
+	ErrConnectRefused = errors.New("transport: connection refused")
+)
+
+// Conn is a bidirectional, ordered message stream between two endpoints.
+// Send and Recv may be used concurrently with each other; neither may be
+// called concurrently with itself.
+type Conn interface {
+	// Send transmits one message. It does not wait for the peer to read it.
+	Send(m *wire.Message) error
+	// Recv blocks for the next message. It returns ErrClosed after the
+	// connection closes and all buffered messages are drained.
+	Recv() (*wire.Message, error)
+	// Close releases the connection. Safe to call multiple times.
+	Close() error
+	// LocalAddr and RemoteAddr name the endpoints.
+	LocalAddr() string
+	RemoteAddr() string
+}
+
+// Listener accepts inbound connections on a bound address.
+type Listener interface {
+	// Accept blocks for the next inbound connection. It returns ErrClosed
+	// after Close.
+	Accept() (Conn, error)
+	// Addr returns the bound address.
+	Addr() string
+	// Close stops accepting. Safe to call multiple times.
+	Close() error
+}
+
+// Transport binds local addresses and connects to remote ones. The address
+// syntax is transport-specific (a name for mem and sim, host:port for tcp).
+type Transport interface {
+	// Name identifies the transport kind ("mem", "tcp", "sim").
+	Name() string
+	// Listen binds addr and returns a listener.
+	Listen(addr string) (Listener, error)
+	// Dial connects to addr.
+	Dial(addr string) (Conn, error)
+	// Close releases all transport resources, closing every connection and
+	// listener created through it.
+	Close() error
+}

@@ -1,0 +1,172 @@
+// Package webbridge is the paper's §2 "embedded web server" integration:
+// "the use of embedded web servers on small hardware devices may allow
+// access to the web's basic functionality — enabling client programs and
+// browsers to fetch web pages". The bridge exposes the middleware to plain
+// HTTP clients:
+//
+//	GET /services?name=<pattern>   -> XML <services> list from discovery
+//	GET /figure1                   -> the paper's Figure 1 as text
+//	POST /call/<service>           -> bind best supplier, forward body,
+//	                                  return the reply payload
+//	GET /healthz                   -> liveness
+//
+// It is a compact http.Handler, so it embeds into any mux; cmd/ndsm-node
+// can front a node with it for browser access.
+package webbridge
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"ndsm/internal/bibliometrics"
+	"ndsm/internal/core"
+	"ndsm/internal/discovery"
+	"ndsm/internal/qos"
+	"ndsm/internal/svcdesc"
+)
+
+// maxCallBody bounds POST /call payloads.
+const maxCallBody = 1 << 20
+
+// Bridge serves the middleware over HTTP.
+type Bridge struct {
+	registry discovery.Registry
+	node     *core.Node
+
+	mu       sync.Mutex
+	bindings map[string]*core.Binding // service name -> cached binding
+}
+
+// New creates a bridge. node may be nil, in which case /call is disabled
+// (lookup-only bridges suit registry hosts).
+func New(registry discovery.Registry, node *core.Node) *Bridge {
+	return &Bridge{
+		registry: registry,
+		node:     node,
+		bindings: make(map[string]*core.Binding),
+	}
+}
+
+var _ http.Handler = (*Bridge)(nil)
+
+// Close releases all cached bindings.
+func (b *Bridge) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var firstErr error
+	for name, binding := range b.bindings {
+		if err := binding.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(b.bindings, name)
+	}
+	return firstErr
+}
+
+// ServeHTTP implements http.Handler.
+func (b *Bridge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/healthz":
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	case r.URL.Path == "/figure1":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, bibliometrics.Chart(bibliometrics.Figure1(), 50))
+	case r.URL.Path == "/services":
+		b.handleServices(w, r)
+	case strings.HasPrefix(r.URL.Path, "/call/"):
+		b.handleCall(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (b *Bridge) handleServices(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	q := &svcdesc.Query{Name: r.URL.Query().Get("name")}
+	if min := r.URL.Query().Get("minReliability"); min != "" {
+		if _, err := fmt.Sscanf(min, "%f", &q.MinReliability); err != nil {
+			http.Error(w, "bad minReliability", http.StatusBadRequest)
+			return
+		}
+	}
+	descs, err := b.registry.Lookup(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	payload, err := svcdesc.MarshalDescriptionList(descs)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	_, _ = w.Write(payload)
+}
+
+func (b *Bridge) handleCall(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if b.node == nil {
+		http.Error(w, "call bridge disabled (no node)", http.StatusNotImplemented)
+		return
+	}
+	service := strings.TrimPrefix(r.URL.Path, "/call/")
+	if service == "" {
+		http.Error(w, "missing service name", http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxCallBody))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	binding, err := b.binding(service)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	out, err := binding.Request(body)
+	if err != nil {
+		// Drop the cached binding so the next call re-matches from scratch.
+		b.evict(service, binding)
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-NDSM-Supplier", binding.Peer())
+	_, _ = w.Write(out)
+}
+
+// binding returns (creating and caching on demand) a QoS-managed binding for
+// the service.
+func (b *Bridge) binding(service string) (*core.Binding, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if bd, ok := b.bindings[service]; ok {
+		return bd, nil
+	}
+	bd, err := b.node.Bind(&qos.Spec{Query: svcdesc.Query{Name: service}}, core.BindOptions{})
+	if err != nil {
+		return nil, err
+	}
+	b.bindings[service] = bd
+	return bd, nil
+}
+
+func (b *Bridge) evict(service string, binding *core.Binding) {
+	b.mu.Lock()
+	if b.bindings[service] == binding {
+		delete(b.bindings, service)
+	}
+	b.mu.Unlock()
+	_ = binding.Close()
+}

@@ -1,0 +1,196 @@
+package webbridge
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ndsm/internal/core"
+	"ndsm/internal/discovery"
+	"ndsm/internal/svcdesc"
+	"ndsm/internal/transport"
+)
+
+func fixture(t *testing.T) (*discovery.Store, *core.Node, *httptest.Server) {
+	t.Helper()
+	fabric := transport.NewFabric()
+	registry := discovery.NewStore(nil, 0)
+
+	sup, err := core.NewNode(core.Config{Name: "sup", Transport: transport.NewMem(fabric), Registry: registry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sup.Close() })
+	if err := sup.Serve(&svcdesc.Description{Name: "sensor/bp", Reliability: 0.9, PowerLevel: 1},
+		func(p []byte) ([]byte, error) { return append([]byte("web:"), p...), nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	web, err := core.NewNode(core.Config{Name: "web", Transport: transport.NewMem(fabric), Registry: registry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = web.Close() })
+
+	bridge := New(registry, web)
+	t.Cleanup(func() { _ = bridge.Close() })
+	srv := httptest.NewServer(bridge)
+	t.Cleanup(srv.Close)
+	return registry, web, srv
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url) //nolint:gosec // test URL
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp.StatusCode, sb.String()
+}
+
+func TestHealthz(t *testing.T) {
+	_, _, srv := fixture(t)
+	code, body := get(t, srv.URL+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("code=%d body=%q", code, body)
+	}
+}
+
+func TestFigure1Endpoint(t *testing.T) {
+	_, _, srv := fixture(t)
+	code, body := get(t, srv.URL+"/figure1")
+	if code != http.StatusOK || !strings.Contains(body, "1993") {
+		t.Fatalf("code=%d body=%q", code, body)
+	}
+}
+
+func TestServicesEndpoint(t *testing.T) {
+	_, _, srv := fixture(t)
+	code, body := get(t, srv.URL+"/services?name=sensor/*")
+	if code != http.StatusOK {
+		t.Fatalf("code=%d body=%q", code, body)
+	}
+	descs, err := svcdesc.UnmarshalDescriptionList([]byte(body))
+	if err != nil {
+		t.Fatalf("response not a service list: %v\n%s", err, body)
+	}
+	if len(descs) != 1 || descs[0].Provider != "sup" {
+		t.Fatalf("descs = %+v", descs)
+	}
+}
+
+func TestServicesFilter(t *testing.T) {
+	_, _, srv := fixture(t)
+	code, body := get(t, srv.URL+"/services?name=sensor/*&minReliability=0.99")
+	if code != http.StatusOK {
+		t.Fatalf("code=%d", code)
+	}
+	descs, err := svcdesc.UnmarshalDescriptionList([]byte(body))
+	if err != nil || len(descs) != 0 {
+		t.Fatalf("floor not applied: %v, %v", descs, err)
+	}
+	if code, _ := get(t, srv.URL+"/services?minReliability=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad filter accepted: %d", code)
+	}
+}
+
+func TestCallEndpoint(t *testing.T) {
+	_, _, srv := fixture(t)
+	resp, err := http.Post(srv.URL+"/call/sensor/bp", "application/octet-stream", strings.NewReader("read"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("code = %d", resp.StatusCode)
+	}
+	buf := make([]byte, 64)
+	n, _ := resp.Body.Read(buf)
+	if string(buf[:n]) != "web:read" {
+		t.Fatalf("body = %q", buf[:n])
+	}
+	if got := resp.Header.Get("X-NDSM-Supplier"); got != "sup" {
+		t.Fatalf("supplier header = %q", got)
+	}
+	// The binding is cached: a second call works without a new Bind.
+	resp2, err := http.Post(srv.URL+"/call/sensor/bp", "application/octet-stream", strings.NewReader("again"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second call code = %d", resp2.StatusCode)
+	}
+}
+
+func TestCallUnknownService(t *testing.T) {
+	_, _, srv := fixture(t)
+	resp, err := http.Post(srv.URL+"/call/nothing", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("code = %d", resp.StatusCode)
+	}
+}
+
+func TestCallMethodAndPathValidation(t *testing.T) {
+	_, _, srv := fixture(t)
+	if code, _ := get(t, srv.URL+"/call/sensor/bp"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET on /call = %d", code)
+	}
+	resp, err := http.Post(srv.URL+"/call/", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty service = %d", resp.StatusCode)
+	}
+}
+
+func TestCallDisabledWithoutNode(t *testing.T) {
+	registry := discovery.NewStore(nil, 0)
+	bridge := New(registry, nil)
+	srv := httptest.NewServer(bridge)
+	t.Cleanup(srv.Close)
+	resp, err := http.Post(srv.URL+"/call/x", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("code = %d", resp.StatusCode)
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	_, _, srv := fixture(t)
+	if code, _ := get(t, srv.URL+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("code = %d", code)
+	}
+}
+
+func TestServicesMethodValidation(t *testing.T) {
+	_, _, srv := fixture(t)
+	resp, err := http.Post(srv.URL+"/services", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("code = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,196 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Content-type tags carried in frames to identify the codec of the body.
+const (
+	ContentBinary byte = 1
+	ContentXML    byte = 2
+	ContentJSON   byte = 3
+)
+
+// binaryMagic guards against decoding garbage as a binary message.
+const binaryMagic = 0xD5
+
+// binaryVersion is bumped on incompatible format changes.
+const binaryVersion = 1
+
+// Binary is the compact native codec: a magic/version header followed by
+// varint-length-prefixed fields. It is the default codec for node-to-node
+// traffic; XML and JSON exist for interoperability (§3.9).
+type Binary struct{}
+
+var _ Codec = Binary{}
+
+// Name implements Codec.
+func (Binary) Name() string { return "binary" }
+
+// ContentType implements Codec.
+func (Binary) ContentType() byte { return ContentBinary }
+
+// Encode implements Codec.
+func (Binary) Encode(m *Message) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	// Rough size estimate to avoid growth: fixed fields + strings + payload.
+	size := 64 + len(m.Src) + len(m.Dst) + len(m.Topic) + len(m.Payload)
+	for k, v := range m.Headers {
+		size += len(k) + len(v) + 10
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, binaryMagic, binaryVersion, byte(m.Kind), m.Priority)
+	buf = binary.AppendUvarint(buf, m.ID)
+	buf = binary.AppendUvarint(buf, m.Corr)
+	var deadline int64
+	if !m.Deadline.IsZero() {
+		deadline = m.Deadline.UnixNano()
+	}
+	buf = binary.AppendVarint(buf, deadline)
+	buf = appendString(buf, m.Src)
+	buf = appendString(buf, m.Dst)
+	buf = appendString(buf, m.Topic)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Headers)))
+	for _, k := range m.headerKeys() {
+		buf = appendString(buf, k)
+		buf = appendString(buf, m.Headers[k])
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(m.Payload)))
+	buf = append(buf, m.Payload...)
+	return buf, nil
+}
+
+// Decode implements Codec.
+func (Binary) Decode(data []byte) (*Message, error) {
+	d := &decoder{buf: data}
+	magic := d.byte()
+	version := d.byte()
+	if d.err == nil && magic != binaryMagic {
+		return nil, fmt.Errorf("%w: bad magic 0x%02x", ErrInvalidMessage, magic)
+	}
+	if d.err == nil && version != binaryVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrInvalidMessage, version)
+	}
+	m := &Message{}
+	m.Kind = Kind(d.byte())
+	m.Priority = d.byte()
+	m.ID = d.uvarint()
+	m.Corr = d.uvarint()
+	if ns := d.varint(); ns != 0 && d.err == nil {
+		m.Deadline = time.Unix(0, ns).UTC()
+	}
+	m.Src = d.string()
+	m.Dst = d.string()
+	m.Topic = d.string()
+	if n := d.uvarint(); n > 0 && d.err == nil {
+		if n > uint64(len(d.buf)) {
+			return nil, fmt.Errorf("%w: header count %d exceeds input", ErrInvalidMessage, n)
+		}
+		m.Headers = make(map[string]string, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			k := d.string()
+			m.Headers[k] = d.string()
+		}
+	}
+	m.Payload = d.bytes()
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidMessage, d.err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// decoder is a cursor over a byte slice that records the first error and
+// makes subsequent reads no-ops, keeping decode logic linear.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("truncated %s", msg)
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 1 {
+		d.fail("byte")
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.buf)) {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)) {
+		d.fail("bytes")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[:n])
+	d.buf = d.buf[n:]
+	return out
+}

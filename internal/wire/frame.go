@@ -1,0 +1,119 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame layout on stream transports:
+//
+//	[4 bytes big-endian body length] [1 byte content type] [body] [4 bytes CRC32 (IEEE) of type+body]
+//
+// The CRC detects corruption introduced by the simulated lossy links and by
+// real-network truncation; the content-type byte lets a single connection
+// carry messages in any codec, which is what the interop gateway relies on.
+
+// MaxFrameSize bounds a frame body to keep a malicious or corrupted length
+// prefix from exhausting memory.
+const MaxFrameSize = 16 << 20
+
+// Framing errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds max size")
+	ErrFrameCRC      = errors.New("wire: frame CRC mismatch")
+)
+
+// WriteFrame writes one frame carrying body tagged with the codec content
+// type.
+func WriteFrame(w io.Writer, contentType byte, body []byte) error {
+	if len(body) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	header := make([]byte, 5)
+	binary.BigEndian.PutUint32(header[:4], uint32(len(body)))
+	header[4] = contentType
+	crc := crc32.NewIEEE()
+	crc.Write(header[4:5]) //nolint:errcheck // hash writes cannot fail
+	crc.Write(body)        //nolint:errcheck
+	trailer := make([]byte, 4)
+	binary.BigEndian.PutUint32(trailer, crc.Sum32())
+
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("wire: write frame body: %w", err)
+	}
+	if _, err := w.Write(trailer); err != nil {
+		return fmt.Errorf("wire: write frame trailer: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame, verifying the CRC, and returns the content type
+// and body.
+func ReadFrame(r io.Reader) (contentType byte, body []byte, err error) {
+	header := make([]byte, 5)
+	if _, err := io.ReadFull(r, header); err != nil {
+		// Propagate EOF unchanged so callers can detect a clean close.
+		if errors.Is(err, io.EOF) {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("wire: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(header[:4])
+	if n > MaxFrameSize {
+		return 0, nil, ErrFrameTooLarge
+	}
+	contentType = header[4]
+	body = make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("wire: read frame body: %w", unexpectEOF(err))
+	}
+	trailer := make([]byte, 4)
+	if _, err := io.ReadFull(r, trailer); err != nil {
+		return 0, nil, fmt.Errorf("wire: read frame trailer: %w", unexpectEOF(err))
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(header[4:5]) //nolint:errcheck
+	crc.Write(body)        //nolint:errcheck
+	if crc.Sum32() != binary.BigEndian.Uint32(trailer) {
+		return 0, nil, ErrFrameCRC
+	}
+	return contentType, body, nil
+}
+
+// unexpectEOF converts a clean EOF seen mid-frame into ErrUnexpectedEOF so
+// only a close on a frame boundary reads as a clean shutdown.
+func unexpectEOF(err error) error {
+	if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// WriteMessage encodes m with codec and writes it as one frame.
+func WriteMessage(w io.Writer, codec Codec, m *Message) error {
+	body, err := codec.Encode(m)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, codec.ContentType(), body)
+}
+
+// ReadMessage reads one frame and decodes it with the codec named by the
+// frame's content-type tag.
+func ReadMessage(r io.Reader) (*Message, error) {
+	ct, body, err := ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := CodecByContentType(ct)
+	if err != nil {
+		return nil, err
+	}
+	return codec.Decode(body)
+}

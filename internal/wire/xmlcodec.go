@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"encoding/base64"
+	"encoding/xml"
+	"fmt"
+	"time"
+)
+
+// XML is the markup codec the paper's interoperability section (§3.9) calls
+// for: a self-describing encoding that middleware written in any language can
+// parse. Payload bytes are carried base64-encoded; the deadline is RFC 3339.
+type XML struct{}
+
+var _ Codec = XML{}
+
+// xmlEnvelope mirrors Message with marshal-friendly field types.
+type xmlEnvelope struct {
+	XMLName  xml.Name    `xml:"message"`
+	ID       uint64      `xml:"id,attr"`
+	Kind     string      `xml:"kind,attr"`
+	Corr     uint64      `xml:"corr,attr,omitempty"`
+	Priority uint8       `xml:"priority,attr,omitempty"`
+	Src      string      `xml:"src,omitempty"`
+	Dst      string      `xml:"dst,omitempty"`
+	Topic    string      `xml:"topic,omitempty"`
+	Deadline string      `xml:"deadline,omitempty"`
+	Headers  []xmlHeader `xml:"header"`
+	Payload  string      `xml:"payload,omitempty"`
+}
+
+type xmlHeader struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:",chardata"`
+}
+
+// Name implements Codec.
+func (XML) Name() string { return "xml" }
+
+// ContentType implements Codec.
+func (XML) ContentType() byte { return ContentXML }
+
+// kindFromName maps kind names back to values.
+func kindFromName(name string) (Kind, bool) {
+	for i := 1; i < len(kindNames); i++ {
+		if kindNames[i] == name {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
+// Encode implements Codec.
+func (XML) Encode(m *Message) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	env := xmlEnvelope{
+		ID:       m.ID,
+		Kind:     m.Kind.String(),
+		Corr:     m.Corr,
+		Priority: m.Priority,
+		Src:      m.Src,
+		Dst:      m.Dst,
+		Topic:    m.Topic,
+	}
+	if !m.Deadline.IsZero() {
+		env.Deadline = m.Deadline.UTC().Format(time.RFC3339Nano)
+	}
+	for _, k := range m.headerKeys() {
+		env.Headers = append(env.Headers, xmlHeader{Key: k, Value: m.Headers[k]})
+	}
+	if len(m.Payload) > 0 {
+		env.Payload = base64.StdEncoding.EncodeToString(m.Payload)
+	}
+	out, err := xml.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("wire: xml encode: %w", err)
+	}
+	return out, nil
+}
+
+// Decode implements Codec.
+func (XML) Decode(data []byte) (*Message, error) {
+	var env xmlEnvelope
+	if err := xml.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("%w: xml: %v", ErrInvalidMessage, err)
+	}
+	kind, ok := kindFromName(env.Kind)
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown kind %q", ErrInvalidMessage, env.Kind)
+	}
+	m := &Message{
+		ID:       env.ID,
+		Kind:     kind,
+		Corr:     env.Corr,
+		Priority: env.Priority,
+		Src:      env.Src,
+		Dst:      env.Dst,
+		Topic:    env.Topic,
+	}
+	if env.Deadline != "" {
+		t, err := time.Parse(time.RFC3339Nano, env.Deadline)
+		if err != nil {
+			return nil, fmt.Errorf("%w: deadline: %v", ErrInvalidMessage, err)
+		}
+		m.Deadline = t.UTC()
+	}
+	if len(env.Headers) > 0 {
+		m.Headers = make(map[string]string, len(env.Headers))
+		for _, h := range env.Headers {
+			m.Headers[h.Key] = h.Value
+		}
+	}
+	if env.Payload != "" {
+		p, err := base64.StdEncoding.DecodeString(env.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: payload base64: %v", ErrInvalidMessage, err)
+		}
+		m.Payload = p
+	}
+	return m, nil
+}

@@ -1,0 +1,74 @@
+// Package milan is the public API of MiLAN — Middleware Linking Applications
+// and Networks — the paper's own middleware system (§4): it computes, from
+// an application's per-state QoS requirements and each sensor's QoS
+// contributions, the feasible sensor sets, selects the one that maximizes
+// network lifetime, and configures the (simulated) network accordingly.
+//
+// See package simnet for the radio substrate MiLAN configures.
+package milan
+
+import (
+	internal "ndsm/internal/milan"
+)
+
+// Core model types.
+type (
+	// Variable names an application-level quantity ("blood-pressure").
+	Variable = internal.Variable
+	// State names an application state with its own QoS requirements.
+	State = internal.State
+	// AppSpec declares the application's per-state, per-variable QoS needs.
+	AppSpec = internal.AppSpec
+	// Sensor describes one sensor's QoS contributions and sample size.
+	Sensor = internal.Sensor
+	// System is the full MiLAN problem: app + sensors + combine rule.
+	System = internal.System
+	// Energies snapshots per-sensor residual energy.
+	Energies = internal.Energies
+	// Combine merges per-sensor qualities into a set quality.
+	Combine = internal.Combine
+	// Selector picks the operating sensor set.
+	Selector = internal.Selector
+	// Manager is MiLAN's runtime over a simulated network.
+	Manager = internal.Manager
+	// Stats reports a run.
+	Stats = internal.Stats
+)
+
+// Selectors.
+type (
+	// Exhaustive is MiLAN's optimal subset search.
+	Exhaustive = internal.Exhaustive
+	// Greedy is the scalable heuristic.
+	Greedy = internal.Greedy
+	// AllSensors is the no-middleware baseline.
+	AllSensors = internal.AllSensors
+	// RandomFeasible is the unoptimized-feasible baseline.
+	RandomFeasible = internal.RandomFeasible
+)
+
+// Combine rules.
+var (
+	// CombineProb treats sensors as independent evidence (1-∏(1-q)).
+	CombineProb = internal.CombineProb
+	// CombineMax takes the single best sensor.
+	CombineMax = internal.CombineMax
+)
+
+// Role is a node's network assignment under the current configuration.
+type Role = internal.Role
+
+// Network roles.
+const (
+	RoleSource  = internal.RoleSource
+	RoleRouter  = internal.RoleRouter
+	RoleSleeper = internal.RoleSleeper
+	RoleSink    = internal.RoleSink
+)
+
+// ErrInfeasible reports that no sensor subset meets the state's QoS — the
+// end of the network's useful lifetime.
+var ErrInfeasible = internal.ErrInfeasible
+
+// NewManager validates the system and selects the initial configuration.
+var NewManager = internal.NewManager

@@ -1,0 +1,29 @@
+// Package sensorsim is the public API of the synthetic sensor substrate:
+// deterministic, seedable signal generators (blood pressure, heart rate,
+// temperature, MEMS accelerometer) standing in for the physical sensors the
+// paper's scenarios assume.
+package sensorsim
+
+import "ndsm/internal/sensors"
+
+// Reading is one sensor sample; Generator produces a waveform of them;
+// Classifier labels readings against a normal band.
+type (
+	Reading    = sensors.Reading
+	Generator  = sensors.Generator
+	Classifier = sensors.Classifier
+)
+
+// Constructors and codecs.
+var (
+	// NewGenerator builds a custom waveform generator.
+	NewGenerator = sensors.NewGenerator
+	// BloodPressure, HeartRate, Temperature, and Accelerometer are the
+	// preset generators.
+	BloodPressure = sensors.BloodPressure
+	HeartRate     = sensors.HeartRate
+	Temperature   = sensors.Temperature
+	Accelerometer = sensors.Accelerometer
+	// DecodeReading parses a Reading.Encode payload.
+	DecodeReading = sensors.DecodeReading
+)
