@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestRun smokes the whole example in-process: it must finish well inside
+// the deadline and exit cleanly, like the binary would.
+func TestRun(t *testing.T) {
+	// The example narrates to stdout; silence it so test output stays clean.
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = old
+		null.Close() //nolint:errcheck
+	}()
+
+	done := make(chan error, 1)
+	go func() { done <- run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("example did not finish within 60s")
+	}
+}

@@ -1,0 +1,127 @@
+package chaos
+
+import "fmt"
+
+// Invariant is a property of a finished chaos run. Check returns one message
+// per violation (empty means the invariant held).
+type Invariant interface {
+	Name() string
+	Check(w *World, events []Event) []string
+}
+
+// AckedDurable checks at-least-once durability: every operation the consumer
+// holds an ack for must exist in some supplier's recovered state. A supplier
+// only acks after its recovery manager logged and applied the operation, so
+// an acked-but-missing key means the stack lost an acknowledged write.
+type AckedDurable struct{}
+
+// Name implements Invariant.
+func (AckedDurable) Name() string { return "acked-durable" }
+
+// Check implements Invariant.
+func (AckedDurable) Check(w *World, _ []Event) []string {
+	var out []string
+	for _, key := range w.Acked() {
+		if !w.Durable(key) {
+			out = append(out, fmt.Sprintf("acked op %s not durable on any supplier", key))
+		}
+	}
+	return out
+}
+
+// RebindRecovery checks the §3.4 graceful-degradation bound: after a
+// supplier crash is injected, the consumer must complete a successful
+// request within Bound ticks — the binding has other suppliers to re-match
+// to, and fault windows never overlap.
+type RebindRecovery struct {
+	// Bound is the tick budget (default 8).
+	Bound int
+}
+
+// Name implements Invariant.
+func (r RebindRecovery) Name() string { return "rebind-recovery" }
+
+// Check implements Invariant.
+func (r RebindRecovery) Check(w *World, events []Event) []string {
+	bound := r.Bound
+	if bound <= 0 {
+		bound = 8
+	}
+	ticks := w.TickOK()
+	var out []string
+	for _, ev := range events {
+		if ev.Phase != PhaseInject || ev.Fault != FaultCrashSupplier {
+			continue
+		}
+		from := w.TickOf(ev.At)
+		if from+bound >= len(ticks) {
+			continue // crash too close to the end of the run to judge
+		}
+		recovered := false
+		for i := from; i <= from+bound; i++ {
+			if ticks[i] {
+				recovered = true
+				break
+			}
+		}
+		if !recovered {
+			out = append(out, fmt.Sprintf(
+				"no successful request within %d ticks of %s crash at %v (tick %d)",
+				bound, ev.Target, ev.At, from))
+		}
+	}
+	return out
+}
+
+// DiscoveryConvergence checks that adaptive discovery converges to a working
+// mode after the centralized registry dies: within Bound ticks of the kill,
+// a lookup probe must succeed again (via flood fail-over).
+type DiscoveryConvergence struct {
+	// Bound is the tick budget (default 8).
+	Bound int
+}
+
+// Name implements Invariant.
+func (d DiscoveryConvergence) Name() string { return "discovery-convergence" }
+
+// Check implements Invariant.
+func (d DiscoveryConvergence) Check(w *World, events []Event) []string {
+	bound := d.Bound
+	if bound <= 0 {
+		bound = 8
+	}
+	lookups := w.LookupOK()
+	var out []string
+	for _, ev := range events {
+		if ev.Phase != PhaseInject || ev.Fault != FaultKillRegistry {
+			continue
+		}
+		from := w.TickOf(ev.At)
+		if from+bound >= len(lookups) {
+			continue
+		}
+		converged := false
+		for i := from; i <= from+bound; i++ {
+			if lookups[i] {
+				converged = true
+				break
+			}
+		}
+		if !converged {
+			out = append(out, fmt.Sprintf(
+				"no successful lookup within %d ticks of registry kill at %v (tick %d)",
+				bound, ev.At, from))
+		}
+	}
+	return out
+}
+
+// WALReplayClean surfaces replay-fidelity violations recorded by wal-crash
+// injections: a reopened WAL must reproduce every acknowledged operation.
+type WALReplayClean struct{}
+
+// Name implements Invariant.
+func (WALReplayClean) Name() string { return "wal-replay-clean" }
+
+// Check implements Invariant.
+func (WALReplayClean) Check(w *World, _ []Event) []string { return w.WALViolations() }

@@ -1,0 +1,243 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ndsm/internal/simtime"
+)
+
+// ScenarioConfig sizes one seeded chaos scenario.
+type ScenarioConfig struct {
+	// Seed fixes the fault schedule and the substrate RNG. The same seed
+	// reproduces the same schedule and the same invariant verdicts.
+	Seed int64
+	// Ticks is the workload length (default 90).
+	Ticks int
+	// TickEvery is the virtual time per tick (default 50ms).
+	TickEvery time.Duration
+	// Suppliers sizes the world (default 3).
+	Suppliers int
+	// Windows is how many faults the generator draws (default 5).
+	Windows int
+	// RebindBound and ConvergeBound are the invariant tick budgets
+	// (default 8 each).
+	RebindBound   int
+	ConvergeBound int
+	// Dir overrides the world's WAL root (default: fresh temp dir).
+	Dir string
+}
+
+func (c ScenarioConfig) withDefaults() ScenarioConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Ticks <= 0 {
+		c.Ticks = 90
+	}
+	if c.TickEvery <= 0 {
+		c.TickEvery = 50 * time.Millisecond
+	}
+	if c.Suppliers <= 0 {
+		c.Suppliers = 3
+	}
+	if c.Windows <= 0 {
+		c.Windows = 5
+	}
+	if c.RebindBound <= 0 {
+		c.RebindBound = 8
+	}
+	if c.ConvergeBound <= 0 {
+		c.ConvergeBound = 8
+	}
+	return c
+}
+
+// ScenarioResult is one scenario's outcome.
+type ScenarioResult struct {
+	Seed      int64
+	Schedule  Schedule
+	Events    []Event
+	Ticks     int
+	TicksOK   int
+	LookupsOK int
+	Rebinds   int64
+	// Violations holds every invariant violation, prefixed by the invariant
+	// name. Empty means the run was clean.
+	Violations []string
+}
+
+// EventsString renders the applied-event trace canonically.
+func (r *ScenarioResult) EventsString() string {
+	var b strings.Builder
+	for _, ev := range r.Events {
+		b.WriteString(ev.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// StandardChoices is the fault population a standard world supports, with
+// targets wired to its node IDs.
+func StandardChoices(w *World) []FaultChoice {
+	sups := w.SupplierIDs()
+	return []FaultChoice{
+		{Kind: FaultLossBurst, Targets: []string{"0.4"}},
+		{Kind: FaultLatencySpike, Targets: []string{"30ms"}},
+		{Kind: FaultPartition, Targets: sups},
+		{Kind: FaultCrashSupplier, Targets: sups},
+		{Kind: FaultKillRegistry, Targets: []string{RegistryID}},
+		{Kind: FaultWALCrash, Targets: sups, Instant: true},
+	}
+}
+
+// RunScenario builds a world, generates the seed's fault schedule, drives
+// the workload tick by tick with the engine injecting along the way, and
+// checks every invariant over the finished run.
+//
+// Determinism: the schedule and the applied-event trace are pure functions
+// of the seed. Per-tick outcomes can shift between runs (concurrent flood
+// replies consume substrate RNG draws in nondeterministic order), which is
+// why the invariant bounds are set conservatively — verdicts, not individual
+// ticks, are the reproducible artifact.
+func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
+	cfg = cfg.withDefaults()
+	vclock := simtime.NewVirtual(time.Unix(0, 0))
+	world, err := NewWorld(WorldConfig{
+		Seed:      cfg.Seed,
+		Suppliers: cfg.Suppliers,
+		TickEvery: cfg.TickEvery,
+		Clock:     vclock,
+		Dir:       cfg.Dir,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: world seed %d: %w", cfg.Seed, err)
+	}
+	defer world.Close() //nolint:errcheck
+
+	schedule := Generate(GeneratorConfig{
+		Seed:    cfg.Seed,
+		Horizon: time.Duration(cfg.Ticks) * cfg.TickEvery,
+		Windows: cfg.Windows,
+		Choices: StandardChoices(world),
+	})
+	engine := NewEngine(vclock)
+	world.RegisterInjectors(engine)
+	engine.Load(schedule)
+
+	var injectErrs []string
+	for i := 0; i < cfg.Ticks; i++ {
+		vclock.Advance(cfg.TickEvery)
+		if err := engine.Step(); err != nil {
+			injectErrs = append(injectErrs, err.Error())
+		}
+		world.Tick(i)
+	}
+	if err := engine.Finish(); err != nil {
+		injectErrs = append(injectErrs, err.Error())
+	}
+	events := engine.Events()
+
+	res := &ScenarioResult{
+		Seed:     cfg.Seed,
+		Schedule: schedule,
+		Events:   events,
+		Ticks:    cfg.Ticks,
+		Rebinds:  world.Binding().Rebinds.Load(),
+	}
+	for _, ok := range world.TickOK() {
+		if ok {
+			res.TicksOK++
+		}
+	}
+	for _, ok := range world.LookupOK() {
+		if ok {
+			res.LookupsOK++
+		}
+	}
+	for _, msg := range injectErrs {
+		res.Violations = append(res.Violations, "inject: "+msg)
+	}
+	for _, inv := range []Invariant{
+		AckedDurable{},
+		RebindRecovery{Bound: cfg.RebindBound},
+		DiscoveryConvergence{Bound: cfg.ConvergeBound},
+		WALReplayClean{},
+	} {
+		for _, v := range inv.Check(world, events) {
+			res.Violations = append(res.Violations, inv.Name()+": "+v)
+		}
+	}
+	return res, nil
+}
+
+// SoakConfig sizes a multi-scenario soak.
+type SoakConfig struct {
+	// Scenarios is how many seeds to run (default 5).
+	Scenarios int
+	// BaseSeed is the first seed; scenario i runs seed BaseSeed+i
+	// (default 1).
+	BaseSeed int64
+	// Scenario sizes each run (its Seed field is overridden).
+	Scenario ScenarioConfig
+}
+
+// SoakReport aggregates a soak's scenario results.
+type SoakReport struct {
+	Results []*ScenarioResult
+}
+
+// Soak runs N seeded scenarios and aggregates their results. Any violation
+// comes back tagged with the seed that reproduces it.
+func Soak(cfg SoakConfig) (*SoakReport, error) {
+	if cfg.Scenarios <= 0 {
+		cfg.Scenarios = 5
+	}
+	if cfg.BaseSeed == 0 {
+		cfg.BaseSeed = 1
+	}
+	report := &SoakReport{}
+	for i := 0; i < cfg.Scenarios; i++ {
+		sc := cfg.Scenario
+		sc.Seed = cfg.BaseSeed + int64(i)
+		res, err := RunScenario(sc)
+		if err != nil {
+			return nil, err
+		}
+		report.Results = append(report.Results, res)
+	}
+	return report, nil
+}
+
+// Violations returns every violation across the soak, each prefixed with
+// the reproducing seed.
+func (r *SoakReport) Violations() []string {
+	var out []string
+	for _, res := range r.Results {
+		for _, v := range res.Violations {
+			out = append(out, fmt.Sprintf("seed %d: %s", res.Seed, v))
+		}
+	}
+	return out
+}
+
+// String summarizes the soak, including the reproduction recipe for any
+// violation.
+func (r *SoakReport) String() string {
+	var b strings.Builder
+	clean := 0
+	for _, res := range r.Results {
+		if len(res.Violations) == 0 {
+			clean++
+		}
+	}
+	fmt.Fprintf(&b, "chaos soak: %d/%d scenarios clean\n", clean, len(r.Results))
+	for _, v := range r.Violations() {
+		fmt.Fprintf(&b, "  VIOLATION %s\n", v)
+	}
+	if len(r.Violations()) > 0 {
+		b.WriteString("  reproduce with chaos.RunScenario(chaos.ScenarioConfig{Seed: <seed>})\n")
+	}
+	return b.String()
+}

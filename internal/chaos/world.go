@@ -1,0 +1,568 @@
+package chaos
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"ndsm/internal/core"
+	"ndsm/internal/discovery"
+	"ndsm/internal/netmux"
+	"ndsm/internal/netsim"
+	"ndsm/internal/qos"
+	"ndsm/internal/recovery"
+	"ndsm/internal/simtime"
+	"ndsm/internal/svcdesc"
+	"ndsm/internal/transport"
+)
+
+// WorldConfig sizes a chaos world.
+type WorldConfig struct {
+	// Seed fixes the substrate's loss/jitter RNG.
+	Seed int64
+	// Suppliers is how many supplier nodes serve the service (default 3).
+	Suppliers int
+	// Service is the service name suppliers offer (default "svc/chaos").
+	Service string
+	// TickEvery is the virtual time one workload tick represents; fault
+	// schedule offsets are mapped to tick indices through it (default 50ms).
+	TickEvery time.Duration
+	// Clock is the schedule clock (a *simtime.Virtual in tests). It times the
+	// adaptive registry's health probes; the data path runs on wall time so
+	// request timeouts fire while the driving goroutine is blocked inside a
+	// tick.
+	Clock simtime.Clock
+	// RequestTimeout is the consumer's real-time benefit deadline per
+	// request (default 120ms).
+	RequestTimeout time.Duration
+	// CollectWindow is the flood discovery reply-collection window
+	// (default 25ms, real time).
+	CollectWindow time.Duration
+	// Dir is the root for per-supplier WAL directories. Empty means a fresh
+	// temporary directory, removed on Close.
+	Dir string
+}
+
+func (c WorldConfig) withDefaults() WorldConfig {
+	if c.Suppliers <= 0 {
+		c.Suppliers = 3
+	}
+	if c.Service == "" {
+		c.Service = "svc/chaos"
+	}
+	if c.TickEvery <= 0 {
+		c.TickEvery = 50 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = simtime.Real{}
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 120 * time.Millisecond
+	}
+	if c.CollectWindow <= 0 {
+		c.CollectWindow = 25 * time.Millisecond
+	}
+	return c
+}
+
+// RegistryID is the centralized registry's node ID in a World.
+const RegistryID = "registry"
+
+// ConsumerID is the consumer's node ID in a World.
+const ConsumerID = "consumer"
+
+// clientTimeout bounds each centralized-registry exchange so that lost reply
+// datagrams fail the call instead of hanging it (real time).
+const clientTimeout = 150 * time.Millisecond
+
+// keySetState is the suppliers' recoverable state machine: the set of
+// operation keys applied. Its whole point is comparability — after a WAL
+// crash-replay cycle the recovered set must still contain every key the
+// consumer holds an ack for.
+type keySetState struct {
+	mu   sync.Mutex
+	keys map[string]bool
+}
+
+func newKeySetState() *keySetState { return &keySetState{keys: make(map[string]bool)} }
+
+// Apply implements recovery.StateMachine.
+func (s *keySetState) Apply(data []byte) error {
+	s.mu.Lock()
+	s.keys[string(data)] = true
+	s.mu.Unlock()
+	return nil
+}
+
+// Snapshot implements recovery.StateMachine.
+func (s *keySetState) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.keys))
+	for k := range s.keys {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	return json.Marshal(keys)
+}
+
+// Restore implements recovery.StateMachine.
+func (s *keySetState) Restore(snapshot []byte) error {
+	var keys []string
+	if err := json.Unmarshal(snapshot, &keys); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.keys = make(map[string]bool, len(keys))
+	for _, k := range keys {
+		s.keys[k] = true
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Has reports whether a key was applied.
+func (s *keySetState) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.keys[key]
+}
+
+// worldNode is one full middleware endpoint: radio mux, sim transport,
+// flood agent + central client composed adaptively, and the core node.
+type worldNode struct {
+	mux      *netmux.Mux
+	tr       *transport.Sim
+	adaptive *discovery.Adaptive
+	node     *core.Node
+}
+
+// World is the standard chaos scenario: one consumer, one centralized
+// registry, and N suppliers of the same service with distinct advertised
+// reliabilities (so QoS selection is never a tie), all within radio range on
+// a netsim field. Every endpoint runs the real stack — netmux under a sim
+// transport, adaptive discovery over a central client plus a flood agent —
+// so injected faults exercise the same code paths the experiments measure.
+type World struct {
+	cfg WorldConfig
+	dir string
+	// ownDir marks a World-created temp dir (removed on Close).
+	ownDir bool
+
+	Net *netsim.Network
+
+	registryMux    *netmux.Mux
+	registryTr     *transport.Sim
+	registryServer *discovery.Server
+
+	nodes    map[string]*worldNode // consumer + suppliers
+	binding  *core.Binding
+	probe    *discovery.Adaptive // the consumer's registry, for lookup probes
+	supplier []string            // supplier IDs in creation order
+
+	mu            sync.Mutex
+	managers      map[string]*recovery.Manager
+	states        map[string]*keySetState
+	tickOK        []bool
+	lookupOK      []bool
+	acked         []string
+	ackedBy       map[string][]string
+	walViolations []string
+}
+
+// muxDatagram presents one netmux protocol channel as the sim transport's
+// DatagramService, so the transport and the flood discovery agent share the
+// node's single radio.
+type muxDatagram struct{ mux *netmux.Mux }
+
+func (m muxDatagram) Send(from, to netsim.NodeID, data []byte) error {
+	return m.mux.Network().Send(from, to, data)
+}
+
+func (m muxDatagram) Recv(id netsim.NodeID) (<-chan netsim.Packet, error) {
+	if id != m.mux.ID() {
+		return nil, fmt.Errorf("chaos: mux for %s asked to receive for %s", m.mux.ID(), id)
+	}
+	return m.mux.Channel(transport.ProtoSim), nil
+}
+
+// NewWorld builds and starts the scenario world.
+func NewWorld(cfg WorldConfig) (*World, error) {
+	cfg = cfg.withDefaults()
+	w := &World{
+		cfg:      cfg,
+		dir:      cfg.Dir,
+		nodes:    make(map[string]*worldNode),
+		managers: make(map[string]*recovery.Manager),
+		states:   make(map[string]*keySetState),
+		ackedBy:  make(map[string][]string),
+	}
+	if w.dir == "" {
+		dir, err := os.MkdirTemp("", "ndsm-chaos-*")
+		if err != nil {
+			return nil, fmt.Errorf("chaos: temp dir: %w", err)
+		}
+		w.dir = dir
+		w.ownDir = true
+	}
+	if err := w.build(); err != nil {
+		_ = w.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *World) build() error {
+	cfg := w.cfg
+	// The radio runs on wall time (latency spikes are real delays) while the
+	// fault schedule runs on cfg.Clock; energy is unlimited so the only
+	// deaths are the injected ones.
+	w.Net = netsim.New(netsim.Config{
+		Range:     500,
+		InboxSize: 1024,
+		Unlimited: true,
+		Seed:      cfg.Seed,
+	})
+
+	// Registry node: mux -> sim transport -> store server.
+	if err := w.Net.AddNode(RegistryID, netsim.Position{X: 0, Y: 10}); err != nil {
+		return err
+	}
+	mux, err := netmux.New(w.Net, RegistryID)
+	if err != nil {
+		return err
+	}
+	w.registryMux = mux
+	tr, err := transport.NewSim(muxDatagram{mux}, RegistryID, nil)
+	if err != nil {
+		return err
+	}
+	w.registryTr = tr
+	l, err := tr.Listen(RegistryID)
+	if err != nil {
+		return err
+	}
+	w.registryServer = discovery.NewServer(discovery.NewStore(nil, time.Hour), l)
+
+	// Consumer and suppliers all run the full adaptive stack.
+	mkEndpoint := func(id string, x float64) (*worldNode, error) {
+		if err := w.Net.AddNode(netsim.NodeID(id), netsim.Position{X: x, Y: 0}); err != nil {
+			return nil, err
+		}
+		mux, err := netmux.New(w.Net, netsim.NodeID(id))
+		if err != nil {
+			return nil, err
+		}
+		tr, err := transport.NewSim(muxDatagram{mux}, netsim.NodeID(id), nil)
+		if err != nil {
+			mux.Close()
+			return nil, err
+		}
+		agent := discovery.NewAgent(mux, discovery.AgentConfig{
+			QueryTTL:      2,
+			CollectWindow: cfg.CollectWindow,
+			MaxResults:    cfg.Suppliers,
+		})
+		client := discovery.NewClient(tr, RegistryID)
+		client.SetCallTimeout(clientTimeout, nil)
+		adaptive := discovery.NewAdaptive(client, agent,
+			func() int { return w.Net.Density(netsim.NodeID(id)) },
+			discovery.DensityPolicy(1), cfg.Clock)
+		node, err := core.NewNode(core.Config{Name: id, Transport: tr, Registry: adaptive})
+		if err != nil {
+			_ = adaptive.Close()
+			_ = tr.Close()
+			mux.Close()
+			return nil, err
+		}
+		wn := &worldNode{mux: mux, tr: tr, adaptive: adaptive, node: node}
+		w.nodes[id] = wn
+		return wn, nil
+	}
+
+	for i := 0; i < cfg.Suppliers; i++ {
+		id := fmt.Sprintf("s%d", i)
+		wn, err := mkEndpoint(id, float64(10+5*i))
+		if err != nil {
+			return err
+		}
+		state := newKeySetState()
+		mgr, err := recovery.NewManager(filepath.Join(w.dir, id), state, recovery.WALOptions{})
+		if err != nil {
+			return err
+		}
+		w.managers[id] = mgr
+		w.states[id] = state
+		w.supplier = append(w.supplier, id)
+
+		sid := id
+		desc := &svcdesc.Description{
+			Name: cfg.Service,
+			// Distinct reliabilities keep QoS selection tie-free, which keeps
+			// rebind decisions — and therefore invariant verdicts —
+			// deterministic across runs.
+			Reliability: 0.90 - 0.02*float64(i),
+			PowerLevel:  1,
+			TTL:         time.Hour,
+		}
+		handler := func(payload []byte) ([]byte, error) {
+			m := w.manager(sid)
+			if m == nil {
+				return nil, errors.New("chaos: supplier storage offline")
+			}
+			if _, err := m.Log(string(payload), payload); err != nil {
+				return nil, err
+			}
+			// The ack names the supplier so the consumer can attribute it.
+			return []byte(sid), nil
+		}
+		if err := wn.node.Serve(desc, handler); err != nil {
+			return err
+		}
+	}
+
+	consumer, err := mkEndpoint(ConsumerID, 5)
+	if err != nil {
+		return err
+	}
+	w.probe = consumer.adaptive
+	spec := &qos.Spec{
+		Query: svcdesc.Query{Name: cfg.Service},
+		Benefit: qos.Benefit{
+			FullUntil: cfg.RequestTimeout / 2,
+			ZeroAfter: cfg.RequestTimeout,
+		},
+	}
+	binding, err := consumer.node.Bind(spec, core.BindOptions{})
+	if err != nil {
+		return fmt.Errorf("chaos: bind: %w", err)
+	}
+	w.binding = binding
+	return nil
+}
+
+// manager returns the supplier's current recovery manager.
+func (w *World) manager(id string) *recovery.Manager {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.managers[id]
+}
+
+// SupplierIDs lists the supplier node IDs.
+func (w *World) SupplierIDs() []string { return append([]string(nil), w.supplier...) }
+
+// Binding exposes the consumer's binding (rebind counters etc.).
+func (w *World) Binding() *core.Binding { return w.binding }
+
+// TickEvery returns the virtual duration of one tick.
+func (w *World) TickEvery() time.Duration { return w.cfg.TickEvery }
+
+// TickOf maps a schedule offset to the index of the first tick that runs
+// with the action applied (the driver advances the clock and steps the
+// engine before each tick).
+func (w *World) TickOf(at time.Duration) int {
+	if at <= 0 {
+		return 0
+	}
+	n := (int64(at) + int64(w.cfg.TickEvery) - 1) / int64(w.cfg.TickEvery)
+	return int(n) - 1
+}
+
+// Tick runs one synchronous workload step: a consumer request (ack recorded
+// on success, attributed to the answering supplier) and one discovery probe
+// through the adaptive registry.
+func (w *World) Tick(i int) {
+	key := fmt.Sprintf("op-%06d", i)
+	out, err := w.binding.Request([]byte(key))
+	ok := err == nil
+
+	descs, lerr := w.probe.Lookup(&svcdesc.Query{Name: w.cfg.Service})
+	found := lerr == nil && len(descs) > 0
+
+	w.mu.Lock()
+	w.tickOK = append(w.tickOK, ok)
+	w.lookupOK = append(w.lookupOK, found)
+	if ok {
+		w.acked = append(w.acked, key)
+		by := string(out)
+		w.ackedBy[by] = append(w.ackedBy[by], key)
+	}
+	w.mu.Unlock()
+}
+
+// TickOK returns the per-tick request outcomes.
+func (w *World) TickOK() []bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]bool(nil), w.tickOK...)
+}
+
+// LookupOK returns the per-tick discovery probe outcomes.
+func (w *World) LookupOK() []bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]bool(nil), w.lookupOK...)
+}
+
+// Acked returns every operation key the consumer holds an ack for.
+func (w *World) Acked() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]string(nil), w.acked...)
+}
+
+// Durable reports whether any supplier's state machine holds the key.
+func (w *World) Durable(key string) bool {
+	w.mu.Lock()
+	states := make([]*keySetState, 0, len(w.states))
+	for _, s := range w.states {
+		states = append(states, s)
+	}
+	w.mu.Unlock()
+	for _, s := range states {
+		if s.Has(key) {
+			return true
+		}
+	}
+	return false
+}
+
+// WALViolations returns replay-fidelity violations recorded by wal-crash
+// injections.
+func (w *World) WALViolations() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]string(nil), w.walViolations...)
+}
+
+// RegisterInjectors wires every standard fault kind to this world.
+func (w *World) RegisterInjectors(e *Engine) {
+	e.Register(FaultLossBurst, InjectorFunc(func(target string) (func() error, error) {
+		rate := 0.5
+		if target != "" {
+			if v, err := strconv.ParseFloat(target, 64); err == nil {
+				rate = v
+			}
+		}
+		prev := w.Net.SetLossRate(rate)
+		return func() error { w.Net.SetLossRate(prev); return nil }, nil
+	}))
+	e.Register(FaultLatencySpike, InjectorFunc(func(target string) (func() error, error) {
+		lat := 30 * time.Millisecond
+		if target != "" {
+			if v, err := time.ParseDuration(target); err == nil {
+				lat = v
+			}
+		}
+		prevLat, prevJit := w.Net.SetLatency(lat, lat/3)
+		return func() error { w.Net.SetLatency(prevLat, prevJit); return nil }, nil
+	}))
+	e.Register(FaultPartition, InjectorFunc(func(target string) (func() error, error) {
+		id := netsim.NodeID(target)
+		w.Net.Isolate(id)
+		return func() error { w.Net.Rejoin(id); return nil }, nil
+	}))
+	e.Register(FaultCrashSupplier, InjectorFunc(func(target string) (func() error, error) {
+		id := netsim.NodeID(target)
+		if err := w.Net.Kill(id); err != nil {
+			return nil, err
+		}
+		return func() error { return w.Net.Revive(id) }, nil
+	}))
+	e.Register(FaultKillRegistry, InjectorFunc(func(string) (func() error, error) {
+		if err := w.Net.Kill(RegistryID); err != nil {
+			return nil, err
+		}
+		return func() error { return w.Net.Revive(RegistryID) }, nil
+	}))
+	e.Register(FaultWALCrash, InjectorFunc(func(target string) (func() error, error) {
+		return nil, w.walCrash(target)
+	}))
+}
+
+// walCrash crash-cycles a supplier's durable storage: the manager is closed
+// (simulated process death — in-memory state is discarded), reopened over
+// the same directory, and recovered. Any acked operation missing from the
+// recovered state is a replay-fidelity violation.
+func (w *World) walCrash(id string) error {
+	w.mu.Lock()
+	mgr := w.managers[id]
+	acked := append([]string(nil), w.ackedBy[id]...)
+	w.mu.Unlock()
+	if mgr == nil {
+		return fmt.Errorf("chaos: wal-crash: unknown supplier %q", id)
+	}
+	_ = mgr.Close()
+
+	state := newKeySetState()
+	fresh, err := recovery.NewManager(filepath.Join(w.dir, id), state, recovery.WALOptions{})
+	if err != nil {
+		return fmt.Errorf("chaos: wal-crash reopen %s: %w", id, err)
+	}
+	if _, err := fresh.Recover(); err != nil {
+		w.recordWALViolation(fmt.Sprintf("%s: replay failed: %v", id, err))
+	}
+	for _, key := range acked {
+		if !state.Has(key) {
+			w.recordWALViolation(fmt.Sprintf("%s: replay lost acked op %s", id, key))
+		}
+	}
+	w.mu.Lock()
+	w.managers[id] = fresh
+	w.states[id] = state
+	w.mu.Unlock()
+	return nil
+}
+
+func (w *World) recordWALViolation(msg string) {
+	w.mu.Lock()
+	w.walViolations = append(w.walViolations, msg)
+	w.mu.Unlock()
+}
+
+// Close tears the world down: workload, endpoints, registry, substrate,
+// storage, and (when World-owned) the WAL directory.
+func (w *World) Close() error {
+	if w.binding != nil {
+		_ = w.binding.Close()
+	}
+	for _, wn := range w.nodes {
+		_ = wn.node.Close()
+	}
+	for _, wn := range w.nodes {
+		_ = wn.adaptive.Close()
+		_ = wn.tr.Close()
+		wn.mux.Close()
+	}
+	if w.registryServer != nil {
+		_ = w.registryServer.Close()
+	}
+	if w.registryTr != nil {
+		_ = w.registryTr.Close()
+	}
+	if w.registryMux != nil {
+		w.registryMux.Close()
+	}
+	if w.Net != nil {
+		w.Net.Close()
+	}
+	w.mu.Lock()
+	managers := make([]*recovery.Manager, 0, len(w.managers))
+	for _, m := range w.managers {
+		managers = append(managers, m)
+	}
+	w.mu.Unlock()
+	for _, m := range managers {
+		_ = m.Close()
+	}
+	if w.ownDir {
+		_ = os.RemoveAll(w.dir)
+	}
+	return nil
+}

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"ndsm/internal/simtime"
 	"ndsm/internal/stats"
 	"ndsm/internal/svcdesc"
 	"ndsm/internal/transport"
@@ -172,6 +174,10 @@ type Client struct {
 	conn   transport.Conn
 	closed bool
 
+	// timeout bounds each exchange when non-zero (see SetCallTimeout).
+	timeout time.Duration
+	clock   simtime.Clock
+
 	nextID atomic.Uint64
 
 	// Messages counts protocol messages sent and received (the message-cost
@@ -185,6 +191,22 @@ var _ Registry = (*Client)(nil)
 // addr over tr.
 func NewClient(tr transport.Transport, addr string) *Client {
 	return &Client{tr: tr, addr: addr}
+}
+
+// SetCallTimeout bounds each request/response exchange: if the registry's
+// reply does not arrive within d the connection is dropped and the call
+// fails. Without a timeout a lost reply datagram blocks the caller forever —
+// unacceptable on lossy radio substrates, where the adaptive registry needs
+// the central organization to *fail* so it can fall back to flooding. A zero
+// d restores unbounded waits; a nil clock means wall time.
+func (c *Client) SetCallTimeout(d time.Duration, clock simtime.Clock) {
+	if clock == nil {
+		clock = simtime.Real{}
+	}
+	c.mu.Lock()
+	c.timeout = d
+	c.clock = clock
+	c.mu.Unlock()
 }
 
 // Register implements Registry.
@@ -270,20 +292,46 @@ func (c *Client) exchangeLocked(topic string, payload []byte) (*wire.Message, er
 		return nil, fmt.Errorf("discovery: send %s: %w", topic, err)
 	}
 	c.Messages.Inc("sent", 1)
-	for {
-		reply, err := c.conn.Recv()
-		if err != nil {
+
+	type result struct {
+		m   *wire.Message
+		err error
+	}
+	conn := c.conn
+	ch := make(chan result, 1)
+	go func() {
+		for {
+			reply, err := conn.Recv()
+			if err != nil {
+				ch <- result{nil, err}
+				return
+			}
+			c.Messages.Inc("received", 1)
+			if reply.Corr != req.ID {
+				continue // stale reply from a timed-out predecessor
+			}
+			ch <- result{reply, nil}
+			return
+		}
+	}()
+	var timer <-chan time.Time
+	if c.timeout > 0 {
+		timer = c.clock.After(c.timeout)
+	}
+	select {
+	case r := <-ch:
+		if r.err != nil {
 			c.dropConnLocked()
-			return nil, fmt.Errorf("discovery: recv %s: %w", topic, err)
+			return nil, fmt.Errorf("discovery: recv %s: %w", topic, r.err)
 		}
-		c.Messages.Inc("received", 1)
-		if reply.Corr != req.ID {
-			continue // stale reply from a timed-out predecessor
+		if r.m.Kind == wire.KindError {
+			return nil, fmt.Errorf("discovery: registry: %s", r.m.Payload)
 		}
-		if reply.Kind == wire.KindError {
-			return nil, fmt.Errorf("discovery: registry: %s", reply.Payload)
-		}
-		return reply, nil
+		return r.m, nil
+	case <-timer:
+		// Dropping the connection unblocks the receive goroutine.
+		c.dropConnLocked()
+		return nil, fmt.Errorf("discovery: %s: no reply within %v", topic, c.timeout)
 	}
 }
 

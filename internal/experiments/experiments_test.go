@@ -127,6 +127,28 @@ func TestE4Shape(t *testing.T) {
 	}
 }
 
+func TestE4XShape(t *testing.T) {
+	res, err := E4X(E4XOptions{Scenarios: 1, Ticks: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The scenario injected faults and the workload still made progress.
+	if cellFloat(t, res, 0, 0, 1) < 1 {
+		t.Fatalf("no faults injected: %v", rows)
+	}
+	if cellFloat(t, res, 0, 0, 2) <= 0 {
+		t.Fatalf("no successful requests under chaos: %v", rows)
+	}
+	// A clean run: no invariant violations.
+	if v := cellFloat(t, res, 0, 0, 5); v != 0 {
+		t.Fatalf("%v invariant violations: %+v", v, res.Notes)
+	}
+}
+
 func TestE5Shape(t *testing.T) {
 	res, err := E5(E5Options{Nodes: 16, Packets: 5})
 	if err != nil {

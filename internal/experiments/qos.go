@@ -5,9 +5,11 @@ import (
 	"math/rand"
 	"time"
 
+	"ndsm/internal/chaos"
 	"ndsm/internal/core"
 	"ndsm/internal/discovery"
 	"ndsm/internal/qos"
+	"ndsm/internal/simtime"
 	"ndsm/internal/stats"
 	"ndsm/internal/svcdesc"
 	"ndsm/internal/transport"
@@ -177,8 +179,31 @@ func E4(opts E4Options) (Result, error) {
 	}, nil
 }
 
-func e4Run(opts E4Options, killRate float64, adaptive bool) (successRatio float64, rebinds int64, suppliersLeft int, err error) {
+// e4Tick is the virtual time one E4 request represents; the chaos schedule
+// places each kill on this grid.
+const e4Tick = time.Millisecond
+
+// e4Schedule pre-draws the failure schedule: the same seeded coin flips the
+// bespoke kill loop used, expressed declaratively. A step at (i+1)*e4Tick
+// fires after the i-th clock advance — i.e. right before request i, exactly
+// when the old loop killed. The target "@peer" is resolved at inject time to
+// whichever supplier the binding is then using (worst case).
+func e4Schedule(opts E4Options, killRate float64) chaos.Schedule {
 	rng := rand.New(rand.NewSource(opts.Seed))
+	var sched chaos.Schedule
+	for i := 0; i < opts.Requests; i++ {
+		if killRate > 0 && rng.Float64() < killRate {
+			sched = append(sched, chaos.Step{
+				At:     time.Duration(i+1) * e4Tick,
+				Fault:  chaos.FaultCrashSupplier,
+				Target: "@peer",
+			})
+		}
+	}
+	return sched
+}
+
+func e4Run(opts E4Options, killRate float64, adaptive bool) (successRatio float64, rebinds int64, suppliersLeft int, err error) {
 	fabric := transport.NewFabric()
 	registry := discovery.NewStore(nil, 0)
 
@@ -235,10 +260,24 @@ func e4Run(opts E4Options, killRate float64, adaptive bool) (successRatio float6
 		_ = s.node.Close()
 	}
 
+	// The kill loop is the chaos engine: the pre-drawn schedule plays out on
+	// a virtual clock that advances one tick per request.
+	clock := simtime.NewVirtual(time.Unix(0, 0))
+	engine := chaos.NewEngine(clock)
+	engine.Register(chaos.FaultCrashSupplier, chaos.InjectorFunc(func(target string) (func() error, error) {
+		if target == "@peer" {
+			target = binding.Peer() // always kill the supplier in use: worst case
+		}
+		kill(target)
+		return nil, nil
+	}))
+	engine.Load(e4Schedule(opts, killRate))
+
 	ok := 0
 	for i := 0; i < opts.Requests; i++ {
-		if killRate > 0 && rng.Float64() < killRate {
-			kill(binding.Peer()) // always kill the supplier in use: worst case
+		clock.Advance(e4Tick)
+		if err := engine.Step(); err != nil {
+			return 0, 0, 0, err
 		}
 		var err error
 		if adaptive {

@@ -19,7 +19,7 @@ type Runner struct {
 
 // IDs lists all experiment identifiers in run order.
 func IDs() []string {
-	return []string{"F1", "E1", "E2", "E3", "E4", "E5", "E5a", "E6", "E6a", "E7", "E8", "E9", "E10"}
+	return []string{"F1", "E1", "E2", "E3", "E4", "E4x", "E5", "E5a", "E6", "E6a", "E7", "E8", "E9", "E10"}
 }
 
 // Run executes one experiment by ID.
@@ -48,6 +48,11 @@ func (r Runner) Run(id string) (Result, error) {
 			return E4(E4Options{Requests: 60, Suppliers: 3})
 		}
 		return E4(E4Options{})
+	case "E4X":
+		if q {
+			return E4X(E4XOptions{Scenarios: 1, Ticks: 40})
+		}
+		return E4X(E4XOptions{})
 	case "E5":
 		if q {
 			return E5(E5Options{Nodes: 16, Packets: 5})

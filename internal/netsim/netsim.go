@@ -392,6 +392,47 @@ func (n *Network) AliveCount() int {
 	return c
 }
 
+// SetLossRate replaces the per-packet loss probability at runtime and
+// returns the previous rate. Fault-injection harnesses use it to model loss
+// bursts: raise the rate for a window, then restore the returned value.
+func (n *Network) SetLossRate(p float64) float64 {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	prev := n.cfg.LossRate
+	n.cfg.LossRate = p
+	return prev
+}
+
+// LossRate returns the current per-packet loss probability.
+func (n *Network) LossRate() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cfg.LossRate
+}
+
+// SetLatency replaces the fixed one-hop delay and jitter at runtime and
+// returns the previous values (latency spikes, the dual of SetLossRate).
+// Packets already in flight keep their original arrival times.
+func (n *Network) SetLatency(latency, jitter time.Duration) (time.Duration, time.Duration) {
+	if latency < 0 {
+		latency = 0
+	}
+	if jitter < 0 {
+		jitter = 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	prevLat, prevJit := n.cfg.Latency, n.cfg.Jitter
+	n.cfg.Latency, n.cfg.Jitter = latency, jitter
+	return prevLat, prevJit
+}
+
 // Sever cuts the bidirectional link between a and b (partition modelling).
 func (n *Network) Sever(a, b NodeID) {
 	n.mu.Lock()
@@ -413,6 +454,30 @@ func (n *Network) Partition(groupA, groupB []NodeID) {
 	for _, a := range groupA {
 		for _, b := range groupB {
 			n.severed[linkKey(a, b)] = true
+		}
+	}
+}
+
+// Isolate severs every link between id and all other current nodes — the
+// single-node partition a fault injector uses to cut an infrastructure node
+// off without killing it. Undo with Rejoin.
+func (n *Network) Isolate(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for oid := range n.nodes {
+		if oid != id {
+			n.severed[linkKey(id, oid)] = true
+		}
+	}
+}
+
+// Rejoin heals every severed link involving id.
+func (n *Network) Rejoin(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for k := range n.severed {
+		if k[0] == id || k[1] == id {
+			delete(n.severed, k)
 		}
 	}
 }

@@ -1,0 +1,78 @@
+package svcdesc
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzMatch drives Query.Matches, Constraint.Matches, Filter and
+// CompareVersions with arbitrary strings and operators. None may panic, and
+// a few algebraic properties must hold regardless of input:
+//
+//   - CompareVersions is reflexive and antisymmetric;
+//   - a query naming exactly the description's name (with no other
+//     criteria) always matches an unconstrained description;
+//   - an OpExists constraint matches iff the attribute is present;
+//   - a reliability floor above the description's reliability never matches.
+func FuzzMatch(f *testing.F) {
+	f.Add("printer", "printer/*", "1.2", "color", byte(1), "true", 0.5, "secret")
+	f.Add("sensor/bp", "sensor/*", "2.0.1", "rate", byte(5), "9.5", 0.9, "")
+	f.Add("", "*", "", "", byte(8), "", 0.0, "pw")
+	f.Add("a", "b", "x.y.z", "attr", byte(200), "1e308", -1.5, "\x00\xff")
+	f.Add("svc", "svc", "1.0", "n", byte(3), "NaN", 0.25, "p")
+
+	f.Fuzz(func(t *testing.T, name, qname, version, attr string, op byte, value string, minRel float64, password string) {
+		now := time.Date(2003, 6, 1, 12, 0, 0, 0, time.UTC)
+		d := &Description{
+			Name:        name,
+			Provider:    "fuzz",
+			Version:     version,
+			Reliability: 0.8,
+			PowerLevel:  1,
+			Attributes:  map[string]string{attr: value},
+			Location:    &Location{X: 1, Y: 2},
+		}
+		q := &Query{
+			Name:           qname,
+			MinVersion:     version,
+			Constraints:    []Constraint{{Attr: attr, Op: Op(op), Value: value}},
+			MinReliability: minRel,
+			Password:       password,
+			Near:           &Location{X: 3, Y: 4},
+			MaxDistance:    100,
+		}
+		q.Matches(d, now)                      // must not panic
+		q.Matches(nil, now)                    // nil description
+		(&Query{}).Matches(d, now)             // empty query
+		Filter([]*Description{d, nil}, q, now) // nil entries tolerated
+		Filter(nil, q, now)
+
+		if got := CompareVersions(version, version); got != 0 {
+			t.Fatalf("CompareVersions(%q, %q) = %d, want 0", version, version, got)
+		}
+		if ab, ba := CompareVersions(version, name), CompareVersions(name, version); ab != -ba {
+			t.Fatalf("CompareVersions antisymmetry broken: (%q,%q)=%d but (%q,%q)=%d",
+				version, name, ab, name, version, ba)
+		}
+
+		exists := Constraint{Attr: attr, Op: OpExists}
+		if got := exists.Matches(d.Attributes); !got {
+			t.Fatalf("OpExists on present attribute %q = false", attr)
+		}
+		if got := exists.Matches(nil); got {
+			t.Fatalf("OpExists on empty attributes = true for %q", attr)
+		}
+
+		exact := &Query{Name: name}
+		if !exact.Matches(d, now) {
+			t.Fatalf("exact-name query %q failed to match its own description", name)
+		}
+
+		if minRel > d.Reliability {
+			floor := &Query{Name: name, MinReliability: minRel}
+			if floor.Matches(d, now) {
+				t.Fatalf("reliability floor %v matched description with reliability %v", minRel, d.Reliability)
+			}
+		}
+	})
+}

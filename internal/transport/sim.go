@@ -21,6 +21,12 @@ type DatagramService interface {
 
 var _ DatagramService = (*netsim.Network)(nil)
 
+// ProtoSim is the first byte of every sim-transport datagram (the magic
+// byte). A netmux channel registered on this byte receives exactly the sim
+// transport's traffic, which lets the transport share one radio with other
+// protocol agents (routing, distributed discovery).
+const ProtoSim byte = simMagic
+
 // Sim datagram header: [magic][8-byte conn id][flag], then the encoded
 // message for data frames.
 const (

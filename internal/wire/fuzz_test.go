@@ -1,0 +1,96 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// fuzzCodecs are the three codecs FuzzWireDecode exercises. Binary is
+// byte-faithful; JSON and XML may normalise strings (escape replacement,
+// header ordering), so their round-trip guarantee is stability of the
+// re-encoded form rather than byte equality with the fuzz input.
+var fuzzCodecs = []Codec{Binary{}, JSON{}, XML{}}
+
+func fuzzSeedMessage() *Message {
+	return &Message{
+		ID:       42,
+		Kind:     KindRequest,
+		Src:      "node-a",
+		Dst:      "node-b",
+		Topic:    "sensor/bp",
+		Corr:     7,
+		Priority: 3,
+		Deadline: time.Date(2003, 6, 1, 12, 0, 0, 500, time.UTC),
+		Headers:  map[string]string{"content-type": "binary", "ttl": "2"},
+		Payload:  []byte{0x00, 0x01, 0xFE, 0xFF},
+	}
+}
+
+// FuzzWireDecode feeds arbitrary bytes to every codec's Decode. A decode may
+// reject the input with an error, but it must never panic; and anything it
+// accepts must re-encode cleanly into a stable form: Encode succeeds,
+// Decode(Encode(m)) succeeds and is semantically equal, and a second
+// encode of that result is byte-identical to the first (the encoding is a
+// fixed point after one normalisation pass).
+func FuzzWireDecode(f *testing.F) {
+	seed := fuzzSeedMessage()
+	for _, c := range fuzzCodecs {
+		enc, err := c.Encode(seed)
+		if err != nil {
+			f.Fatalf("%s: seed encode: %v", c.Name(), err)
+		}
+		f.Add(enc)
+		// Truncated and corrupted variants of a valid encoding probe the
+		// error paths that plain garbage rarely reaches.
+		f.Add(enc[:len(enc)/2])
+		if len(enc) > 4 {
+			bad := append([]byte(nil), enc...)
+			bad[3] ^= 0xFF
+			f.Add(bad)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xD5})                                                       // binary magic, nothing else
+	f.Add([]byte(`{"kind":"request"}`))                                       // minimal JSON
+	f.Add([]byte(`<message></message>`))                                      // minimal XML
+	f.Add([]byte(`{"kind":"nope"}`))                                          // unknown kind
+	f.Add([]byte("\xD5\x01\x01\x00\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF\x01")) // huge uvarint
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, c := range fuzzCodecs {
+			m, err := c.Decode(data)
+			if err != nil {
+				if m != nil {
+					t.Fatalf("%s: Decode returned both a message and error %v", c.Name(), err)
+				}
+				continue
+			}
+			if m == nil {
+				t.Fatalf("%s: Decode returned nil message with nil error", c.Name())
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatalf("%s: Decode accepted invalid message: %v", c.Name(), err)
+			}
+			enc, err := c.Encode(m)
+			if err != nil {
+				t.Fatalf("%s: decoded message failed to re-encode: %v", c.Name(), err)
+			}
+			m2, err := c.Decode(enc)
+			if err != nil {
+				t.Fatalf("%s: re-encoded message failed to decode: %v\nencoding: %q", c.Name(), err, enc)
+			}
+			enc2, err := c.Encode(m2)
+			if err != nil {
+				t.Fatalf("%s: second re-encode failed: %v", c.Name(), err)
+			}
+			if !bytes.Equal(enc, enc2) {
+				t.Fatalf("%s: encoding is not a fixed point:\n first: %q\nsecond: %q", c.Name(), enc, enc2)
+			}
+			// Binary is byte-faithful, so semantic equality must hold too.
+			if _, isBinary := c.(Binary); isBinary && !m.Equal(m2) {
+				t.Fatalf("binary: round-trip changed message:\n was: %+v\n got: %+v", m, m2)
+			}
+		}
+	})
+}
