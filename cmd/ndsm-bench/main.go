@@ -8,43 +8,61 @@
 //	ndsm-bench -quick          # shrunken workloads (seconds)
 //	ndsm-bench -run E6,E1      # selected experiments
 //	ndsm-bench -list           # list experiment IDs
+//	ndsm-bench -quick -metrics # append the middleware metrics snapshot (JSON)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"ndsm/internal/experiments"
+	"ndsm/internal/obs"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run shrunken workloads")
 	run := flag.String("run", "", "comma-separated experiment IDs (default all)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	metrics := flag.Bool("metrics", false, "after the run, dump the middleware metrics snapshot as JSON")
 	flag.Parse()
-	if err := realMain(*quick, *run, *list); err != nil {
+	if err := realMain(*quick, *run, *list, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func realMain(quick bool, run string, list bool) error {
+func realMain(quick bool, run string, list, metrics bool) error {
 	if list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
 		return nil
 	}
 	runner := experiments.Runner{QuickMode: quick}
 	if run == "" {
-		return runner.RunAll(os.Stdout)
-	}
-	for _, id := range strings.Split(run, ",") {
-		res, err := runner.Run(strings.TrimSpace(id))
-		if err != nil {
+		if err := runner.RunAll(os.Stdout); err != nil {
 			return err
 		}
-		fmt.Print(experiments.Render(res))
+	} else {
+		for _, id := range strings.Split(run, ",") {
+			res, err := runner.Run(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.Render(res))
+		}
+	}
+	if metrics {
+		return dumpMetrics(os.Stdout)
 	}
 	return nil
+}
+
+// dumpMetrics prints the process-wide observability snapshot — every counter,
+// gauge, and histogram the experiments touched — as indented JSON.
+func dumpMetrics(w *os.File) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(obs.Default().Snapshot())
 }

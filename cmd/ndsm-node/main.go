@@ -34,6 +34,7 @@ import (
 	"ndsm/internal/core"
 	"ndsm/internal/discovery"
 	"ndsm/internal/qos"
+	"ndsm/internal/recovery"
 	"ndsm/internal/sensors"
 	"ndsm/internal/svcdesc"
 	"ndsm/internal/transport"
@@ -61,17 +62,20 @@ func main() {
 	config := flag.String("config", "", "JSON config of services to host")
 	lookup := flag.String("lookup", "", "one-shot lookup of a service name pattern")
 	call := flag.Bool("call", false, "with -lookup: bind best supplier and request one sample")
-	httpAddr := flag.String("http", "", "also serve the HTTP bridge (GET /services, POST /call/<svc>) on this address")
+	httpAddr := flag.String("http", "", "also serve the HTTP bridge (GET /services, POST /call/<svc>, GET /metrics) on this address")
 	renewEvery := flag.Duration("renew", 10*time.Second, "lease renewal interval")
+	walPath := flag.String("wal", "", "journal service registrations to this write-ahead log file")
 	flag.Parse()
-	if err := run(*registry, *listen, *config, *lookup, *call, *httpAddr, *renewEvery); err != nil {
+	if err := run(*registry, *listen, *config, *lookup, *call, *httpAddr, *walPath, *renewEvery); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(registryAddr, listen, configPath, lookup string, call bool, httpAddr string, renewEvery time.Duration) error {
-	tr := transport.NewTCP(nil)
+func run(registryAddr, listen, configPath, lookup string, call bool, httpAddr, walPath string, renewEvery time.Duration) error {
+	// Instrument makes every TCP connection feed the process-wide metrics
+	// registry, surfaced over the HTTP bridge's GET /metrics.
+	tr := transport.Instrument(transport.NewTCP(nil), nil)
 	defer tr.Close() //nolint:errcheck
 	registry := discovery.NewClient(tr, registryAddr)
 	defer registry.Close() //nolint:errcheck
@@ -82,7 +86,7 @@ func run(registryAddr, listen, configPath, lookup string, call bool, httpAddr st
 	if configPath == "" {
 		return fmt.Errorf("need -config to serve or -lookup to query")
 	}
-	return serve(tr, registry, listen, configPath, httpAddr, renewEvery)
+	return serve(tr, registry, listen, configPath, httpAddr, walPath, renewEvery)
 }
 
 func doLookup(tr transport.Transport, registry discovery.Registry, listen, pattern string, call bool) error {
@@ -122,7 +126,7 @@ func doLookup(tr transport.Transport, registry discovery.Registry, listen, patte
 	return nil
 }
 
-func serve(tr transport.Transport, registry discovery.Registry, listen, configPath, httpAddr string, renewEvery time.Duration) error {
+func serve(tr transport.Transport, registry discovery.Registry, listen, configPath, httpAddr, walPath string, renewEvery time.Duration) error {
 	raw, err := os.ReadFile(configPath)
 	if err != nil {
 		return err
@@ -133,6 +137,23 @@ func serve(tr transport.Transport, registry discovery.Registry, listen, configPa
 	}
 	if len(cfg.Services) == 0 {
 		return fmt.Errorf("%s declares no services", configPath)
+	}
+
+	// Optional registration journal (§3.8 recovery system): every service this
+	// node registers is appended as a durable RecordOp, so an operator can
+	// reconstruct what the node had advertised before a crash.
+	var wal *recovery.WAL
+	if walPath != "" {
+		wal, err = recovery.OpenWAL(walPath, recovery.WALOptions{SyncEveryAppend: true})
+		if err != nil {
+			return err
+		}
+		defer wal.Close() //nolint:errcheck
+		prior := 0
+		if err := wal.Replay(func(recovery.Record) error { prior++; return nil }); err != nil {
+			return err
+		}
+		fmt.Printf("wal %s: %d prior registration records\n", walPath, prior)
 	}
 
 	node, err := core.NewNode(core.Config{Name: listen, Transport: tr, Registry: registry})
@@ -148,6 +169,7 @@ func serve(tr transport.Transport, registry discovery.Registry, listen, configPa
 		}
 		desc := &svcdesc.Description{
 			Name:        sc.Name,
+			Provider:    listen,
 			Reliability: sc.Reliability,
 			PowerLevel:  1,
 			Attributes:  sc.Attributes,
@@ -161,6 +183,19 @@ func serve(tr transport.Transport, registry discovery.Registry, listen, configPa
 		}
 		if err := node.Serve(desc, handler); err != nil {
 			return err
+		}
+		if wal != nil {
+			payload, err := svcdesc.MarshalDescription(desc)
+			if err != nil {
+				return err
+			}
+			if _, err := wal.Append(recovery.Record{
+				Type:  recovery.RecordOp,
+				OpKey: desc.Name,
+				Data:  payload,
+			}); err != nil {
+				return err
+			}
 		}
 		fmt.Printf("serving %s (%s) on %s\n", sc.Name, sc.Kind, listen)
 	}
@@ -177,7 +212,7 @@ func serve(tr transport.Transport, registry discovery.Registry, listen, configPa
 			}
 		}()
 		defer httpSrv.Close() //nolint:errcheck
-		fmt.Printf("http bridge on %s (GET /services, POST /call/<svc>)\n", httpAddr)
+		fmt.Printf("http bridge on %s (GET /services, POST /call/<svc>, GET /metrics)\n", httpAddr)
 	}
 
 	stop := make(chan os.Signal, 1)

@@ -5,12 +5,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
-	"time"
 
+	"ndsm/internal/endpoint"
 	"ndsm/internal/qos"
 	"ndsm/internal/transaction"
-	"ndsm/internal/transport"
-	"ndsm/internal/wire"
 )
 
 // Binding is a QoS-managed consumer-side attachment to the best feasible
@@ -30,10 +28,8 @@ type Binding struct {
 
 	mu     sync.Mutex
 	peer   string
-	conn   transport.Conn
+	caller *endpoint.Caller
 	closed bool
-
-	nextID atomic.Uint64
 
 	// Rebinds counts supplier migrations.
 	Rebinds atomic.Int64
@@ -115,17 +111,23 @@ func (b *Binding) selectPeer(exclude string) (string, error) {
 	return best.Provider, nil
 }
 
-// connect replaces the binding's connection.
+// connect replaces the binding's connection with a fresh caller to peer.
 func (b *Binding) connect(peer string) error {
-	conn, err := b.node.tr.Dial(peer)
+	caller, err := endpoint.NewCaller(b.node.tr, peer, endpoint.CallerOptions{
+		Clock: b.node.clock,
+		Eager: true,
+		Interceptors: []endpoint.ClientInterceptor{
+			endpoint.WithMetrics(nil, "core.binding", b.node.clock),
+		},
+	})
 	if err != nil {
 		return fmt.Errorf("core: dial %s: %w", peer, err)
 	}
 	b.mu.Lock()
-	if b.conn != nil {
-		_ = b.conn.Close()
+	if b.caller != nil {
+		_ = b.caller.Close()
 	}
-	b.conn = conn
+	b.caller = caller
 	b.peer = peer
 	b.mu.Unlock()
 	return nil
@@ -220,81 +222,45 @@ func (b *Binding) violated() bool {
 	return b.Tracker().Violated(b.minRatio, b.minBenefit, b.minSamples)
 }
 
-// requestOnce performs a single exchange on the current connection.
+// requestOnce performs a single exchange through the binding's endpoint
+// caller. The deadline derives from the spec's benefit curve and propagates
+// on the wire; delivery and delay feed the QoS tracker.
 func (b *Binding) requestOnce(payload []byte) ([]byte, error) {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
 		return nil, ErrNodeClosed
 	}
-	conn := b.conn
+	caller := b.caller
 	b.mu.Unlock()
 
-	start := b.node.clock.Now()
-	var deadline time.Time
 	timeout := b.spec.Benefit.ZeroAfter
 	if timeout == 0 {
 		timeout = b.spec.Benefit.FullUntil
 	}
-	if timeout > 0 {
-		deadline = start.Add(timeout)
+	callTimeout := timeout
+	if callTimeout <= 0 {
+		callTimeout = endpoint.NoTimeout
 	}
-	req := &wire.Message{
-		ID:       b.nextID.Add(1),
-		Kind:     wire.KindRequest,
-		Src:      b.node.name,
-		Dst:      b.Peer(),
-		Topic:    b.spec.Query.Name,
-		Deadline: deadline,
-		Payload:  payload,
-	}
-	if err := conn.Send(req); err != nil {
+	start := b.node.clock.Now()
+	m, err := caller.Do(&endpoint.Call{
+		Topic:   b.spec.Query.Name,
+		Src:     b.node.name,
+		Dst:     b.Peer(),
+		Payload: payload,
+		Timeout: callTimeout,
+	})
+	if err != nil {
+		if re, ok := endpoint.IsRemote(err); ok {
+			return nil, &remoteError{msg: re.Msg}
+		}
+		if errors.Is(err, endpoint.ErrTimeout) {
+			return nil, fmt.Errorf("core: request to %s timed out after %v", b.Peer(), timeout)
+		}
 		return nil, err
 	}
-
-	type result struct {
-		m   *wire.Message
-		err error
-	}
-	ch := make(chan result, 1)
-	go func() {
-		for {
-			m, err := conn.Recv()
-			if err != nil {
-				ch <- result{nil, err}
-				return
-			}
-			if m.Corr == req.ID {
-				ch <- result{m, nil}
-				return
-			}
-		}
-	}()
-	var timer <-chan time.Time
-	if timeout > 0 {
-		timer = b.node.clock.After(timeout)
-	}
-	select {
-	case r := <-ch:
-		if r.err != nil {
-			return nil, r.err
-		}
-		elapsed := b.node.clock.Now().Sub(start)
-		if r.m.Kind == wire.KindError {
-			return nil, &remoteError{msg: string(r.m.Payload)}
-		}
-		b.Tracker().ObserveDelivery(elapsed)
-		return r.m.Payload, nil
-	case <-timer:
-		// The late reply (if any) is discarded by closing the connection so
-		// the receive goroutine exits; the next request reconnects.
-		b.mu.Lock()
-		if b.conn == conn {
-			_ = conn.Close()
-		}
-		b.mu.Unlock()
-		return nil, fmt.Errorf("core: request to %s timed out after %v", b.Peer(), timeout)
-	}
+	b.Tracker().ObserveDelivery(b.node.clock.Now().Sub(start))
+	return m.Payload, nil
 }
 
 // Poll turns the binding into a continuous (or intermittent-with-prediction)
@@ -326,11 +292,11 @@ func (b *Binding) Close() error {
 		return nil
 	}
 	b.closed = true
-	conn := b.conn
+	caller := b.caller
 	b.mu.Unlock()
 	_ = b.node.table.Complete(b.txn.ID)
-	if conn != nil {
-		return conn.Close()
+	if caller != nil {
+		return caller.Close()
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"ndsm/internal/discovery"
+	"ndsm/internal/endpoint"
 	"ndsm/internal/simtime"
 	"ndsm/internal/svcdesc"
 	"ndsm/internal/transaction"
@@ -51,13 +52,14 @@ type Node struct {
 
 	table *transaction.Table
 
+	// ep serves all hosted suppliers on the node's single listener through
+	// the shared request/reply engine.
+	ep *endpoint.Server
+
 	mu        sync.Mutex
 	suppliers map[string]*supplier // by service name
 	bindings  []*Binding
-	listener  transport.Listener
-	conns     map[transport.Conn]struct{}
 	closed    bool
-	wg        sync.WaitGroup
 }
 
 // supplier is one hosted service.
@@ -91,11 +93,17 @@ func NewNode(cfg Config) (*Node, error) {
 		clock:     cfg.Clock,
 		table:     transaction.NewTable(),
 		suppliers: make(map[string]*supplier),
-		conns:     make(map[transport.Conn]struct{}),
-		listener:  l,
 	}
-	n.wg.Add(1)
-	go n.acceptLoop()
+	n.ep = endpoint.NewServer(l, endpoint.ServerOptions{
+		Name:  cfg.Name,
+		Kinds: []wire.Kind{wire.KindRequest},
+		Interceptors: []endpoint.ServerInterceptor{
+			endpoint.WithServerMetrics(nil, "core.node", nil),
+		},
+		Fallback: func(req *wire.Message) (*wire.Message, error) {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownService, req.Topic)
+		},
+	})
 	return n, nil
 }
 
@@ -118,10 +126,6 @@ func (n *Node) Close() error {
 		services = append(services, name)
 	}
 	bindings := append([]*Binding(nil), n.bindings...)
-	conns := make([]transport.Conn, 0, len(n.conns))
-	for c := range n.conns {
-		conns = append(conns, c)
-	}
 	n.mu.Unlock()
 
 	for _, svc := range services {
@@ -130,12 +134,7 @@ func (n *Node) Close() error {
 	for _, b := range bindings {
 		_ = b.Close()
 	}
-	_ = n.listener.Close()
-	for _, c := range conns {
-		_ = c.Close()
-	}
-	n.wg.Wait()
-	return nil
+	return n.ep.Close()
 }
 
 // Serve hosts a service: the description is completed with this node as
@@ -161,11 +160,19 @@ func (n *Node) Serve(desc *svcdesc.Description, handler Handler) error {
 	}
 	n.suppliers[d.Name] = &supplier{desc: d, handler: handler}
 	n.mu.Unlock()
+	n.ep.Handle(d.Name, func(req *wire.Message) (*wire.Message, error) {
+		out, err := handler(req.Payload)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.Message{Kind: wire.KindReply, Payload: out}, nil
+	})
 
 	if err := n.registry.Register(d); err != nil {
 		n.mu.Lock()
 		delete(n.suppliers, d.Name)
 		n.mu.Unlock()
+		n.ep.Unhandle(d.Name)
 		return fmt.Errorf("core: register %s: %w", d.Name, err)
 	}
 	n.Events.Publish(Event{Type: EventServiceUp, Service: d.Name, Peer: n.name})
@@ -183,6 +190,7 @@ func (n *Node) withdraw(service string) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownService, service)
 	}
+	n.ep.Unhandle(service)
 	err := n.registry.Unregister(sup.desc.Key())
 	n.Events.Publish(Event{Type: EventServiceDown, Service: service, Peer: n.name})
 	return err
@@ -215,66 +223,4 @@ func (n *Node) Services() []string {
 		out = append(out, name)
 	}
 	return out
-}
-
-func (n *Node) acceptLoop() {
-	defer n.wg.Done()
-	for {
-		conn, err := n.listener.Accept()
-		if err != nil {
-			return
-		}
-		n.mu.Lock()
-		if n.closed {
-			n.mu.Unlock()
-			_ = conn.Close()
-			return
-		}
-		n.conns[conn] = struct{}{}
-		n.mu.Unlock()
-		n.wg.Add(1)
-		go n.serveConn(conn)
-	}
-}
-
-func (n *Node) serveConn(conn transport.Conn) {
-	defer n.wg.Done()
-	defer func() {
-		_ = conn.Close()
-		n.mu.Lock()
-		delete(n.conns, conn)
-		n.mu.Unlock()
-	}()
-	var sendMu sync.Mutex
-	for {
-		req, err := conn.Recv()
-		if err != nil {
-			return
-		}
-		if req.Kind != wire.KindRequest {
-			continue
-		}
-		n.mu.Lock()
-		sup := n.suppliers[req.Topic]
-		n.mu.Unlock()
-
-		n.wg.Add(1)
-		go func(req *wire.Message) {
-			defer n.wg.Done()
-			reply := &wire.Message{Corr: req.ID, Topic: req.Topic, Src: n.name}
-			if sup == nil {
-				reply.Kind = wire.KindError
-				reply.Payload = []byte(fmt.Sprintf("%v: %s", ErrUnknownService, req.Topic))
-			} else if out, err := sup.handler(req.Payload); err != nil {
-				reply.Kind = wire.KindError
-				reply.Payload = []byte(err.Error())
-			} else {
-				reply.Kind = wire.KindReply
-				reply.Payload = out
-			}
-			sendMu.Lock()
-			defer sendMu.Unlock()
-			_ = conn.Send(reply)
-		}(req)
-	}
 }

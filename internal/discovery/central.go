@@ -4,9 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"ndsm/internal/endpoint"
+	"ndsm/internal/obs"
 	"ndsm/internal/simtime"
 	"ndsm/internal/stats"
 	"ndsm/internal/svcdesc"
@@ -25,16 +26,10 @@ const (
 )
 
 // Server is the centralized registry: a Store exposed over a transport
-// listener. Start with Serve (blocking) or let NewServer's goroutine run it.
+// listener via the shared endpoint engine.
 type Server struct {
-	store    *Store
-	listener transport.Listener
-
-	mu     sync.Mutex
-	conns  map[transport.Conn]struct{}
-	closed bool
-
-	wg sync.WaitGroup
+	store *Store
+	ep    *endpoint.Server
 
 	// Requests counts handled requests by topic.
 	Requests stats.Counter
@@ -43,142 +38,92 @@ type Server struct {
 // NewServer starts serving the store on the listener in a background
 // accept loop.
 func NewServer(store *Store, l transport.Listener) *Server {
-	s := &Server{store: store, listener: l, conns: make(map[transport.Conn]struct{})}
-	s.wg.Add(1)
-	go s.acceptLoop()
+	s := &Server{store: store}
+	s.ep = endpoint.NewServer(l, endpoint.ServerOptions{
+		Kinds: []wire.Kind{wire.KindControl, wire.KindRequest},
+		Interceptors: []endpoint.ServerInterceptor{
+			s.sweepAndCount,
+			endpoint.WithServerMetrics(nil, "discovery.server", nil),
+		},
+		Fallback: func(req *wire.Message) (*wire.Message, error) {
+			return nil, fmt.Errorf("discovery: unknown topic %q", req.Topic)
+		},
+	})
+	s.ep.Handle(topicRegister, s.handleRegister)
+	s.ep.Handle(topicUnregister, s.handleUnregister)
+	s.ep.Handle(topicRenew, s.handleRenew)
+	s.ep.Handle(topicLookup, s.handleLookup)
 	return s
 }
 
+// sweepAndCount expires stale leases before every operation and tallies the
+// request by topic — unknown topics included, as before the endpoint port.
+func (s *Server) sweepAndCount(next endpoint.Handler) endpoint.Handler {
+	return func(req *wire.Message) (*wire.Message, error) {
+		s.store.Sweep()
+		s.Requests.Inc(req.Topic, 1)
+		return next(req)
+	}
+}
+
 // Addr returns the listener's bound address.
-func (s *Server) Addr() string { return s.listener.Addr() }
+func (s *Server) Addr() string { return s.ep.Addr() }
 
 // Store returns the server's backing store.
 func (s *Server) Store() *Store { return s.store }
 
 // Close stops accepting, closes all connections, and waits for handlers.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
-	s.closed = true
-	conns := make([]transport.Conn, 0, len(s.conns))
-	for c := range s.conns {
-		conns = append(conns, c)
-	}
-	s.mu.Unlock()
+func (s *Server) Close() error { return s.ep.Close() }
 
-	_ = s.listener.Close()
-	for _, c := range conns {
-		_ = c.Close()
+func (s *Server) handleRegister(req *wire.Message) (*wire.Message, error) {
+	d, err := svcdesc.UnmarshalDescription(req.Payload)
+	if err != nil {
+		return nil, err
 	}
-	s.wg.Wait()
-	return nil
+	if err := s.store.Register(d); err != nil {
+		return nil, err
+	}
+	return &wire.Message{Kind: wire.KindAck}, nil
 }
 
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.listener.Accept()
-		if err != nil {
-			return
-		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			_ = conn.Close()
-			return
-		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-
-		s.wg.Add(1)
-		go s.serveConn(conn)
+func (s *Server) handleUnregister(req *wire.Message) (*wire.Message, error) {
+	if err := s.store.Unregister(string(req.Payload)); err != nil {
+		return nil, err
 	}
+	return &wire.Message{Kind: wire.KindAck}, nil
 }
 
-func (s *Server) serveConn(conn transport.Conn) {
-	defer s.wg.Done()
-	defer func() {
-		_ = conn.Close()
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-	}()
-	for {
-		req, err := conn.Recv()
-		if err != nil {
-			return
-		}
-		reply := s.handle(req)
-		reply.Corr = req.ID
-		if err := conn.Send(reply); err != nil {
-			return
-		}
+func (s *Server) handleRenew(req *wire.Message) (*wire.Message, error) {
+	if err := s.store.Renew(string(req.Payload)); err != nil {
+		return nil, err
 	}
+	return &wire.Message{Kind: wire.KindAck}, nil
 }
 
-func (s *Server) handle(req *wire.Message) *wire.Message {
-	s.store.Sweep()
-	s.Requests.Inc(req.Topic, 1)
-	fail := func(err error) *wire.Message {
-		return &wire.Message{Kind: wire.KindError, Topic: req.Topic, Payload: []byte(err.Error())}
+func (s *Server) handleLookup(req *wire.Message) (*wire.Message, error) {
+	q, err := svcdesc.UnmarshalQuery(req.Payload)
+	if err != nil {
+		return nil, err
 	}
-	switch req.Topic {
-	case topicRegister:
-		d, err := svcdesc.UnmarshalDescription(req.Payload)
-		if err != nil {
-			return fail(err)
-		}
-		if err := s.store.Register(d); err != nil {
-			return fail(err)
-		}
-		return &wire.Message{Kind: wire.KindAck, Topic: req.Topic}
-	case topicUnregister:
-		if err := s.store.Unregister(string(req.Payload)); err != nil {
-			return fail(err)
-		}
-		return &wire.Message{Kind: wire.KindAck, Topic: req.Topic}
-	case topicRenew:
-		if err := s.store.Renew(string(req.Payload)); err != nil {
-			return fail(err)
-		}
-		return &wire.Message{Kind: wire.KindAck, Topic: req.Topic}
-	case topicLookup:
-		q, err := svcdesc.UnmarshalQuery(req.Payload)
-		if err != nil {
-			return fail(err)
-		}
-		descs, err := s.store.Lookup(q)
-		if err != nil {
-			return fail(err)
-		}
-		payload, err := svcdesc.MarshalDescriptionList(descs)
-		if err != nil {
-			return fail(err)
-		}
-		return &wire.Message{Kind: wire.KindReply, Topic: req.Topic, Payload: payload}
-	default:
-		return fail(fmt.Errorf("discovery: unknown topic %q", req.Topic))
+	descs, err := s.store.Lookup(q)
+	if err != nil {
+		return nil, err
 	}
+	payload, err := svcdesc.MarshalDescriptionList(descs)
+	if err != nil {
+		return nil, err
+	}
+	return &wire.Message{Kind: wire.KindReply, Payload: payload}, nil
 }
 
-// Client is the centralized organization's Registry implementation: a
-// request/response protocol over one transport connection.
+// Client is the centralized organization's Registry implementation: the
+// registry protocol spoken through an endpoint.Caller, with lazy dialing,
+// one redial-and-retry on connection-level failures, and per-call timeouts.
 type Client struct {
-	tr   transport.Transport
-	addr string
+	caller *endpoint.Caller
 
-	mu     sync.Mutex // serializes request/response exchanges
-	conn   transport.Conn
-	closed bool
-
-	// timeout bounds each exchange when non-zero (see SetCallTimeout).
+	mu      sync.Mutex
 	timeout time.Duration
-	clock   simtime.Clock
-
-	nextID atomic.Uint64
 
 	// Messages counts protocol messages sent and received (the message-cost
 	// metric of experiments E1/E2).
@@ -190,22 +135,34 @@ var _ Registry = (*Client)(nil)
 // NewClient returns a client that will connect lazily to the registry at
 // addr over tr.
 func NewClient(tr transport.Transport, addr string) *Client {
-	return &Client{tr: tr, addr: addr}
+	c := &Client{}
+	// NewCaller without Eager cannot fail: the dial happens on first use.
+	c.caller, _ = endpoint.NewCaller(tr, addr, endpoint.CallerOptions{
+		Redial: true,
+		Interceptors: []endpoint.ClientInterceptor{
+			// The pre-endpoint client reconnected and re-sent exactly once
+			// after a torn-down connection or an expired wait; retry Max 1
+			// with no backoff reproduces that.
+			endpoint.WithRetry(nil, endpoint.RetryPolicy{Max: 1, RetryTimeouts: true},
+				nil, "discovery.client"),
+			endpoint.WithMetrics(nil, "discovery.client", nil),
+		},
+		OnSend: func(*wire.Message) { c.Messages.Inc("sent", 1) },
+		OnRecv: func(*wire.Message) { c.Messages.Inc("received", 1) },
+	})
+	return c
 }
 
 // SetCallTimeout bounds each request/response exchange: if the registry's
-// reply does not arrive within d the connection is dropped and the call
-// fails. Without a timeout a lost reply datagram blocks the caller forever —
-// unacceptable on lossy radio substrates, where the adaptive registry needs
-// the central organization to *fail* so it can fall back to flooding. A zero
-// d restores unbounded waits; a nil clock means wall time.
+// reply does not arrive within d the call fails (after one retry). Without a
+// timeout a lost reply datagram blocks the caller forever — unacceptable on
+// lossy radio substrates, where the adaptive registry needs the central
+// organization to *fail* so it can fall back to flooding. A zero d restores
+// unbounded waits; a nil clock means wall time.
 func (c *Client) SetCallTimeout(d time.Duration, clock simtime.Clock) {
-	if clock == nil {
-		clock = simtime.Real{}
-	}
+	c.caller.SetClock(clock)
 	c.mu.Lock()
 	c.timeout = d
-	c.clock = clock
 	c.mu.Unlock()
 }
 
@@ -237,107 +194,56 @@ func (c *Client) Lookup(q *svcdesc.Query) ([]*svcdesc.Description, error) {
 	if err != nil {
 		return nil, err
 	}
+	r := obs.Default()
+	r.Counter("discovery.lookup.queries").Inc(1)
+	start := time.Now()
 	reply, err := c.call(topicLookup, payload)
+	r.Histogram("discovery.lookup.latency_ms").Observe(
+		float64(time.Since(start)) / float64(time.Millisecond))
 	if err != nil {
+		r.Counter("discovery.lookup.errors").Inc(1)
 		return nil, err
 	}
-	return svcdesc.UnmarshalDescriptionList(reply.Payload)
+	descs, err := svcdesc.UnmarshalDescriptionList(reply.Payload)
+	if err == nil {
+		if len(descs) > 0 {
+			r.Counter("discovery.lookup.hits").Inc(1)
+		} else {
+			r.Counter("discovery.lookup.misses").Inc(1)
+		}
+	}
+	return descs, err
 }
 
 // Close implements Registry.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.closed = true
-	if c.conn != nil {
-		err := c.conn.Close()
-		c.conn = nil
-		return err
-	}
-	return nil
-}
+func (c *Client) Close() error { return c.caller.Close() }
 
-// call performs one request/response exchange, reconnecting once on a
-// stale-connection failure.
+// call performs one request/response exchange through the endpoint and maps
+// its errors back onto the discovery protocol's vocabulary.
 func (c *Client) call(topic string, payload []byte) (*wire.Message, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil, ErrClosed
+	timeout := c.timeout
+	c.mu.Unlock()
+	if timeout <= 0 {
+		timeout = endpoint.NoTimeout
 	}
-	reply, err := c.exchangeLocked(topic, payload)
-	if err != nil && !errors.Is(err, ErrClosed) && c.conn == nil {
-		// Connection was torn down; a single reconnect attempt.
-		reply, err = c.exchangeLocked(topic, payload)
-	}
-	return reply, err
-}
-
-func (c *Client) exchangeLocked(topic string, payload []byte) (*wire.Message, error) {
-	if c.conn == nil {
-		conn, err := c.tr.Dial(c.addr)
-		if err != nil {
-			return nil, fmt.Errorf("discovery: connect registry: %w", err)
-		}
-		c.conn = conn
-	}
-	req := &wire.Message{
-		ID:      c.nextID.Add(1),
+	reply, err := c.caller.Do(&endpoint.Call{
 		Kind:    wire.KindControl,
 		Topic:   topic,
 		Payload: payload,
-	}
-	if err := c.conn.Send(req); err != nil {
-		c.dropConnLocked()
-		return nil, fmt.Errorf("discovery: send %s: %w", topic, err)
-	}
-	c.Messages.Inc("sent", 1)
-
-	type result struct {
-		m   *wire.Message
-		err error
-	}
-	conn := c.conn
-	ch := make(chan result, 1)
-	go func() {
-		for {
-			reply, err := conn.Recv()
-			if err != nil {
-				ch <- result{nil, err}
-				return
-			}
-			c.Messages.Inc("received", 1)
-			if reply.Corr != req.ID {
-				continue // stale reply from a timed-out predecessor
-			}
-			ch <- result{reply, nil}
-			return
+		Timeout: timeout,
+	})
+	if err != nil {
+		if re, ok := endpoint.IsRemote(err); ok {
+			return nil, fmt.Errorf("discovery: registry: %s", re.Msg)
 		}
-	}()
-	var timer <-chan time.Time
-	if c.timeout > 0 {
-		timer = c.clock.After(c.timeout)
-	}
-	select {
-	case r := <-ch:
-		if r.err != nil {
-			c.dropConnLocked()
-			return nil, fmt.Errorf("discovery: recv %s: %w", topic, r.err)
+		if errors.Is(err, endpoint.ErrTimeout) {
+			return nil, fmt.Errorf("discovery: %s: no reply within %v", topic, timeout)
 		}
-		if r.m.Kind == wire.KindError {
-			return nil, fmt.Errorf("discovery: registry: %s", r.m.Payload)
+		if errors.Is(err, endpoint.ErrClosed) {
+			return nil, ErrClosed
 		}
-		return r.m, nil
-	case <-timer:
-		// Dropping the connection unblocks the receive goroutine.
-		c.dropConnLocked()
-		return nil, fmt.Errorf("discovery: %s: no reply within %v", topic, c.timeout)
+		return nil, fmt.Errorf("discovery: %s: %w", topic, err)
 	}
-}
-
-func (c *Client) dropConnLocked() {
-	if c.conn != nil {
-		_ = c.conn.Close()
-		c.conn = nil
-	}
+	return reply, nil
 }

@@ -676,10 +676,31 @@ func TestFloodMsgRoundTrip(t *testing.T) {
 }
 
 func TestUnknownTopicError(t *testing.T) {
-	srv, _ := newCentralPair(t)
-	reply := srv.handle(&wire.Message{ID: 1, Kind: wire.KindControl, Topic: "disc.bogus"})
+	fabric := transport.NewFabric()
+	st := transport.NewMem(fabric)
+	l, err := st.Listen("registry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(NewStore(nil, 0), l)
+	defer srv.Close()
+	conn, err := transport.NewMem(fabric).Dial("registry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(&wire.Message{ID: 1, Kind: wire.KindControl, Topic: "disc.bogus"}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if reply.Kind != wire.KindError || !strings.Contains(string(reply.Payload), "unknown topic") {
 		t.Fatalf("reply = %+v", reply)
+	}
+	if snap := srv.Requests.Snapshot(); snap["disc.bogus"] != 1 {
+		t.Fatalf("unknown topic not counted: %v", snap)
 	}
 }
 
@@ -785,5 +806,81 @@ func TestFloodLookupUnderLoss(t *testing.T) {
 	}
 	if found < 6 {
 		t.Fatalf("found only %d/%d under 20%% loss (with retry)", found, tries)
+	}
+}
+
+// TestFloodQueryRetry drives the QueryRetry knob deterministically: the
+// first flood is swallowed by total packet loss, the retry (halfway through
+// the collect window, on a fresh QID) goes out after the radio heals, and
+// the lookup still succeeds within the original window.
+func TestFloodQueryRetry(t *testing.T) {
+	clk := simtime.NewVirtual(epoch)
+	net := netsim.New(netsim.Config{Range: 12, Unlimited: true, Clock: clk})
+	t.Cleanup(net.Close)
+	ids := []netsim.NodeID{"n0", "n1"}
+	for i, id := range ids {
+		if err := net.AddNode(id, netsim.Position{X: float64(i) * 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agents := make([]*Agent, len(ids))
+	for i, id := range ids {
+		mux, err := netmux.New(net, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(mux.Close)
+		a := NewAgent(mux, AgentConfig{
+			CollectWindow: time.Second,
+			MaxResults:    1,
+			QueryRetry:    true,
+			Clock:         clk,
+		})
+		t.Cleanup(func() { _ = a.Close() })
+		agents[i] = a
+	}
+	if err := agents[1].Register(desc("n1", "sensor/hr")); err != nil {
+		t.Fatal(err)
+	}
+
+	net.SetLossRate(1) // the first flood vanishes into the ether
+	type lookupResult struct {
+		descs []*svcdesc.Description
+		err   error
+	}
+	done := make(chan lookupResult, 1)
+	go func() {
+		descs, err := agents[0].Lookup(&svcdesc.Query{Name: "sensor/hr"})
+		done <- lookupResult{descs, err}
+	}()
+
+	// The lookup parks two timers: the collect-window deadline and the
+	// half-window retry.
+	waitTimers := time.Now().Add(5 * time.Second)
+	for clk.Pending() < 2 {
+		if time.Now().After(waitTimers) {
+			t.Fatalf("lookup never parked its timers (pending=%d)", clk.Pending())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	net.SetLossRate(0) // radio heals before the retry fires
+	clk.Advance(500 * time.Millisecond)
+
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if len(r.descs) != 1 || r.descs[0].Provider != "n1" {
+			t.Fatalf("retry lookup results = %v", r.descs)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("lookup never returned after retry")
+	}
+	if got := agents[0].Messages.Get("query_retry"); got != 1 {
+		t.Fatalf("query_retry = %d, want 1", got)
+	}
+	if got := agents[0].Messages.Get("query_sent"); got != 1 {
+		t.Fatalf("query_sent = %d, want 1 (retries are counted separately)", got)
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"ndsm/internal/netmux"
 	"ndsm/internal/netsim"
+	"ndsm/internal/obs"
 	"ndsm/internal/simtime"
 	"ndsm/internal/stats"
 	"ndsm/internal/svcdesc"
@@ -78,6 +79,12 @@ type AgentConfig struct {
 	// services to radio neighbours, and Lookup answers from the gossip cache
 	// without flooding when it can.
 	Gossip bool
+	// QueryRetry re-issues a query once, halfway through the collect window,
+	// when no reply has arrived yet — the flooding organization's parity with
+	// the central client's reconnect-and-retry. The retry uses a fresh QID
+	// (peers dedup on origin/qid, so re-flooding the old one would die one
+	// hop out) aliased to the same pending query.
+	QueryRetry bool
 	// CacheTTL bounds gossip cache entries (default 10s).
 	CacheTTL time.Duration
 	// Clock drives collection windows and cache expiry (default real).
@@ -213,36 +220,49 @@ func (a *Agent) Lookup(q *svcdesc.Query) ([]*svcdesc.Description, error) {
 		}
 	}
 
-	qid := a.qid.Add(1)
-	pq := &pendingQuery{matches: make(map[string]*svcdesc.Description), notify: make(chan struct{}, 1)}
-	a.mu.Lock()
-	a.pending[qid] = pq
-	a.seen[seenKey(string(a.mux.ID()), qid)] = true
-	a.mu.Unlock()
-	defer func() {
-		a.mu.Lock()
-		delete(a.pending, qid)
-		a.mu.Unlock()
-	}()
-
 	queryXML, err := svcdesc.MarshalQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	msg := &floodMsg{
-		Type:   floodQuery,
-		QID:    qid,
-		Origin: string(a.mux.ID()),
-		TTL:    a.cfg.QueryTTL,
-		Path:   []string{string(a.mux.ID())},
-		Query:  queryXML,
+	pq := &pendingQuery{matches: make(map[string]*svcdesc.Description), notify: make(chan struct{}, 1)}
+	var qids []uint64
+	defer func() {
+		a.mu.Lock()
+		for _, id := range qids {
+			delete(a.pending, id)
+		}
+		a.mu.Unlock()
+	}()
+	flood := func() error {
+		qid := a.qid.Add(1)
+		a.mu.Lock()
+		a.pending[qid] = pq
+		a.seen[seenKey(string(a.mux.ID()), qid)] = true
+		a.mu.Unlock()
+		qids = append(qids, qid)
+		msg := &floodMsg{
+			Type:   floodQuery,
+			QID:    qid,
+			Origin: string(a.mux.ID()),
+			TTL:    a.cfg.QueryTTL,
+			Path:   []string{string(a.mux.ID())},
+			Query:  queryXML,
+		}
+		if _, err := a.mux.Broadcast(msg.encode()); err != nil {
+			return fmt.Errorf("discovery: flood query: %w", err)
+		}
+		return nil
 	}
-	if _, err := a.mux.Broadcast(msg.encode()); err != nil {
-		return nil, fmt.Errorf("discovery: flood query: %w", err)
+	if err := flood(); err != nil {
+		return nil, err
 	}
-	a.Messages.Inc("query_sent", 1)
+	a.count("query_sent")
 
 	deadline := a.cfg.Clock.After(a.cfg.CollectWindow)
+	var retry <-chan time.Time
+	if a.cfg.QueryRetry {
+		retry = a.cfg.Clock.After(a.cfg.CollectWindow / 2)
+	}
 	for {
 		select {
 		case <-deadline:
@@ -250,6 +270,16 @@ func (a *Agent) Lookup(q *svcdesc.Query) ([]*svcdesc.Description, error) {
 			return mapToSlice(results), nil
 		case <-a.stop:
 			return nil, ErrClosed
+		case <-retry:
+			retry = nil
+			a.harvest(pq, results)
+			if len(results) > 0 {
+				continue // something answered; no need to re-flood
+			}
+			if err := flood(); err != nil {
+				continue // the window may still yield replies to the first qid
+			}
+			a.count("query_retry")
 		case <-pq.notify:
 			a.harvest(pq, results)
 			if a.cfg.MaxResults > 0 && len(results) >= a.cfg.MaxResults {
@@ -257,6 +287,13 @@ func (a *Agent) Lookup(q *svcdesc.Query) ([]*svcdesc.Description, error) {
 			}
 		}
 	}
+}
+
+// count tallies a protocol event in the agent's Messages counter and mirrors
+// it into the shared observability registry.
+func (a *Agent) count(name string) {
+	a.Messages.Inc(name, 1)
+	obs.Default().Counter("discovery.flood." + name).Inc(1)
 }
 
 func (a *Agent) harvest(pq *pendingQuery, into map[string]*svcdesc.Description) {
@@ -295,7 +332,7 @@ func (a *Agent) Tick() {
 	}
 	msg := &floodMsg{Type: floodAdvert, Matches: payload}
 	if _, err := a.mux.Broadcast(msg.encode()); err == nil {
-		a.Messages.Inc("advert_sent", 1)
+		a.count("advert_sent")
 	}
 }
 
@@ -321,7 +358,7 @@ func (a *Agent) loop(inbox <-chan netsim.Packet) {
 func (a *Agent) handle(pkt netsim.Packet) {
 	msg, err := decodeFloodMsg(pkt.Data)
 	if err != nil {
-		a.Messages.Inc("garbage", 1)
+		a.count("garbage")
 		return
 	}
 	switch msg.Type {
@@ -332,12 +369,12 @@ func (a *Agent) handle(pkt netsim.Packet) {
 	case floodAdvert:
 		a.handleAdvert(msg)
 	default:
-		a.Messages.Inc("garbage", 1)
+		a.count("garbage")
 	}
 }
 
 func (a *Agent) handleQuery(msg *floodMsg) {
-	a.Messages.Inc("query_recv", 1)
+	a.count("query_recv")
 	key := seenKey(msg.Origin, msg.QID)
 	a.mu.Lock()
 	if a.seen[key] {
@@ -363,7 +400,7 @@ func (a *Agent) handleQuery(msg *floodMsg) {
 			}
 			parent := netsim.NodeID(msg.Path[len(msg.Path)-1])
 			if err := a.mux.Send(parent, reply.encode()); err == nil {
-				a.Messages.Inc("reply_sent", 1)
+				a.count("reply_sent")
 			}
 		}
 	}
@@ -373,13 +410,13 @@ func (a *Agent) handleQuery(msg *floodMsg) {
 		fwd.TTL--
 		fwd.Path = append(append([]string(nil), msg.Path...), string(a.mux.ID()))
 		if _, err := a.mux.Broadcast(fwd.encode()); err == nil {
-			a.Messages.Inc("query_fwd", 1)
+			a.count("query_fwd")
 		}
 	}
 }
 
 func (a *Agent) handleReply(msg *floodMsg) {
-	a.Messages.Inc("reply_recv", 1)
+	a.count("reply_recv")
 	if len(msg.Path) == 0 || msg.Path[len(msg.Path)-1] != string(a.mux.ID()) {
 		return // not addressed to us at this stage
 	}
@@ -393,7 +430,7 @@ func (a *Agent) handleReply(msg *floodMsg) {
 	fwd.Path = append([]string(nil), remaining...)
 	next := netsim.NodeID(remaining[len(remaining)-1])
 	if err := a.mux.Send(next, fwd.encode()); err == nil {
-		a.Messages.Inc("reply_fwd", 1)
+		a.count("reply_fwd")
 	}
 }
 
@@ -423,7 +460,7 @@ func (a *Agent) deliverReply(msg *floodMsg) {
 }
 
 func (a *Agent) handleAdvert(msg *floodMsg) {
-	a.Messages.Inc("advert_recv", 1)
+	a.count("advert_recv")
 	descs, err := svcdesc.UnmarshalDescriptionList(msg.Matches)
 	if err != nil {
 		return

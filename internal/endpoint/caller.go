@@ -1,0 +1,284 @@
+package endpoint
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ndsm/internal/simtime"
+	"ndsm/internal/transport"
+	"ndsm/internal/wire"
+)
+
+// CallerOptions tunes a Caller.
+type CallerOptions struct {
+	// Clock drives call timeouts and deadline stamping (default real time).
+	Clock simtime.Clock
+	// Timeout is the default per-call timeout (0: wait forever).
+	Timeout time.Duration
+	// Eager dials at construction so NewCaller fails fast on a bad address.
+	// Otherwise the first call dials lazily.
+	Eager bool
+	// Redial re-dials on the next call after a connection failure. Without
+	// it a broken connection makes every subsequent call fail with ErrClosed
+	// (the classic RPC-client lifecycle).
+	Redial bool
+	// Interceptors wrap the round-trip, outermost first.
+	Interceptors []ClientInterceptor
+	// OnSend and OnRecv observe every message put on / taken off the wire
+	// (protocol message-cost accounting). Both may be nil.
+	OnSend func(*wire.Message)
+	OnRecv func(*wire.Message)
+}
+
+// waiter is one pending call parked in the demux map.
+type waiter struct {
+	ch  chan waitResult
+	gen uint64 // connection generation the call was sent on
+}
+
+type waitResult struct {
+	m   *wire.Message
+	err error
+}
+
+// Caller is the client half of the endpoint: one connection, any number of
+// concurrent calls demultiplexed by correlation ID. Safe for concurrent use.
+type Caller struct {
+	tr     transport.Transport
+	addr   string
+	opts   CallerOptions
+	invoke ClientFunc
+
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	clock   simtime.Clock
+	conn    transport.Conn
+	gen     uint64 // bumped on every successful dial
+	dialed  bool   // at least one dial attempt happened
+	waiters map[uint64]*waiter
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewCaller builds a caller for addr over tr. With Eager set the dial
+// happens (and can fail) here; otherwise the first call dials.
+func NewCaller(tr transport.Transport, addr string, opts CallerOptions) (*Caller, error) {
+	clock := opts.Clock
+	if clock == nil {
+		clock = simtime.Real{}
+	}
+	c := &Caller{
+		tr:      tr,
+		addr:    addr,
+		opts:    opts,
+		clock:   clock,
+		waiters: make(map[uint64]*waiter),
+	}
+	c.invoke = chainClient(opts.Interceptors, c.roundtrip)
+	if opts.Eager {
+		c.mu.Lock()
+		_, _, err := c.ensureConnLocked()
+		c.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Addr returns the caller's target address.
+func (c *Caller) Addr() string { return c.addr }
+
+// SetClock replaces the timeout clock (virtual-time tests reconfigure
+// long-lived clients).
+func (c *Caller) SetClock(clock simtime.Clock) {
+	if clock == nil {
+		clock = simtime.Real{}
+	}
+	c.mu.Lock()
+	c.clock = clock
+	c.mu.Unlock()
+}
+
+// Do performs one call through the interceptor chain.
+func (c *Caller) Do(call *Call) (*wire.Message, error) {
+	return c.invoke(call)
+}
+
+// Close shuts the caller down; outstanding calls fail with ErrClosed.
+func (c *Caller) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	c.mu.Unlock()
+	var err error
+	if conn != nil {
+		err = conn.Close()
+	}
+	c.wg.Wait()
+	return err
+}
+
+// ensureConnLocked returns the live connection, dialing if allowed.
+func (c *Caller) ensureConnLocked() (transport.Conn, uint64, error) {
+	if c.closed {
+		return nil, 0, ErrClosed
+	}
+	if c.conn != nil {
+		return c.conn, c.gen, nil
+	}
+	if c.dialed && !c.opts.Redial {
+		// The one connection this caller will ever have is gone.
+		return nil, 0, ErrClosed
+	}
+	c.dialed = true
+	conn, err := c.tr.Dial(c.addr)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: dial %s: %v", ErrUnavailable, c.addr, err)
+	}
+	c.conn = conn
+	c.gen++
+	gen := c.gen
+	c.wg.Add(1)
+	go c.demux(conn, gen)
+	return conn, gen, nil
+}
+
+// dropConnLocked discards the connection after a failure so the next call
+// can redial (when allowed). Only the generation that failed is dropped —
+// a concurrent caller may already have re-dialed.
+func (c *Caller) dropConnLocked(gen uint64) {
+	if c.gen == gen && c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// demux owns conn's receive side: it routes replies to parked waiters by
+// correlation ID and, when the connection dies, fails every waiter of its
+// generation.
+func (c *Caller) demux(conn transport.Conn, gen uint64) {
+	defer c.wg.Done()
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			c.mu.Lock()
+			c.dropConnLocked(gen)
+			failure := fmt.Errorf("%w: connection lost: %v", ErrUnavailable, err)
+			if c.closed {
+				failure = ErrClosed
+			}
+			for id, w := range c.waiters {
+				if w.gen != gen {
+					continue
+				}
+				delete(c.waiters, id)
+				w.ch <- waitResult{err: failure}
+			}
+			c.mu.Unlock()
+			return
+		}
+		if c.opts.OnRecv != nil {
+			c.opts.OnRecv(m)
+		}
+		c.mu.Lock()
+		w := c.waiters[m.Corr]
+		if w != nil {
+			delete(c.waiters, m.Corr)
+		}
+		c.mu.Unlock()
+		if w != nil {
+			w.ch <- waitResult{m: m}
+		}
+		// Uncorrelated messages (stale replies from timed-out calls) are
+		// dropped here — exactly what the per-layer demux loops used to do.
+	}
+}
+
+// roundtrip is the terminal ClientFunc: one correlated exchange.
+func (c *Caller) roundtrip(call *Call) (*wire.Message, error) {
+	c.mu.Lock()
+	conn, gen, err := c.ensureConnLocked()
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	clock := c.clock
+	id := c.nextID.Add(1)
+	w := &waiter{ch: make(chan waitResult, 1), gen: gen}
+	c.waiters[id] = w
+	c.mu.Unlock()
+
+	cancel := func() {
+		c.mu.Lock()
+		delete(c.waiters, id)
+		c.mu.Unlock()
+	}
+
+	timeout := call.Timeout
+	if timeout == 0 {
+		timeout = c.opts.Timeout
+	}
+	if timeout < 0 {
+		timeout = 0 // NoTimeout: wait forever
+	}
+	kind := call.Kind
+	if kind == 0 {
+		kind = wire.KindRequest
+	}
+	req := &wire.Message{
+		ID:      id,
+		Kind:    kind,
+		Src:     call.Src,
+		Dst:     call.Dst,
+		Topic:   call.Topic,
+		Headers: call.Headers,
+		Payload: call.Payload,
+	}
+	if timeout > 0 {
+		// Deadline propagation: the server (and anything downstream) sees
+		// how long this call stays worth serving.
+		req.Deadline = clock.Now().Add(timeout)
+	}
+	if err := conn.Send(req); err != nil {
+		cancel()
+		c.mu.Lock()
+		c.dropConnLocked(gen)
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("%w: send %s: %v", ErrUnavailable, call.Topic, err)
+	}
+	if c.opts.OnSend != nil {
+		c.opts.OnSend(req)
+	}
+
+	var timer <-chan time.Time
+	if timeout > 0 {
+		timer = clock.After(timeout)
+	}
+	select {
+	case r := <-w.ch:
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.m.Kind == wire.KindError {
+			return nil, &RemoteError{Topic: call.Topic, Msg: string(r.m.Payload)}
+		}
+		return r.m, nil
+	case <-timer:
+		cancel()
+		// The connection stays up: the demux loop discards the late reply
+		// (its waiter is gone), so one slow call doesn't cost a reconnect.
+		return nil, fmt.Errorf("%w: %s after %v", ErrTimeout, call.Topic, timeout)
+	}
+}

@@ -1,0 +1,134 @@
+// Package endpoint is the middleware's single request/reply substrate: one
+// generic correlated-exchange engine over any transport.Transport, shared by
+// the discovery registry protocol, the RPC interaction style, the message
+// queue client, and the kernel's consumer bindings — layers that previously
+// each hand-rolled their own pending-map, demux loop, and timeout handling.
+//
+// The engine has two halves:
+//
+//   - Caller: dials an address, multiplexes any number of concurrent calls
+//     over one connection by correlation ID, applies per-call deadlines, and
+//     (optionally) re-dials after a connection failure.
+//   - Server: accepts connections, dispatches each inbound request to a
+//     topic handler in its own goroutine (no head-of-line blocking), and
+//     writes the correlated reply.
+//
+// Both halves run their traffic through a composable interceptor chain —
+// retry with jittered exponential backoff, metrics, deadline propagation,
+// trace logging — so policy lives in middleware, not in every protocol
+// (the "policy-free middleware" argument of Dearle et al.).
+package endpoint
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ndsm/internal/wire"
+)
+
+// Endpoint errors. ErrUnavailable marks transport-level failures (dial,
+// send, connection broken) — the retryable class; ErrTimeout marks an
+// expired call deadline; ErrClosed means the caller or server was shut down
+// deliberately and retrying is pointless.
+var (
+	ErrClosed      = errors.New("endpoint: closed")
+	ErrTimeout     = errors.New("endpoint: call timed out")
+	ErrUnavailable = errors.New("endpoint: peer unavailable")
+)
+
+// NoTimeout as a Call.Timeout means "wait forever", overriding any caller
+// default.
+const NoTimeout time.Duration = -1
+
+// RemoteError is an application-level error reply (a KindError message from
+// the peer). It is never retried: the request was delivered and the peer
+// answered.
+type RemoteError struct {
+	Topic string
+	Msg   string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("endpoint: remote error on %s: %s", e.Topic, e.Msg)
+}
+
+// IsRemote reports whether err is (or wraps) a peer-reported error and
+// returns it.
+func IsRemote(err error) (*RemoteError, bool) {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re, true
+	}
+	return nil, false
+}
+
+// Retryable reports whether err is a transport-level failure worth retrying
+// on: unavailability always, timeouts only if the caller opted in at the
+// policy level (see RetryPolicy.RetryTimeouts).
+func Retryable(err error, retryTimeouts bool) bool {
+	if err == nil || errors.Is(err, ErrClosed) {
+		return false
+	}
+	if _, remote := IsRemote(err); remote {
+		return false
+	}
+	if errors.Is(err, ErrTimeout) {
+		return retryTimeouts
+	}
+	return errors.Is(err, ErrUnavailable)
+}
+
+// Call describes one request/reply exchange.
+type Call struct {
+	// Kind is the request's message kind (default wire.KindRequest).
+	Kind wire.Kind
+	// Topic names the method, registry operation, or queue verb addressed.
+	Topic string
+	// Src and Dst optionally stamp the envelope's addresses.
+	Src, Dst string
+	// Headers carries extension metadata.
+	Headers map[string]string
+	// Payload is the opaque request body.
+	Payload []byte
+	// Timeout bounds the exchange: 0 uses the caller's default, NoTimeout
+	// waits forever. The deadline also propagates on the wire (Message
+	// .Deadline) so servers and downstream hops can shed doomed work.
+	Timeout time.Duration
+}
+
+// ClientFunc performs a call: the terminal one is the caller's round-trip;
+// interceptors wrap it.
+type ClientFunc func(*Call) (*wire.Message, error)
+
+// ClientInterceptor wraps a ClientFunc with cross-cutting behavior (retry,
+// metrics, tracing). Interceptors compose outermost-first.
+type ClientInterceptor func(next ClientFunc) ClientFunc
+
+// Handler serves one inbound request and returns the reply message. The
+// server fills in correlation, topic, and source; the handler chooses the
+// reply kind (KindReply, KindAck, ...) and payload. Returning an error sends
+// a KindError reply with the error text as payload.
+type Handler func(req *wire.Message) (*wire.Message, error)
+
+// ServerInterceptor wraps a Handler with cross-cutting behavior.
+// Interceptors compose outermost-first.
+type ServerInterceptor func(next Handler) Handler
+
+// chainClient composes interceptors around the terminal ClientFunc.
+func chainClient(interceptors []ClientInterceptor, terminal ClientFunc) ClientFunc {
+	out := terminal
+	for i := len(interceptors) - 1; i >= 0; i-- {
+		out = interceptors[i](out)
+	}
+	return out
+}
+
+// chainServer composes interceptors around the terminal Handler.
+func chainServer(interceptors []ServerInterceptor, terminal Handler) Handler {
+	out := terminal
+	for i := len(interceptors) - 1; i >= 0; i-- {
+		out = interceptors[i](out)
+	}
+	return out
+}

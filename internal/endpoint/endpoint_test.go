@@ -1,0 +1,567 @@
+package endpoint
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ndsm/internal/obs"
+	"ndsm/internal/simtime"
+	"ndsm/internal/transport"
+	"ndsm/internal/wire"
+)
+
+func newPair(t *testing.T, sopts ServerOptions, copts CallerOptions) (*Server, *Caller) {
+	t.Helper()
+	tr := transport.NewMem(transport.NewFabric())
+	l, err := tr.Listen("srv")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	s := NewServer(l, sopts)
+	c, err := NewCaller(tr, "srv", copts)
+	if err != nil {
+		t.Fatalf("caller: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = c.Close()
+		_ = s.Close()
+	})
+	return s, c
+}
+
+func TestRoundtrip(t *testing.T) {
+	s, c := newPair(t, ServerOptions{Name: "srv"}, CallerOptions{})
+	s.Handle("echo", func(req *wire.Message) (*wire.Message, error) {
+		return &wire.Message{Kind: wire.KindReply, Payload: req.Payload}, nil
+	})
+	m, err := c.Do(&Call{Topic: "echo", Payload: []byte("hi"), Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if string(m.Payload) != "hi" || m.Kind != wire.KindReply {
+		t.Fatalf("bad reply: %+v", m)
+	}
+	if m.Src != "srv" {
+		t.Fatalf("server name not stamped: %q", m.Src)
+	}
+	if m.Topic != "echo" {
+		t.Fatalf("topic not filled: %q", m.Topic)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	s, c := newPair(t, ServerOptions{}, CallerOptions{Timeout: 5 * time.Second})
+	s.Handle("id", func(req *wire.Message) (*wire.Message, error) {
+		return &wire.Message{Kind: wire.KindReply, Payload: req.Payload}, nil
+	})
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			want := fmt.Sprintf("call-%d", i)
+			m, err := c.Do(&Call{Topic: "id", Payload: []byte(want)})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(m.Payload) != want {
+				errs <- fmt.Errorf("cross-wired reply: got %q want %q", m.Payload, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestHandlerError(t *testing.T) {
+	s, c := newPair(t, ServerOptions{}, CallerOptions{})
+	s.Handle("boom", func(req *wire.Message) (*wire.Message, error) {
+		return nil, errors.New("kaboom")
+	})
+	_, err := c.Do(&Call{Topic: "boom", Timeout: 2 * time.Second})
+	re, ok := IsRemote(err)
+	if !ok {
+		t.Fatalf("want RemoteError, got %v", err)
+	}
+	if re.Msg != "kaboom" || re.Topic != "boom" {
+		t.Fatalf("bad remote error: %+v", re)
+	}
+	if Retryable(err, true) {
+		t.Fatal("remote errors must not be retryable")
+	}
+}
+
+func TestUnknownTopicFallback(t *testing.T) {
+	_, c := newPair(t, ServerOptions{}, CallerOptions{})
+	_, err := c.Do(&Call{Topic: "nope", Timeout: 2 * time.Second})
+	if _, ok := IsRemote(err); !ok {
+		t.Fatalf("want remote error for unknown topic, got %v", err)
+	}
+	if !strings.Contains(err.Error(), `no handler for topic "nope"`) {
+		t.Fatalf("bad fallback message: %v", err)
+	}
+}
+
+func TestUnhandle(t *testing.T) {
+	s, c := newPair(t, ServerOptions{}, CallerOptions{})
+	s.Handle("x", func(req *wire.Message) (*wire.Message, error) {
+		return &wire.Message{Kind: wire.KindReply}, nil
+	})
+	if _, err := c.Do(&Call{Topic: "x", Timeout: time.Second}); err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	s.Unhandle("x")
+	if _, err := c.Do(&Call{Topic: "x", Timeout: time.Second}); err == nil {
+		t.Fatal("want error after Unhandle")
+	}
+}
+
+func TestTimeoutLeavesConnUsable(t *testing.T) {
+	s, c := newPair(t, ServerOptions{}, CallerOptions{})
+	block := make(chan struct{})
+	s.Handle("slow", func(req *wire.Message) (*wire.Message, error) {
+		<-block
+		return &wire.Message{Kind: wire.KindReply}, nil
+	})
+	s.Handle("fast", func(req *wire.Message) (*wire.Message, error) {
+		return &wire.Message{Kind: wire.KindReply}, nil
+	})
+	_, err := c.Do(&Call{Topic: "slow", Timeout: 30 * time.Millisecond})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	close(block)
+	// The same connection must still serve calls: a timeout only abandons
+	// the waiter, it doesn't tear down the link.
+	if _, err := c.Do(&Call{Topic: "fast", Timeout: 2 * time.Second}); err != nil {
+		t.Fatalf("call after timeout: %v", err)
+	}
+}
+
+func TestNoTimeoutWaitsForever(t *testing.T) {
+	s, c := newPair(t, ServerOptions{}, CallerOptions{Timeout: 20 * time.Millisecond})
+	release := make(chan struct{})
+	s.Handle("slow", func(req *wire.Message) (*wire.Message, error) {
+		<-release
+		return &wire.Message{Kind: wire.KindReply}, nil
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Do(&Call{Topic: "slow", Timeout: NoTimeout})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("NoTimeout call returned early: %v", err)
+	case <-time.After(60 * time.Millisecond):
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("call: %v", err)
+	}
+}
+
+func TestDeadlinePropagation(t *testing.T) {
+	s, c := newPair(t, ServerOptions{}, CallerOptions{})
+	got := make(chan time.Time, 1)
+	s.Handle("d", func(req *wire.Message) (*wire.Message, error) {
+		got <- req.Deadline
+		return &wire.Message{Kind: wire.KindReply}, nil
+	})
+	before := time.Now()
+	if _, err := c.Do(&Call{Topic: "d", Timeout: 5 * time.Second}); err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	dl := <-got
+	if dl.IsZero() {
+		t.Fatal("deadline not propagated")
+	}
+	if dl.Before(before.Add(4*time.Second)) || dl.After(before.Add(6*time.Second)) {
+		t.Fatalf("deadline %v not ~5s from %v", dl, before)
+	}
+}
+
+func TestCloseFailsOutstanding(t *testing.T) {
+	s, c := newPair(t, ServerOptions{}, CallerOptions{})
+	block := make(chan struct{})
+	defer close(block)
+	s.Handle("hang", func(req *wire.Message) (*wire.Message, error) {
+		<-block
+		return &wire.Message{Kind: wire.KindReply}, nil
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Do(&Call{Topic: "hang", Timeout: NoTimeout})
+		done <- err
+	}()
+	// Wait until the call is on the wire before closing.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c.mu.Lock()
+		n := len(c.waiters)
+		c.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("call never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_ = c.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if _, err := c.Do(&Call{Topic: "hang"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call after close: want ErrClosed, got %v", err)
+	}
+}
+
+func TestEagerDialFailure(t *testing.T) {
+	tr := transport.NewMem(transport.NewFabric())
+	if _, err := NewCaller(tr, "nobody", CallerOptions{Eager: true}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want ErrUnavailable, got %v", err)
+	}
+}
+
+func TestNoRedialAfterServerGone(t *testing.T) {
+	tr := transport.NewMem(transport.NewFabric())
+	l, err := tr.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(l, ServerOptions{})
+	s.Handle("ping", func(req *wire.Message) (*wire.Message, error) {
+		return &wire.Message{Kind: wire.KindReply}, nil
+	})
+	c, err := NewCaller(tr, "srv", CallerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Do(&Call{Topic: "ping", Timeout: time.Second}); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	_ = s.Close()
+	// The in-flight connection dies; without Redial every later call is
+	// ErrClosed (possibly after one ErrUnavailable race with the demux).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err := c.Do(&Call{Topic: "ping", Timeout: 100 * time.Millisecond})
+		if errors.Is(err, ErrClosed) {
+			return
+		}
+		if err == nil {
+			t.Fatal("call succeeded against closed server")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached ErrClosed, last err: %v", err)
+		}
+	}
+}
+
+func TestRedialRecovers(t *testing.T) {
+	fabric := transport.NewFabric()
+	tr := transport.NewMem(fabric)
+	l, err := tr.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(l, ServerOptions{})
+	s.Handle("ping", func(req *wire.Message) (*wire.Message, error) {
+		return &wire.Message{Kind: wire.KindReply}, nil
+	})
+	c, err := NewCaller(tr, "srv", CallerOptions{Redial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Do(&Call{Topic: "ping", Timeout: time.Second}); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	_ = s.Close()
+
+	// Restart the server on the same address; redial should find it.
+	l2, err := tr.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewServer(l2, ServerOptions{})
+	defer s2.Close()
+	s2.Handle("ping", func(req *wire.Message) (*wire.Message, error) {
+		return &wire.Message{Kind: wire.KindReply}, nil
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err := c.Do(&Call{Topic: "ping", Timeout: 200 * time.Millisecond})
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("redial never recovered: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// flakyTerminal fails the first n attempts with ErrUnavailable.
+func flakyTerminal(n int) (ClientFunc, *atomic.Int64) {
+	var calls atomic.Int64
+	return func(call *Call) (*wire.Message, error) {
+		if calls.Add(1) <= int64(n) {
+			return nil, fmt.Errorf("%w: injected", ErrUnavailable)
+		}
+		return &wire.Message{Kind: wire.KindReply, Payload: []byte("ok")}, nil
+	}, &calls
+}
+
+func TestRetryInterceptor(t *testing.T) {
+	reg := obs.NewRegistry()
+	clock := simtime.NewVirtual(time.Unix(0, 0))
+	term, calls := flakyTerminal(2)
+	fn := chainClient([]ClientInterceptor{
+		WithRetry(clock, RetryPolicy{Max: 3, BaseDelay: 10 * time.Millisecond}, reg, "t"),
+	}, term)
+
+	done := make(chan error, 1)
+	go func() {
+		m, err := fn(&Call{Topic: "x"})
+		if err == nil && string(m.Payload) != "ok" {
+			err = fmt.Errorf("bad payload %q", m.Payload)
+		}
+		done <- err
+	}()
+	// Drive the two backoff sleeps deterministically.
+	for i := 0; i < 2; i++ {
+		waitPending(t, clock, 1)
+		clock.AdvanceToNext()
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("retried call: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	if got := reg.Counter("t.retries").Value(); got != 2 {
+		t.Fatalf("retries counter = %d, want 2", got)
+	}
+	if got := reg.Counter("t.retries_exhausted").Value(); got != 0 {
+		t.Fatalf("exhausted counter = %d, want 0", got)
+	}
+}
+
+func TestRetryExhausted(t *testing.T) {
+	reg := obs.NewRegistry()
+	term, calls := flakyTerminal(100)
+	fn := chainClient([]ClientInterceptor{
+		WithRetry(nil, RetryPolicy{Max: 2}, reg, "t"), // zero BaseDelay: no sleeps
+	}, term)
+	_, err := fn(&Call{Topic: "x"})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want ErrUnavailable, got %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + Max retries)", got)
+	}
+	if got := reg.Counter("t.retries_exhausted").Value(); got != 1 {
+		t.Fatalf("exhausted counter = %d, want 1", got)
+	}
+}
+
+func TestRetryNeverRetriesRemoteOrClosed(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+	}{
+		{"remote", &RemoteError{Topic: "x", Msg: "app says no"}},
+		{"closed", ErrClosed},
+		{"timeout-not-opted-in", fmt.Errorf("%w: x", ErrTimeout)},
+	} {
+		var calls atomic.Int64
+		fn := chainClient([]ClientInterceptor{
+			WithRetry(nil, RetryPolicy{Max: 5}, obs.NewRegistry(), "t"),
+		}, func(call *Call) (*wire.Message, error) {
+			calls.Add(1)
+			return nil, tc.err
+		})
+		_, _ = fn(&Call{Topic: "x"})
+		if got := calls.Load(); got != 1 {
+			t.Fatalf("%s: attempts = %d, want 1 (no retry)", tc.name, got)
+		}
+	}
+}
+
+func TestRetryTimeoutsOptIn(t *testing.T) {
+	var calls atomic.Int64
+	fn := chainClient([]ClientInterceptor{
+		WithRetry(nil, RetryPolicy{Max: 1, RetryTimeouts: true}, obs.NewRegistry(), "t"),
+	}, func(call *Call) (*wire.Message, error) {
+		calls.Add(1)
+		return nil, fmt.Errorf("%w: x", ErrTimeout)
+	})
+	_, err := fn(&Call{Topic: "x"})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("attempts = %d, want 2", got)
+	}
+}
+
+func TestMetricsInterceptor(t *testing.T) {
+	reg := obs.NewRegistry()
+	term, _ := flakyTerminal(1)
+	fn := chainClient([]ClientInterceptor{WithMetrics(reg, "m", nil)}, term)
+	_, _ = fn(&Call{Topic: "x"}) // fails (unavailable)
+	_, _ = fn(&Call{Topic: "x"}) // succeeds
+	if got := reg.Counter("m.calls").Value(); got != 2 {
+		t.Fatalf("calls = %d, want 2", got)
+	}
+	if got := reg.Counter("m.errors").Value(); got != 1 {
+		t.Fatalf("errors = %d, want 1", got)
+	}
+	if got := reg.Snapshot().Histograms["m.latency_ms"].Count; got != 2 {
+		t.Fatalf("latency count = %d, want 2", got)
+	}
+}
+
+func TestTraceInterceptor(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	term, _ := flakyTerminal(1)
+	fn := chainClient([]ClientInterceptor{WithTrace(logf, nil)}, term)
+	_, _ = fn(&Call{Topic: "t1"})
+	_, _ = fn(&Call{Topic: "t1"})
+	if len(lines) != 2 {
+		t.Fatalf("got %d trace lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], "failed") || !strings.Contains(lines[1], "ok") {
+		t.Fatalf("bad trace lines: %v", lines)
+	}
+}
+
+func TestInterceptorOrder(t *testing.T) {
+	var order []string
+	mk := func(name string) ClientInterceptor {
+		return func(next ClientFunc) ClientFunc {
+			return func(call *Call) (*wire.Message, error) {
+				order = append(order, name)
+				return next(call)
+			}
+		}
+	}
+	fn := chainClient([]ClientInterceptor{mk("outer"), mk("inner")},
+		func(call *Call) (*wire.Message, error) { return nil, nil })
+	_, _ = fn(&Call{})
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Fatalf("order = %v, want [outer inner]", order)
+	}
+}
+
+func TestServerMetricsInterceptor(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, c := newPair(t, ServerOptions{
+		Interceptors: []ServerInterceptor{WithServerMetrics(reg, "srv", nil)},
+	}, CallerOptions{})
+	s.Handle("ok", func(req *wire.Message) (*wire.Message, error) {
+		return &wire.Message{Kind: wire.KindReply}, nil
+	})
+	if _, err := c.Do(&Call{Topic: "ok", Timeout: time.Second}); err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	_, _ = c.Do(&Call{Topic: "missing", Timeout: time.Second})
+	if got := reg.Counter("srv.requests").Value(); got != 2 {
+		t.Fatalf("requests = %d, want 2", got)
+	}
+	if got := reg.Counter("srv.errors").Value(); got != 1 {
+		t.Fatalf("errors = %d, want 1", got)
+	}
+}
+
+func TestServerDeadlineSheds(t *testing.T) {
+	clock := simtime.NewVirtual(time.Unix(1000, 0))
+	var served atomic.Int64
+	h := chainServer([]ServerInterceptor{WithServerDeadline(clock)},
+		func(req *wire.Message) (*wire.Message, error) {
+			served.Add(1)
+			return &wire.Message{Kind: wire.KindReply}, nil
+		})
+	// Live deadline: served.
+	if _, err := h(&wire.Message{Topic: "x", Deadline: clock.Now().Add(time.Second)}); err != nil {
+		t.Fatalf("live request: %v", err)
+	}
+	// Expired deadline: shed.
+	if _, err := h(&wire.Message{Topic: "x", Deadline: clock.Now().Add(-time.Second)}); err == nil {
+		t.Fatal("expired request not shed")
+	}
+	if got := served.Load(); got != 1 {
+		t.Fatalf("served = %d, want 1", got)
+	}
+}
+
+func TestOnSendOnRecvHooks(t *testing.T) {
+	var sent, recvd atomic.Int64
+	s, c := newPair(t, ServerOptions{}, CallerOptions{
+		OnSend: func(*wire.Message) { sent.Add(1) },
+		OnRecv: func(*wire.Message) { recvd.Add(1) },
+	})
+	s.Handle("p", func(req *wire.Message) (*wire.Message, error) {
+		return &wire.Message{Kind: wire.KindReply}, nil
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := c.Do(&Call{Topic: "p", Timeout: time.Second}); err != nil {
+			t.Fatalf("call: %v", err)
+		}
+	}
+	if sent.Load() != 3 || recvd.Load() != 3 {
+		t.Fatalf("hooks: sent=%d recvd=%d, want 3/3", sent.Load(), recvd.Load())
+	}
+}
+
+func TestVirtualClockTimeout(t *testing.T) {
+	clock := simtime.NewVirtual(time.Unix(0, 0))
+	s, c := newPair(t, ServerOptions{}, CallerOptions{Clock: clock})
+	block := make(chan struct{})
+	defer close(block)
+	s.Handle("hang", func(req *wire.Message) (*wire.Message, error) {
+		<-block
+		return &wire.Message{Kind: wire.KindReply}, nil
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Do(&Call{Topic: "hang", Timeout: 10 * time.Second})
+		done <- err
+	}()
+	waitPending(t, clock, 1)
+	clock.Advance(11 * time.Second)
+	if err := <-done; !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+}
+
+func waitPending(t *testing.T, clock *simtime.Virtual, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for clock.Pending() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d pending timers (have %d)", n, clock.Pending())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,190 @@
+package endpoint
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ndsm/internal/obs"
+	"ndsm/internal/simtime"
+	"ndsm/internal/wire"
+)
+
+// RetryPolicy parameterizes WithRetry: jittered exponential backoff over a
+// bounded number of re-attempts. Only transport-level failures are retried;
+// peer-reported errors and deliberate shutdown never are (see Retryable).
+type RetryPolicy struct {
+	// Max is the number of additional attempts after the first (default 2).
+	Max int
+	// BaseDelay is the first backoff (0: immediate retry, the
+	// reconnect-once idiom).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth (default 10×BaseDelay).
+	MaxDelay time.Duration
+	// Multiplier grows the delay each attempt (default 2).
+	Multiplier float64
+	// Jitter is the fraction of each delay drawn uniformly at random and
+	// added, de-synchronizing retry storms (default 0.2 when BaseDelay > 0).
+	Jitter float64
+	// RetryTimeouts also retries calls that timed out. Off by default: a
+	// timed-out call may still execute on the peer, so only idempotent
+	// protocols should set it.
+	RetryTimeouts bool
+	// Seed seeds the jitter RNG (default 1; fixed for reproducible tests).
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Max <= 0 {
+		p.Max = 2
+	}
+	if p.Multiplier <= 0 {
+		p.Multiplier = 2
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 10 * p.BaseDelay
+	}
+	if p.Jitter == 0 && p.BaseDelay > 0 {
+		p.Jitter = 0.2
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// WithRetry retries transport-level failures with jittered exponential
+// backoff on the given clock. reg (nil: the default registry) counts retries
+// under "<name>.retries" and exhausted calls under "<name>.retries_exhausted".
+func WithRetry(clock simtime.Clock, p RetryPolicy, reg *obs.Registry, name string) ClientInterceptor {
+	if clock == nil {
+		clock = simtime.Real{}
+	}
+	p = p.withDefaults()
+	retries := obs.Or(reg).Counter(name + ".retries")
+	exhausted := obs.Or(reg).Counter(name + ".retries_exhausted")
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(p.Seed))
+	jitter := func(d time.Duration) time.Duration {
+		if p.Jitter <= 0 || d <= 0 {
+			return d
+		}
+		mu.Lock()
+		f := rng.Float64()
+		mu.Unlock()
+		return d + time.Duration(f*p.Jitter*float64(d))
+	}
+	return func(next ClientFunc) ClientFunc {
+		return func(call *Call) (*wire.Message, error) {
+			m, err := next(call)
+			delay := p.BaseDelay
+			for attempt := 0; attempt < p.Max && Retryable(err, p.RetryTimeouts); attempt++ {
+				if d := jitter(delay); d > 0 {
+					clock.Sleep(d)
+				}
+				delay = time.Duration(float64(delay) * p.Multiplier)
+				if delay > p.MaxDelay {
+					delay = p.MaxDelay
+				}
+				retries.Inc(1)
+				m, err = next(call)
+			}
+			if err != nil && Retryable(err, p.RetryTimeouts) {
+				exhausted.Inc(1)
+			}
+			return m, err
+		}
+	}
+}
+
+// WithMetrics instruments calls in reg (nil: the default registry) under the
+// given name prefix: "<name>.calls", "<name>.errors", "<name>.timeouts", and
+// the latency histogram "<name>.latency_ms".
+func WithMetrics(reg *obs.Registry, name string, clock simtime.Clock) ClientInterceptor {
+	if clock == nil {
+		clock = simtime.Real{}
+	}
+	r := obs.Or(reg)
+	calls := r.Counter(name + ".calls")
+	errs := r.Counter(name + ".errors")
+	timeouts := r.Counter(name + ".timeouts")
+	latency := r.Histogram(name + ".latency_ms")
+	return func(next ClientFunc) ClientFunc {
+		return func(call *Call) (*wire.Message, error) {
+			start := clock.Now()
+			m, err := next(call)
+			calls.Inc(1)
+			latency.Observe(float64(clock.Now().Sub(start)) / float64(time.Millisecond))
+			if err != nil {
+				errs.Inc(1)
+				if Retryable(err, true) && !Retryable(err, false) {
+					timeouts.Inc(1)
+				}
+			}
+			return m, err
+		}
+	}
+}
+
+// WithTrace logs every call through logf (printf-style), with topic,
+// duration, and outcome — the trace/log hook of the chain.
+func WithTrace(logf func(format string, args ...any), clock simtime.Clock) ClientInterceptor {
+	if clock == nil {
+		clock = simtime.Real{}
+	}
+	return func(next ClientFunc) ClientFunc {
+		return func(call *Call) (*wire.Message, error) {
+			start := clock.Now()
+			m, err := next(call)
+			if err != nil {
+				logf("endpoint: call %s failed after %v: %v", call.Topic, clock.Now().Sub(start), err)
+			} else {
+				logf("endpoint: call %s ok in %v", call.Topic, clock.Now().Sub(start))
+			}
+			return m, err
+		}
+	}
+}
+
+// WithServerMetrics instruments dispatches in reg (nil: the default
+// registry): "<name>.requests", "<name>.errors", and the handler latency
+// histogram "<name>.latency_ms".
+func WithServerMetrics(reg *obs.Registry, name string, clock simtime.Clock) ServerInterceptor {
+	if clock == nil {
+		clock = simtime.Real{}
+	}
+	r := obs.Or(reg)
+	requests := r.Counter(name + ".requests")
+	errs := r.Counter(name + ".errors")
+	latency := r.Histogram(name + ".latency_ms")
+	return func(next Handler) Handler {
+		return func(req *wire.Message) (*wire.Message, error) {
+			start := clock.Now()
+			m, err := next(req)
+			requests.Inc(1)
+			latency.Observe(float64(clock.Now().Sub(start)) / float64(time.Millisecond))
+			if err != nil {
+				errs.Inc(1)
+			}
+			return m, err
+		}
+	}
+}
+
+// WithServerDeadline sheds requests whose propagated deadline has already
+// passed on arrival: the caller has given up, so running the handler and
+// sending a reply is pure waste. Expired requests get a KindError reply.
+func WithServerDeadline(clock simtime.Clock) ServerInterceptor {
+	if clock == nil {
+		clock = simtime.Real{}
+	}
+	return func(next Handler) Handler {
+		return func(req *wire.Message) (*wire.Message, error) {
+			if !req.Deadline.IsZero() && clock.Now().After(req.Deadline) {
+				return nil, fmt.Errorf("endpoint: deadline exceeded before dispatch of %s", req.Topic)
+			}
+			return next(req)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package endpoint
+
+import (
+	"fmt"
+	"sync"
+
+	"ndsm/internal/transport"
+	"ndsm/internal/wire"
+)
+
+// ServerOptions tunes a Server.
+type ServerOptions struct {
+	// Name stamps replies' Src when handlers leave it empty.
+	Name string
+	// Kinds lists the message kinds dispatched to handlers; other kinds are
+	// silently ignored (default: KindRequest and KindControl).
+	Kinds []wire.Kind
+	// Interceptors wrap every dispatch, outermost first.
+	Interceptors []ServerInterceptor
+	// Fallback serves topics with no registered handler (default: a
+	// KindError reply naming the topic).
+	Fallback Handler
+}
+
+// Server is the listening half of the endpoint: it accepts connections and
+// dispatches each inbound request to its topic handler in a fresh goroutine,
+// so a slow handler never head-of-line blocks a connection.
+type Server struct {
+	listener transport.Listener
+	opts     ServerOptions
+	dispatch Handler
+	accepts  map[wire.Kind]bool
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	conns    map[transport.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer starts serving on the listener in a background accept loop.
+func NewServer(l transport.Listener, opts ServerOptions) *Server {
+	kinds := opts.Kinds
+	if len(kinds) == 0 {
+		kinds = []wire.Kind{wire.KindRequest, wire.KindControl}
+	}
+	s := &Server{
+		listener: l,
+		opts:     opts,
+		accepts:  make(map[wire.Kind]bool, len(kinds)),
+		handlers: make(map[string]Handler),
+		conns:    make(map[transport.Conn]struct{}),
+	}
+	for _, k := range kinds {
+		s.accepts[k] = true
+	}
+	s.dispatch = chainServer(opts.Interceptors, s.route)
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener's bound address.
+func (s *Server) Addr() string { return s.listener.Addr() }
+
+// Handle registers (or replaces) the handler for a topic.
+func (s *Server) Handle(topic string, h Handler) {
+	s.mu.Lock()
+	s.handlers[topic] = h
+	s.mu.Unlock()
+}
+
+// Unhandle removes a topic's handler; subsequent requests hit the fallback.
+func (s *Server) Unhandle(topic string) {
+	s.mu.Lock()
+	delete(s.handlers, topic)
+	s.mu.Unlock()
+}
+
+// Close stops accepting, closes all connections, and waits for in-flight
+// handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]transport.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	_ = s.listener.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// route is the terminal Handler: topic lookup plus fallback.
+func (s *Server) route(req *wire.Message) (*wire.Message, error) {
+	s.mu.Lock()
+	h := s.handlers[req.Topic]
+	s.mu.Unlock()
+	if h == nil {
+		if s.opts.Fallback != nil {
+			return s.opts.Fallback(req)
+		}
+		return nil, fmt.Errorf("endpoint: no handler for topic %q", req.Topic)
+	}
+	return h(req)
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn transport.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	// Replies are written from handler goroutines; serialize them.
+	var sendMu sync.Mutex
+	for {
+		req, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if !s.accepts[req.Kind] {
+			continue
+		}
+		s.wg.Add(1)
+		go func(req *wire.Message) {
+			defer s.wg.Done()
+			reply, err := s.dispatch(req)
+			if err != nil {
+				reply = &wire.Message{Kind: wire.KindError, Payload: []byte(err.Error())}
+			} else if reply == nil {
+				reply = &wire.Message{Kind: wire.KindAck}
+			}
+			reply.Corr = req.ID
+			if reply.Topic == "" {
+				reply.Topic = req.Topic
+			}
+			if reply.Src == "" {
+				reply.Src = s.opts.Name
+			}
+			sendMu.Lock()
+			defer sendMu.Unlock()
+			_ = conn.Send(reply)
+		}(req)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"ndsm/internal/endpoint"
 	"ndsm/internal/simtime"
 	"ndsm/internal/transport"
 	"ndsm/internal/wire"
@@ -257,105 +258,55 @@ func (b *Broker) serveConn(conn transport.Conn) {
 	}
 }
 
-// Client talks to a broker. Safe for concurrent use.
+// Client talks to a broker through the shared endpoint engine. Safe for
+// concurrent use; pops long-poll, so replies can arrive out of order and are
+// demultiplexed by correlation ID inside the caller.
 type Client struct {
-	mu     sync.Mutex
-	conn   transport.Conn
-	nextID uint64
-	// waiters maps request IDs to reply channels (pops long-poll, so
-	// replies can arrive out of order).
-	waiters map[uint64]chan *wire.Message
-	closed  bool
-	done    chan struct{}
+	caller *endpoint.Caller
 }
 
 // Dial connects to a broker.
 func Dial(tr transport.Transport, addr string) (*Client, error) {
-	conn, err := tr.Dial(addr)
+	caller, err := endpoint.NewCaller(tr, addr, endpoint.CallerOptions{
+		Eager: true,
+		Interceptors: []endpoint.ClientInterceptor{
+			endpoint.WithMetrics(nil, "mq.client", nil),
+		},
+	})
 	if err != nil {
 		return nil, fmt.Errorf("mq: dial %s: %w", addr, err)
 	}
-	c := &Client{
-		conn:    conn,
-		waiters: make(map[uint64]chan *wire.Message),
-		done:    make(chan struct{}),
-	}
-	go c.demux()
-	return c, nil
+	return &Client{caller: caller}, nil
 }
 
 // Close shuts the client down.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil
-	}
-	c.closed = true
-	c.mu.Unlock()
-	err := c.conn.Close()
-	<-c.done
-	return err
-}
-
-func (c *Client) demux() {
-	defer close(c.done)
-	for {
-		m, err := c.conn.Recv()
-		if err != nil {
-			return
-		}
-		c.mu.Lock()
-		ch := c.waiters[m.Corr]
-		c.mu.Unlock()
-		if ch != nil {
-			select {
-			case ch <- m:
-			default:
-			}
-		}
-	}
-}
+func (c *Client) Close() error { return c.caller.Close() }
 
 func (c *Client) request(topic string, headers map[string]string, payload []byte) (*wire.Message, error) {
-	replyCh := make(chan *wire.Message, 1)
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, ErrClosed
+	m, err := c.caller.Do(&endpoint.Call{
+		Topic:   topic,
+		Headers: headers,
+		Payload: payload,
+		// The broker owns all waiting (long-poll bounded by WaitMillis), so
+		// the client itself waits without a local deadline, as before.
+		Timeout: endpoint.NoTimeout,
+	})
+	if err != nil {
+		if re, ok := endpoint.IsRemote(err); ok {
+			return nil, decodeErr([]byte(re.Msg))
+		}
+		if errors.Is(err, endpoint.ErrClosed) || errors.Is(err, endpoint.ErrUnavailable) {
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("mq: %w", err)
 	}
-	c.nextID++
-	id := c.nextID
-	c.waiters[id] = replyCh
-	c.mu.Unlock()
-	defer func() {
-		c.mu.Lock()
-		delete(c.waiters, id)
-		c.mu.Unlock()
-	}()
-
-	req := &wire.Message{ID: id, Kind: wire.KindRequest, Topic: topic, Headers: headers, Payload: payload}
-	if err := c.conn.Send(req); err != nil {
-		return nil, fmt.Errorf("mq: send: %w", err)
-	}
-	select {
-	case m := <-replyCh:
-		return m, nil
-	case <-c.done:
-		return nil, ErrClosed
-	}
+	return m, nil
 }
 
 // Push enqueues an item.
 func (c *Client) Push(queueName string, data []byte) error {
-	m, err := c.request(topicPush, map[string]string{"queue": queueName}, data)
-	if err != nil {
-		return err
-	}
-	if m.Kind == wire.KindError {
-		return decodeErr(m.Payload)
-	}
-	return nil
+	_, err := c.request(topicPush, map[string]string{"queue": queueName}, data)
+	return err
 }
 
 // Pop dequeues the oldest item, long-polling up to wait. It returns ErrEmpty
@@ -369,9 +320,6 @@ func (c *Client) Pop(queueName string, wait time.Duration) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if m.Kind == wire.KindError {
-		return nil, decodeErr(m.Payload)
-	}
 	return m.Payload, nil
 }
 
@@ -380,9 +328,6 @@ func (c *Client) Depth(queueName string) (int, error) {
 	m, err := c.request(topicDepth, map[string]string{"queue": queueName}, nil)
 	if err != nil {
 		return 0, err
-	}
-	if m.Kind == wire.KindError {
-		return 0, decodeErr(m.Payload)
 	}
 	var n int
 	if _, err := fmt.Sscanf(string(m.Payload), "%d", &n); err != nil {

@@ -1,17 +1,18 @@
 // Package rpc is the client-server interaction style (§3.1, §3.6): typed
 // request/reply with per-call deadlines over any Transport. It is the
-// middleware's stand-in for the RPC/RMI technologies the paper surveys,
-// built with asynchronous connection handling so calls never block the
-// transport (the paper's "should provide asynchronous connections").
+// middleware's stand-in for the RPC/RMI technologies the paper surveys.
+// Since the unified-endpoint refactor it is a thin facade over
+// internal/endpoint: the correlation, demultiplexing, and timeout machinery
+// live there, shared with discovery, the message queue, and the kernel.
 package rpc
 
 import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"ndsm/internal/endpoint"
 	"ndsm/internal/simtime"
 	"ndsm/internal/transport"
 	"ndsm/internal/wire"
@@ -29,36 +30,49 @@ type Handler func(payload []byte) ([]byte, error)
 
 // Server dispatches calls to registered handlers.
 type Server struct {
-	mu       sync.Mutex
-	handlers map[string]Handler
-	conns    map[transport.Conn]struct{}
-	listener transport.Listener
-	closed   bool
-	wg       sync.WaitGroup
+	ep *endpoint.Server
 
-	// Calls counts handled calls by method.
+	mu    sync.Mutex
 	calls map[string]int64
 }
 
 // NewServer starts serving on the listener.
 func NewServer(l transport.Listener) *Server {
-	s := &Server{
-		handlers: make(map[string]Handler),
-		conns:    make(map[transport.Conn]struct{}),
-		listener: l,
-		calls:    make(map[string]int64),
-	}
-	s.wg.Add(1)
-	go s.acceptLoop()
+	s := &Server{calls: make(map[string]int64)}
+	s.ep = endpoint.NewServer(l, endpoint.ServerOptions{
+		Kinds: []wire.Kind{wire.KindRequest},
+		Interceptors: []endpoint.ServerInterceptor{
+			s.countCalls,
+			endpoint.WithServerMetrics(nil, "rpc.server", nil),
+		},
+		Fallback: func(req *wire.Message) (*wire.Message, error) {
+			return nil, fmt.Errorf("%v: %s", ErrUnknownMethod, req.Topic)
+		},
+	})
 	return s
+}
+
+// countCalls tallies every dispatched method, known or not (the pre-endpoint
+// server counted unknown methods too, and tests rely on it).
+func (s *Server) countCalls(next endpoint.Handler) endpoint.Handler {
+	return func(req *wire.Message) (*wire.Message, error) {
+		s.mu.Lock()
+		s.calls[req.Topic]++
+		s.mu.Unlock()
+		return next(req)
+	}
 }
 
 // Handle registers a handler for a method name; it replaces any previous
 // registration.
 func (s *Server) Handle(method string, h Handler) {
-	s.mu.Lock()
-	s.handlers[method] = h
-	s.mu.Unlock()
+	s.ep.Handle(method, func(req *wire.Message) (*wire.Message, error) {
+		out, err := h(req.Payload)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.Message{Kind: wire.KindReply, Payload: out}, nil
+	})
 }
 
 // Calls returns a copy of the per-method call counters.
@@ -73,185 +87,52 @@ func (s *Server) Calls() map[string]int64 {
 }
 
 // Close stops the server and waits for in-flight handlers.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
-	s.closed = true
-	conns := make([]transport.Conn, 0, len(s.conns))
-	for c := range s.conns {
-		conns = append(conns, c)
-	}
-	s.mu.Unlock()
-	_ = s.listener.Close()
-	for _, c := range conns {
-		_ = c.Close()
-	}
-	s.wg.Wait()
-	return nil
-}
-
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.listener.Accept()
-		if err != nil {
-			return
-		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			_ = conn.Close()
-			return
-		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go s.serveConn(conn)
-	}
-}
-
-func (s *Server) serveConn(conn transport.Conn) {
-	defer s.wg.Done()
-	defer func() {
-		_ = conn.Close()
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-	}()
-	// Replies are written from handler goroutines; serialize them.
-	var sendMu sync.Mutex
-	for {
-		req, err := conn.Recv()
-		if err != nil {
-			return
-		}
-		if req.Kind != wire.KindRequest {
-			continue
-		}
-		s.mu.Lock()
-		h := s.handlers[req.Topic]
-		s.calls[req.Topic]++
-		s.mu.Unlock()
-
-		// Handle each call in its own goroutine so a slow method does not
-		// head-of-line block the connection.
-		s.wg.Add(1)
-		go func(req *wire.Message) {
-			defer s.wg.Done()
-			reply := &wire.Message{Corr: req.ID, Topic: req.Topic}
-			if h == nil {
-				reply.Kind = wire.KindError
-				reply.Payload = []byte(fmt.Sprintf("%v: %s", ErrUnknownMethod, req.Topic))
-			} else if out, err := h(req.Payload); err != nil {
-				reply.Kind = wire.KindError
-				reply.Payload = []byte(err.Error())
-			} else {
-				reply.Kind = wire.KindReply
-				reply.Payload = out
-			}
-			sendMu.Lock()
-			defer sendMu.Unlock()
-			_ = conn.Send(reply)
-		}(req)
-	}
-}
+func (s *Server) Close() error { return s.ep.Close() }
 
 // Client issues calls over one connection, multiplexing any number of
 // concurrent calls by correlation ID.
 type Client struct {
-	clock simtime.Clock
-	conn  transport.Conn
-
-	nextID atomic.Uint64
-
-	mu      sync.Mutex
-	waiters map[uint64]chan *wire.Message
-	closed  bool
-
-	done chan struct{}
+	caller *endpoint.Caller
 }
 
 // Dial connects a client to an RPC server.
 func Dial(tr transport.Transport, addr string, clock simtime.Clock) (*Client, error) {
-	if clock == nil {
-		clock = simtime.Real{}
-	}
-	conn, err := tr.Dial(addr)
+	caller, err := endpoint.NewCaller(tr, addr, endpoint.CallerOptions{
+		Clock: clock,
+		Eager: true,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
 	}
-	c := &Client{
-		clock:   clock,
-		conn:    conn,
-		waiters: make(map[uint64]chan *wire.Message),
-		done:    make(chan struct{}),
-	}
-	go c.demux()
-	return c, nil
+	return &Client{caller: caller}, nil
 }
 
 // Close shuts the client down; outstanding calls fail with ErrClosed.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil
-	}
-	c.closed = true
-	c.mu.Unlock()
-	err := c.conn.Close()
-	<-c.done
-	return err
-}
+func (c *Client) Close() error { return c.caller.Close() }
 
-// Call invokes method with payload and waits up to timeout for the reply.
+// Call invokes method with payload and waits up to timeout for the reply
+// (timeout <= 0: wait forever).
 func (c *Client) Call(method string, payload []byte, timeout time.Duration) ([]byte, error) {
-	id := c.nextID.Add(1)
-	replyCh := make(chan *wire.Message, 1)
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, ErrClosed
+	t := timeout
+	if t <= 0 {
+		t = endpoint.NoTimeout
 	}
-	c.waiters[id] = replyCh
-	c.mu.Unlock()
-	defer func() {
-		c.mu.Lock()
-		delete(c.waiters, id)
-		c.mu.Unlock()
-	}()
-
-	req := &wire.Message{
-		ID:      id,
-		Kind:    wire.KindRequest,
-		Topic:   method,
-		Payload: payload,
-	}
-	if timeout > 0 {
-		req.Deadline = c.clock.Now().Add(timeout)
-	}
-	if err := c.conn.Send(req); err != nil {
-		return nil, fmt.Errorf("rpc: send: %w", err)
-	}
-
-	var timer <-chan time.Time
-	if timeout > 0 {
-		timer = c.clock.After(timeout)
-	}
-	select {
-	case reply := <-replyCh:
-		if reply.Kind == wire.KindError {
-			return nil, fmt.Errorf("rpc: remote: %s", reply.Payload)
+	m, err := c.caller.Do(&endpoint.Call{Topic: method, Payload: payload, Timeout: t})
+	if err != nil {
+		if re, ok := endpoint.IsRemote(err); ok {
+			return nil, fmt.Errorf("rpc: remote: %s", re.Msg)
 		}
-		return reply.Payload, nil
-	case <-timer:
-		return nil, fmt.Errorf("%w: %s after %v", ErrTimeout, method, timeout)
-	case <-c.done:
-		return nil, ErrClosed
+		if errors.Is(err, endpoint.ErrTimeout) {
+			return nil, fmt.Errorf("%w: %s after %v", ErrTimeout, method, timeout)
+		}
+		if errors.Is(err, endpoint.ErrClosed) || errors.Is(err, endpoint.ErrUnavailable) {
+			// An RPC client owns exactly one connection: once it is gone —
+			// deliberately or not — the client is closed for business.
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("rpc: %w", err)
 	}
+	return m.Payload, nil
 }
 
 // Go invokes method asynchronously; the returned channel receives the single
@@ -269,23 +150,4 @@ func (c *Client) Go(method string, payload []byte, timeout time.Duration) <-chan
 type Result struct {
 	Data []byte
 	Err  error
-}
-
-func (c *Client) demux() {
-	defer close(c.done)
-	for {
-		m, err := c.conn.Recv()
-		if err != nil {
-			return
-		}
-		c.mu.Lock()
-		ch := c.waiters[m.Corr]
-		c.mu.Unlock()
-		if ch != nil {
-			select {
-			case ch <- m:
-			default:
-			}
-		}
-	}
 }

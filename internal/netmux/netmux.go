@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"ndsm/internal/netsim"
+	"ndsm/internal/obs"
 )
 
 // channelSize is each protocol channel's buffer depth.
@@ -29,6 +30,9 @@ type Mux struct {
 
 	droppedMu sync.Mutex
 	dropped   map[byte]int64
+	// obsDropped mirrors per-protocol drops into the shared observability
+	// registry under "netmux.dropped.<proto>", created on first drop.
+	obsDropped map[byte]*obs.Counter
 }
 
 // New starts a mux for node id. The mux takes ownership of the node's
@@ -46,6 +50,8 @@ func New(net *netsim.Network, id netsim.NodeID) (*Mux, error) {
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 		dropped: make(map[byte]int64),
+
+		obsDropped: make(map[byte]*obs.Counter),
 	}
 	go m.loop(inbox)
 	return m, nil
@@ -87,6 +93,17 @@ func (m *Mux) Dropped(proto byte) int64 {
 	m.droppedMu.Lock()
 	defer m.droppedMu.Unlock()
 	return m.dropped[proto]
+}
+
+// DroppedCounts returns a copy of the full per-protocol drop tally.
+func (m *Mux) DroppedCounts() map[byte]int64 {
+	m.droppedMu.Lock()
+	defer m.droppedMu.Unlock()
+	out := make(map[byte]int64, len(m.dropped))
+	for proto, n := range m.dropped {
+		out[proto] = n
+	}
+	return out
 }
 
 // Close stops the demux loop.
@@ -139,5 +156,11 @@ func (m *Mux) dispatch(pkt netsim.Packet) {
 func (m *Mux) drop(proto byte) {
 	m.droppedMu.Lock()
 	m.dropped[proto]++
+	c := m.obsDropped[proto]
+	if c == nil {
+		c = obs.Default().Counter(fmt.Sprintf("netmux.dropped.%d", proto))
+		m.obsDropped[proto] = c
+	}
 	m.droppedMu.Unlock()
+	c.Inc(1)
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ndsm/internal/netsim"
+	"ndsm/internal/obs"
 )
 
 func pairNet(t *testing.T) *netsim.Network {
@@ -162,5 +163,41 @@ func TestChannelOverflowCounted(t *testing.T) {
 			}
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestChannelOverflowRegistersObs(t *testing.T) {
+	net := pairNet(t)
+	m, err := New(net, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	_ = m.Channel(0x09) // registered but never drained
+	// The obs registry is process-wide, so assert on the delta.
+	before := obs.Default().Counter("netmux.dropped.9").Value()
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Dropped(0x09) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("overflow never counted")
+		}
+		for i := 0; i < channelSize; i++ {
+			if err := net.Send("a", "b", []byte{0x09}); err != nil && !errors.Is(err, netsim.ErrInboxFull) {
+				t.Fatal(err)
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Let the mux drain the queued backlog so the tallies stop moving.
+	for prev := int64(-1); prev != m.Dropped(0x09); {
+		prev = m.Dropped(0x09)
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := obs.Default().Counter("netmux.dropped.9").Value() - before; got != m.Dropped(0x09) {
+		t.Fatalf("obs mirror = %d, mux tally = %d", got, m.Dropped(0x09))
+	}
+	counts := m.DroppedCounts()
+	if counts[0x09] != m.Dropped(0x09) || counts[0x09] == 0 {
+		t.Fatalf("DroppedCounts = %v, want [9]=%d", counts, m.Dropped(0x09))
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"ndsm/internal/obs"
 	"ndsm/internal/simtime"
 	"ndsm/internal/stats"
 )
@@ -168,18 +169,35 @@ type Network struct {
 	stop chan struct{}
 
 	counters stats.Counter
+	// obsCounters mirror counters into the shared observability registry
+	// under "netsim.<name>"; energyGauge tracks total consumed energy.
+	obsCounters map[string]*obs.Counter
+	energyGauge *obs.Gauge
 }
 
 // New creates a network with the given configuration.
 func New(cfg Config) *Network {
 	cfg = cfg.withDefaults()
-	return &Network{
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		nodes:   make(map[NodeID]*simNode),
-		severed: make(map[[2]NodeID]bool),
-		stop:    make(chan struct{}),
+	n := &Network{
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		nodes:       make(map[NodeID]*simNode),
+		severed:     make(map[[2]NodeID]bool),
+		stop:        make(chan struct{}),
+		obsCounters: make(map[string]*obs.Counter),
+		energyGauge: obs.Default().Gauge("netsim.energy_consumed_j"),
 	}
+	for _, name := range []string{"sent", "bytes", "lost", "delivered", "dropped_full", "broadcasts"} {
+		n.obsCounters[name] = obs.Default().Counter("netsim." + name)
+	}
+	return n
+}
+
+// count bumps a traffic counter in both the local snapshot (Counters) and
+// the shared observability registry.
+func (n *Network) count(name string, delta int64) {
+	n.counters.Inc(name, delta)
+	n.obsCounters[name].Inc(delta)
 }
 
 // Close stops all in-flight deliveries and waits for them.
@@ -541,8 +559,8 @@ func (n *Network) Send(from, to NodeID, data []byte) error {
 	}
 
 	n.chargeLocked(src, n.cfg.Radio.TxEnergy(len(data), d))
-	n.counters.Inc("sent", 1)
-	n.counters.Inc("bytes", int64(len(data)))
+	n.count("sent", 1)
+	n.count("bytes", int64(len(data)))
 
 	if !dst.alive {
 		n.mu.Unlock()
@@ -550,7 +568,7 @@ func (n *Network) Send(from, to NodeID, data []byte) error {
 	}
 	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
 		n.mu.Unlock()
-		n.counters.Inc("lost", 1)
+		n.count("lost", 1)
 		return fmt.Errorf("%w: %s -> %s", ErrPacketLost, from, to)
 	}
 	n.chargeLocked(dst, n.cfg.Radio.RxEnergy(len(data)))
@@ -592,9 +610,9 @@ func (n *Network) Broadcast(from NodeID, data []byte) (int, error) {
 		return 0, fmt.Errorf("%w: %s", ErrNodeDead, from)
 	}
 	n.chargeLocked(src, n.cfg.Radio.TxEnergy(len(data), n.cfg.Range))
-	n.counters.Inc("sent", 1)
-	n.counters.Inc("broadcasts", 1)
-	n.counters.Inc("bytes", int64(len(data)))
+	n.count("sent", 1)
+	n.count("broadcasts", 1)
+	n.count("bytes", int64(len(data)))
 
 	type target struct {
 		inbox chan Packet
@@ -611,7 +629,7 @@ func (n *Network) Broadcast(from NodeID, data []byte) (int, error) {
 			continue
 		}
 		if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
-			n.counters.Inc("lost", 1)
+			n.count("lost", 1)
 			continue
 		}
 		n.chargeLocked(other, n.cfg.Radio.RxEnergy(len(data)))
@@ -645,10 +663,10 @@ func (n *Network) deliver(inbox chan Packet, pkt Packet, delay time.Duration) er
 	if delay <= 0 {
 		select {
 		case inbox <- pkt:
-			n.counters.Inc("delivered", 1)
+			n.count("delivered", 1)
 			return nil
 		default:
-			n.counters.Inc("dropped_full", 1)
+			n.count("dropped_full", 1)
 			return ErrInboxFull
 		}
 	}
@@ -662,9 +680,9 @@ func (n *Network) deliver(inbox chan Packet, pkt Packet, delay time.Duration) er
 		}
 		select {
 		case inbox <- pkt:
-			n.counters.Inc("delivered", 1)
+			n.count("delivered", 1)
 		default:
-			n.counters.Inc("dropped_full", 1)
+			n.count("dropped_full", 1)
 		}
 	}()
 	return nil
@@ -682,6 +700,7 @@ func (n *Network) latencyLocked() time.Duration {
 // chargeLocked deducts energy from a node and kills it on exhaustion.
 func (n *Network) chargeLocked(node *simNode, joules float64) {
 	node.consumed += joules
+	n.energyGauge.Add(joules)
 	if n.cfg.Unlimited {
 		return
 	}

@@ -1,0 +1,323 @@
+// Package obs is the middleware's shared observability layer: a
+// zero-dependency metrics registry holding named counters, gauges, and
+// latency histograms. Every subsystem that owns a hot path — transports,
+// the netsim substrate, netmux, discovery, the recovery WAL, the endpoint
+// interceptor chain — registers its instruments here, so one snapshot of
+// the default registry describes the whole stack. The webbridge serves
+// that snapshot as JSON on /metrics and ndsm-bench dumps it with -metrics.
+//
+// Instruments are cheap enough for per-message paths: counters and gauges
+// are single atomics, histograms take one short mutex hold. Snapshots are
+// consistent per-instrument (not cross-instrument) and support named marks
+// with diffing (Mark/Since), which is how tests assert "this workload moved
+// exactly these counters".
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ndsm/internal/stats"
+)
+
+// Counter is a monotonically increasing tally. The zero value is ready to
+// use; instances obtained from a Registry are shared by name.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds delta (which should be non-negative) to the counter.
+func (c *Counter) Inc(delta int64) { c.v.Add(delta) }
+
+// Add is an alias for Inc, for call-site readability with computed deltas.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current tally.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous float64 value (queue depth, energy budget).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// histBuckets are the histogram's upper bounds: powers of two covering
+// sub-microsecond to multi-hour observations in milliseconds (the unit all
+// middleware latency histograms use). A fixed geometric grid keeps Observe
+// allocation-free and snapshots deterministic.
+var histBuckets = func() []float64 {
+	out := make([]float64, 0, 40)
+	for i := -10; i < 30; i++ {
+		out = append(out, math.Pow(2, float64(i)))
+	}
+	return out
+}()
+
+// Histogram accumulates observations into fixed geometric buckets and
+// tracks exact count/sum/min/max. Quantiles are interpolated within the
+// bucket the rank falls into, which bounds their error by the bucket width.
+type Histogram struct {
+	mu       sync.Mutex
+	counts   []int64
+	overflow int64
+	count    int64
+	sum      float64
+	sumSq    float64
+	min      float64
+	max      float64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	if h.counts == nil {
+		h.counts = make([]int64, len(histBuckets))
+	}
+	idx := sort.SearchFloat64s(histBuckets, v)
+	if idx >= len(histBuckets) {
+		h.overflow++
+	} else {
+		h.counts[idx]++
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.sumSq += v * v
+	h.mu.Unlock()
+}
+
+// Summary digests the histogram into the stats package's Summary shape, so
+// obs histograms render through the same tables the experiment harness uses.
+func (h *Histogram) Summary() stats.Summary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.summaryLocked()
+}
+
+func (h *Histogram) summaryLocked() stats.Summary {
+	s := stats.Summary{Count: int(h.count), Min: h.min, Max: h.max}
+	if h.count == 0 {
+		return s
+	}
+	s.Mean = h.sum / float64(h.count)
+	variance := h.sumSq/float64(h.count) - s.Mean*s.Mean
+	if variance > 0 {
+		s.StdDev = math.Sqrt(variance)
+	}
+	s.P50 = h.quantileLocked(0.50)
+	s.P95 = h.quantileLocked(0.95)
+	s.P99 = h.quantileLocked(0.99)
+	return s
+}
+
+// quantileLocked estimates the q-th quantile by linear interpolation inside
+// the bucket holding that rank, clamped to the observed min/max.
+func (h *Histogram) quantileLocked(q float64) float64 {
+	rank := q * float64(h.count)
+	var seen int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if float64(seen+c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = histBuckets[i-1]
+			}
+			hi := histBuckets[i]
+			frac := (rank - float64(seen)) / float64(c)
+			v := lo + (hi-lo)*frac
+			return math.Max(h.min, math.Min(h.max, v))
+		}
+		seen += c
+	}
+	return h.max
+}
+
+// Registry is a named set of instruments. Instruments are created on first
+// use and shared by name thereafter. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	marks    map[string]Snapshot
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		marks:    make(map[string]Snapshot),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that all middleware components
+// use unless they are given an explicit one.
+func Default() *Registry { return defaultRegistry }
+
+// Or returns r, or the default registry when r is nil — the idiom components
+// use to accept an optional registry.
+func Or(r *Registry) *Registry {
+	if r == nil {
+		return defaultRegistry
+	}
+	return r
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry. It
+// marshals directly to the /metrics JSON document.
+type Snapshot struct {
+	Counters   map[string]int64         `json:"counters"`
+	Gauges     map[string]float64       `json:"gauges"`
+	Histograms map[string]stats.Summary `json:"histograms"`
+}
+
+// Snapshot captures all instruments.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]stats.Summary, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Summary()
+	}
+	return s
+}
+
+// Diff returns the change from prev to s: counters and histogram counts are
+// subtracted (instruments absent from prev diff against zero), gauges keep
+// their current reading (an instantaneous value has no meaningful delta).
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]stats.Summary, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v - prev.Counters[name]
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		ph := prev.Histograms[name]
+		h.Count -= ph.Count
+		out.Histograms[name] = h
+	}
+	return out
+}
+
+// Names returns the sorted counter names in the snapshot (rendering helper).
+func (s Snapshot) Names() []string {
+	out := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Mark stores a named snapshot of the registry's current state.
+func (r *Registry) Mark(name string) {
+	snap := r.Snapshot()
+	r.mu.Lock()
+	r.marks[name] = snap
+	r.mu.Unlock()
+}
+
+// Since diffs the current state against the named mark. An unknown mark
+// diffs against the empty snapshot (i.e. returns absolute values).
+func (r *Registry) Since(name string) Snapshot {
+	r.mu.RLock()
+	mark := r.marks[name]
+	r.mu.RUnlock()
+	return r.Snapshot().Diff(mark)
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, each = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				// Shared instrument fetched by name every time: exercises the
+				// registry's read path under contention too.
+				r.Counter("c").Inc(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != workers*each {
+		t.Fatalf("counter = %d, want %d", got, workers*each)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	r := NewRegistry()
+	const workers, each = 8, 500
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				r.Gauge("g").Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := r.Gauge("g").Value(), float64(workers*each)*0.5; got != want {
+		t.Fatalf("gauge = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, each = 8, 400
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				r.Histogram("h").Observe(float64(i + 1))
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := r.Histogram("h").Summary()
+	if s.Count != workers*each {
+		t.Fatalf("count = %d, want %d", s.Count, workers*each)
+	}
+	if s.Min != 1 || s.Max != workers {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.Mean < 1 || s.Mean > workers {
+		t.Fatalf("mean = %v out of range", s.Mean)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Summary()
+	// Bucketed quantiles are estimates; the geometric grid bounds the error
+	// by one bucket width, so accept a generous band around the exact ranks.
+	if s.P50 < 250 || s.P50 > 1000 {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if s.P99 < s.P50 || s.P99 > 1000 {
+		t.Fatalf("p99 = %v (p50 = %v)", s.P99, s.P50)
+	}
+	if s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc(3)
+	r.Gauge("b").Set(1.25)
+	r.Histogram("c").Observe(4)
+	r.Histogram("c").Observe(8)
+
+	s1, s2 := r.Snapshot(), r.Snapshot()
+	j1, err := json.Marshal(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Fatalf("snapshots differ:\n%s\n%s", j1, j2)
+	}
+	if s1.Counters["a"] != 3 || s1.Gauges["b"] != 1.25 || s1.Histograms["c"].Count != 2 {
+		t.Fatalf("snapshot = %+v", s1)
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc(10)
+	r.Histogram("lat").Observe(1)
+	before := r.Snapshot()
+
+	r.Counter("x").Inc(5)
+	r.Counter("fresh").Inc(2) // appears only after the first snapshot
+	r.Histogram("lat").Observe(2)
+	r.Histogram("lat").Observe(3)
+
+	d := r.Snapshot().Diff(before)
+	if d.Counters["x"] != 5 {
+		t.Fatalf("x delta = %d", d.Counters["x"])
+	}
+	if d.Counters["fresh"] != 2 {
+		t.Fatalf("fresh delta = %d", d.Counters["fresh"])
+	}
+	if d.Histograms["lat"].Count != 2 {
+		t.Fatalf("lat count delta = %d", d.Histograms["lat"].Count)
+	}
+}
+
+func TestMarkSince(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("n").Inc(7)
+	r.Mark("warmup")
+	r.Counter("n").Inc(4)
+	if got := r.Since("warmup").Counters["n"]; got != 4 {
+		t.Fatalf("since = %d, want 4", got)
+	}
+	// Unknown marks diff against zero: absolute values.
+	if got := r.Since("nonexistent").Counters["n"]; got != 11 {
+		t.Fatalf("since unknown mark = %d, want 11", got)
+	}
+}
+
+func TestConcurrentSnapshotWhileWriting(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter(fmt.Sprintf("c%d", i%2)).Inc(1)
+				r.Histogram("h").Observe(float64(j % 10))
+				r.Gauge("g").Add(1)
+			}
+		}(i)
+	}
+	for i := 0; i < 50; i++ {
+		snap := r.Snapshot()
+		if snap.Counters["c0"] < 0 {
+			t.Fatal("negative counter")
+		}
+		_ = r.Since("never-marked")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestOrDefault(t *testing.T) {
+	if Or(nil) != Default() {
+		t.Fatal("Or(nil) should be the default registry")
+	}
+	r := NewRegistry()
+	if Or(r) != r {
+		t.Fatal("Or(r) should be r")
+	}
+}

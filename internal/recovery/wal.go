@@ -19,6 +19,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"ndsm/internal/obs"
 )
 
 // RecordType classifies WAL records.
@@ -133,10 +135,13 @@ func (w *WAL) Append(rec Record) (uint64, error) {
 	if _, err := w.f.Write(frame); err != nil {
 		return 0, fmt.Errorf("recovery: append: %w", err)
 	}
+	obs.Default().Counter("wal.appends").Inc(1)
+	obs.Default().Counter("wal.append_bytes").Inc(int64(len(frame)))
 	if w.opts.SyncEveryAppend {
 		if err := w.f.Sync(); err != nil {
 			return 0, fmt.Errorf("recovery: sync: %w", err)
 		}
+		obs.Default().Counter("wal.syncs").Inc(1)
 	}
 	w.nextLSN++
 	return rec.LSN, nil
@@ -149,7 +154,11 @@ func (w *WAL) Sync() error {
 	if w.closed {
 		return ErrWALClosed
 	}
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	obs.Default().Counter("wal.syncs").Inc(1)
+	return nil
 }
 
 // Replay calls fn for every valid record in LSN order. It stops silently at
@@ -160,6 +169,7 @@ func (w *WAL) Replay(fn func(Record) error) error {
 	if w.closed {
 		return ErrWALClosed
 	}
+	obs.Default().Counter("wal.replays").Inc(1)
 	pos, err := w.f.Seek(0, io.SeekCurrent)
 	if err != nil {
 		return fmt.Errorf("recovery: seek: %w", err)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ndsm/internal/netsim"
+	"ndsm/internal/obs"
 	"ndsm/internal/wire"
 )
 
@@ -590,6 +591,67 @@ func TestSimDataToNonListeningNodeDropped(t *testing.T) {
 	for tb.DroppedFrames() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("data to non-listening node not counted dropped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestInstrumentCountsTraffic(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := Instrument(NewMem(NewFabric()), reg)
+	l, err := tr.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			m, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			_ = conn.Send(&wire.Message{Kind: wire.KindReply, Corr: m.ID, Payload: m.Payload})
+		}
+	}()
+	conn, err := tr.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acceptDeadline := time.Now().Add(2 * time.Second)
+	for reg.Gauge("transport.mem.open_conns").Value() != 2 {
+		if time.Now().After(acceptDeadline) {
+			t.Fatalf("open_conns = %v, want 2 (dialer + acceptor)", reg.Gauge("transport.mem.open_conns").Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	payload := []byte("12345")
+	if err := conn.Send(&wire.Message{ID: 1, Kind: wire.KindRequest, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	// Both halves of the exchange ran through instrumented conns: the
+	// request (client send + server recv) and the reply (server send +
+	// client recv) each count once on each side.
+	if snap.Counters["transport.mem.sent_msgs"] != 2 || snap.Counters["transport.mem.recv_msgs"] != 2 {
+		t.Fatalf("msg counters = %v", snap.Counters)
+	}
+	if snap.Counters["transport.mem.sent_bytes"] != 10 || snap.Counters["transport.mem.recv_bytes"] != 10 {
+		t.Fatalf("byte counters = %v", snap.Counters)
+	}
+	_ = conn.Close()
+	_ = conn.Close() // double close must not double-decrement
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Gauge("transport.mem.open_conns").Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("open_conns = %v after close, want 0", reg.Gauge("transport.mem.open_conns").Value())
 		}
 		time.Sleep(time.Millisecond)
 	}

@@ -8,6 +8,8 @@
 //	GET /figure1                   -> the paper's Figure 1 as text
 //	POST /call/<service>           -> bind best supplier, forward body,
 //	                                  return the reply payload
+//	GET /metrics                   -> JSON snapshot of the shared
+//	                                  observability registry
 //	GET /healthz                   -> liveness
 //
 // It is a compact http.Handler, so it embeds into any mux; cmd/ndsm-node
@@ -15,6 +17,7 @@
 package webbridge
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -24,6 +27,7 @@ import (
 	"ndsm/internal/bibliometrics"
 	"ndsm/internal/core"
 	"ndsm/internal/discovery"
+	"ndsm/internal/obs"
 	"ndsm/internal/qos"
 	"ndsm/internal/svcdesc"
 )
@@ -35,6 +39,7 @@ const maxCallBody = 1 << 20
 type Bridge struct {
 	registry discovery.Registry
 	node     *core.Node
+	metrics  *obs.Registry
 
 	mu       sync.Mutex
 	bindings map[string]*core.Binding // service name -> cached binding
@@ -46,9 +51,14 @@ func New(registry discovery.Registry, node *core.Node) *Bridge {
 	return &Bridge{
 		registry: registry,
 		node:     node,
+		metrics:  obs.Default(),
 		bindings: make(map[string]*core.Binding),
 	}
 }
+
+// SetMetricsRegistry points /metrics at a specific registry instead of the
+// process-wide default (isolated tests, embedded multi-stack processes).
+func (b *Bridge) SetMetricsRegistry(r *obs.Registry) { b.metrics = obs.Or(r) }
 
 var _ http.Handler = (*Bridge)(nil)
 
@@ -75,6 +85,8 @@ func (b *Bridge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case r.URL.Path == "/figure1":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, bibliometrics.Chart(bibliometrics.Figure1(), 50))
+	case r.URL.Path == "/metrics":
+		b.handleMetrics(w, r)
 	case r.URL.Path == "/services":
 		b.handleServices(w, r)
 	case strings.HasPrefix(r.URL.Path, "/call/"):
@@ -82,6 +94,22 @@ func (b *Bridge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.NotFound(w, r)
 	}
+}
+
+// handleMetrics serves the observability snapshot: every counter, gauge,
+// and histogram the middleware stack registered — transport traffic, netsim
+// radio activity, netmux drops, discovery query costs, WAL persistence — in
+// one JSON document.
+func (b *Bridge) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	obs.Or(b.metrics).Counter("webbridge.metrics_requests").Inc(1)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(obs.Or(b.metrics).Snapshot())
 }
 
 func (b *Bridge) handleServices(w http.ResponseWriter, r *http.Request) {
@@ -134,6 +162,7 @@ func (b *Bridge) handleCall(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
+	obs.Or(b.metrics).Counter("webbridge.calls").Inc(1)
 	out, err := binding.Request(body)
 	if err != nil {
 		// Drop the cached binding so the next call re-matches from scratch.

@@ -1,6 +1,10 @@
 package webbridge
 
 import (
+	"encoding/json"
+	"path/filepath"
+	"time"
+
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -8,6 +12,10 @@ import (
 
 	"ndsm/internal/core"
 	"ndsm/internal/discovery"
+	"ndsm/internal/netmux"
+	"ndsm/internal/netsim"
+	"ndsm/internal/obs"
+	"ndsm/internal/recovery"
 	"ndsm/internal/svcdesc"
 	"ndsm/internal/transport"
 )
@@ -192,5 +200,94 @@ func TestServicesMethodValidation(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("code = %d", resp.StatusCode)
+	}
+}
+
+// TestMetricsEndpoint drives one workload through every instrumented layer —
+// an instrumented transport carrying a central discovery lookup, a netmux
+// overflow drop, and a WAL append — then asserts /metrics reports live
+// counters for all of them.
+func TestMetricsEndpoint(t *testing.T) {
+	before := obs.Default().Snapshot()
+
+	// Transport + discovery: a central registry exercised over an
+	// instrumented mem transport.
+	fabric := transport.NewFabric()
+	tr := transport.Instrument(transport.NewMem(fabric), nil)
+	l, err := tr.Listen("registry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsrv := discovery.NewServer(discovery.NewStore(nil, 0), l)
+	t.Cleanup(func() { _ = dsrv.Close() })
+	dcli := discovery.NewClient(transport.Instrument(transport.NewMem(fabric), nil), "registry")
+	t.Cleanup(func() { _ = dcli.Close() })
+	if err := dcli.Register(&svcdesc.Description{Name: "svc", Provider: "n1", Reliability: 0.9, PowerLevel: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dcli.Lookup(&svcdesc.Query{Name: "svc"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Netmux: an unregistered protocol byte is dropped and counted.
+	net := netsim.New(netsim.Config{Range: 100, Unlimited: true})
+	t.Cleanup(net.Close)
+	for _, id := range []netsim.NodeID{"a", "b"} {
+		if err := net.AddNode(id, netsim.Position{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mux, err := netmux.New(net, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mux.Close)
+	if err := net.Send("a", "b", []byte{0xEE}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for mux.Dropped(0xEE) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("netmux never dropped the unknown-protocol packet")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// WAL: one append.
+	wal, err := recovery.OpenWAL(filepath.Join(t.TempDir(), "wal.log"), recovery.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = wal.Close() })
+	if _, err := wal.Append(recovery.Record{Type: recovery.RecordOp, Data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+
+	bridge := New(discovery.NewStore(nil, 0), nil)
+	srv := httptest.NewServer(bridge)
+	t.Cleanup(srv.Close)
+	code, body := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, body)
+	}
+	diff := snap.Diff(before)
+	for _, counter := range []string{
+		"transport.mem.sent_msgs",
+		"transport.mem.recv_msgs",
+		"discovery.lookup.queries",
+		"netmux.dropped.238",
+		"wal.appends",
+	} {
+		if diff.Counters[counter] <= 0 {
+			t.Errorf("counter %s did not move: snapshot has %d (delta %d)",
+				counter, snap.Counters[counter], diff.Counters[counter])
+		}
+	}
+	if diff.Counters["discovery.lookup.hits"] <= 0 {
+		t.Errorf("lookup hit not counted: %v", diff.Counters["discovery.lookup.hits"])
 	}
 }
