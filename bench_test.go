@@ -1,5 +1,5 @@
 // Root benchmark harness: one benchmark per reproduced table/figure (F1,
-// E1–E10) plus the ablations DESIGN.md calls out. cmd/ndsm-bench prints the
+// E1–E11) plus the ablations DESIGN.md calls out. cmd/ndsm-bench prints the
 // full tables; these benchmarks time the hot cores of each experiment so
 // `go test -bench=. -benchmem` regenerates the performance side.
 package ndsm

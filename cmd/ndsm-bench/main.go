@@ -1,4 +1,4 @@
-// Command ndsm-bench runs the reproduction experiment suite (F1 and E1-E10
+// Command ndsm-bench runs the reproduction experiment suite (F1 and E1-E11
 // from DESIGN.md) and prints one table per experiment — the data behind
 // EXPERIMENTS.md.
 //

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -202,16 +203,16 @@ func serve(tr transport.Transport, registry discovery.Registry, listen, configPa
 
 	// Optional embedded web server (§2 of the paper: HTTP access to the
 	// middleware from browsers and plain web clients).
+	var httpSrv *http.Server
 	if httpAddr != "" {
 		bridge := webbridge.New(registry, node)
 		defer bridge.Close() //nolint:errcheck
-		httpSrv := &http.Server{Addr: httpAddr, Handler: bridge}
+		httpSrv = webbridge.NewHTTPServer(httpAddr, bridge)
 		go func() {
 			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "http bridge: %v\n", err)
 			}
 		}()
-		defer httpSrv.Close() //nolint:errcheck
 		fmt.Printf("http bridge on %s (GET /services, POST /call/<svc>, GET /metrics)\n", httpAddr)
 	}
 
@@ -227,6 +228,16 @@ func serve(tr transport.Transport, registry discovery.Registry, listen, configPa
 			}
 		case sig := <-stop:
 			fmt.Printf("shutting down on %v\n", sig)
+			if httpSrv != nil {
+				// Drain in-flight HTTP exchanges before the node (and its
+				// bindings) go away underneath them; give slow clients a
+				// bounded grace period, then cut them off.
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				if err := httpSrv.Shutdown(ctx); err != nil {
+					_ = httpSrv.Close()
+				}
+				cancel()
+			}
 			return nil
 		}
 	}

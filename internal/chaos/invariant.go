@@ -116,6 +116,89 @@ func (d DiscoveryConvergence) Check(w *World, events []Event) []string {
 	return out
 }
 
+// SuspectBeforeViolate checks the liveness layer's two promises around a
+// supplier crash (it only applies to worlds built with Liveness):
+//
+//  1. Detection: the consumer's failure detector suspects a killed supplier
+//     within Bound ticks of the kill — before the crash can fester into a
+//     QoS violation the application sees.
+//  2. No traffic after suspicion: once the killed supplier is suspected at
+//     the end of a tick, no later tick (while it is still dead) may end with
+//     the binding pointed at it — proactive rebinding must have moved on.
+//
+// Crashes reverted before the detection deadline are skipped: a supplier may
+// legitimately come back before the detector is required to have noticed.
+type SuspectBeforeViolate struct {
+	// Bound is the detection tick budget (default 8, matching the
+	// rebind-recovery bound the detector must beat).
+	Bound int
+}
+
+// Name implements Invariant.
+func (s SuspectBeforeViolate) Name() string { return "suspect-before-violate" }
+
+// Check implements Invariant.
+func (s SuspectBeforeViolate) Check(w *World, events []Event) []string {
+	if w.Health() == nil {
+		return nil
+	}
+	bound := s.Bound
+	if bound <= 0 {
+		bound = 8
+	}
+	sus := w.SuspectedTrace()
+	bnd := w.BoundTrace()
+	n := len(sus)
+	var out []string
+	for idx, ev := range events {
+		if ev.Phase != PhaseInject || ev.Fault != FaultCrashSupplier {
+			continue
+		}
+		from := w.TickOf(ev.At)
+		// Revive tick: end of run unless an explicit (non-permanent) revert
+		// for this target lands earlier.
+		revive := n
+		for _, rv := range events[idx+1:] {
+			if rv.Phase == PhaseRevert && rv.Fault == FaultCrashSupplier && rv.Target == ev.Target {
+				if rv.At < permanentAt {
+					revive = w.TickOf(rv.At)
+				}
+				break
+			}
+		}
+		if revive > n {
+			revive = n
+		}
+
+		deadline := from + bound
+		if deadline < revive && deadline < n {
+			detected := false
+			for i := from; i <= deadline; i++ {
+				if i >= 0 && sus[i] != nil && sus[i][ev.Target] {
+					detected = true
+					break
+				}
+			}
+			if !detected {
+				out = append(out, fmt.Sprintf(
+					"%s killed at %v (tick %d) never suspected within %d ticks",
+					ev.Target, ev.At, from, bound))
+			}
+		}
+
+		// Once suspected at end of tick i-1 (and still dead), tick i must not
+		// end bound to the corpse.
+		for i := from + 1; i < revive && i < len(bnd); i++ {
+			if sus[i-1] != nil && sus[i-1][ev.Target] && bnd[i] == ev.Target {
+				out = append(out, fmt.Sprintf(
+					"binding still pointed at suspected dead %s at end of tick %d",
+					ev.Target, i))
+			}
+		}
+	}
+	return out
+}
+
 // WALReplayClean surfaces replay-fidelity violations recorded by wal-crash
 // injections: a reopened WAL must reproduce every acknowledged operation.
 type WALReplayClean struct{}

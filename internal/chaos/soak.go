@@ -25,6 +25,17 @@ type ScenarioConfig struct {
 	// (default 8 each).
 	RebindBound   int
 	ConvergeBound int
+	// SuspectBound is the suspect-before-violate detection budget
+	// (default 8).
+	SuspectBound int
+	// DisableLiveness turns the health layer off: long leases, no failure
+	// detector, no breaker — the reactive-only baseline E11 measures
+	// against. Scenarios run with liveness on by default.
+	DisableLiveness bool
+	// Schedule overrides the generated fault schedule (Seed still fixes the
+	// substrate RNG). Experiments use this to replay one hand-built kill
+	// schedule under different world configurations.
+	Schedule Schedule
 	// Dir overrides the world's WAL root (default: fresh temp dir).
 	Dir string
 }
@@ -63,6 +74,11 @@ type ScenarioResult struct {
 	TicksOK   int
 	LookupsOK int
 	Rebinds   int64
+	// DeadAttempts counts ticks whose request was aimed at a dead supplier
+	// without liveness diversion (see World.DeadAttempts).
+	DeadAttempts int64
+	// OKByTick is the per-tick request outcome trace.
+	OKByTick []bool
 	// Violations holds every invariant violation, prefixed by the invariant
 	// name. Empty means the run was clean.
 	Violations []string
@@ -110,18 +126,22 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		TickEvery: cfg.TickEvery,
 		Clock:     vclock,
 		Dir:       cfg.Dir,
+		Liveness:  !cfg.DisableLiveness,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("chaos: world seed %d: %w", cfg.Seed, err)
 	}
 	defer world.Close() //nolint:errcheck
 
-	schedule := Generate(GeneratorConfig{
-		Seed:    cfg.Seed,
-		Horizon: time.Duration(cfg.Ticks) * cfg.TickEvery,
-		Windows: cfg.Windows,
-		Choices: StandardChoices(world),
-	})
+	schedule := cfg.Schedule
+	if len(schedule) == 0 {
+		schedule = Generate(GeneratorConfig{
+			Seed:    cfg.Seed,
+			Horizon: time.Duration(cfg.Ticks) * cfg.TickEvery,
+			Windows: cfg.Windows,
+			Choices: StandardChoices(world),
+		})
+	}
 	engine := NewEngine(vclock)
 	world.RegisterInjectors(engine)
 	engine.Load(schedule)
@@ -140,11 +160,13 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	events := engine.Events()
 
 	res := &ScenarioResult{
-		Seed:     cfg.Seed,
-		Schedule: schedule,
-		Events:   events,
-		Ticks:    cfg.Ticks,
-		Rebinds:  world.Binding().Rebinds.Load(),
+		Seed:         cfg.Seed,
+		Schedule:     schedule,
+		Events:       events,
+		Ticks:        cfg.Ticks,
+		Rebinds:      world.Binding().Rebinds.Load(),
+		DeadAttempts: world.DeadAttempts(),
+		OKByTick:     world.TickOK(),
 	}
 	for _, ok := range world.TickOK() {
 		if ok {
@@ -163,6 +185,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		AckedDurable{},
 		RebindRecovery{Bound: cfg.RebindBound},
 		DiscoveryConvergence{Bound: cfg.ConvergeBound},
+		SuspectBeforeViolate{Bound: cfg.SuspectBound},
 		WALReplayClean{},
 	} {
 		for _, v := range inv.Check(world, events) {

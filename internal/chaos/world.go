@@ -13,6 +13,7 @@ import (
 
 	"ndsm/internal/core"
 	"ndsm/internal/discovery"
+	"ndsm/internal/health"
 	"ndsm/internal/netmux"
 	"ndsm/internal/netsim"
 	"ndsm/internal/qos"
@@ -47,6 +48,15 @@ type WorldConfig struct {
 	// Dir is the root for per-supplier WAL directories. Empty means a fresh
 	// temporary directory, removed on Close.
 	Dir string
+	// Liveness enables the health layer: supplier leases shrink to a few
+	// ticks and are renewed every tick (heartbeats piggybacked on the
+	// discovery traffic that already flows), and the consumer runs a
+	// failure detector + per-peer circuit breaker on the schedule clock, so
+	// killed suppliers are suspected, skipped, and fast-failed instead of
+	// re-selected. Off, the world behaves exactly like the detector-less
+	// stack (hour-long leases, reactive rebinds only) — the baseline E11
+	// measures against.
+	Liveness bool
 }
 
 func (c WorldConfig) withDefaults() WorldConfig {
@@ -163,14 +173,21 @@ type World struct {
 
 	nodes    map[string]*worldNode // consumer + suppliers
 	binding  *core.Binding
-	probe    *discovery.Adaptive // the consumer's registry, for lookup probes
-	supplier []string            // supplier IDs in creation order
+	probe    discovery.Registry // the consumer's registry view, for lookup probes
+	supplier []string           // supplier IDs in creation order
+	health   *health.Monitor    // consumer's liveness monitor (nil unless Liveness)
 
 	mu            sync.Mutex
 	managers      map[string]*recovery.Manager
 	states        map[string]*keySetState
+	dead          map[string]bool // suppliers currently crash-killed
 	tickOK        []bool
 	lookupOK      []bool
+	preBound      []string          // peer the binding pointed at entering each tick
+	bound         []string          // peer the binding pointed at leaving each tick
+	suspected     []map[string]bool // per-tick detector verdict per supplier
+	openCircuits  []map[string]bool // per-tick breaker-open flag per supplier
+	deadAttempts  int64
 	acked         []string
 	ackedBy       map[string][]string
 	walViolations []string
@@ -201,6 +218,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		nodes:    make(map[string]*worldNode),
 		managers: make(map[string]*recovery.Manager),
 		states:   make(map[string]*keySetState),
+		dead:     make(map[string]bool),
 		ackedBy:  make(map[string][]string),
 	}
 	if w.dir == "" {
@@ -248,10 +266,37 @@ func (w *World) build() error {
 	if err != nil {
 		return err
 	}
-	w.registryServer = discovery.NewServer(discovery.NewStore(nil, time.Hour), l)
+	// The store runs on the schedule clock so short liveness leases expire in
+	// virtual time, in lockstep with the fault schedule. The hour default
+	// keeps detector-less worlds lease-stable, exactly as before.
+	w.registryServer = discovery.NewServer(discovery.NewStore(cfg.Clock, time.Hour), l)
+
+	// The liveness layer is the consumer's: heartbeats arrive through its
+	// lookup results (lease renewals the suppliers push every tick), timed on
+	// the schedule clock. Thresholds are sized in ticks: a killed supplier's
+	// lease (2.5 ticks) outlives at most two renewal gaps, so its last
+	// observed heartbeat is at most ~1.5 ticks after the kill, and the
+	// fixed-timeout fallback (3.5 ticks) turns the ensuing silence into
+	// suspicion by roughly five ticks — inside the suspect-before-violate
+	// bound with margin.
+	leaseTTL := time.Hour
+	if cfg.Liveness {
+		leaseTTL = 5 * cfg.TickEvery / 2
+		w.health = health.NewMonitor(health.Options{
+			Clock:            cfg.Clock,
+			WindowSize:       16,
+			MinSamples:       3,
+			PhiThreshold:     3,
+			FallbackTimeout:  7 * cfg.TickEvery / 2,
+			FailureThreshold: 2,
+			OpenTimeout:      4 * cfg.TickEvery,
+			HalfOpenProbes:   1,
+			Name:             "chaos.health",
+		})
+	}
 
 	// Consumer and suppliers all run the full adaptive stack.
-	mkEndpoint := func(id string, x float64) (*worldNode, error) {
+	mkEndpoint := func(id string, x float64, h *health.Monitor) (*worldNode, error) {
 		if err := w.Net.AddNode(netsim.NodeID(id), netsim.Position{X: x, Y: 0}); err != nil {
 			return nil, err
 		}
@@ -274,7 +319,7 @@ func (w *World) build() error {
 		adaptive := discovery.NewAdaptive(client, agent,
 			func() int { return w.Net.Density(netsim.NodeID(id)) },
 			discovery.DensityPolicy(1), cfg.Clock)
-		node, err := core.NewNode(core.Config{Name: id, Transport: tr, Registry: adaptive})
+		node, err := core.NewNode(core.Config{Name: id, Transport: tr, Registry: adaptive, Health: h})
 		if err != nil {
 			_ = adaptive.Close()
 			_ = tr.Close()
@@ -288,7 +333,7 @@ func (w *World) build() error {
 
 	for i := 0; i < cfg.Suppliers; i++ {
 		id := fmt.Sprintf("s%d", i)
-		wn, err := mkEndpoint(id, float64(10+5*i))
+		wn, err := mkEndpoint(id, float64(10+5*i), nil)
 		if err != nil {
 			return err
 		}
@@ -309,7 +354,7 @@ func (w *World) build() error {
 			// deterministic across runs.
 			Reliability: 0.90 - 0.02*float64(i),
 			PowerLevel:  1,
-			TTL:         time.Hour,
+			TTL:         leaseTTL,
 		}
 		handler := func(payload []byte) ([]byte, error) {
 			m := w.manager(sid)
@@ -327,11 +372,14 @@ func (w *World) build() error {
 		}
 	}
 
-	consumer, err := mkEndpoint(ConsumerID, 5)
+	consumer, err := mkEndpoint(ConsumerID, 5, w.health)
 	if err != nil {
 		return err
 	}
-	w.probe = consumer.adaptive
+	// Probe through the node's registry view: with liveness on it is the
+	// health-watched adaptive, so every per-tick probe doubles as the
+	// detector's heartbeat source.
+	w.probe = consumer.node.Registry()
 	spec := &qos.Spec{
 		Query: svcdesc.Query{Name: cfg.Service},
 		Benefit: qos.Benefit{
@@ -374,10 +422,25 @@ func (w *World) TickOf(at time.Duration) int {
 	return int(n) - 1
 }
 
-// Tick runs one synchronous workload step: a consumer request (ack recorded
-// on success, attributed to the answering supplier) and one discovery probe
-// through the adaptive registry.
+// Tick runs one synchronous workload step: lease renewals from every live
+// supplier (liveness worlds only — the heartbeat substrate), a consumer
+// request (ack recorded on success, attributed to the answering supplier),
+// and one discovery probe through the consumer's registry view.
 func (w *World) Tick(i int) {
+	if w.cfg.Liveness {
+		w.renewLeases()
+	}
+
+	// The peer the binding points at entering the tick, and whether the
+	// liveness layer would divert a request to it. Sampling Suspect here is
+	// exact, not racy: the schedule clock only advances between ticks, so the
+	// binding's own pre-request Suspect call sees the same verdict.
+	pre := w.binding.Peer()
+	preSuspected := w.health != nil && pre != "" && w.health.Suspect(pre)
+	w.mu.Lock()
+	preDead := w.dead[pre]
+	w.mu.Unlock()
+
 	key := fmt.Sprintf("op-%06d", i)
 	out, err := w.binding.Request([]byte(key))
 	ok := err == nil
@@ -385,14 +448,63 @@ func (w *World) Tick(i int) {
 	descs, lerr := w.probe.Lookup(&svcdesc.Query{Name: w.cfg.Service})
 	found := lerr == nil && len(descs) > 0
 
+	post := w.binding.Peer()
+	var sus, open map[string]bool
+	if w.health != nil {
+		sus = make(map[string]bool, len(w.supplier))
+		open = make(map[string]bool, len(w.supplier))
+		for _, id := range w.supplier {
+			sus[id] = w.health.Suspect(id)
+			open[id] = w.health.State(id) == health.Open
+		}
+	}
+
 	w.mu.Lock()
 	w.tickOK = append(w.tickOK, ok)
 	w.lookupOK = append(w.lookupOK, found)
+	w.preBound = append(w.preBound, pre)
+	w.bound = append(w.bound, post)
+	w.suspected = append(w.suspected, sus)
+	w.openCircuits = append(w.openCircuits, open)
+	if preDead && !preSuspected {
+		// The workload aimed this tick's request at a dead supplier and the
+		// liveness layer (if any) had not yet diverted it: a wasted attempt.
+		w.deadAttempts++
+	}
 	if ok {
 		w.acked = append(w.acked, key)
 		by := string(out)
 		w.ackedBy[by] = append(w.ackedBy[by], key)
 	}
+	w.mu.Unlock()
+}
+
+// renewLeases re-registers every live supplier's services concurrently,
+// refreshing their short liveness leases. A crashed supplier's process cannot
+// renew — lease expiry turns that silence into missing lookup entries, which
+// the consumer's detector turns into suspicion.
+func (w *World) renewLeases() {
+	var wg sync.WaitGroup
+	for _, id := range w.supplier {
+		w.mu.Lock()
+		deadNow := w.dead[id]
+		w.mu.Unlock()
+		if deadNow {
+			continue
+		}
+		wn := w.nodes[id]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = wn.node.RenewLeases()
+		}()
+	}
+	wg.Wait()
+}
+
+func (w *World) setDead(id string, dead bool) {
+	w.mu.Lock()
+	w.dead[id] = dead
 	w.mu.Unlock()
 }
 
@@ -408,6 +520,51 @@ func (w *World) LookupOK() []bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return append([]bool(nil), w.lookupOK...)
+}
+
+// Health returns the consumer's liveness monitor (nil unless the world was
+// built with Liveness).
+func (w *World) Health() *health.Monitor { return w.health }
+
+// DeadAttempts counts ticks whose request was aimed at a crash-killed
+// supplier without the liveness layer having diverted it first — the waste
+// metric experiment E11 compares across detector-on and detector-off runs.
+func (w *World) DeadAttempts() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.deadAttempts
+}
+
+// AttemptedTrace returns, per tick, the supplier the binding pointed at
+// entering the tick (before any proactive or reactive rebinds).
+func (w *World) AttemptedTrace() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]string(nil), w.preBound...)
+}
+
+// BoundTrace returns, per tick, the supplier the binding pointed at leaving
+// the tick (after any rebinds the tick triggered).
+func (w *World) BoundTrace() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]string(nil), w.bound...)
+}
+
+// SuspectedTrace returns, per tick, the detector's end-of-tick verdict per
+// supplier (nil entries when the world runs without liveness).
+func (w *World) SuspectedTrace() []map[string]bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]map[string]bool(nil), w.suspected...)
+}
+
+// OpenCircuits returns, per tick, which suppliers' breakers were open at the
+// end of the tick (nil entries when the world runs without liveness).
+func (w *World) OpenCircuits() []map[string]bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]map[string]bool(nil), w.openCircuits...)
 }
 
 // Acked returns every operation key the consumer holds an ack for.
@@ -473,7 +630,11 @@ func (w *World) RegisterInjectors(e *Engine) {
 		if err := w.Net.Kill(id); err != nil {
 			return nil, err
 		}
-		return func() error { return w.Net.Revive(id) }, nil
+		w.setDead(target, true)
+		return func() error {
+			w.setDead(target, false)
+			return w.Net.Revive(id)
+		}, nil
 	}))
 	e.Register(FaultKillRegistry, InjectorFunc(func(string) (func() error, error) {
 		if err := w.Net.Kill(RegistryID); err != nil {

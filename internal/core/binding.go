@@ -8,6 +8,7 @@ import (
 
 	"ndsm/internal/endpoint"
 	"ndsm/internal/qos"
+	"ndsm/internal/svcdesc"
 	"ndsm/internal/transaction"
 )
 
@@ -93,6 +94,10 @@ func (b *Binding) Peer() string {
 func (b *Binding) Tracker() *qos.Tracker { return b.txn.Tracker }
 
 // selectPeer ranks current candidates, excluding one peer (the failed one).
+// With a health monitor attached, suspected peers are skipped too — unless
+// that empties the candidate set, in which case the unfiltered set is used:
+// the detector is allowed to be wrong (it is an unreliable failure detector
+// by construction), so false suspicion must never strand the binding.
 func (b *Binding) selectPeer(exclude string) (string, error) {
 	candidates, err := b.node.registry.Lookup(&b.spec.Query)
 	if err != nil {
@@ -104,6 +109,17 @@ func (b *Binding) selectPeer(exclude string) (string, error) {
 			filtered = append(filtered, c)
 		}
 	}
+	if h := b.node.health; h != nil {
+		live := make([]*svcdesc.Description, 0, len(filtered))
+		for _, c := range filtered {
+			if !h.Suspect(c.Provider) {
+				live = append(live, c)
+			}
+		}
+		if len(live) > 0 {
+			filtered = live
+		}
+	}
 	best := qos.Select(b.spec, filtered, b.node.clock.Now())
 	if best == nil {
 		return "", fmt.Errorf("%w: %s", ErrNoSupplier, b.spec.Query.Name)
@@ -113,12 +129,20 @@ func (b *Binding) selectPeer(exclude string) (string, error) {
 
 // connect replaces the binding's connection with a fresh caller to peer.
 func (b *Binding) connect(peer string) error {
+	// The breaker sits outermost so fast-fails never pollute the metrics
+	// interceptor's call counts or latency histogram.
+	interceptors := []endpoint.ClientInterceptor{
+		endpoint.WithMetrics(nil, "core.binding", b.node.clock),
+	}
+	if h := b.node.health; h != nil {
+		interceptors = append([]endpoint.ClientInterceptor{
+			endpoint.WithBreaker(h, peer, nil, "core.binding"),
+		}, interceptors...)
+	}
 	caller, err := endpoint.NewCaller(b.node.tr, peer, endpoint.CallerOptions{
-		Clock: b.node.clock,
-		Eager: true,
-		Interceptors: []endpoint.ClientInterceptor{
-			endpoint.WithMetrics(nil, "core.binding", b.node.clock),
-		},
+		Clock:        b.node.clock,
+		Eager:        true,
+		Interceptors: interceptors,
 	})
 	if err != nil {
 		return fmt.Errorf("core: dial %s: %w", peer, err)
@@ -165,6 +189,17 @@ func (b *Binding) Rebind() error {
 // when the achieved QoS has fallen below the BindOptions floor, the binding
 // proactively re-matches before sending.
 func (b *Binding) Request(payload []byte) ([]byte, error) {
+	if h := b.node.health; h != nil {
+		if peer := b.Peer(); peer != "" && h.Suspect(peer) {
+			// Proactive degradation handling, one step earlier than the QoS
+			// floor: the liveness layer suspects the bound supplier, so
+			// re-match before burning a request (and its timeout) on it. A
+			// failed rebind is not fatal — suspicion may be false, and the
+			// request below will tell.
+			b.node.Events.Publish(Event{Type: EventPeerSuspected, Service: b.spec.Query.Name, Peer: peer})
+			_ = b.Rebind()
+		}
+	}
 	if b.violated() {
 		// Proactive degradation handling: the current supplier is not
 		// delivering the demanded QoS even though it is still reachable.

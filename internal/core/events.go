@@ -28,6 +28,10 @@ const (
 	EventBindingLost EventType = "binding-lost"
 	// EventQoSViolated fires when achieved QoS drops below the floor.
 	EventQoSViolated EventType = "qos-violated"
+	// EventPeerSuspected fires when the liveness layer suspects the bound
+	// supplier and the binding rebinds proactively, before any QoS
+	// violation reaches the application.
+	EventPeerSuspected EventType = "peer-suspected"
 )
 
 // Event is one kernel notification.

@@ -7,6 +7,7 @@ import (
 
 	"ndsm/internal/discovery"
 	"ndsm/internal/endpoint"
+	"ndsm/internal/health"
 	"ndsm/internal/simtime"
 	"ndsm/internal/svcdesc"
 	"ndsm/internal/transaction"
@@ -37,6 +38,16 @@ type Config struct {
 	Registry discovery.Registry
 	// Clock times QoS and leases (default real).
 	Clock simtime.Clock
+	// Health is the optional liveness layer. When set, the node's registry
+	// lookups feed it heartbeats (providers listed in results are alive),
+	// bindings skip suspected peers at selection time, rebind proactively on
+	// suspicion, and gate every request through the per-peer circuit
+	// breaker. Nil disables all of it.
+	Health *health.Monitor
+	// MaxInFlight bounds the node's concurrent in-flight server requests
+	// (admission control); excess requests are shed with a retryable
+	// rejection. 0 means unlimited.
+	MaxInFlight int
 }
 
 // Node is one middleware endpoint: it serves any number of supplier services
@@ -46,6 +57,7 @@ type Node struct {
 	tr       transport.Transport
 	registry discovery.Registry
 	clock    simtime.Clock
+	health   *health.Monitor
 
 	// Events is the node's event manager.
 	Events Bus
@@ -86,17 +98,23 @@ func NewNode(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: listen %s: %w", cfg.Name, err)
 	}
+	// With a health monitor attached, every lookup result doubles as a
+	// heartbeat source: providers listed by discovery renewed a lease or
+	// answered a flood — evidence of life the detector is built on.
+	registry := health.WatchRegistry(cfg.Registry, cfg.Health)
 	n := &Node{
 		name:      cfg.Name,
 		tr:        cfg.Transport,
-		registry:  cfg.Registry,
+		registry:  registry,
 		clock:     cfg.Clock,
+		health:    cfg.Health,
 		table:     transaction.NewTable(),
 		suppliers: make(map[string]*supplier),
 	}
 	n.ep = endpoint.NewServer(l, endpoint.ServerOptions{
-		Name:  cfg.Name,
-		Kinds: []wire.Kind{wire.KindRequest},
+		Name:        cfg.Name,
+		Kinds:       []wire.Kind{wire.KindRequest},
+		MaxInFlight: cfg.MaxInFlight,
 		Interceptors: []endpoint.ServerInterceptor{
 			endpoint.WithServerMetrics(nil, "core.node", nil),
 		},
@@ -109,6 +127,13 @@ func NewNode(cfg Config) (*Node, error) {
 
 // Name returns the node's address.
 func (n *Node) Name() string { return n.name }
+
+// Registry returns the node's registry view (health-watched when a monitor
+// is configured).
+func (n *Node) Registry() discovery.Registry { return n.registry }
+
+// Health returns the node's liveness monitor (nil when disabled).
+func (n *Node) Health() *health.Monitor { return n.health }
 
 // Transactions exposes the node's transaction table.
 func (n *Node) Transactions() *transaction.Table { return n.table }

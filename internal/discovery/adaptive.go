@@ -191,7 +191,19 @@ func (a *Adaptive) Lookup(q *svcdesc.Query) ([]*svcdesc.Description, error) {
 		descs, err := a.central.Lookup(q)
 		if err == nil {
 			a.markCentral(true)
-			a.Decisions.Inc(string(ModeCentral), 1)
+			if len(descs) > 0 {
+				a.Decisions.Inc(string(ModeCentral), 1)
+				return descs, nil
+			}
+			// Healthy but empty: the server may just have expired every
+			// lease (renewals lost, suppliers slow) while the suppliers
+			// themselves are alive and answering floods. One flood round can
+			// only add information — backfill from it, and return the
+			// confirmed emptiness only if the flood agrees.
+			a.Decisions.Inc("central_empty_flood", 1)
+			if fdescs, ferr := a.flood.Lookup(q); ferr == nil && len(fdescs) > 0 {
+				return fdescs, nil
+			}
 			return descs, nil
 		}
 		a.markCentral(false)

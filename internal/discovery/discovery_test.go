@@ -624,6 +624,31 @@ func TestAdaptiveFailsOverToFlood(t *testing.T) {
 	}
 }
 
+func TestAdaptiveBackfillsEmptyCentralFromFlood(t *testing.T) {
+	// The central registry is healthy but knows nothing (its leases expired);
+	// the supplier is alive and flood-reachable. The lookup must backfill.
+	_, cli := newCentralPair(t)
+	ad, agents := adaptiveFixture(t, cli, 10, DensityPolicy(6))
+	if err := agents[1].Register(desc("n1", "svc")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ad.Lookup(&svcdesc.Query{Name: "svc"})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("lookup = %v, %v (empty central should backfill from flood)", got, err)
+	}
+	snap := ad.Decisions.Snapshot()
+	if snap["central_empty_flood"] != 1 {
+		t.Fatalf("decisions = %v", snap)
+	}
+	// Central stays marked healthy: emptiness is an answer, not a failure.
+	if _, err := ad.Lookup(&svcdesc.Query{Name: "no-such"}); err != nil {
+		t.Fatal(err)
+	}
+	if snap := ad.Decisions.Snapshot(); snap["central_failover"] != 0 {
+		t.Fatalf("empty central treated as failure: %v", snap)
+	}
+}
+
 func TestAdaptiveWithoutCentral(t *testing.T) {
 	ad, agents := adaptiveFixture(t, nil, 10, DensityPolicy(1))
 	if err := agents[0].Register(desc("n0", "svc")); err != nil {

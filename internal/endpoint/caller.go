@@ -272,6 +272,9 @@ func (c *Caller) roundtrip(call *Call) (*wire.Message, error) {
 			return nil, r.err
 		}
 		if r.m.Kind == wire.KindError {
+			if r.m.Headers[HeaderShed] != "" {
+				return nil, &ShedError{Topic: call.Topic}
+			}
 			return nil, &RemoteError{Topic: call.Topic, Msg: string(r.m.Payload)}
 		}
 		return r.m, nil

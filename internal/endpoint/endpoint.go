@@ -30,12 +30,21 @@ import (
 // Endpoint errors. ErrUnavailable marks transport-level failures (dial,
 // send, connection broken) — the retryable class; ErrTimeout marks an
 // expired call deadline; ErrClosed means the caller or server was shut down
-// deliberately and retrying is pointless.
+// deliberately and retrying is pointless; ErrCircuitOpen means a breaker
+// rejected the call before it touched the wire — fail fast, pick another
+// peer, do not retry the same one.
 var (
 	ErrClosed      = errors.New("endpoint: closed")
 	ErrTimeout     = errors.New("endpoint: call timed out")
 	ErrUnavailable = errors.New("endpoint: peer unavailable")
+	ErrCircuitOpen = errors.New("endpoint: circuit open")
 )
+
+// HeaderShed marks a KindError reply as a load-shed rejection: the server
+// was at capacity and never dispatched the request. Callers surface it as a
+// *ShedError, which is retryable (with backoff) — unlike a RemoteError, the
+// request was not executed.
+const HeaderShed = "ndsm-shed"
 
 // NoTimeout as a Call.Timeout means "wait forever", overriding any caller
 // default.
@@ -53,6 +62,10 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("endpoint: remote error on %s: %s", e.Topic, e.Msg)
 }
 
+// Retryable implements RetryableError: a remote error is terminal — the
+// request was delivered, executed, and answered.
+func (e *RemoteError) Retryable() bool { return false }
+
 // IsRemote reports whether err is (or wraps) a peer-reported error and
 // returns it.
 func IsRemote(err error) (*RemoteError, bool) {
@@ -63,15 +76,48 @@ func IsRemote(err error) (*RemoteError, bool) {
 	return nil, false
 }
 
-// Retryable reports whether err is a transport-level failure worth retrying
-// on: unavailability always, timeouts only if the caller opted in at the
-// policy level (see RetryPolicy.RetryTimeouts).
+// ShedError is a load-shed rejection: the peer was at its admission bound
+// and refused the request before dispatching it. Unlike RemoteError the
+// request never executed, so retrying (with backoff, so the overloaded peer
+// gets air) is safe even for non-idempotent protocols.
+type ShedError struct {
+	Topic string
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("endpoint: %s shed by overloaded peer", e.Topic)
+}
+
+// Retryable implements RetryableError.
+func (e *ShedError) Retryable() bool { return true }
+
+// IsShed reports whether err is (or wraps) a load-shed rejection.
+func IsShed(err error) bool {
+	var se *ShedError
+	return errors.As(err, &se)
+}
+
+// RetryableError lets an error type declare its own retry class, overriding
+// the sentinel-based classification: shed rejections are retryable even
+// though the peer answered; remote errors are terminal even when wrapped.
+type RetryableError interface {
+	error
+	Retryable() bool
+}
+
+// Retryable reports whether err is a failure worth retrying: typed errors
+// decide for themselves (RetryableError), unavailability is always
+// retryable, timeouts only if the caller opted in at the policy level (see
+// RetryPolicy.RetryTimeouts). ErrClosed (deliberate shutdown) and
+// ErrCircuitOpen (breaker rejection — the next attempt would be rejected
+// identically) are never retried.
 func Retryable(err error, retryTimeouts bool) bool {
-	if err == nil || errors.Is(err, ErrClosed) {
+	if err == nil || errors.Is(err, ErrClosed) || errors.Is(err, ErrCircuitOpen) {
 		return false
 	}
-	if _, remote := IsRemote(err); remote {
-		return false
+	var re RetryableError
+	if errors.As(err, &re) {
+		return re.Retryable()
 	}
 	if errors.Is(err, ErrTimeout) {
 		return retryTimeouts

@@ -1,6 +1,7 @@
 package endpoint
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -92,6 +93,60 @@ func WithRetry(clock simtime.Clock, p RetryPolicy, reg *obs.Registry, name strin
 			}
 			if err != nil && Retryable(err, p.RetryTimeouts) {
 				exhausted.Inc(1)
+			}
+			return m, err
+		}
+	}
+}
+
+// Breaker is the circuit-breaker surface WithBreaker drives, keyed by peer
+// address (*health.Monitor satisfies it). Allow gates the call; every
+// allowed call is concluded with exactly one report.
+type Breaker interface {
+	// Allow returns nil when a call to peer may proceed, an error when the
+	// circuit is open.
+	Allow(peer string) error
+	// ReportSuccess concludes a call the peer answered (including
+	// application-level errors — an answer is proof of life).
+	ReportSuccess(peer string)
+	// ReportFailure concludes a call that failed at the transport level.
+	ReportFailure(peer string)
+}
+
+// WithBreaker gates calls through a per-peer circuit breaker: open circuits
+// fail fast with ErrCircuitOpen (no wire traffic, no timeout burned), and
+// call outcomes feed the breaker. peer keys the circuit; empty means each
+// call's Dst. reg (nil: the default registry) counts rejections under
+// "<name>.breaker_fast_fails".
+//
+// Outcome classification: transport-level failures (unavailable, timeout)
+// count against the peer; an answered call — success, RemoteError, or a
+// shed rejection — counts as proof of life even when it is an application
+// failure, because the liveness question is "is the peer there", not "did
+// the request succeed".
+func WithBreaker(b Breaker, peer string, reg *obs.Registry, name string) ClientInterceptor {
+	fastFails := obs.Or(reg).Counter(name + ".breaker_fast_fails")
+	return func(next ClientFunc) ClientFunc {
+		return func(call *Call) (*wire.Message, error) {
+			key := peer
+			if key == "" {
+				key = call.Dst
+			}
+			if err := b.Allow(key); err != nil {
+				fastFails.Inc(1)
+				return nil, fmt.Errorf("%w: %s: %v", ErrCircuitOpen, key, err)
+			}
+			m, err := next(call)
+			switch {
+			case err == nil:
+				b.ReportSuccess(key)
+			case errors.Is(err, ErrUnavailable) || errors.Is(err, ErrTimeout):
+				b.ReportFailure(key)
+			case errors.Is(err, ErrClosed):
+				// Deliberate local shutdown says nothing about the peer.
+			default:
+				// The peer answered: remote error, shed, or any typed reply.
+				b.ReportSuccess(key)
 			}
 			return m, err
 		}

@@ -3,7 +3,9 @@ package endpoint
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"ndsm/internal/obs"
 	"ndsm/internal/transport"
 	"ndsm/internal/wire"
 )
@@ -20,6 +22,14 @@ type ServerOptions struct {
 	// Fallback serves topics with no registered handler (default: a
 	// KindError reply naming the topic).
 	Fallback Handler
+	// MaxInFlight bounds concurrent in-flight requests across all
+	// connections (admission control); excess requests are rejected before
+	// dispatch with a HeaderShed-marked KindError reply, which callers
+	// surface as a retryable *ShedError. 0 means unlimited.
+	MaxInFlight int
+	// Metrics receives the admission counters (nil: the default registry):
+	// shed rejections under "<Name or endpoint.server>.shed".
+	Metrics *obs.Registry
 }
 
 // Server is the listening half of the endpoint: it accepts connections and
@@ -30,6 +40,9 @@ type Server struct {
 	opts     ServerOptions
 	dispatch Handler
 	accepts  map[wire.Kind]bool
+
+	inflight atomic.Int64
+	shed     *obs.Counter
 
 	mu       sync.Mutex
 	handlers map[string]Handler
@@ -44,12 +57,17 @@ func NewServer(l transport.Listener, opts ServerOptions) *Server {
 	if len(kinds) == 0 {
 		kinds = []wire.Kind{wire.KindRequest, wire.KindControl}
 	}
+	metricName := opts.Name
+	if metricName == "" {
+		metricName = "endpoint.server"
+	}
 	s := &Server{
 		listener: l,
 		opts:     opts,
 		accepts:  make(map[wire.Kind]bool, len(kinds)),
 		handlers: make(map[string]Handler),
 		conns:    make(map[transport.Conn]struct{}),
+		shed:     obs.Or(opts.Metrics).Counter(metricName + ".shed"),
 	}
 	for _, k := range kinds {
 		s.accepts[k] = true
@@ -151,9 +169,32 @@ func (s *Server) serveConn(conn transport.Conn) {
 		if !s.accepts[req.Kind] {
 			continue
 		}
+		// Admission control: bound in-flight requests across the whole
+		// server. Rejections happen here, before a goroutine is spawned, so
+		// overload costs the server one small reply instead of a dispatch.
+		bounded := s.opts.MaxInFlight > 0
+		if bounded && s.inflight.Add(1) > int64(s.opts.MaxInFlight) {
+			s.inflight.Add(-1)
+			s.shed.Inc(1)
+			reject := &wire.Message{
+				Kind:    wire.KindError,
+				Corr:    req.ID,
+				Topic:   req.Topic,
+				Src:     s.opts.Name,
+				Headers: map[string]string{HeaderShed: "1"},
+				Payload: []byte("server at capacity"),
+			}
+			sendMu.Lock()
+			_ = conn.Send(reject)
+			sendMu.Unlock()
+			continue
+		}
 		s.wg.Add(1)
 		go func(req *wire.Message) {
 			defer s.wg.Done()
+			if bounded {
+				defer s.inflight.Add(-1)
+			}
 			reply, err := s.dispatch(req)
 			if err != nil {
 				reply = &wire.Message{Kind: wire.KindError, Payload: []byte(err.Error())}

@@ -1,5 +1,5 @@
 // Package experiments contains the reproduction harness: one function per
-// experiment in DESIGN.md's index (F1 and E1–E10). Each returns rendered
+// experiment in DESIGN.md's index (F1 and E1–E11). Each returns rendered
 // stats.Tables; cmd/ndsm-bench prints them, the root benchmarks time their
 // cores, and EXPERIMENTS.md records their measured shapes against the
 // paper's claims.

@@ -333,6 +333,34 @@ func TestE10Shape(t *testing.T) {
 	}
 }
 
+func TestE11Shape(t *testing.T) {
+	res, err := E11(E11Options{Ticks: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want detector-on and baseline", len(rows))
+	}
+	// Same kill schedule: the detector run must waste strictly fewer
+	// requests on dead suppliers than the baseline — the E11 core claim.
+	onDead := cellFloat(t, res, 0, 0, 4)
+	offDead := cellFloat(t, res, 0, 1, 4)
+	if onDead >= offDead {
+		t.Fatalf("liveness did not reduce dead-peer attempts: on=%v off=%v\n%+v",
+			onDead, offDead, res.Notes)
+	}
+	// And hold strictly better availability after the kills.
+	if onTail, offTail := cellFloat(t, res, 0, 0, 2), cellFloat(t, res, 0, 1, 2); onTail <= offTail {
+		t.Fatalf("post-kill availability did not improve: on=%v%% off=%v%%", onTail, offTail)
+	}
+	// The detector-on run must be invariant-clean; the baseline is expected
+	// to violate (that is the experiment's point).
+	if v := cellFloat(t, res, 0, 0, 5); v != 0 {
+		t.Fatalf("%v detector-on violations: %+v", v, res.Notes)
+	}
+}
+
 func TestRunnerUnknownID(t *testing.T) {
 	if _, err := (Runner{}).Run("E99"); err == nil {
 		t.Fatal("unknown id accepted")

@@ -19,7 +19,7 @@ type Runner struct {
 
 // IDs lists all experiment identifiers in run order.
 func IDs() []string {
-	return []string{"F1", "E1", "E2", "E3", "E4", "E4x", "E5", "E5a", "E6", "E6a", "E7", "E8", "E9", "E10"}
+	return []string{"F1", "E1", "E2", "E3", "E4", "E4x", "E5", "E5a", "E6", "E6a", "E7", "E8", "E9", "E10", "E11"}
 }
 
 // Run executes one experiment by ID.
@@ -90,6 +90,11 @@ func (r Runner) Run(id string) (Result, error) {
 			return E10(E10Options{Iterations: 500, GatewayOps: 200})
 		}
 		return E10(E10Options{})
+	case "E11":
+		if q {
+			return E11(E11Options{Ticks: 40})
+		}
+		return E11(E11Options{})
 	default:
 		return Result{}, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
 	}

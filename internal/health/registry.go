@@ -1,0 +1,53 @@
+package health
+
+import (
+	"ndsm/internal/discovery"
+	"ndsm/internal/svcdesc"
+)
+
+// watchedRegistry decorates a discovery.Registry so that every provider
+// listed in a successful lookup counts as a heartbeat.
+type watchedRegistry struct {
+	inner   discovery.Registry
+	monitor *Monitor
+}
+
+var _ discovery.Registry = (*watchedRegistry)(nil)
+
+// WatchRegistry wraps a registry so lookups feed the monitor: a provider
+// listed in a lookup result either renewed its lease recently (centralized
+// mode) or answered the flood query directly (distributed mode) — both are
+// proofs of life piggybacked on the discovery traffic the stack already
+// generates, so the failure detector needs no wire protocol of its own.
+func WatchRegistry(inner discovery.Registry, m *Monitor) discovery.Registry {
+	if m == nil {
+		return inner
+	}
+	return &watchedRegistry{inner: inner, monitor: m}
+}
+
+// Register implements discovery.Registry.
+func (w *watchedRegistry) Register(d *svcdesc.Description) error { return w.inner.Register(d) }
+
+// Unregister implements discovery.Registry.
+func (w *watchedRegistry) Unregister(key string) error { return w.inner.Unregister(key) }
+
+// Renew implements discovery.Registry.
+func (w *watchedRegistry) Renew(key string) error { return w.inner.Renew(key) }
+
+// Lookup implements discovery.Registry, heartbeating every listed provider.
+func (w *watchedRegistry) Lookup(q *svcdesc.Query) ([]*svcdesc.Description, error) {
+	descs, err := w.inner.Lookup(q)
+	if err != nil {
+		return descs, err
+	}
+	for _, d := range descs {
+		if d != nil && d.Provider != "" {
+			w.monitor.Heartbeat(d.Provider)
+		}
+	}
+	return descs, nil
+}
+
+// Close implements discovery.Registry.
+func (w *watchedRegistry) Close() error { return w.inner.Close() }

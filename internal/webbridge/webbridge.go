@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"ndsm/internal/bibliometrics"
 	"ndsm/internal/core"
@@ -198,4 +199,21 @@ func (b *Bridge) evict(service string, binding *core.Binding) {
 	}
 	b.mu.Unlock()
 	_ = binding.Close()
+}
+
+// NewHTTPServer wraps a handler (typically a *Bridge) in an http.Server with
+// hardened timeouts: slow-header and slow-body clients cannot pin a
+// connection open indefinitely, and idle keep-alives are reaped. The paper's
+// embedded-web-server deployments sit on constrained devices where a handful
+// of stuck connections is a denial of service; explicit timeouts are the
+// standing defence. Callers own Shutdown/Close.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 }

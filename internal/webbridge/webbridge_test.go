@@ -1,6 +1,7 @@
 package webbridge
 
 import (
+	"context"
 	"encoding/json"
 	"path/filepath"
 	"time"
@@ -289,5 +290,20 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if diff.Counters["discovery.lookup.hits"] <= 0 {
 		t.Errorf("lookup hit not counted: %v", diff.Counters["discovery.lookup.hits"])
+	}
+}
+
+func TestNewHTTPServerHardened(t *testing.T) {
+	srv := NewHTTPServer("127.0.0.1:0", http.NewServeMux())
+	if srv.Addr != "127.0.0.1:0" {
+		t.Fatalf("addr = %q", srv.Addr)
+	}
+	// Every slow-client timeout must be set: an unset one is an unbounded
+	// hold on a connection from a constrained device's tiny pool.
+	if srv.ReadHeaderTimeout <= 0 || srv.ReadTimeout <= 0 || srv.WriteTimeout <= 0 || srv.IdleTimeout <= 0 {
+		t.Fatalf("unbounded timeout in %+v", srv)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown idle server: %v", err)
 	}
 }
