@@ -9,6 +9,10 @@
 //	ndsm-bench -run E6,E1      # selected experiments
 //	ndsm-bench -list           # list experiment IDs
 //	ndsm-bench -quick -metrics # append the middleware metrics snapshot (JSON)
+//	ndsm-bench -quick -trace out.json
+//	                           # capture the run's causal spans as Chrome
+//	                           # trace-event JSON (open in chrome://tracing
+//	                           # or https://ui.perfetto.dev)
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 
 	"ndsm/internal/experiments"
 	"ndsm/internal/obs"
+	"ndsm/internal/trace"
 )
 
 func main() {
@@ -27,17 +32,26 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment IDs (default all)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	metrics := flag.Bool("metrics", false, "after the run, dump the middleware metrics snapshot as JSON")
+	traceFile := flag.String("trace", "", "capture causal spans and write them as Chrome trace-event JSON to this file")
 	flag.Parse()
-	if err := realMain(*quick, *run, *list, *metrics); err != nil {
+	if err := realMain(*quick, *run, *list, *metrics, *traceFile); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func realMain(quick bool, run string, list, metrics bool) error {
+func realMain(quick bool, run string, list, metrics bool, traceFile string) error {
 	if list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
 		return nil
+	}
+	var collector *trace.Collector
+	if traceFile != "" {
+		// Installing a process-default tracer turns on every trace.Ref in the
+		// stack at once: endpoint callers, discovery, bindings, radio hops.
+		collector = trace.NewCollector(1 << 18)
+		trace.SetDefault(trace.New(trace.Options{Name: "bench", Collector: collector}))
+		defer trace.SetDefault(nil)
 	}
 	runner := experiments.Runner{QuickMode: quick}
 	if run == "" {
@@ -54,7 +68,16 @@ func realMain(quick bool, run string, list, metrics bool) error {
 		}
 	}
 	if metrics {
-		return dumpMetrics(os.Stdout)
+		if err := dumpMetrics(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if collector != nil {
+		if err := trace.WriteChromeFile(traceFile, collector.Spans()); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ndsm-bench: wrote %d spans (%d dropped) to %s\n",
+			collector.Len(), collector.Dropped(), traceFile)
 	}
 	return nil
 }

@@ -38,6 +38,7 @@ import (
 	"ndsm/internal/recovery"
 	"ndsm/internal/sensors"
 	"ndsm/internal/svcdesc"
+	"ndsm/internal/trace"
 	"ndsm/internal/transport"
 	"ndsm/internal/webbridge"
 )
@@ -64,9 +65,15 @@ func main() {
 	lookup := flag.String("lookup", "", "one-shot lookup of a service name pattern")
 	call := flag.Bool("call", false, "with -lookup: bind best supplier and request one sample")
 	httpAddr := flag.String("http", "", "also serve the HTTP bridge (GET /services, POST /call/<svc>, GET /metrics) on this address")
+	traced := flag.Bool("trace", false, "collect causal spans process-wide; the HTTP bridge serves them at GET /trace")
 	renewEvery := flag.Duration("renew", 10*time.Second, "lease renewal interval")
 	walPath := flag.String("wal", "", "journal service registrations to this write-ahead log file")
 	flag.Parse()
+	if *traced {
+		// One process-wide tracer: every trace.Ref in the stack follows it,
+		// and the web bridge's GET /trace serves the collected timeline.
+		trace.SetDefault(trace.New(trace.Options{Name: *listen}))
+	}
 	if err := run(*registry, *listen, *config, *lookup, *call, *httpAddr, *walPath, *renewEvery); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -213,7 +220,7 @@ func serve(tr transport.Transport, registry discovery.Registry, listen, configPa
 				fmt.Fprintf(os.Stderr, "http bridge: %v\n", err)
 			}
 		}()
-		fmt.Printf("http bridge on %s (GET /services, POST /call/<svc>, GET /metrics)\n", httpAddr)
+		fmt.Printf("http bridge on %s (GET /services, POST /call/<svc>, GET /metrics, GET /healthz, GET /trace)\n", httpAddr)
 	}
 
 	stop := make(chan os.Signal, 1)

@@ -1,7 +1,10 @@
 package chaos
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -218,5 +221,74 @@ func TestWorldTickOf(t *testing.T) {
 		if got := w.TickOf(c.at); got != c.want {
 			t.Errorf("TickOf(%v) = %d, want %d", c.at, got, c.want)
 		}
+	}
+}
+
+// TestTracedScenarioCollectsSpans: a clean traced run collects a causal
+// timeline but dumps no file.
+func TestTracedScenarioCollectsSpans(t *testing.T) {
+	dir := t.TempDir()
+	cfg := shortScenario(1)
+	cfg.TraceDir = dir
+	res, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	for _, v := range res.Violations {
+		t.Fatalf("expected a clean run, got violation: %s", v)
+	}
+	if res.Spans == 0 {
+		t.Fatal("traced scenario collected no spans")
+	}
+	if res.TraceFile != "" {
+		t.Fatalf("clean run dumped a trace file: %s", res.TraceFile)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("clean run left files in TraceDir: %v", entries)
+	}
+}
+
+// TestViolatingScenarioDumpsTrace: any violation on a traced run — here a
+// deterministic inject error from a schedule naming an unknown fault — dumps
+// the full causal trace as Chrome trace-event JSON next to the seed.
+func TestViolatingScenarioDumpsTrace(t *testing.T) {
+	dir := t.TempDir()
+	cfg := shortScenario(9)
+	cfg.TraceDir = dir
+	cfg.Schedule = Schedule{
+		{At: 100 * time.Millisecond, Fault: FaultKind("no-such-fault"), Target: "x"},
+	}
+	res, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("unknown fault kind produced no violation")
+	}
+	want := filepath.Join(dir, "chaos-seed-9.json")
+	if res.TraceFile != want {
+		t.Fatalf("TraceFile = %q, want %q", res.TraceFile, want)
+	}
+	data, err := os.ReadFile(want)
+	if err != nil {
+		t.Fatalf("trace dump missing: %v", err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("dump is not Chrome trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("dump has no trace events")
+	}
+	// The soak report points at the dump.
+	report := &SoakReport{Results: []*ScenarioResult{res}}
+	if !strings.Contains(report.String(), want) {
+		t.Errorf("soak report does not mention the trace file:\n%s", report.String())
 	}
 }

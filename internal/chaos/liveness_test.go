@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
@@ -166,6 +167,10 @@ func TestLivenessSoak(t *testing.T) {
 		Scenarios: 20,
 		BaseSeed:  101,
 		Scenario:  ScenarioConfig{Ticks: 60, Windows: 4},
+		// With NDSM_CHAOS_TRACE_DIR set (CI exports it), every scenario runs
+		// traced and any reproducing failure seed dumps its full causal
+		// timeline there — uploaded as a workflow artifact on failure.
+		TraceDir: os.Getenv("NDSM_CHAOS_TRACE_DIR"),
 	})
 	if err != nil {
 		t.Fatalf("soak: %v", err)

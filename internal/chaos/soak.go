@@ -2,10 +2,12 @@ package chaos
 
 import (
 	"fmt"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"ndsm/internal/simtime"
+	"ndsm/internal/trace"
 )
 
 // ScenarioConfig sizes one seeded chaos scenario.
@@ -38,6 +40,12 @@ type ScenarioConfig struct {
 	Schedule Schedule
 	// Dir overrides the world's WAL root (default: fresh temp dir).
 	Dir string
+	// TraceDir, when set, runs the whole scenario under a shared tracer and
+	// — the payoff — dumps the full causal trace of any violating run as
+	// Chrome trace-event JSON at <TraceDir>/chaos-seed-<seed>.json, so a
+	// reproducing failure seed arrives with its timeline attached. Clean
+	// runs dump nothing.
+	TraceDir string
 }
 
 func (c ScenarioConfig) withDefaults() ScenarioConfig {
@@ -82,6 +90,11 @@ type ScenarioResult struct {
 	// Violations holds every invariant violation, prefixed by the invariant
 	// name. Empty means the run was clean.
 	Violations []string
+	// TraceFile is the Chrome trace-event dump of a violating traced run
+	// (empty for clean runs or when ScenarioConfig.TraceDir was unset).
+	TraceFile string
+	// Spans counts the causal spans collected for a traced run.
+	Spans int
 }
 
 // EventsString renders the applied-event trace canonically.
@@ -120,6 +133,19 @@ func StandardChoices(w *World) []FaultChoice {
 func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	cfg = cfg.withDefaults()
 	vclock := simtime.NewVirtual(time.Unix(0, 0))
+	var tracer *trace.Tracer
+	var collector *trace.Collector
+	if cfg.TraceDir != "" {
+		collector = trace.NewCollector(1 << 16)
+		// The tracer shares the scenario's virtual clock, so span timestamps
+		// land on the same timeline as the fault schedule (tick i starts at
+		// i*TickEvery).
+		tracer = trace.New(trace.Options{
+			Name:      fmt.Sprintf("seed-%d", cfg.Seed),
+			Clock:     vclock,
+			Collector: collector,
+		})
+	}
 	world, err := NewWorld(WorldConfig{
 		Seed:      cfg.Seed,
 		Suppliers: cfg.Suppliers,
@@ -127,6 +153,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		Clock:     vclock,
 		Dir:       cfg.Dir,
 		Liveness:  !cfg.DisableLiveness,
+		Tracer:    tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("chaos: world seed %d: %w", cfg.Seed, err)
@@ -192,6 +219,17 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			res.Violations = append(res.Violations, inv.Name()+": "+v)
 		}
 	}
+	if collector != nil {
+		res.Spans = collector.Len()
+		if len(res.Violations) > 0 {
+			path := filepath.Join(cfg.TraceDir, fmt.Sprintf("chaos-seed-%d.json", cfg.Seed))
+			if err := trace.WriteChromeFile(path, collector.Spans()); err != nil {
+				res.Violations = append(res.Violations, "trace: dump failed: "+err.Error())
+			} else {
+				res.TraceFile = path
+			}
+		}
+	}
 	return res, nil
 }
 
@@ -204,6 +242,9 @@ type SoakConfig struct {
 	BaseSeed int64
 	// Scenario sizes each run (its Seed field is overridden).
 	Scenario ScenarioConfig
+	// TraceDir propagates to every scenario (see ScenarioConfig.TraceDir):
+	// each violating seed dumps its causal trace there.
+	TraceDir string
 }
 
 // SoakReport aggregates a soak's scenario results.
@@ -224,6 +265,9 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 	for i := 0; i < cfg.Scenarios; i++ {
 		sc := cfg.Scenario
 		sc.Seed = cfg.BaseSeed + int64(i)
+		if cfg.TraceDir != "" {
+			sc.TraceDir = cfg.TraceDir
+		}
 		res, err := RunScenario(sc)
 		if err != nil {
 			return nil, err
@@ -258,6 +302,11 @@ func (r *SoakReport) String() string {
 	fmt.Fprintf(&b, "chaos soak: %d/%d scenarios clean\n", clean, len(r.Results))
 	for _, v := range r.Violations() {
 		fmt.Fprintf(&b, "  VIOLATION %s\n", v)
+	}
+	for _, res := range r.Results {
+		if res.TraceFile != "" {
+			fmt.Fprintf(&b, "  trace for seed %d: %s\n", res.Seed, res.TraceFile)
+		}
 	}
 	if len(r.Violations()) > 0 {
 		b.WriteString("  reproduce with chaos.RunScenario(chaos.ScenarioConfig{Seed: <seed>})\n")

@@ -20,6 +20,7 @@ import (
 	"ndsm/internal/recovery"
 	"ndsm/internal/simtime"
 	"ndsm/internal/svcdesc"
+	"ndsm/internal/trace"
 	"ndsm/internal/transport"
 )
 
@@ -57,6 +58,11 @@ type WorldConfig struct {
 	// stack (hour-long leases, reactive rebinds only) — the baseline E11
 	// measures against.
 	Liveness bool
+	// Tracer, when set, is shared by every component in the world — radio
+	// hops, discovery (central and flood), bindings, nodes, the health
+	// layer — so one consumer request yields a single connected causal tree
+	// across all simulated nodes. Nil leaves tracing off (process default).
+	Tracer *trace.Tracer
 }
 
 func (c WorldConfig) withDefaults() WorldConfig {
@@ -246,6 +252,7 @@ func (w *World) build() error {
 		InboxSize: 1024,
 		Unlimited: true,
 		Seed:      cfg.Seed,
+		Tracer:    cfg.Tracer,
 	})
 
 	// Registry node: mux -> sim transport -> store server.
@@ -270,6 +277,7 @@ func (w *World) build() error {
 	// virtual time, in lockstep with the fault schedule. The hour default
 	// keeps detector-less worlds lease-stable, exactly as before.
 	w.registryServer = discovery.NewServer(discovery.NewStore(cfg.Clock, time.Hour), l)
+	w.registryServer.SetTracer(cfg.Tracer)
 
 	// The liveness layer is the consumer's: heartbeats arrive through its
 	// lookup results (lease renewals the suppliers push every tick), timed on
@@ -292,6 +300,7 @@ func (w *World) build() error {
 			OpenTimeout:      4 * cfg.TickEvery,
 			HalfOpenProbes:   1,
 			Name:             "chaos.health",
+			Tracer:           cfg.Tracer,
 		})
 	}
 
@@ -314,12 +323,14 @@ func (w *World) build() error {
 			CollectWindow: cfg.CollectWindow,
 			MaxResults:    cfg.Suppliers,
 		})
+		agent.SetTracer(cfg.Tracer)
 		client := discovery.NewClient(tr, RegistryID)
 		client.SetCallTimeout(clientTimeout, nil)
+		client.SetTracer(cfg.Tracer)
 		adaptive := discovery.NewAdaptive(client, agent,
 			func() int { return w.Net.Density(netsim.NodeID(id)) },
 			discovery.DensityPolicy(1), cfg.Clock)
-		node, err := core.NewNode(core.Config{Name: id, Transport: tr, Registry: adaptive, Health: h})
+		node, err := core.NewNode(core.Config{Name: id, Transport: tr, Registry: adaptive, Health: h, Tracer: cfg.Tracer})
 		if err != nil {
 			_ = adaptive.Close()
 			_ = tr.Close()

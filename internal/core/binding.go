@@ -130,7 +130,8 @@ func (b *Binding) selectPeer(exclude string) (string, error) {
 // connect replaces the binding's connection with a fresh caller to peer.
 func (b *Binding) connect(peer string) error {
 	// The breaker sits outermost so fast-fails never pollute the metrics
-	// interceptor's call counts or latency histogram.
+	// interceptor's call counts or latency histogram; tracing wraps both so
+	// the call span also records breaker fast-fails.
 	interceptors := []endpoint.ClientInterceptor{
 		endpoint.WithMetrics(nil, "core.binding", b.node.clock),
 	}
@@ -139,6 +140,9 @@ func (b *Binding) connect(peer string) error {
 			endpoint.WithBreaker(h, peer, nil, "core.binding"),
 		}, interceptors...)
 	}
+	interceptors = append([]endpoint.ClientInterceptor{
+		endpoint.WithTracing(b.node.traceRef, "binding.call"),
+	}, interceptors...)
 	caller, err := endpoint.NewCaller(b.node.tr, peer, endpoint.CallerOptions{
 		Clock:        b.node.clock,
 		Eager:        true,
@@ -158,7 +162,9 @@ func (b *Binding) connect(peer string) error {
 }
 
 // Rebind re-matches, excluding the current peer, and reconnects. The
-// transaction record tracks the handoff.
+// transaction record tracks the handoff. The decision is traced: the rebind
+// span records the old and new peer and parents under whatever request or
+// suspicion event triggered it.
 func (b *Binding) Rebind() error {
 	b.mu.Lock()
 	old := b.peer
@@ -167,6 +173,24 @@ func (b *Binding) Rebind() error {
 	if closed {
 		return ErrNodeClosed
 	}
+	if t := b.node.traceRef.Get(); t != nil {
+		sp, done := t.Scope("binding.rebind")
+		sp.SetAttr("service", b.spec.Query.Name)
+		sp.SetAttr("from", old)
+		err := b.rebindFrom(old)
+		if err == nil {
+			sp.SetAttr("to", b.Peer())
+		}
+		sp.SetError(err)
+		done()
+		return err
+	}
+	return b.rebindFrom(old)
+}
+
+// rebindFrom is Rebind's untraced body: re-match excluding old, reconnect,
+// and record the handoff.
+func (b *Binding) rebindFrom(old string) error {
 	peer, err := b.selectPeer(old)
 	if err != nil {
 		b.node.Events.Publish(Event{Type: EventBindingLost, Service: b.spec.Query.Name, Peer: old})
@@ -188,7 +212,25 @@ func (b *Binding) Rebind() error {
 // tracker. On a connection failure the binding rebinds once and retries;
 // when the achieved QoS has fallen below the BindOptions floor, the binding
 // proactively re-matches before sending.
+//
+// The whole interaction — suspicion-triggered rebind, the wire call, and any
+// failure-triggered retry — runs under one "binding.request" span, so a
+// degraded request reads as a single subtree in the timeline.
 func (b *Binding) Request(payload []byte) ([]byte, error) {
+	if t := b.node.traceRef.Get(); t != nil {
+		sp, done := t.Scope("binding.request")
+		sp.SetAttr("service", b.spec.Query.Name)
+		sp.SetAttr("peer", b.Peer())
+		out, err := b.request(payload)
+		sp.SetError(err)
+		done()
+		return out, err
+	}
+	return b.request(payload)
+}
+
+// request is Request's untraced body.
+func (b *Binding) request(payload []byte) ([]byte, error) {
 	if h := b.node.health; h != nil {
 		if peer := b.Peer(); peer != "" && h.Suspect(peer) {
 			// Proactive degradation handling, one step earlier than the QoS

@@ -10,6 +10,7 @@ import (
 	"ndsm/internal/health"
 	"ndsm/internal/simtime"
 	"ndsm/internal/svcdesc"
+	"ndsm/internal/trace"
 	"ndsm/internal/transaction"
 	"ndsm/internal/transport"
 	"ndsm/internal/wire"
@@ -48,6 +49,10 @@ type Config struct {
 	// (admission control); excess requests are shed with a retryable
 	// rejection. 0 means unlimited.
 	MaxInFlight int
+	// Tracer records causal spans for the node's bindings and dispatches.
+	// Nil follows the process default (trace.SetDefault); tracing stays off
+	// until one is installed.
+	Tracer *trace.Tracer
 }
 
 // Node is one middleware endpoint: it serves any number of supplier services
@@ -58,6 +63,7 @@ type Node struct {
 	registry discovery.Registry
 	clock    simtime.Clock
 	health   *health.Monitor
+	traceRef *trace.Ref
 
 	// Events is the node's event manager.
 	Events Bus
@@ -108,6 +114,7 @@ func NewNode(cfg Config) (*Node, error) {
 		registry:  registry,
 		clock:     cfg.Clock,
 		health:    cfg.Health,
+		traceRef:  trace.NewRef(cfg.Tracer),
 		table:     transaction.NewTable(),
 		suppliers: make(map[string]*supplier),
 	}
@@ -116,6 +123,9 @@ func NewNode(cfg Config) (*Node, error) {
 		Kinds:       []wire.Kind{wire.KindRequest},
 		MaxInFlight: cfg.MaxInFlight,
 		Interceptors: []endpoint.ServerInterceptor{
+			// Tracing outermost so the server span brackets the metrics
+			// observation and any handler-side downstream calls.
+			endpoint.WithServerTracing(n.traceRef, "core.node.serve"),
 			endpoint.WithServerMetrics(nil, "core.node", nil),
 		},
 		Fallback: func(req *wire.Message) (*wire.Message, error) {
@@ -134,6 +144,13 @@ func (n *Node) Registry() discovery.Registry { return n.registry }
 
 // Health returns the node's liveness monitor (nil when disabled).
 func (n *Node) Health() *health.Monitor { return n.health }
+
+// SetTracer swaps the node's tracer at runtime (nil reverts to the process
+// default). Existing bindings pick it up on their next call.
+func (n *Node) SetTracer(t *trace.Tracer) { n.traceRef.Set(t) }
+
+// Tracer resolves the node's effective tracer (nil when tracing is off).
+func (n *Node) Tracer() *trace.Tracer { return n.traceRef.Get() }
 
 // Transactions exposes the node's transaction table.
 func (n *Node) Transactions() *transaction.Table { return n.table }

@@ -11,6 +11,7 @@ import (
 	"ndsm/internal/simtime"
 	"ndsm/internal/stats"
 	"ndsm/internal/svcdesc"
+	"ndsm/internal/trace"
 	"ndsm/internal/transport"
 	"ndsm/internal/wire"
 )
@@ -28,8 +29,9 @@ const (
 // Server is the centralized registry: a Store exposed over a transport
 // listener via the shared endpoint engine.
 type Server struct {
-	store *Store
-	ep    *endpoint.Server
+	store    *Store
+	ep       *endpoint.Server
+	traceRef *trace.Ref
 
 	// Requests counts handled requests by topic.
 	Requests stats.Counter
@@ -38,10 +40,11 @@ type Server struct {
 // NewServer starts serving the store on the listener in a background
 // accept loop.
 func NewServer(store *Store, l transport.Listener) *Server {
-	s := &Server{store: store}
+	s := &Server{store: store, traceRef: trace.NewRef(nil)}
 	s.ep = endpoint.NewServer(l, endpoint.ServerOptions{
 		Kinds: []wire.Kind{wire.KindControl, wire.KindRequest},
 		Interceptors: []endpoint.ServerInterceptor{
+			endpoint.WithServerTracing(s.traceRef, "disc.serve"),
 			s.sweepAndCount,
 			endpoint.WithServerMetrics(nil, "discovery.server", nil),
 		},
@@ -65,6 +68,10 @@ func (s *Server) sweepAndCount(next endpoint.Handler) endpoint.Handler {
 		return next(req)
 	}
 }
+
+// SetTracer installs the registry server's tracer (nil reverts to the
+// process default).
+func (s *Server) SetTracer(t *trace.Tracer) { s.traceRef.Set(t) }
 
 // Addr returns the listener's bound address.
 func (s *Server) Addr() string { return s.ep.Addr() }
@@ -120,7 +127,8 @@ func (s *Server) handleLookup(req *wire.Message) (*wire.Message, error) {
 // registry protocol spoken through an endpoint.Caller, with lazy dialing,
 // one redial-and-retry on connection-level failures, and per-call timeouts.
 type Client struct {
-	caller *endpoint.Caller
+	caller   *endpoint.Caller
+	traceRef *trace.Ref
 
 	mu      sync.Mutex
 	timeout time.Duration
@@ -135,11 +143,14 @@ var _ Registry = (*Client)(nil)
 // NewClient returns a client that will connect lazily to the registry at
 // addr over tr.
 func NewClient(tr transport.Transport, addr string) *Client {
-	c := &Client{}
+	c := &Client{traceRef: trace.NewRef(nil)}
 	// NewCaller without Eager cannot fail: the dial happens on first use.
 	c.caller, _ = endpoint.NewCaller(tr, addr, endpoint.CallerOptions{
 		Redial: true,
 		Interceptors: []endpoint.ClientInterceptor{
+			// Tracing outermost: the span covers the retry loop, so one
+			// registry call with a redial is still one span on the timeline.
+			endpoint.WithTracing(c.traceRef, "disc.call"),
 			// The pre-endpoint client reconnected and re-sent exactly once
 			// after a torn-down connection or an expired wait; retry Max 1
 			// with no backoff reproduces that.
@@ -165,6 +176,10 @@ func (c *Client) SetCallTimeout(d time.Duration, clock simtime.Clock) {
 	c.timeout = d
 	c.mu.Unlock()
 }
+
+// SetTracer installs the client's tracer (nil reverts to the process
+// default).
+func (c *Client) SetTracer(t *trace.Tracer) { c.traceRef.Set(t) }
 
 // Register implements Registry.
 func (c *Client) Register(d *svcdesc.Description) error {

@@ -11,6 +11,7 @@ import (
 	"ndsm/internal/netsim"
 	"ndsm/internal/simtime"
 	"ndsm/internal/svcdesc"
+	"ndsm/internal/trace"
 	"ndsm/internal/transport"
 	"ndsm/internal/wire"
 )
@@ -907,5 +908,78 @@ func TestFloodQueryRetry(t *testing.T) {
 	}
 	if got := agents[0].Messages.Get("query_sent"); got != 1 {
 		t.Fatalf("query_sent = %d, want 1 (retries are counted separately)", got)
+	}
+}
+
+// TestFloodTracePropagatesAcrossNetmuxHop pins cross-node trace propagation
+// through the flood protocol's JSON envelope: a traced Lookup on the origin
+// and traced agents on the remotes must produce one connected trace — every
+// remote handle_query/handle_reply span shares the origin's trace ID, and
+// parent links follow the flood path back to the origin's round span.
+func TestFloodTracePropagatesAcrossNetmuxHop(t *testing.T) {
+	col := trace.NewCollector(256)
+	tracers := make([]*trace.Tracer, 3)
+	for i := range tracers {
+		tracers[i] = trace.New(trace.Options{
+			Name:      fmt.Sprintf("n%d", i),
+			Collector: col,
+			Seed:      int64(i + 1),
+		})
+	}
+	_, agents := floodField(t, 3, AgentConfig{CollectWindow: 200 * time.Millisecond})
+	for i, a := range agents {
+		a.SetTracer(tracers[i])
+	}
+	if err := agents[2].Register(desc("n2", "sensor/bp")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := agents[0].Lookup(&svcdesc.Query{Name: "sensor/*"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("Lookup = %+v", got)
+	}
+
+	spans := col.Spans()
+	byID := make(map[uint64]trace.Span, len(spans))
+	var lookup *trace.Span
+	for i := range spans {
+		byID[spans[i].SpanID] = spans[i]
+		if spans[i].Name == "flood.lookup" {
+			lookup = &spans[i]
+		}
+	}
+	if lookup == nil {
+		t.Fatalf("no flood.lookup span; got %d spans", len(spans))
+	}
+	remoteHandles := 0
+	for _, sp := range spans {
+		if sp.TraceID != lookup.TraceID {
+			t.Errorf("span %s on %s has trace %x, want %x", sp.Name, sp.Node, sp.TraceID, lookup.TraceID)
+			continue
+		}
+		// Every non-root span's parent must exist in the collected set.
+		if sp.ParentID != 0 {
+			if _, ok := byID[sp.ParentID]; !ok && sp.SpanID != lookup.SpanID {
+				t.Errorf("span %s on %s: parent %x not in trace", sp.Name, sp.Node, sp.ParentID)
+			}
+		}
+		if sp.Name == "flood.handle_query" && sp.Node != "n0" {
+			remoteHandles++
+		}
+	}
+	if remoteHandles == 0 {
+		t.Error("no remote flood.handle_query spans — trace context did not cross the netmux hop")
+	}
+	// The remote supplier (n2, two hops out) must appear in the trace.
+	seenN2 := false
+	for _, sp := range spans {
+		if sp.Node == "n2" {
+			seenN2 = true
+		}
+	}
+	if !seenN2 {
+		t.Error("supplier node n2 recorded no spans in the lookup trace")
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"ndsm/internal/simtime"
 	"ndsm/internal/stats"
 	"ndsm/internal/svcdesc"
+	"ndsm/internal/trace"
 )
 
 // ProtoDiscovery is the netmux protocol byte of the distributed discovery
@@ -44,6 +45,27 @@ type floodMsg struct {
 	Query []byte `json:"query,omitempty"`
 	// Matches is the XML service list (reply and advert messages).
 	Matches []byte `json:"matches,omitempty"`
+	// Trace and Span carry causal trace context across nodes (hex, same
+	// format as the endpoint layer's wire headers). The flood protocol has no
+	// header map, so the envelope carries them directly; each forwarding hop
+	// rewrites Span to its own span so parent links follow the actual path.
+	Trace string `json:"trace,omitempty"`
+	Span  string `json:"span,omitempty"`
+}
+
+// traceContext reads the envelope's causal context (zero when absent).
+func (m *floodMsg) traceContext() trace.Context {
+	return trace.Context{TraceID: trace.ParseID(m.Trace), SpanID: trace.ParseID(m.Span)}
+}
+
+// setTraceContext stamps the envelope with a span's context (no-op for
+// invalid contexts, keeping untraced floods byte-identical to before).
+func (m *floodMsg) setTraceContext(c trace.Context) {
+	if !c.Valid() {
+		return
+	}
+	m.Trace = trace.FormatID(c.TraceID)
+	m.Span = trace.FormatID(c.SpanID)
 }
 
 func (m *floodMsg) encode() []byte {
@@ -119,10 +141,11 @@ type pendingQuery struct {
 // return along the reverse path. No infrastructure node exists, so the
 // organization survives any single failure — at O(N) query cost.
 type Agent struct {
-	cfg   AgentConfig
-	mux   *netmux.Mux
-	local *Store
-	cache *Store
+	cfg      AgentConfig
+	mux      *netmux.Mux
+	local    *Store
+	cache    *Store
+	traceRef *trace.Ref
 
 	qid atomic.Uint64
 
@@ -144,14 +167,15 @@ var _ Registry = (*Agent)(nil)
 func NewAgent(mux *netmux.Mux, cfg AgentConfig) *Agent {
 	cfg = cfg.withDefaults()
 	a := &Agent{
-		cfg:     cfg,
-		mux:     mux,
-		local:   NewStore(cfg.Clock, 0),
-		cache:   NewStore(cfg.Clock, cfg.CacheTTL),
-		seen:    make(map[string]bool),
-		pending: make(map[uint64]*pendingQuery),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		cfg:      cfg,
+		mux:      mux,
+		local:    NewStore(cfg.Clock, 0),
+		cache:    NewStore(cfg.Clock, cfg.CacheTTL),
+		traceRef: trace.NewRef(nil),
+		seen:     make(map[string]bool),
+		pending:  make(map[uint64]*pendingQuery),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	go a.loop(mux.Channel(ProtoDiscovery))
 	return a
@@ -159,6 +183,10 @@ func NewAgent(mux *netmux.Mux, cfg AgentConfig) *Agent {
 
 // Local returns the agent's own-service store.
 func (a *Agent) Local() *Store { return a.local }
+
+// SetTracer installs the agent's tracer (nil reverts to the process
+// default).
+func (a *Agent) SetTracer(t *trace.Tracer) { a.traceRef.Set(t) }
 
 // CacheLen reports how many gossiped descriptions are cached.
 func (a *Agent) CacheLen() int {
@@ -191,8 +219,10 @@ func (a *Agent) Close() error {
 
 // Lookup implements Registry: local matches are free; with gossip enabled
 // the cache may answer instantly; otherwise the query floods and replies are
-// collected for the configured window.
-func (a *Agent) Lookup(q *svcdesc.Query) ([]*svcdesc.Description, error) {
+// collected for the configured window. When a tracer is installed the flood
+// runs under a "flood.lookup" span, with one "flood.round" child per query
+// flood (initial plus retry) whose context travels inside the envelope.
+func (a *Agent) Lookup(q *svcdesc.Query) (out []*svcdesc.Description, err error) {
 	a.mu.Lock()
 	closed := a.closed
 	a.mu.Unlock()
@@ -224,6 +254,14 @@ func (a *Agent) Lookup(q *svcdesc.Query) ([]*svcdesc.Description, error) {
 	if err != nil {
 		return nil, err
 	}
+	if tr := a.traceRef.Get(); tr != nil {
+		sp, done := tr.Scope("flood.lookup")
+		sp.SetAttr("service", q.Name)
+		defer func() {
+			sp.SetError(err)
+			done()
+		}()
+	}
 	pq := &pendingQuery{matches: make(map[string]*svcdesc.Description), notify: make(chan struct{}, 1)}
 	var qids []uint64
 	defer func() {
@@ -248,8 +286,19 @@ func (a *Agent) Lookup(q *svcdesc.Query) ([]*svcdesc.Description, error) {
 			Path:   []string{string(a.mux.ID())},
 			Query:  queryXML,
 		}
-		if _, err := a.mux.Broadcast(msg.encode()); err != nil {
-			return fmt.Errorf("discovery: flood query: %w", err)
+		// One child span per flood round; its context rides in the envelope
+		// so remote handlers join this trace. Active during the broadcast so
+		// the per-hop radio spans nest beneath it.
+		rsp := a.traceRef.Get().StartSpan("flood.round", trace.Context{})
+		rsp.SetAttr("qid", fmt.Sprintf("%d", qid))
+		msg.setTraceContext(rsp.Context())
+		release := rsp.Activate()
+		_, berr := a.mux.Broadcast(msg.encode())
+		release()
+		rsp.SetError(berr)
+		rsp.Finish()
+		if berr != nil {
+			return fmt.Errorf("discovery: flood query: %w", berr)
 		}
 		return nil
 	}
@@ -384,8 +433,24 @@ func (a *Agent) handleQuery(msg *floodMsg) {
 	a.seen[key] = true
 	a.mu.Unlock()
 
+	// Continue the trace the envelope carries: this node's handling is a
+	// child of the sender's span, and stays ambient while we reply and
+	// forward so the radio hops nest beneath it. Untraced queries stay
+	// untraced — no root span per handled flood.
+	var sp *trace.Span
+	if ctx := msg.traceContext(); ctx.Valid() {
+		sp = a.traceRef.Get().StartSpan("flood.handle_query", ctx)
+		sp.SetAttr("origin", msg.Origin)
+	}
+	release := sp.Activate()
+	defer func() {
+		release()
+		sp.Finish()
+	}()
+
 	q, err := svcdesc.UnmarshalQuery(msg.Query)
 	if err != nil {
+		sp.SetError(err)
 		return
 	}
 	if matches, _ := a.local.Lookup(q); len(matches) > 0 {
@@ -398,6 +463,7 @@ func (a *Agent) handleQuery(msg *floodMsg) {
 				Path:    msg.Path,
 				Matches: payload,
 			}
+			reply.setTraceContext(sp.Context())
 			parent := netsim.NodeID(msg.Path[len(msg.Path)-1])
 			if err := a.mux.Send(parent, reply.encode()); err == nil {
 				a.count("reply_sent")
@@ -409,6 +475,9 @@ func (a *Agent) handleQuery(msg *floodMsg) {
 		fwd := *msg
 		fwd.TTL--
 		fwd.Path = append(append([]string(nil), msg.Path...), string(a.mux.ID()))
+		// Re-stamp the forwarded copy so the next hop parents under this
+		// node's span, not the origin's — the tree follows the flood path.
+		fwd.setTraceContext(sp.Context())
 		if _, err := a.mux.Broadcast(fwd.encode()); err == nil {
 			a.count("query_fwd")
 		}
@@ -420,6 +489,16 @@ func (a *Agent) handleReply(msg *floodMsg) {
 	if len(msg.Path) == 0 || msg.Path[len(msg.Path)-1] != string(a.mux.ID()) {
 		return // not addressed to us at this stage
 	}
+	var sp *trace.Span
+	if ctx := msg.traceContext(); ctx.Valid() {
+		sp = a.traceRef.Get().StartSpan("flood.handle_reply", ctx)
+		sp.SetAttr("origin", msg.Origin)
+	}
+	release := sp.Activate()
+	defer func() {
+		release()
+		sp.Finish()
+	}()
 	remaining := msg.Path[:len(msg.Path)-1]
 	if len(remaining) == 0 {
 		// We are the origin: deliver to the pending query.
@@ -428,6 +507,7 @@ func (a *Agent) handleReply(msg *floodMsg) {
 	}
 	fwd := *msg
 	fwd.Path = append([]string(nil), remaining...)
+	fwd.setTraceContext(sp.Context())
 	next := netsim.NodeID(remaining[len(remaining)-1])
 	if err := a.mux.Send(next, fwd.encode()); err == nil {
 		a.count("reply_fwd")

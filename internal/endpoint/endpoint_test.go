@@ -11,6 +11,7 @@ import (
 
 	"ndsm/internal/obs"
 	"ndsm/internal/simtime"
+	"ndsm/internal/trace"
 	"ndsm/internal/transport"
 	"ndsm/internal/wire"
 )
@@ -436,23 +437,96 @@ func TestMetricsInterceptor(t *testing.T) {
 	}
 }
 
-func TestTraceInterceptor(t *testing.T) {
-	var mu sync.Mutex
-	var lines []string
-	logf := func(format string, args ...any) {
-		mu.Lock()
-		lines = append(lines, fmt.Sprintf(format, args...))
-		mu.Unlock()
+func TestTracingInterceptor(t *testing.T) {
+	col := trace.NewCollector(16)
+	tr := trace.New(trace.Options{Name: "cli", Collector: col})
+	ref := trace.NewRef(tr)
+	var gotHeaders map[string]string
+	term := func(call *Call) (*wire.Message, error) {
+		gotHeaders = call.Headers
+		return nil, fmt.Errorf("%w: injected", ErrUnavailable)
 	}
-	term, _ := flakyTerminal(1)
-	fn := chainClient([]ClientInterceptor{WithTrace(logf, nil)}, term)
-	_, _ = fn(&Call{Topic: "t1"})
-	_, _ = fn(&Call{Topic: "t1"})
-	if len(lines) != 2 {
-		t.Fatalf("got %d trace lines, want 2", len(lines))
+	fn := chainClient([]ClientInterceptor{WithTracing(ref, "ep.call")}, term)
+	orig := map[string]string{"queue": "q1"}
+	call := &Call{Topic: "t1", Dst: "peer-1", Headers: orig}
+	_, err := fn(call)
+	if err == nil {
+		t.Fatal("want terminal error through the interceptor")
 	}
-	if !strings.Contains(lines[0], "failed") || !strings.Contains(lines[1], "ok") {
-		t.Fatalf("bad trace lines: %v", lines)
+	if gotHeaders[trace.HeaderTraceID] == "" || gotHeaders[trace.HeaderSpanID] == "" {
+		t.Fatalf("trace headers not injected: %v", gotHeaders)
+	}
+	if gotHeaders["queue"] != "q1" {
+		t.Fatalf("existing headers lost: %v", gotHeaders)
+	}
+	if _, ok := orig[trace.HeaderTraceID]; ok {
+		t.Fatal("caller's header map was mutated")
+	}
+	spans := col.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Name != "ep.call" || sp.Attrs["topic"] != "t1" || sp.Attrs["dst"] != "peer-1" {
+		t.Fatalf("bad span: %+v", sp)
+	}
+	if sp.Err == "" || !strings.Contains(sp.Err, "injected") {
+		t.Fatalf("span error not recorded: %q", sp.Err)
+	}
+	ctx := trace.Extract(gotHeaders)
+	if ctx.TraceID != sp.TraceID || ctx.SpanID != sp.SpanID {
+		t.Fatalf("injected context %+v does not match span %+v", ctx, sp)
+	}
+}
+
+func TestServerTracingInterceptor(t *testing.T) {
+	col := trace.NewCollector(16)
+	tr := trace.New(trace.Options{Name: "srv", Collector: col})
+	ref := trace.NewRef(tr)
+	h := chainServer([]ServerInterceptor{WithServerTracing(ref, "srv.dispatch")},
+		func(req *wire.Message) (*wire.Message, error) {
+			return &wire.Message{Kind: wire.KindReply}, nil
+		})
+
+	// An untraced request stays untraced: no root span per dispatch.
+	if _, err := h(&wire.Message{Topic: "t0"}); err != nil {
+		t.Fatal(err)
+	}
+	if col.Len() != 0 {
+		t.Fatalf("untraced request produced %d spans", col.Len())
+	}
+
+	parent := trace.Context{TraceID: 0xabc, SpanID: 0x123}
+	req := &wire.Message{Topic: "t1", Src: "cli-1", Headers: trace.Inject(parent, nil)}
+	if _, err := h(req); err != nil {
+		t.Fatal(err)
+	}
+	spans := col.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.TraceID != parent.TraceID || sp.ParentID != parent.SpanID {
+		t.Fatalf("server span not parented on wire context: %+v", sp)
+	}
+	if sp.Name != "srv.dispatch" || sp.Attrs["src"] != "cli-1" {
+		t.Fatalf("bad server span: %+v", sp)
+	}
+}
+
+// Tracing disabled (no tracer anywhere) must not add allocations to the call
+// path — the interceptor is two atomic loads and a tail call.
+func TestTracingDisabledZeroAlloc(t *testing.T) {
+	trace.SetDefault(nil)
+	reply := &wire.Message{Kind: wire.KindReply}
+	term := func(call *Call) (*wire.Message, error) { return reply, nil }
+	bare := term
+	wrapped := chainClient([]ClientInterceptor{WithTracing(nil, "ep.call")}, term)
+	call := &Call{Topic: "t1"}
+	base := testing.AllocsPerRun(200, func() { _, _ = bare(call) })
+	got := testing.AllocsPerRun(200, func() { _, _ = wrapped(call) })
+	if got != base {
+		t.Fatalf("disabled tracing allocates: wrapped %.1f allocs/op vs bare %.1f", got, base)
 	}
 }
 
@@ -563,5 +637,91 @@ func waitPending(t *testing.T, clock *simtime.Virtual, n int) {
 			t.Fatalf("timed out waiting for %d pending timers (have %d)", n, clock.Pending())
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTracingSurvivesRedial pins that span propagation is per-call, not
+// per-connection: after the server dies and the caller redials (a new
+// connection generation), the next call's span still crosses the wire and the
+// new server's span is parented under it.
+func TestTracingSurvivesRedial(t *testing.T) {
+	col := trace.NewCollector(64)
+	ctr := trace.New(trace.Options{Name: "client", Collector: col, Seed: 1})
+	str := trace.New(trace.Options{Name: "server", Collector: col, Seed: 2})
+	cref := trace.NewRef(ctr)
+	sref := trace.NewRef(str)
+
+	fabric := transport.NewFabric()
+	tr := transport.NewMem(fabric)
+	serve := func() *Server {
+		l, err := tr.Listen("srv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewServer(l, ServerOptions{
+			Name:         "srv",
+			Interceptors: []ServerInterceptor{WithServerTracing(sref, "srv.serve")},
+		})
+		s.Handle("ping", func(req *wire.Message) (*wire.Message, error) {
+			return &wire.Message{Kind: wire.KindReply}, nil
+		})
+		return s
+	}
+	s := serve()
+	c, err := NewCaller(tr, "srv", CallerOptions{
+		Redial:       true,
+		Interceptors: []ClientInterceptor{WithTracing(cref, "client.call")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Do(&Call{Topic: "ping", Timeout: time.Second}); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	_ = s.Close()
+	s2 := serve() // same address, new listener: a fresh connection generation
+	defer s2.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := c.Do(&Call{Topic: "ping", Timeout: 200 * time.Millisecond}); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("redial never recovered: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Collect the successful client spans and check each has a server child
+	// in the same trace — including the one after the redial.
+	var clients, servers []trace.Span
+	for _, sp := range col.Spans() {
+		switch sp.Name {
+		case "client.call":
+			if sp.Err == "" {
+				clients = append(clients, sp)
+			}
+		case "srv.serve":
+			servers = append(servers, sp)
+		}
+	}
+	if len(clients) != 2 {
+		t.Fatalf("got %d successful client spans, want 2", len(clients))
+	}
+	if clients[0].TraceID == clients[1].TraceID {
+		t.Fatal("independent calls share a trace ID")
+	}
+	for i, cs := range clients {
+		found := false
+		for _, ss := range servers {
+			if ss.TraceID == cs.TraceID && ss.ParentID == cs.SpanID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("call %d (trace %x): no server span parented under client span %x", i, cs.TraceID, cs.SpanID)
+		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"ndsm/internal/obs"
 	"ndsm/internal/simtime"
+	"ndsm/internal/trace"
 	"ndsm/internal/wire"
 )
 
@@ -182,21 +183,73 @@ func WithMetrics(reg *obs.Registry, name string, clock simtime.Clock) ClientInte
 	}
 }
 
-// WithTrace logs every call through logf (printf-style), with topic,
-// duration, and outcome — the trace/log hook of the chain.
-func WithTrace(logf func(format string, args ...any), clock simtime.Clock) ClientInterceptor {
-	if clock == nil {
-		clock = simtime.Real{}
-	}
+// WithTracing records a causal span per call and injects its context into
+// the call's headers, so the wire message carries trace-id/span-id to the
+// peer regardless of codec. The span parents under the tracer's ambient span
+// (an enclosing binding.request, discovery round, or server dispatch) and is
+// itself ambient while the call runs, so downstream hops — retries, radio
+// sends — nest beneath it. ref resolves the tracer per call (nil follows
+// trace.SetDefault); when it yields no tracer the interceptor is a
+// zero-allocation pass-through, which keeps the disabled hot path inside the
+// BenchmarkInteractRPC band.
+func WithTracing(ref *trace.Ref, name string) ClientInterceptor {
 	return func(next ClientFunc) ClientFunc {
 		return func(call *Call) (*wire.Message, error) {
-			start := clock.Now()
-			m, err := next(call)
-			if err != nil {
-				logf("endpoint: call %s failed after %v: %v", call.Topic, clock.Now().Sub(start), err)
-			} else {
-				logf("endpoint: call %s ok in %v", call.Topic, clock.Now().Sub(start))
+			t := ref.Get()
+			if t == nil {
+				return next(call)
 			}
+			sp := t.StartSpan(name, trace.Context{})
+			if sp == nil { // trace sampled out
+				return next(call)
+			}
+			sp.SetAttr("topic", call.Topic)
+			if call.Dst != "" {
+				sp.SetAttr("dst", call.Dst)
+			}
+			// Copy-on-inject: the caller's header map stays untouched.
+			hdrs := make(map[string]string, len(call.Headers)+2)
+			for k, v := range call.Headers {
+				hdrs[k] = v
+			}
+			call.Headers = trace.Inject(sp.Context(), hdrs)
+			release := sp.Activate()
+			m, err := next(call)
+			release()
+			sp.SetError(err)
+			sp.Finish()
+			return m, err
+		}
+	}
+}
+
+// WithServerTracing continues the trace a request carried in its headers: a
+// server-side span parented on the client span across the wire, ambient
+// while the handler runs so the handler's own downstream calls nest beneath
+// it. Requests without trace context stay untraced (tracing is opt-in per
+// call chain, not per server). ref resolves the tracer per dispatch; nil
+// follows trace.SetDefault.
+func WithServerTracing(ref *trace.Ref, name string) ServerInterceptor {
+	return func(next Handler) Handler {
+		return func(req *wire.Message) (*wire.Message, error) {
+			t := ref.Get()
+			if t == nil {
+				return next(req)
+			}
+			parent := trace.Extract(req.Headers)
+			if !parent.Valid() {
+				return next(req)
+			}
+			sp := t.StartSpan(name, parent)
+			sp.SetAttr("topic", req.Topic)
+			if req.Src != "" {
+				sp.SetAttr("src", req.Src)
+			}
+			release := sp.Activate()
+			m, err := next(req)
+			release()
+			sp.SetError(err)
+			sp.Finish()
 			return m, err
 		}
 	}

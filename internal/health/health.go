@@ -24,11 +24,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
 	"ndsm/internal/obs"
 	"ndsm/internal/simtime"
+	"ndsm/internal/trace"
 )
 
 // ErrOpen is returned by Allow while a peer's circuit is open (or its
@@ -92,6 +94,10 @@ type Options struct {
 	Registry *obs.Registry
 	// Name prefixes the metric names (default "health").
 	Name string
+	// Tracer records liveness events (heartbeats, suspicion flips, breaker
+	// transitions) as zero-length spans on the timeline. Nil follows the
+	// process default.
+	Tracer *trace.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -147,7 +153,8 @@ type peerState struct {
 // detector, call outcomes feed the circuit breaker, and Suspect/Allow expose
 // the combined verdict. Safe for concurrent use.
 type Monitor struct {
-	opts Options
+	opts     Options
+	traceRef *trace.Ref
 
 	mu    sync.Mutex
 	peers map[string]*peerState
@@ -166,6 +173,7 @@ func NewMonitor(opts Options) *Monitor {
 	r := obs.Or(opts.Registry)
 	return &Monitor{
 		opts:       opts,
+		traceRef:   trace.NewRef(opts.Tracer),
 		peers:      make(map[string]*peerState),
 		heartbeats: r.Counter(opts.Name + ".heartbeats"),
 		suspicions: r.Counter(opts.Name + ".suspicions"),
@@ -175,6 +183,10 @@ func NewMonitor(opts Options) *Monitor {
 		suspectedG: r.Gauge(opts.Name + ".suspected"),
 	}
 }
+
+// SetTracer installs the monitor's tracer (nil reverts to the process
+// default).
+func (m *Monitor) SetTracer(t *trace.Tracer) { m.traceRef.Set(t) }
 
 func (m *Monitor) peer(name string) *peerState {
 	ps := m.peers[name]
@@ -196,6 +208,7 @@ func (m *Monitor) Heartbeat(peer string) {
 	m.heartbeatLocked(m.peer(peer), now)
 	m.mu.Unlock()
 	m.heartbeats.Inc(1)
+	m.traceRef.Get().Event("health.heartbeat", "peer", peer)
 }
 
 func (m *Monitor) heartbeatLocked(ps *peerState, now time.Time) {
@@ -266,8 +279,11 @@ func (m *Monitor) Suspect(peer string) bool {
 		if verdict {
 			m.suspicions.Inc(1)
 			m.suspectedG.Add(1)
+			m.traceRef.Get().Event("health.suspected", "peer", peer,
+				"phi", fmt.Sprintf("%.2f", m.phiLocked(ps, now)))
 		} else {
 			m.suspectedG.Add(-1)
+			m.traceRef.Get().Event("health.recovered", "peer", peer)
 		}
 	}
 	return verdict
@@ -302,6 +318,7 @@ func (m *Monitor) Allow(peer string) error {
 		ps.state = HalfOpen
 		ps.probes = 0
 		m.halfOpened.Inc(1)
+		m.traceRef.Get().Event("health.breaker_half_open", "peer", peer)
 	}
 	if ps.state == HalfOpen {
 		if ps.probes >= m.opts.HalfOpenProbes {
@@ -326,6 +343,7 @@ func (m *Monitor) ReportSuccess(peer string) {
 	if ps.state != Closed {
 		ps.state = Closed
 		m.closedC.Inc(1)
+		m.traceRef.Get().Event("health.breaker_closed", "peer", peer)
 	}
 	m.heartbeatLocked(ps, now)
 	m.mu.Unlock()
@@ -349,11 +367,13 @@ func (m *Monitor) ReportFailure(peer string) {
 		ps.state = Open
 		ps.openedAt = now
 		m.opened.Inc(1)
+		m.traceRef.Get().Event("health.breaker_open", "peer", peer)
 	case Closed:
 		if ps.fails >= m.opts.FailureThreshold {
 			ps.state = Open
 			ps.openedAt = now
 			m.opened.Inc(1)
+			m.traceRef.Get().Event("health.breaker_open", "peer", peer)
 		}
 	}
 }
@@ -367,6 +387,34 @@ func (m *Monitor) State(peer string) State {
 		return Closed
 	}
 	return ps.state
+}
+
+// PeerStatus is one peer's combined liveness verdict, as reported by Status
+// (and served by the webbridge's /healthz endpoint).
+type PeerStatus struct {
+	Peer      string  `json:"peer"`
+	Suspected bool    `json:"suspected"`
+	Phi       float64 `json:"phi"`
+	Breaker   string  `json:"breaker"`
+}
+
+// Status snapshots every tracked peer's detector and breaker state, sorted
+// by peer name for stable output.
+func (m *Monitor) Status() []PeerStatus {
+	now := m.opts.Clock.Now()
+	m.mu.Lock()
+	out := make([]PeerStatus, 0, len(m.peers))
+	for name, ps := range m.peers {
+		out = append(out, PeerStatus{
+			Peer:      name,
+			Suspected: m.suspectLocked(ps, now),
+			Phi:       m.phiLocked(ps, now),
+			Breaker:   ps.state.String(),
+		})
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
 }
 
 // SuspectedPeers lists every currently suspected peer.

@@ -13,6 +13,7 @@ import (
 
 	"ndsm/internal/endpoint"
 	"ndsm/internal/simtime"
+	"ndsm/internal/trace"
 	"ndsm/internal/transport"
 	"ndsm/internal/wire"
 )
@@ -262,22 +263,30 @@ func (b *Broker) serveConn(conn transport.Conn) {
 // concurrent use; pops long-poll, so replies can arrive out of order and are
 // demultiplexed by correlation ID inside the caller.
 type Client struct {
-	caller *endpoint.Caller
+	caller   *endpoint.Caller
+	traceRef *trace.Ref
 }
 
 // Dial connects to a broker.
 func Dial(tr transport.Transport, addr string) (*Client, error) {
+	c := &Client{traceRef: trace.NewRef(nil)}
 	caller, err := endpoint.NewCaller(tr, addr, endpoint.CallerOptions{
 		Eager: true,
 		Interceptors: []endpoint.ClientInterceptor{
+			endpoint.WithTracing(c.traceRef, "mq.call"),
 			endpoint.WithMetrics(nil, "mq.client", nil),
 		},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mq: dial %s: %w", addr, err)
 	}
-	return &Client{caller: caller}, nil
+	c.caller = caller
+	return c, nil
 }
+
+// SetTracer installs the client's tracer (nil reverts to the process
+// default).
+func (c *Client) SetTracer(t *trace.Tracer) { c.traceRef.Set(t) }
 
 // Close shuts the client down.
 func (c *Client) Close() error { return c.caller.Close() }

@@ -14,6 +14,7 @@ import (
 
 	"ndsm/internal/endpoint"
 	"ndsm/internal/simtime"
+	"ndsm/internal/trace"
 	"ndsm/internal/transport"
 	"ndsm/internal/wire"
 )
@@ -30,7 +31,8 @@ type Handler func(payload []byte) ([]byte, error)
 
 // Server dispatches calls to registered handlers.
 type Server struct {
-	ep *endpoint.Server
+	ep       *endpoint.Server
+	traceRef *trace.Ref
 
 	mu    sync.Mutex
 	calls map[string]int64
@@ -38,10 +40,11 @@ type Server struct {
 
 // NewServer starts serving on the listener.
 func NewServer(l transport.Listener) *Server {
-	s := &Server{calls: make(map[string]int64)}
+	s := &Server{calls: make(map[string]int64), traceRef: trace.NewRef(nil)}
 	s.ep = endpoint.NewServer(l, endpoint.ServerOptions{
 		Kinds: []wire.Kind{wire.KindRequest},
 		Interceptors: []endpoint.ServerInterceptor{
+			endpoint.WithServerTracing(s.traceRef, "rpc.serve"),
 			s.countCalls,
 			endpoint.WithServerMetrics(nil, "rpc.server", nil),
 		},
@@ -75,6 +78,10 @@ func (s *Server) Handle(method string, h Handler) {
 	})
 }
 
+// SetTracer installs the server's tracer (nil reverts to the process
+// default).
+func (s *Server) SetTracer(t *trace.Tracer) { s.traceRef.Set(t) }
+
 // Calls returns a copy of the per-method call counters.
 func (s *Server) Calls() map[string]int64 {
 	s.mu.Lock()
@@ -92,20 +99,32 @@ func (s *Server) Close() error { return s.ep.Close() }
 // Client issues calls over one connection, multiplexing any number of
 // concurrent calls by correlation ID.
 type Client struct {
-	caller *endpoint.Caller
+	caller   *endpoint.Caller
+	traceRef *trace.Ref
 }
 
 // Dial connects a client to an RPC server.
 func Dial(tr transport.Transport, addr string, clock simtime.Clock) (*Client, error) {
+	c := &Client{traceRef: trace.NewRef(nil)}
 	caller, err := endpoint.NewCaller(tr, addr, endpoint.CallerOptions{
 		Clock: clock,
 		Eager: true,
+		Interceptors: []endpoint.ClientInterceptor{
+			// With no tracer installed this is a pass-through that keeps the
+			// hot path allocation-free (BenchmarkInteractRPC's band).
+			endpoint.WithTracing(c.traceRef, "rpc.call"),
+		},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
 	}
-	return &Client{caller: caller}, nil
+	c.caller = caller
+	return c, nil
 }
+
+// SetTracer installs the client's tracer (nil reverts to the process
+// default).
+func (c *Client) SetTracer(t *trace.Tracer) { c.traceRef.Set(t) }
 
 // Close shuts the client down; outstanding calls fail with ErrClosed.
 func (c *Client) Close() error { return c.caller.Close() }

@@ -29,6 +29,7 @@ import (
 	"ndsm/internal/obs"
 	"ndsm/internal/simtime"
 	"ndsm/internal/stats"
+	"ndsm/internal/trace"
 )
 
 // NodeID names a simulated node.
@@ -109,6 +110,12 @@ type Config struct {
 	Clock simtime.Clock
 	// Seed seeds the loss/jitter/mobility RNG (default 1).
 	Seed int64
+	// Tracer records one span per radio hop (unicast send, broadcast) with
+	// the drop reason on failures, so a user-level call's timeline shows
+	// where each packet went. Nil follows the process default; span creation
+	// never touches the simulation RNG, so traced and untraced runs with the
+	// same seed behave identically.
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -157,7 +164,8 @@ type simNode struct {
 // Network is a simulated radio field. All methods are safe for concurrent
 // use.
 type Network struct {
-	cfg Config
+	cfg      Config
+	traceRef *trace.Ref
 
 	mu      sync.Mutex
 	rng     *rand.Rand
@@ -180,6 +188,7 @@ func New(cfg Config) *Network {
 	cfg = cfg.withDefaults()
 	n := &Network{
 		cfg:         cfg,
+		traceRef:    trace.NewRef(cfg.Tracer),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		nodes:       make(map[NodeID]*simNode),
 		severed:     make(map[[2]NodeID]bool),
@@ -192,6 +201,10 @@ func New(cfg Config) *Network {
 	}
 	return n
 }
+
+// SetTracer installs the network's tracer (nil reverts to the process
+// default).
+func (n *Network) SetTracer(t *trace.Tracer) { n.traceRef.Set(t) }
 
 // count bumps a traffic counter in both the local snapshot (Counters) and
 // the shared observability registry.
@@ -528,34 +541,58 @@ func (n *Network) Counters() map[string]int64 {
 // energy to the sender and, on successful delivery, RX energy to the
 // receiver. It returns an error describing why delivery failed; the energy
 // for the attempt is charged regardless (the radio transmitted either way).
+//
+// With a tracer installed each hop records a "radio.send" span under the
+// sender's ambient span, closing at the packet's simulated arrival time so
+// the timeline shows the hop latency; failed hops record the drop reason.
 func (n *Network) Send(from, to NodeID, data []byte) error {
+	sp := n.traceRef.Get().StartSpan("radio.send", trace.Context{})
+	if sp == nil {
+		_, err := n.send(from, to, data)
+		return err
+	}
+	sp.SetAttr("from", string(from))
+	sp.SetAttr("to", string(to))
+	arrive, err := n.send(from, to, data)
+	sp.SetError(err)
+	if err == nil && !arrive.IsZero() {
+		sp.FinishAt(arrive)
+	} else {
+		sp.Finish()
+	}
+	return err
+}
+
+// send is Send's untraced body; it returns the packet's simulated arrival
+// time on success.
+func (n *Network) send(from, to NodeID, data []byte) (time.Time, error) {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
-		return ErrNetworkClosed
+		return time.Time{}, ErrNetworkClosed
 	}
 	src, ok := n.nodes[from]
 	if !ok {
 		n.mu.Unlock()
-		return fmt.Errorf("%w: %s", ErrUnknownNode, from)
+		return time.Time{}, fmt.Errorf("%w: %s", ErrUnknownNode, from)
 	}
 	if !src.alive {
 		n.mu.Unlock()
-		return fmt.Errorf("%w: %s", ErrNodeDead, from)
+		return time.Time{}, fmt.Errorf("%w: %s", ErrNodeDead, from)
 	}
 	dst, ok := n.nodes[to]
 	if !ok {
 		n.mu.Unlock()
-		return fmt.Errorf("%w: %s", ErrUnknownNode, to)
+		return time.Time{}, fmt.Errorf("%w: %s", ErrUnknownNode, to)
 	}
 	d := src.pos.Distance(dst.pos)
 	if d > n.cfg.Range {
 		n.mu.Unlock()
-		return fmt.Errorf("%w: %s -> %s (%.1fm > %.1fm)", ErrNotNeighbor, from, to, d, n.cfg.Range)
+		return time.Time{}, fmt.Errorf("%w: %s -> %s (%.1fm > %.1fm)", ErrNotNeighbor, from, to, d, n.cfg.Range)
 	}
 	if n.severedLocked(from, to) {
 		n.mu.Unlock()
-		return fmt.Errorf("%w: %s -> %s", ErrLinkSevered, from, to)
+		return time.Time{}, fmt.Errorf("%w: %s -> %s", ErrLinkSevered, from, to)
 	}
 
 	n.chargeLocked(src, n.cfg.Radio.TxEnergy(len(data), d))
@@ -564,17 +601,17 @@ func (n *Network) Send(from, to NodeID, data []byte) error {
 
 	if !dst.alive {
 		n.mu.Unlock()
-		return fmt.Errorf("%w: %s", ErrNodeDead, to)
+		return time.Time{}, fmt.Errorf("%w: %s", ErrNodeDead, to)
 	}
 	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
 		n.mu.Unlock()
 		n.count("lost", 1)
-		return fmt.Errorf("%w: %s -> %s", ErrPacketLost, from, to)
+		return time.Time{}, fmt.Errorf("%w: %s -> %s", ErrPacketLost, from, to)
 	}
 	n.chargeLocked(dst, n.cfg.Radio.RxEnergy(len(data)))
 	if !dst.alive { // RX cost may have exhausted the destination
 		n.mu.Unlock()
-		return fmt.Errorf("%w: %s", ErrNodeDead, to)
+		return time.Time{}, fmt.Errorf("%w: %s", ErrNodeDead, to)
 	}
 
 	pkt := Packet{
@@ -587,27 +624,51 @@ func (n *Network) Send(from, to NodeID, data []byte) error {
 	inbox := dst.inbox
 	n.mu.Unlock()
 
-	return n.deliver(inbox, pkt, delay)
+	return pkt.ArrivedAt, n.deliver(inbox, pkt, delay)
 }
 
 // Broadcast transmits data from a node to every alive radio neighbour. The
 // sender is charged a single maximum-range transmission; each neighbour pays
 // RX cost and loss is evaluated per receiver. It returns the number of
 // neighbours the packet was delivered to.
+//
+// With a tracer installed the whole broadcast records one "radio.broadcast"
+// span (delivered count as an attribute), closing at the latest simulated
+// arrival among the receivers.
 func (n *Network) Broadcast(from NodeID, data []byte) (int, error) {
+	sp := n.traceRef.Get().StartSpan("radio.broadcast", trace.Context{})
+	if sp == nil {
+		c, _, err := n.broadcast(from, data)
+		return c, err
+	}
+	sp.SetAttr("from", string(from))
+	count, latest, err := n.broadcast(from, data)
+	sp.SetAttr("delivered", fmt.Sprintf("%d", count))
+	sp.SetError(err)
+	if err == nil && !latest.IsZero() {
+		sp.FinishAt(latest)
+	} else {
+		sp.Finish()
+	}
+	return count, err
+}
+
+// broadcast is Broadcast's untraced body; it also returns the latest
+// simulated arrival time among the delivered copies.
+func (n *Network) broadcast(from NodeID, data []byte) (int, time.Time, error) {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
-		return 0, ErrNetworkClosed
+		return 0, time.Time{}, ErrNetworkClosed
 	}
 	src, ok := n.nodes[from]
 	if !ok {
 		n.mu.Unlock()
-		return 0, fmt.Errorf("%w: %s", ErrUnknownNode, from)
+		return 0, time.Time{}, fmt.Errorf("%w: %s", ErrUnknownNode, from)
 	}
 	if !src.alive {
 		n.mu.Unlock()
-		return 0, fmt.Errorf("%w: %s", ErrNodeDead, from)
+		return 0, time.Time{}, fmt.Errorf("%w: %s", ErrNodeDead, from)
 	}
 	n.chargeLocked(src, n.cfg.Radio.TxEnergy(len(data), n.cfg.Range))
 	n.count("sent", 1)
@@ -650,12 +711,16 @@ func (n *Network) Broadcast(from NodeID, data []byte) (int, error) {
 	n.mu.Unlock()
 
 	delivered := 0
+	var latest time.Time
 	for _, tg := range targets {
 		if err := n.deliver(tg.inbox, tg.pkt, tg.delay); err == nil {
 			delivered++
+			if tg.pkt.ArrivedAt.After(latest) {
+				latest = tg.pkt.ArrivedAt
+			}
 		}
 	}
-	return delivered, nil
+	return delivered, latest, nil
 }
 
 // deliver places pkt into inbox, after delay if one is configured.

@@ -133,6 +133,20 @@ func (h *Histogram) summaryLocked() stats.Summary {
 	return s
 }
 
+// Quantile estimates the q-th quantile (q in (0, 1]) by linear
+// interpolation inside the geometric bucket holding that rank, clamped to
+// the observed min/max. With an empty histogram or q outside (0, 1] it
+// returns 0. P50/P95/P99 in Summary (and therefore in every /metrics and
+// ndsm-bench -metrics snapshot) are this estimate at the standard points.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || q <= 0 || q > 1 {
+		return 0
+	}
+	return h.quantileLocked(q)
+}
+
 // quantileLocked estimates the q-th quantile by linear interpolation inside
 // the bucket holding that rank, clamped to the observed min/max.
 func (h *Histogram) quantileLocked(q float64) float64 {

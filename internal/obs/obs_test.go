@@ -194,3 +194,78 @@ func TestOrDefault(t *testing.T) {
 		t.Fatal("Or(r) should be r")
 	}
 }
+
+// TestQuantileBucketInterpolation pins the bucket→quantile math exactly.
+// The histogram's buckets are powers of two; observations of 3 land in the
+// (2,4] bucket and observations of 12 in the (8,16] bucket, so every
+// interpolated quantile is computable by hand:
+//
+//	rank q*count falls in a bucket (lo,hi] holding c observations after
+//	`seen` earlier ones; the estimate is lo + (hi-lo)*(rank-seen)/c,
+//	clamped to the observed [min, max].
+func TestQuantileBucketInterpolation(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 4; i++ {
+		h.Observe(3) // bucket (2,4]
+	}
+	for i := 0; i < 4; i++ {
+		h.Observe(12) // bucket (8,16]
+	}
+	cases := []struct {
+		q, want float64
+	}{
+		{0.10, 3},  // rank 0.8 → 2 + 2*(0.8/4) = 2.4, clamped up to min 3
+		{0.25, 3},  // rank 2 → 2 + 2*(2/4) = 3
+		{0.50, 4},  // rank 4 → 2 + 2*(4/4) = 4
+		{0.75, 12}, // rank 6 → 8 + 8*(2/4) = 12
+		{1.00, 12}, // rank 8 → 8 + 8*(4/4) = 16, clamped down to max 12
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Out-of-domain q and empty histograms answer 0.
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %v, want 0", got)
+	}
+	if got := h.Quantile(1.5); got != 0 {
+		t.Errorf("Quantile(1.5) = %v, want 0", got)
+	}
+	empty := &Histogram{}
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile(0.5) = %v, want 0", got)
+	}
+}
+
+// TestSnapshotJSONQuantileKeys pins the /metrics JSON contract: every
+// histogram serialises with lowercase p50/p95/p99 keys.
+func TestSnapshotJSONQuantileKeys(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Histograms map[string]map[string]float64 `json:"histograms"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	lat := doc.Histograms["latency"]
+	if lat == nil {
+		t.Fatalf("no latency histogram in snapshot: %s", data)
+	}
+	for _, key := range []string{"count", "mean", "min", "max", "p50", "p95", "p99", "stddev"} {
+		if _, ok := lat[key]; !ok {
+			t.Errorf("snapshot histogram JSON missing key %q: %s", key, data)
+		}
+	}
+	if lat["p50"] > lat["p95"] || lat["p95"] > lat["p99"] {
+		t.Errorf("quantiles not monotone: p50=%v p95=%v p99=%v", lat["p50"], lat["p95"], lat["p99"])
+	}
+}

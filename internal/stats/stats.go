@@ -140,16 +140,18 @@ func (s *Sample) ensureSortedLocked() {
 	}
 }
 
-// Summary is a point-in-time digest of a Sample.
+// Summary is a point-in-time digest of a Sample. The JSON shape (lowercase
+// keys, quantiles as p50/p95/p99) is what /metrics and ndsm-bench -metrics
+// serve for every histogram.
 type Summary struct {
-	Count  int
-	Mean   float64
-	Min    float64
-	Max    float64
-	P50    float64
-	P95    float64
-	P99    float64
-	StdDev float64
+	Count  int     `json:"count"`
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+	P99    float64 `json:"p99"`
+	StdDev float64 `json:"stddev"`
 }
 
 // Summarize computes a Summary of the sample.

@@ -1,0 +1,95 @@
+package trace
+
+import "sync"
+
+// DefaultCollectorCap is the span ring capacity when none is given.
+const DefaultCollectorCap = 4096
+
+// Collector is a bounded ring buffer of finished spans: the newest spans
+// win, the oldest are overwritten and counted — a trace buffer that can run
+// unattended for an arbitrarily long soak without growing. Safe for
+// concurrent use; share one collector across a simulated world's tracers to
+// get a single merged timeline.
+type Collector struct {
+	mu      sync.Mutex
+	buf     []Span
+	next    int
+	full    bool
+	total   uint64
+	dropped uint64
+}
+
+// NewCollector builds a collector holding up to capacity spans
+// (DefaultCollectorCap when <= 0).
+func NewCollector(capacity int) *Collector {
+	if capacity <= 0 {
+		capacity = DefaultCollectorCap
+	}
+	return &Collector{buf: make([]Span, 0, capacity)}
+}
+
+// Record stores a finished span, evicting the oldest when full.
+func (c *Collector) Record(s Span) {
+	// The stored copy must not retain the live tracer.
+	s.tracer = nil
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total++
+	if !c.full {
+		c.buf = append(c.buf, s)
+		if len(c.buf) == cap(c.buf) {
+			c.full = true
+			c.next = 0
+		}
+		return
+	}
+	c.dropped++
+	c.buf[c.next] = s
+	c.next = (c.next + 1) % len(c.buf)
+}
+
+// Spans returns the retained spans in completion order, oldest first.
+func (c *Collector) Spans() []Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Span, 0, len(c.buf))
+	if c.full {
+		out = append(out, c.buf[c.next:]...)
+		out = append(out, c.buf[:c.next]...)
+	} else {
+		out = append(out, c.buf...)
+	}
+	return out
+}
+
+// Len reports how many spans are retained.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.buf)
+}
+
+// Total reports how many spans were ever recorded.
+func (c *Collector) Total() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Dropped reports how many spans were evicted by the ring.
+func (c *Collector) Dropped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Reset discards all retained spans and zeroes the counters.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf = c.buf[:0]
+	c.next = 0
+	c.full = false
+	c.total = 0
+	c.dropped = 0
+}

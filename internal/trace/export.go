@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// jsonSpan is the JSONL export shape: one object per line, IDs in hex so
+// they grep against the on-wire header values.
+type jsonSpan struct {
+	Trace   string            `json:"trace"`
+	Span    string            `json:"span"`
+	Parent  string            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	Node    string            `json:"node,omitempty"`
+	StartUS int64             `json:"start_us"`
+	DurUS   int64             `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+	Error   string            `json:"error,omitempty"`
+}
+
+// WriteJSONL writes one JSON object per span — the diffable, grep-friendly
+// form (timestamps in microseconds since the Unix epoch of the span clock).
+func WriteJSONL(w io.Writer, spans []Span) error {
+	enc := json.NewEncoder(w)
+	for _, s := range spans {
+		js := jsonSpan{
+			Trace:   formatID(s.TraceID),
+			Span:    formatID(s.SpanID),
+			Name:    s.Name,
+			Node:    s.Node,
+			StartUS: s.Start.UnixMicro(),
+			DurUS:   s.End.Sub(s.Start).Microseconds(),
+			Attrs:   s.Attrs,
+			Error:   s.Err,
+		}
+		if s.ParentID != 0 {
+			js.Parent = formatID(s.ParentID)
+		}
+		if err := enc.Encode(js); err != nil {
+			return fmt.Errorf("trace: write jsonl: %w", err)
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome trace-event format (the
+// "traceEvents" array understood by chrome://tracing and Perfetto).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`
+	Dur  *int64            `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+	Cat  string            `json:"cat,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the spans as a Chrome trace-event JSON document:
+// open chrome://tracing (or https://ui.perfetto.dev) and load the file to
+// see the causal timeline. Each tracer Node becomes a process row and each
+// trace becomes a thread track within it, so one user-level call reads as
+// one left-to-right cascade across node rows. Zero-length spans (Events)
+// render as instant markers.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	pids := map[string]int{}
+	tids := map[string]int{}
+	doc := chromeDoc{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for _, s := range spans {
+		node := s.Node
+		if node == "" {
+			node = "node"
+		}
+		pid, ok := pids[node]
+		if !ok {
+			pid = len(pids) + 1
+			pids[node] = pid
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", PID: pid,
+				Args: map[string]string{"name": node},
+			})
+		}
+		tkey := fmt.Sprintf("%s/%016x", node, s.TraceID)
+		tid, ok := tids[tkey]
+		if !ok {
+			tid = len(tids) + 1
+			tids[tkey] = tid
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+				Args: map[string]string{"name": "trace " + formatID(s.TraceID)},
+			})
+		}
+		args := map[string]string{
+			"trace": formatID(s.TraceID),
+			"span":  formatID(s.SpanID),
+		}
+		if s.ParentID != 0 {
+			args["parent"] = formatID(s.ParentID)
+		}
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		if s.Err != "" {
+			args["error"] = s.Err
+		}
+		ev := chromeEvent{
+			Name: s.Name,
+			TS:   s.Start.UnixMicro(),
+			PID:  pid,
+			TID:  tid,
+			Args: args,
+			Cat:  "ndsm",
+		}
+		if dur := s.End.Sub(s.Start).Microseconds(); dur > 0 {
+			ev.Ph = "X"
+			ev.Dur = &dur
+		} else {
+			ev.Ph = "i"
+			ev.S = "t"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("trace: write chrome trace: %w", err)
+	}
+	return nil
+}
+
+// WriteChromeFile writes the spans as a Chrome trace-event file at path —
+// what ndsm-bench -trace and the chaos failure-seed dumps produce.
+func WriteChromeFile(path string, spans []Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: create %s: %w", path, err)
+	}
+	if err := WriteChromeTrace(f, spans); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace: close %s: %w", path, err)
+	}
+	return nil
+}

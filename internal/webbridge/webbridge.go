@@ -10,7 +10,10 @@
 //	                                  return the reply payload
 //	GET /metrics                   -> JSON snapshot of the shared
 //	                                  observability registry
-//	GET /healthz                   -> liveness
+//	GET /trace                     -> collected spans as Chrome trace-event
+//	                                  JSON (?format=jsonl for JSONL)
+//	GET /healthz                   -> liveness, with per-peer failure-detector
+//	                                  state when a health monitor is attached
 //
 // It is a compact http.Handler, so it embeds into any mux; cmd/ndsm-node
 // can front a node with it for browser access.
@@ -28,9 +31,11 @@ import (
 	"ndsm/internal/bibliometrics"
 	"ndsm/internal/core"
 	"ndsm/internal/discovery"
+	"ndsm/internal/health"
 	"ndsm/internal/obs"
 	"ndsm/internal/qos"
 	"ndsm/internal/svcdesc"
+	"ndsm/internal/trace"
 )
 
 // maxCallBody bounds POST /call payloads.
@@ -41,25 +46,41 @@ type Bridge struct {
 	registry discovery.Registry
 	node     *core.Node
 	metrics  *obs.Registry
+	healthM  *health.Monitor
+	spans    *trace.Collector
 
 	mu       sync.Mutex
 	bindings map[string]*core.Binding // service name -> cached binding
 }
 
 // New creates a bridge. node may be nil, in which case /call is disabled
-// (lookup-only bridges suit registry hosts).
+// (lookup-only bridges suit registry hosts). When node carries a health
+// monitor, /healthz reports its per-peer state; attach one explicitly with
+// SetHealth otherwise.
 func New(registry discovery.Registry, node *core.Node) *Bridge {
-	return &Bridge{
+	b := &Bridge{
 		registry: registry,
 		node:     node,
 		metrics:  obs.Default(),
 		bindings: make(map[string]*core.Binding),
 	}
+	if node != nil {
+		b.healthM = node.Health()
+	}
+	return b
 }
 
 // SetMetricsRegistry points /metrics at a specific registry instead of the
 // process-wide default (isolated tests, embedded multi-stack processes).
 func (b *Bridge) SetMetricsRegistry(r *obs.Registry) { b.metrics = obs.Or(r) }
+
+// SetHealth points /healthz at a failure-detector monitor (overriding the
+// node's, if any).
+func (b *Bridge) SetHealth(m *health.Monitor) { b.healthM = m }
+
+// SetTraceCollector points /trace at a span collector. Without one, /trace
+// falls back to the process-default tracer's collector.
+func (b *Bridge) SetTraceCollector(c *trace.Collector) { b.spans = c }
 
 var _ http.Handler = (*Bridge)(nil)
 
@@ -81,8 +102,9 @@ func (b *Bridge) Close() error {
 func (b *Bridge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/healthz":
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
+		b.handleHealthz(w, r)
+	case r.URL.Path == "/trace":
+		b.handleTrace(w, r)
 	case r.URL.Path == "/figure1":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, bibliometrics.Chart(bibliometrics.Figure1(), 50))
@@ -111,6 +133,54 @@ func (b *Bridge) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(obs.Or(b.metrics).Snapshot())
+}
+
+// handleHealthz reports liveness plus, when a health monitor is attached,
+// every tracked peer's failure-detector verdict: suspected flag, phi level,
+// and circuit-breaker state.
+func (b *Bridge) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	type healthDoc struct {
+		Status string              `json:"status"`
+		Peers  []health.PeerStatus `json:"peers,omitempty"`
+	}
+	doc := healthDoc{Status: "ok"}
+	if b.healthM != nil {
+		doc.Peers = b.healthM.Status()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+// handleTrace serves the collected spans — Chrome trace-event JSON by
+// default (load it in chrome://tracing or Perfetto), JSONL with
+// ?format=jsonl.
+func (b *Bridge) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	col := b.spans
+	if col == nil {
+		col = trace.Default().Collector()
+	}
+	if col == nil {
+		http.Error(w, "tracing disabled (no collector)", http.StatusNotFound)
+		return
+	}
+	spans := col.Spans()
+	if r.URL.Query().Get("format") == "jsonl" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = trace.WriteJSONL(w, spans)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = trace.WriteChromeTrace(w, spans)
 }
 
 func (b *Bridge) handleServices(w http.ResponseWriter, r *http.Request) {

@@ -13,11 +13,14 @@ import (
 
 	"ndsm/internal/core"
 	"ndsm/internal/discovery"
+	"ndsm/internal/health"
 	"ndsm/internal/netmux"
 	"ndsm/internal/netsim"
 	"ndsm/internal/obs"
 	"ndsm/internal/recovery"
+	"ndsm/internal/simtime"
 	"ndsm/internal/svcdesc"
+	"ndsm/internal/trace"
 	"ndsm/internal/transport"
 )
 
@@ -305,5 +308,179 @@ func TestNewHTTPServerHardened(t *testing.T) {
 	}
 	if err := srv.Shutdown(context.Background()); err != nil {
 		t.Fatalf("shutdown idle server: %v", err)
+	}
+}
+
+// TestHealthzPeerStates drives a failure detector to a mixed verdict — one
+// alive peer, one suspected with an open breaker — and asserts /healthz
+// reports both per-peer records with suspicion, phi, and breaker state.
+func TestHealthzPeerStates(t *testing.T) {
+	vc := simtime.NewVirtual(time.Unix(5000, 0))
+	mon := health.NewMonitor(health.Options{
+		Clock:            vc,
+		MinSamples:       3,
+		FallbackTimeout:  5 * time.Second,
+		FailureThreshold: 2,
+		Registry:         obs.NewRegistry(),
+	})
+	// "alive" heartbeats steadily; "dead" stops and fails calls.
+	for i := 0; i < 6; i++ {
+		mon.Heartbeat("alive")
+		if i < 3 {
+			mon.Heartbeat("dead")
+		}
+		vc.Advance(time.Second)
+	}
+	mon.Heartbeat("alive")
+	mon.ReportFailure("dead")
+	mon.ReportFailure("dead")
+	vc.Advance(10 * time.Second)
+	mon.Heartbeat("alive")
+
+	bridge := New(discovery.NewStore(nil, 0), nil)
+	bridge.SetHealth(mon)
+	srv := httptest.NewServer(bridge)
+	t.Cleanup(srv.Close)
+
+	code, body := get(t, srv.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("code=%d body=%q", code, body)
+	}
+	var doc struct {
+		Status string              `json:"status"`
+		Peers  []health.PeerStatus `json:"peers"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("healthz not JSON: %v\n%s", err, body)
+	}
+	if doc.Status != "ok" {
+		t.Errorf("status = %q", doc.Status)
+	}
+	if len(doc.Peers) != 2 {
+		t.Fatalf("got %d peers, want 2: %s", len(doc.Peers), body)
+	}
+	// Status() sorts by peer name: alive then dead.
+	alive, dead := doc.Peers[0], doc.Peers[1]
+	if alive.Peer != "alive" || dead.Peer != "dead" {
+		t.Fatalf("peer order: %q, %q", alive.Peer, dead.Peer)
+	}
+	if alive.Suspected {
+		t.Errorf("alive peer suspected (phi=%v)", alive.Phi)
+	}
+	if !dead.Suspected {
+		t.Errorf("dead peer not suspected (phi=%v)", dead.Phi)
+	}
+	if dead.Breaker != "open" {
+		t.Errorf("dead breaker = %q, want open", dead.Breaker)
+	}
+	if alive.Breaker != "closed" {
+		t.Errorf("alive breaker = %q, want closed", alive.Breaker)
+	}
+
+	// Method validation.
+	resp, err := http.Post(srv.URL+"/healthz", "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /healthz = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestTraceEndpoint records spans into an attached collector and reads them
+// back in both export formats.
+func TestTraceEndpoint(t *testing.T) {
+	col := trace.NewCollector(64)
+	tr := trace.New(trace.Options{Name: "bridge", Collector: col})
+	sp := tr.StartSpan("client.call", trace.Context{})
+	child := tr.StartSpan("server.handle", sp.Context())
+	child.Finish()
+	sp.Finish()
+
+	bridge := New(discovery.NewStore(nil, 0), nil)
+	bridge.SetTraceCollector(col)
+	srv := httptest.NewServer(bridge)
+	t.Cleanup(srv.Close)
+
+	// Default: Chrome trace-event JSON.
+	code, body := get(t, srv.URL+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("code=%d body=%q", code, body)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/trace not Chrome JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+	}
+	if !names["client.call"] || !names["server.handle"] {
+		t.Errorf("missing spans in %v", names)
+	}
+
+	// JSONL format: one object per line.
+	code, body = get(t, srv.URL+"/trace?format=jsonl")
+	if code != http.StatusOK {
+		t.Fatalf("jsonl code=%d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2:\n%s", len(lines), body)
+	}
+	for _, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if obj["trace"] == "" || obj["span"] == "" {
+			t.Errorf("JSONL line missing IDs: %v", obj)
+		}
+	}
+}
+
+// TestTraceEndpointDisabled: with no attached collector and no process
+// default tracer, /trace answers 404.
+func TestTraceEndpointDisabled(t *testing.T) {
+	prev := trace.Default()
+	trace.SetDefault(nil)
+	t.Cleanup(func() { trace.SetDefault(prev) })
+
+	bridge := New(discovery.NewStore(nil, 0), nil)
+	srv := httptest.NewServer(bridge)
+	t.Cleanup(srv.Close)
+	code, _ := get(t, srv.URL+"/trace")
+	if code != http.StatusNotFound {
+		t.Fatalf("code=%d, want 404", code)
+	}
+}
+
+// TestMetricsQuantileKeys asserts /metrics histograms serve the p50/p95/p99
+// summary keys.
+func TestMetricsQuantileKeys(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("rt")
+	for i := 1; i <= 50; i++ {
+		h.Observe(float64(i))
+	}
+	bridge := New(discovery.NewStore(nil, 0), nil)
+	bridge.SetMetricsRegistry(reg)
+	srv := httptest.NewServer(bridge)
+	t.Cleanup(srv.Close)
+	code, body := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("code=%d", code)
+	}
+	for _, key := range []string{`"p50"`, `"p95"`, `"p99"`} {
+		if !strings.Contains(body, key) {
+			t.Errorf("/metrics missing %s:\n%s", key, body)
+		}
 	}
 }

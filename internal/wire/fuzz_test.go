@@ -27,6 +27,16 @@ func fuzzSeedMessage() *Message {
 	}
 }
 
+// fuzzTracedMessage seeds the corpus with a message carrying trace-context
+// headers in the on-wire form the endpoint layer injects, so the fuzzer
+// explores mutations of trace-id/span-id values from the start.
+func fuzzTracedMessage() *Message {
+	m := fuzzSeedMessage()
+	m.Headers["trace-id"] = "00000000deadbeef"
+	m.Headers["span-id"] = "0000000000000042"
+	return m
+}
+
 // FuzzWireDecode feeds arbitrary bytes to every codec's Decode. A decode may
 // reject the input with an error, but it must never panic; and anything it
 // accepts must re-encode cleanly into a stable form: Encode succeeds,
@@ -34,20 +44,21 @@ func fuzzSeedMessage() *Message {
 // encode of that result is byte-identical to the first (the encoding is a
 // fixed point after one normalisation pass).
 func FuzzWireDecode(f *testing.F) {
-	seed := fuzzSeedMessage()
-	for _, c := range fuzzCodecs {
-		enc, err := c.Encode(seed)
-		if err != nil {
-			f.Fatalf("%s: seed encode: %v", c.Name(), err)
-		}
-		f.Add(enc)
-		// Truncated and corrupted variants of a valid encoding probe the
-		// error paths that plain garbage rarely reaches.
-		f.Add(enc[:len(enc)/2])
-		if len(enc) > 4 {
-			bad := append([]byte(nil), enc...)
-			bad[3] ^= 0xFF
-			f.Add(bad)
+	for _, seed := range []*Message{fuzzSeedMessage(), fuzzTracedMessage()} {
+		for _, c := range fuzzCodecs {
+			enc, err := c.Encode(seed)
+			if err != nil {
+				f.Fatalf("%s: seed encode: %v", c.Name(), err)
+			}
+			f.Add(enc)
+			// Truncated and corrupted variants of a valid encoding probe the
+			// error paths that plain garbage rarely reaches.
+			f.Add(enc[:len(enc)/2])
+			if len(enc) > 4 {
+				bad := append([]byte(nil), enc...)
+				bad[3] ^= 0xFF
+				f.Add(bad)
+			}
 		}
 	}
 	f.Add([]byte{})

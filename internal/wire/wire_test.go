@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -220,6 +221,69 @@ func TestBinaryDeterministicHeaders(t *testing.T) {
 		if !bytes.Equal(a, b) {
 			t.Fatal("binary encoding not deterministic across runs")
 		}
+	}
+}
+
+// TestBinaryHeadersSortedOnWire pins the wire layout the tracing layer
+// depends on: header keys are emitted in sorted order regardless of map
+// insertion order, so two messages with equal headers (e.g. carrying the same
+// trace-id/span-id pair) encode byte-identically.
+func TestBinaryHeadersSortedOnWire(t *testing.T) {
+	mk := func(insert []string) *Message {
+		m := &Message{Kind: KindRequest, Src: "a", Dst: "b", Topic: "t"}
+		m.Headers = make(map[string]string, len(insert))
+		vals := map[string]string{
+			"trace-id": "00000000deadbeef",
+			"span-id":  "0000000000000042",
+			"queue":    "q1",
+			"ttl":      "2",
+		}
+		for _, k := range insert {
+			m.Headers[k] = vals[k]
+		}
+		return m
+	}
+	keys := []string{"trace-id", "span-id", "queue", "ttl"}
+	base, err := Binary{}.Encode(mk(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every insertion order yields the same bytes.
+	perms := [][]string{
+		{"ttl", "queue", "span-id", "trace-id"},
+		{"span-id", "trace-id", "ttl", "queue"},
+		{"queue", "ttl", "trace-id", "span-id"},
+	}
+	for _, p := range perms {
+		enc, err := Binary{}.Encode(mk(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(base, enc) {
+			t.Fatalf("insertion order %v changed encoding", p)
+		}
+	}
+	// The keys appear in the byte stream in sorted order.
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	pos := -1
+	for _, k := range sorted {
+		i := bytes.Index(base, []byte(k))
+		if i < 0 {
+			t.Fatalf("key %q not found in encoding", k)
+		}
+		if i <= pos {
+			t.Fatalf("key %q at offset %d not after previous key (offset %d)", k, i, pos)
+		}
+		pos = i
+	}
+	// And the trace context survives the round trip intact.
+	got, err := Binary{}.Decode(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Headers["trace-id"] != "00000000deadbeef" || got.Headers["span-id"] != "0000000000000042" {
+		t.Fatalf("trace headers lost in round trip: %v", got.Headers)
 	}
 }
 
