@@ -1,0 +1,210 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ndsm/internal/experiments"
+)
+
+// baselineSchema versions the baseline file format.
+const baselineSchema = 1
+
+// regressionTolerance is how much slower a benchmark may get before the
+// compare gate fails (fractional; 0.15 = 15%).
+const regressionTolerance = 0.15
+
+// BenchResult is one microbenchmark's measured cost.
+type BenchResult struct {
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+}
+
+// Baseline is the machine-readable output of `-baseline`: every numeric cell
+// of every experiment table, plus ns/op for the hot-path microbenchmarks.
+// The compare gate fails only on benchmark time regressions — experiment
+// metrics vary with workload sizing, so their drift is reported as warnings.
+type Baseline struct {
+	Schema int  `json:"schema"`
+	Quick  bool `json:"quick"`
+	// Experiments maps experiment ID → "table/rowKey/column" → value.
+	Experiments map[string]map[string]float64 `json:"experiments"`
+	// Benchmarks maps microbenchmark name → measured cost.
+	Benchmarks map[string]BenchResult `json:"benchmarks"`
+}
+
+// buildBaseline runs the selected experiments and the microbenchmark suite
+// and assembles the baseline.
+func buildBaseline(quick bool, ids []string) (*Baseline, error) {
+	base := &Baseline{
+		Schema:      baselineSchema,
+		Quick:       quick,
+		Experiments: make(map[string]map[string]float64),
+		Benchmarks:  runMicrobenches(),
+	}
+	runner := experiments.Runner{QuickMode: quick}
+	for _, id := range ids {
+		res, err := runner.Run(id)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: experiment %s: %w", id, err)
+		}
+		base.Experiments[res.ID] = flattenResult(res)
+	}
+	return base, nil
+}
+
+// flattenResult extracts every numeric cell of an experiment's tables, keyed
+// "table/rowKey/column" (the row key is the first cell).
+func flattenResult(res experiments.Result) map[string]float64 {
+	out := make(map[string]float64)
+	for _, tbl := range res.Tables {
+		for _, row := range tbl.Rows {
+			if len(row) == 0 {
+				continue
+			}
+			for i := 1; i < len(row) && i < len(tbl.Headers); i++ {
+				v, err := strconv.ParseFloat(row[i], 64)
+				if err != nil {
+					continue
+				}
+				out[tbl.Title+"/"+row[0]+"/"+tbl.Headers[i]] = v
+			}
+		}
+	}
+	return out
+}
+
+// writeBaseline writes the baseline as indented JSON.
+func writeBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// readBaseline loads and validates a baseline file.
+func readBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if b.Schema != baselineSchema {
+		return nil, fmt.Errorf("baseline %s: schema %d, tool expects %d", path, b.Schema, baselineSchema)
+	}
+	return &b, nil
+}
+
+// compareBaselines judges new against old. Regressions (benchmark ns/op more
+// than tolerance slower) are gate failures; everything else — experiment
+// metric drift, added or dropped entries — comes back as warnings.
+func compareBaselines(old, new *Baseline, tolerance float64) (regressions, warnings []string) {
+	for _, name := range sortedKeys(old.Benchmarks) {
+		prev := old.Benchmarks[name]
+		cur, ok := new.Benchmarks[name]
+		if !ok {
+			warnings = append(warnings, fmt.Sprintf("benchmark %s missing from new baseline", name))
+			continue
+		}
+		if prev.NsPerOp > 0 && cur.NsPerOp > prev.NsPerOp*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"benchmark %s: %.0f ns/op vs %.0f ns/op baseline (+%.0f%%, tolerance %.0f%%)",
+				name, cur.NsPerOp, prev.NsPerOp,
+				100*(cur.NsPerOp/prev.NsPerOp-1), 100*tolerance))
+		}
+	}
+	for name := range new.Benchmarks {
+		if _, ok := old.Benchmarks[name]; !ok {
+			warnings = append(warnings, fmt.Sprintf("benchmark %s new since baseline (no reference)", name))
+		}
+	}
+	if old.Quick != new.Quick {
+		warnings = append(warnings, fmt.Sprintf(
+			"comparing quick=%v against quick=%v: experiment metrics are not like-for-like", new.Quick, old.Quick))
+	}
+	for _, id := range sortedKeys(old.Experiments) {
+		prevCells := old.Experiments[id]
+		curCells, ok := new.Experiments[id]
+		if !ok {
+			warnings = append(warnings, fmt.Sprintf("experiment %s missing from new baseline", id))
+			continue
+		}
+		for _, key := range sortedKeys(prevCells) {
+			prev := prevCells[key]
+			cur, ok := curCells[key]
+			if !ok {
+				warnings = append(warnings, fmt.Sprintf("experiment %s cell %q missing from new baseline", id, key))
+				continue
+			}
+			if prev != 0 && drift(prev, cur) > tolerance {
+				warnings = append(warnings, fmt.Sprintf(
+					"experiment %s cell %q drifted: %v vs %v baseline", id, key, cur, prev))
+			}
+		}
+	}
+	return regressions, warnings
+}
+
+func drift(prev, cur float64) float64 {
+	d := (cur - prev) / prev
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// errRegression distinguishes a failed compare gate from an operational
+// error, so main can exit non-zero with the report already printed.
+type errRegression struct{ count int }
+
+func (e errRegression) Error() string {
+	return fmt.Sprintf("ndsm-bench: %d benchmark regression(s) beyond %.0f%%", e.count, 100*regressionTolerance)
+}
+
+// reportComparison prints the verdict and returns errRegression when the
+// gate fails.
+func reportComparison(w *os.File, oldPath string, regressions, warnings []string) error {
+	for _, msg := range warnings {
+		fmt.Fprintf(w, "warning: %s\n", msg)
+	}
+	for _, msg := range regressions {
+		fmt.Fprintf(w, "REGRESSION: %s\n", msg)
+	}
+	if len(regressions) > 0 {
+		return errRegression{count: len(regressions)}
+	}
+	fmt.Fprintf(w, "ndsm-bench: no regressions against %s (%d warning(s))\n", oldPath, len(warnings))
+	return nil
+}
+
+// benchIDs resolves the -run selection for baseline building (default all).
+func benchIDs(run string) []string {
+	if run == "" {
+		return experiments.IDs()
+	}
+	var out []string
+	for _, id := range strings.Split(run, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -13,6 +13,14 @@
 //	                           # capture the run's causal spans as Chrome
 //	                           # trace-event JSON (open in chrome://tracing
 //	                           # or https://ui.perfetto.dev)
+//	ndsm-bench -quick -baseline BENCH.json
+//	                           # machine-readable baseline: every numeric
+//	                           # experiment cell + hot-path ns/op
+//	ndsm-bench -quick -compare old.json
+//	                           # rebuild the baseline and fail (exit 1) on
+//	                           # >15% benchmark regressions against old.json
+//	ndsm-bench -compare old.json new.json
+//	                           # compare two baseline files without running
 package main
 
 import (
@@ -33,16 +41,54 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	metrics := flag.Bool("metrics", false, "after the run, dump the middleware metrics snapshot as JSON")
 	traceFile := flag.String("trace", "", "capture causal spans and write them as Chrome trace-event JSON to this file")
+	baseline := flag.String("baseline", "", "write a machine-readable baseline (experiment metrics + ns/op) to this file")
+	compare := flag.String("compare", "", "compare against this baseline file; exit non-zero on >15% benchmark regressions")
 	flag.Parse()
-	if err := realMain(*quick, *run, *list, *metrics, *traceFile); err != nil {
+	if err := realMain(*quick, *run, *list, *metrics, *traceFile, *baseline, *compare, flag.Arg(0)); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func realMain(quick bool, run string, list, metrics bool, traceFile string) error {
+func realMain(quick bool, run string, list, metrics bool, traceFile, baseline, compare, compareNew string) error {
 	if list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return nil
+	}
+	// File-vs-file compare: judge two existing baselines without running
+	// anything (what CI does against the committed seed).
+	if compare != "" && compareNew != "" {
+		oldB, err := readBaseline(compare)
+		if err != nil {
+			return err
+		}
+		newB, err := readBaseline(compareNew)
+		if err != nil {
+			return err
+		}
+		regressions, warnings := compareBaselines(oldB, newB, regressionTolerance)
+		return reportComparison(os.Stdout, compare, regressions, warnings)
+	}
+	if baseline != "" || compare != "" {
+		built, err := buildBaseline(quick, benchIDs(run))
+		if err != nil {
+			return err
+		}
+		if baseline != "" {
+			if err := writeBaseline(baseline, built); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "ndsm-bench: wrote baseline (%d experiments, %d benchmarks) to %s\n",
+				len(built.Experiments), len(built.Benchmarks), baseline)
+		}
+		if compare != "" {
+			oldB, err := readBaseline(compare)
+			if err != nil {
+				return err
+			}
+			regressions, warnings := compareBaselines(oldB, built, regressionTolerance)
+			return reportComparison(os.Stdout, compare, regressions, warnings)
+		}
 		return nil
 	}
 	var collector *trace.Collector

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// benchSink defeats dead-code elimination in the stub benchmark.
+var benchSink int
+
+// fastSuite swaps the real microbenchmark suite for a near-instant stub so
+// the baseline machinery can be tested in milliseconds. The stub must still
+// cost a measurable >=1 ns/op, or regression math has no reference.
+func fastSuite(t *testing.T) {
+	t.Helper()
+	saved := microbenches
+	microbenches = []microbench{
+		{"stub.fast", func(b *testing.B) {
+			x := 0
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < 64; j++ {
+					x += j ^ i
+				}
+			}
+			benchSink = x
+		}},
+	}
+	t.Cleanup(func() { microbenches = saved })
+}
+
+func TestBaselineFileIsValidJSON(t *testing.T) {
+	fastSuite(t)
+	path := filepath.Join(t.TempDir(), "b.json")
+	if err := realMain(true, "F1,E1", false, false, "", path, "", ""); err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("baseline not valid JSON: %v\n%s", err, data)
+	}
+	if b.Schema != baselineSchema || !b.Quick {
+		t.Fatalf("baseline header = %+v", b)
+	}
+	if len(b.Experiments["F1"]) == 0 || len(b.Experiments["E1"]) == 0 {
+		t.Fatalf("experiment metrics missing: %+v", b.Experiments)
+	}
+	if b.Benchmarks["stub.fast"].NsPerOp <= 0 {
+		t.Fatalf("benchmark ns/op missing: %+v", b.Benchmarks)
+	}
+}
+
+func TestCompareSelfPasses(t *testing.T) {
+	fastSuite(t)
+	path := filepath.Join(t.TempDir(), "b.json")
+	if err := realMain(true, "F1", false, false, "", path, "", ""); err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	// File-vs-file self-compare: identical baselines cannot regress.
+	if err := realMain(true, "", false, false, "", "", path, path); err != nil {
+		t.Fatalf("self-compare failed: %v", err)
+	}
+}
+
+func TestCompareFailsOnRegression(t *testing.T) {
+	fastSuite(t)
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	if err := realMain(true, "F1", false, false, "", oldPath, "", ""); err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	old, err := readBaseline(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Doctor a 2× slowdown into the new baseline.
+	doctored := *old
+	doctored.Benchmarks = map[string]BenchResult{}
+	for name, r := range old.Benchmarks {
+		r.NsPerOp *= 2
+		doctored.Benchmarks[name] = r
+	}
+	newPath := filepath.Join(dir, "new.json")
+	if err := writeBaseline(newPath, &doctored); err != nil {
+		t.Fatal(err)
+	}
+	err = realMain(true, "", false, false, "", "", oldPath, newPath)
+	if err == nil {
+		t.Fatal("2x regression passed the compare gate")
+	}
+	if _, ok := err.(errRegression); !ok {
+		t.Fatalf("compare failed with %T (%v), want errRegression", err, err)
+	}
+	// The reverse direction — new is 2x faster — must pass.
+	if err := realMain(true, "", false, false, "", "", newPath, oldPath); err != nil {
+		t.Fatalf("speedup flagged as regression: %v", err)
+	}
+}
+
+func TestCompareToleratesSmallDrift(t *testing.T) {
+	old := &Baseline{
+		Schema:     baselineSchema,
+		Benchmarks: map[string]BenchResult{"x": {NsPerOp: 100}},
+		Experiments: map[string]map[string]float64{
+			"E1": {"t/r/c": 10},
+		},
+	}
+	within := &Baseline{
+		Schema:     baselineSchema,
+		Benchmarks: map[string]BenchResult{"x": {NsPerOp: 110}}, // +10% < 15%
+		Experiments: map[string]map[string]float64{
+			"E1": {"t/r/c": 30}, // experiment drift warns, never fails
+		},
+	}
+	regs, warns := compareBaselines(old, within, regressionTolerance)
+	if len(regs) != 0 {
+		t.Fatalf("within-tolerance drift flagged: %v", regs)
+	}
+	if len(warns) == 0 {
+		t.Fatal("experiment drift produced no warning")
+	}
+
+	over := &Baseline{
+		Schema:     baselineSchema,
+		Benchmarks: map[string]BenchResult{"x": {NsPerOp: 120}}, // +20% > 15%
+	}
+	regs, _ = compareBaselines(old, over, regressionTolerance)
+	if len(regs) != 1 {
+		t.Fatalf("+20%% not flagged: %v", regs)
+	}
+}
+
+func TestReadBaselineRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBaseline(bad); err == nil {
+		t.Fatal("garbage baseline accepted")
+	}
+	wrongSchema := filepath.Join(dir, "schema.json")
+	if err := os.WriteFile(wrongSchema, []byte(`{"schema":999}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBaseline(wrongSchema); err == nil {
+		t.Fatal("wrong-schema baseline accepted")
+	}
+	if _, err := readBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"ndsm/internal/core"
+	"ndsm/internal/discovery"
+	"ndsm/internal/obs"
+	"ndsm/internal/qos"
+	"ndsm/internal/svcdesc"
+	"ndsm/internal/telemetry"
+	"ndsm/internal/transport"
+	"ndsm/internal/wire"
+)
+
+// microbench is one named benchmark the baseline records ns/op for.
+type microbench struct {
+	Name string
+	Run  func(b *testing.B)
+}
+
+// microbenches is the hot-path suite behind `-baseline`: the operations
+// whose regressions the compare gate watches. Package-level so tests can
+// swap in fast stubs.
+var microbenches = []microbench{
+	{"wire.binary.encode", benchWireEncode},
+	{"wire.binary.decode", benchWireDecode},
+	{"obs.counter.inc", benchCounterInc},
+	{"kernel.request", benchKernelRequest},
+	{"telemetry.publish", benchTelemetryPublish},
+}
+
+func benchMessage() *wire.Message {
+	return &wire.Message{
+		ID:       42,
+		Kind:     wire.KindRequest,
+		Src:      "consumer-1",
+		Dst:      "supplier-7",
+		Topic:    "sensor/bp",
+		Priority: 3,
+		Deadline: time.Unix(1000, 0),
+		Headers:  map[string]string{"trace": "abc123"},
+		Payload:  make([]byte, 64),
+	}
+}
+
+func benchWireEncode(b *testing.B) {
+	m := benchMessage()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (wire.Binary{}).Encode(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchWireDecode(b *testing.B) {
+	data, err := (wire.Binary{}).Encode(benchMessage())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (wire.Binary{}).Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchCounterInc(b *testing.B) {
+	c := obs.NewRegistry().Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc(1)
+	}
+}
+
+// benchKernelRequest times the full consumer→supplier roundtrip through the
+// endpoint engine over the in-memory transport — the same shape as the root
+// BenchmarkKernelRequest, reproduced here so the baseline file captures it.
+func benchKernelRequest(b *testing.B) {
+	fabric := transport.NewFabric()
+	registry := discovery.NewStore(nil, 0)
+	sup, err := core.NewNode(core.Config{Name: "sup", Transport: transport.NewMem(fabric), Registry: registry})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sup.Close() //nolint:errcheck
+	if err := sup.Serve(&svcdesc.Description{Name: "svc", Reliability: 0.9, PowerLevel: 1},
+		func(p []byte) ([]byte, error) { return p, nil }); err != nil {
+		b.Fatal(err)
+	}
+	con, err := core.NewNode(core.Config{Name: "con", Transport: transport.NewMem(fabric), Registry: registry})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer con.Close() //nolint:errcheck
+	binding, err := con.Bind(&qos.Spec{Query: svcdesc.Query{Name: "svc"}}, core.BindOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer binding.Close() //nolint:errcheck
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := binding.Request(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchTelemetryPublish(b *testing.B) {
+	reg := obs.NewRegistry()
+	reg.Counter("reqs").Inc(100)
+	p, err := telemetry.NewPublisher(telemetry.PublisherOptions{
+		Node:     "bench",
+		Registry: reg,
+		Send:     func(*telemetry.Report) error { return nil },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close() //nolint:errcheck
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reg.Counter("reqs").Inc(1)
+		if err := p.Publish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// runMicrobenches executes the suite under the standard benchmark harness
+// and returns one BenchResult per entry.
+func runMicrobenches() map[string]BenchResult {
+	out := make(map[string]BenchResult, len(microbenches))
+	for _, mb := range microbenches {
+		r := testing.Benchmark(mb.Run)
+		out[mb.Name] = BenchResult{
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	return out
+}

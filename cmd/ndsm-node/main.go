@@ -34,10 +34,13 @@ import (
 
 	"ndsm/internal/core"
 	"ndsm/internal/discovery"
+	"ndsm/internal/endpoint"
+	"ndsm/internal/obs"
 	"ndsm/internal/qos"
 	"ndsm/internal/recovery"
 	"ndsm/internal/sensors"
 	"ndsm/internal/svcdesc"
+	"ndsm/internal/telemetry"
 	"ndsm/internal/trace"
 	"ndsm/internal/transport"
 	"ndsm/internal/webbridge"
@@ -68,19 +71,45 @@ func main() {
 	traced := flag.Bool("trace", false, "collect causal spans process-wide; the HTTP bridge serves them at GET /trace")
 	renewEvery := flag.Duration("renew", 10*time.Second, "lease renewal interval")
 	walPath := flag.String("wal", "", "journal service registrations to this write-ahead log file")
+	pprofOn := flag.Bool("pprof", false, "expose Go profiling endpoints at /debug/pprof/ on the HTTP bridge (opt-in)")
+	aggregate := flag.Bool("aggregate", false, "host a telemetry aggregator on this node's listener; the HTTP bridge serves GET /cluster and GET /dash")
+	publish := flag.String("publish", "", "publish this node's telemetry reports in-band to the aggregator node at this address")
+	publishEvery := flag.Duration("publish-every", 5*time.Second, "telemetry publish interval (with -publish)")
 	flag.Parse()
 	if *traced {
 		// One process-wide tracer: every trace.Ref in the stack follows it,
 		// and the web bridge's GET /trace serves the collected timeline.
 		trace.SetDefault(trace.New(trace.Options{Name: *listen}))
 	}
-	if err := run(*registry, *listen, *config, *lookup, *call, *httpAddr, *walPath, *renewEvery); err != nil {
+	opts := serveOptions{
+		HTTPAddr:     *httpAddr,
+		WALPath:      *walPath,
+		RenewEvery:   *renewEvery,
+		Pprof:        *pprofOn,
+		Aggregate:    *aggregate,
+		PublishTo:    *publish,
+		PublishEvery: *publishEvery,
+	}
+	if err := run(*registry, *listen, *config, *lookup, *call, opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(registryAddr, listen, configPath, lookup string, call bool, httpAddr, walPath string, renewEvery time.Duration) error {
+// serveOptions carries serve's optional subsystems: the HTTP bridge, the
+// registration WAL, and the telemetry plane's two roles (aggregator host
+// and report publisher).
+type serveOptions struct {
+	HTTPAddr     string
+	WALPath      string
+	RenewEvery   time.Duration
+	Pprof        bool
+	Aggregate    bool
+	PublishTo    string
+	PublishEvery time.Duration
+}
+
+func run(registryAddr, listen, configPath, lookup string, call bool, opts serveOptions) error {
 	// Instrument makes every TCP connection feed the process-wide metrics
 	// registry, surfaced over the HTTP bridge's GET /metrics.
 	tr := transport.Instrument(transport.NewTCP(nil), nil)
@@ -94,7 +123,7 @@ func run(registryAddr, listen, configPath, lookup string, call bool, httpAddr, w
 	if configPath == "" {
 		return fmt.Errorf("need -config to serve or -lookup to query")
 	}
-	return serve(tr, registry, listen, configPath, httpAddr, walPath, renewEvery)
+	return serve(tr, registry, listen, configPath, opts)
 }
 
 func doLookup(tr transport.Transport, registry discovery.Registry, listen, pattern string, call bool) error {
@@ -134,7 +163,7 @@ func doLookup(tr transport.Transport, registry discovery.Registry, listen, patte
 	return nil
 }
 
-func serve(tr transport.Transport, registry discovery.Registry, listen, configPath, httpAddr, walPath string, renewEvery time.Duration) error {
+func serve(tr transport.Transport, registry discovery.Registry, listen, configPath string, opts serveOptions) error {
 	raw, err := os.ReadFile(configPath)
 	if err != nil {
 		return err
@@ -151,8 +180,8 @@ func serve(tr transport.Transport, registry discovery.Registry, listen, configPa
 	// node registers is appended as a durable RecordOp, so an operator can
 	// reconstruct what the node had advertised before a crash.
 	var wal *recovery.WAL
-	if walPath != "" {
-		wal, err = recovery.OpenWAL(walPath, recovery.WALOptions{SyncEveryAppend: true})
+	if opts.WALPath != "" {
+		wal, err = recovery.OpenWAL(opts.WALPath, recovery.WALOptions{SyncEveryAppend: true})
 		if err != nil {
 			return err
 		}
@@ -161,7 +190,7 @@ func serve(tr transport.Transport, registry discovery.Registry, listen, configPa
 		if err := wal.Replay(func(recovery.Record) error { prior++; return nil }); err != nil {
 			return err
 		}
-		fmt.Printf("wal %s: %d prior registration records\n", walPath, prior)
+		fmt.Printf("wal %s: %d prior registration records\n", opts.WALPath, prior)
 	}
 
 	node, err := core.NewNode(core.Config{Name: listen, Transport: tr, Registry: registry})
@@ -208,28 +237,76 @@ func serve(tr transport.Transport, registry discovery.Registry, listen, configPa
 		fmt.Printf("serving %s (%s) on %s\n", sc.Name, sc.Kind, listen)
 	}
 
+	// Telemetry plane. -aggregate turns this node into the cluster's
+	// collection point: reports arrive as requests on the node's existing
+	// listener (no extra port, no side protocol) and the HTTP bridge serves
+	// the merged view. -publish makes this node a reporter, shipping its
+	// metrics delta in-band to whichever node aggregates.
+	var agg *telemetry.Aggregator
+	if opts.Aggregate {
+		agg = telemetry.NewAggregator(telemetry.AggregatorOptions{
+			StaleAfter: 3 * opts.PublishEvery,
+		})
+		node.HandleTopic(telemetry.Topic, agg.Handler())
+		fmt.Printf("telemetry aggregator on %s (topic %s)\n", listen, telemetry.Topic)
+	}
+	if opts.PublishTo != "" {
+		caller, err := endpoint.NewCaller(tr, opts.PublishTo, endpoint.CallerOptions{Redial: true})
+		if err != nil {
+			return fmt.Errorf("telemetry caller: %w", err)
+		}
+		defer caller.Close() //nolint:errcheck
+		pub, err := telemetry.NewPublisher(telemetry.PublisherOptions{
+			Node:     listen,
+			Spans:    trace.Default().Collector(),
+			Interval: opts.PublishEvery,
+			Send:     telemetry.CallerSend(caller, listen, opts.PublishTo, 0),
+		})
+		if err != nil {
+			return fmt.Errorf("telemetry publisher: %w", err)
+		}
+		pub.Start()
+		defer pub.Close() //nolint:errcheck
+		fmt.Printf("publishing telemetry to %s every %v\n", opts.PublishTo, opts.PublishEvery)
+	}
+
+	// Runtime introspection gauges ride the process-default registry whether
+	// or not the bridge is up: a -publish node ships them in its reports.
+	sampleRuntime := obs.RuntimeGauges(nil)
+
 	// Optional embedded web server (§2 of the paper: HTTP access to the
 	// middleware from browsers and plain web clients).
 	var httpSrv *http.Server
-	if httpAddr != "" {
+	if opts.HTTPAddr != "" {
 		bridge := webbridge.New(registry, node)
 		defer bridge.Close() //nolint:errcheck
-		httpSrv = webbridge.NewHTTPServer(httpAddr, bridge)
+		bridge.EnableRuntimeMetrics()
+		if agg != nil {
+			bridge.SetAggregator(agg)
+		}
+		if opts.Pprof {
+			bridge.EnablePprof()
+			fmt.Printf("pprof enabled at /debug/pprof/ on %s\n", opts.HTTPAddr)
+		}
+		httpSrv = webbridge.NewHTTPServer(opts.HTTPAddr, bridge)
 		go func() {
 			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "http bridge: %v\n", err)
 			}
 		}()
-		fmt.Printf("http bridge on %s (GET /services, POST /call/<svc>, GET /metrics, GET /healthz, GET /trace)\n", httpAddr)
+		fmt.Printf("http bridge on %s (GET /services, POST /call/<svc>, GET /metrics, GET /healthz, GET /trace, GET /cluster, GET /dash)\n", opts.HTTPAddr)
 	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	ticker := time.NewTicker(renewEvery)
+	ticker := time.NewTicker(opts.RenewEvery)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ticker.C:
+			// Refresh the runtime gauges on the renewal beat so published
+			// reports and /metrics reads stay near-current.
+			sampleRuntime()
 			if err := node.RenewLeases(); err != nil {
 				fmt.Fprintf(os.Stderr, "lease renewal: %v\n", err)
 			}

@@ -199,6 +199,98 @@ func (s SuspectBeforeViolate) Check(w *World, events []Event) []string {
 	return out
 }
 
+// TelemetryFreshness checks the telemetry plane's staleness contract around
+// network partitions (it only applies to worlds built with Telemetry):
+//
+//  1. Stale on silence: once a supplier is partitioned away from the
+//     aggregator, its reports stop arriving, so the aggregator must mark it
+//     stale within Bound ticks of the inject.
+//  2. Fresh on heal: after the partition reverts, the next successful
+//     publish must flip the supplier back to fresh within Bound ticks.
+//
+// Partitions reverted before the staleness deadline are skipped, exactly
+// like short-lived crashes in SuspectBeforeViolate: a report may
+// legitimately get through again before staleness was required.
+type TelemetryFreshness struct {
+	// Bound is the tick budget for both transitions (default 5; the world
+	// marks stale after 2.5 missed ticks, so 5 leaves detection margin).
+	Bound int
+}
+
+// Name implements Invariant.
+func (TelemetryFreshness) Name() string { return "telemetry-freshness" }
+
+// Check implements Invariant.
+func (t TelemetryFreshness) Check(w *World, events []Event) []string {
+	if w.Aggregator() == nil {
+		return nil
+	}
+	bound := t.Bound
+	if bound <= 0 {
+		bound = 5
+	}
+	fresh := w.FreshTrace()
+	n := len(fresh)
+	isSupplier := make(map[string]bool, len(w.supplier))
+	for _, id := range w.supplier {
+		isSupplier[id] = true
+	}
+	var out []string
+	for idx, ev := range events {
+		if ev.Phase != PhaseInject || ev.Fault != FaultPartition || !isSupplier[ev.Target] {
+			continue
+		}
+		from := w.TickOf(ev.At)
+		// Heal tick: end of run unless an explicit (non-permanent) revert
+		// for this target lands earlier.
+		heal := n
+		for _, rv := range events[idx+1:] {
+			if rv.Phase == PhaseRevert && rv.Fault == FaultPartition && rv.Target == ev.Target {
+				if rv.At < permanentAt {
+					heal = w.TickOf(rv.At)
+				}
+				break
+			}
+		}
+		if heal > n {
+			heal = n
+		}
+
+		staleDeadline := from + bound
+		if staleDeadline < heal && staleDeadline < n {
+			wentStale := false
+			for i := from; i <= staleDeadline; i++ {
+				if i >= 0 && fresh[i] != nil && !fresh[i][ev.Target] {
+					wentStale = true
+					break
+				}
+			}
+			if !wentStale {
+				out = append(out, fmt.Sprintf(
+					"%s partitioned at %v (tick %d) never marked stale within %d ticks",
+					ev.Target, ev.At, from, bound))
+			}
+		}
+
+		freshDeadline := heal + bound
+		if heal < n && freshDeadline < n {
+			recovered := false
+			for i := heal; i <= freshDeadline; i++ {
+				if fresh[i] != nil && fresh[i][ev.Target] {
+					recovered = true
+					break
+				}
+			}
+			if !recovered {
+				out = append(out, fmt.Sprintf(
+					"%s not fresh within %d ticks of partition heal at tick %d",
+					ev.Target, bound, heal))
+			}
+		}
+	}
+	return out
+}
+
 // WALReplayClean surfaces replay-fidelity violations recorded by wal-crash
 // injections: a reopened WAL must reproduce every acknowledged operation.
 type WALReplayClean struct{}

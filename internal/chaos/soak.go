@@ -34,6 +34,12 @@ type ScenarioConfig struct {
 	// detector, no breaker — the reactive-only baseline E11 measures
 	// against. Scenarios run with liveness on by default.
 	DisableLiveness bool
+	// Telemetry turns the in-band telemetry plane on: the consumer hosts an
+	// aggregator, live suppliers publish one report per tick, and the
+	// telemetry-freshness invariant is checked over the run.
+	Telemetry bool
+	// FreshBound is the telemetry-freshness tick budget (default 5).
+	FreshBound int
 	// Schedule overrides the generated fault schedule (Seed still fixes the
 	// substrate RNG). Experiments use this to replay one hand-built kill
 	// schedule under different world configurations.
@@ -153,6 +159,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		Clock:     vclock,
 		Dir:       cfg.Dir,
 		Liveness:  !cfg.DisableLiveness,
+		Telemetry: cfg.Telemetry,
 		Tracer:    tracer,
 	})
 	if err != nil {
@@ -208,13 +215,15 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	for _, msg := range injectErrs {
 		res.Violations = append(res.Violations, "inject: "+msg)
 	}
-	for _, inv := range []Invariant{
+	invariants := []Invariant{
 		AckedDurable{},
 		RebindRecovery{Bound: cfg.RebindBound},
 		DiscoveryConvergence{Bound: cfg.ConvergeBound},
 		SuspectBeforeViolate{Bound: cfg.SuspectBound},
+		TelemetryFreshness{Bound: cfg.FreshBound},
 		WALReplayClean{},
-	} {
+	}
+	for _, inv := range invariants {
 		for _, v := range inv.Check(world, events) {
 			res.Violations = append(res.Violations, inv.Name()+": "+v)
 		}

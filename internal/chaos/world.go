@@ -13,13 +13,16 @@ import (
 
 	"ndsm/internal/core"
 	"ndsm/internal/discovery"
+	"ndsm/internal/endpoint"
 	"ndsm/internal/health"
 	"ndsm/internal/netmux"
 	"ndsm/internal/netsim"
+	"ndsm/internal/obs"
 	"ndsm/internal/qos"
 	"ndsm/internal/recovery"
 	"ndsm/internal/simtime"
 	"ndsm/internal/svcdesc"
+	"ndsm/internal/telemetry"
 	"ndsm/internal/trace"
 	"ndsm/internal/transport"
 )
@@ -63,6 +66,12 @@ type WorldConfig struct {
 	// layer — so one consumer request yields a single connected causal tree
 	// across all simulated nodes. Nil leaves tracing off (process default).
 	Tracer *trace.Tracer
+	// Telemetry turns on the cluster telemetry plane: the consumer node
+	// hosts an aggregator on its existing listener, every live supplier
+	// publishes one in-band report per tick (schedule-clock timestamps),
+	// and the world records each supplier's end-of-tick freshness verdict —
+	// the trace the telemetry-freshness invariant checks around partitions.
+	Telemetry bool
 }
 
 func (c WorldConfig) withDefaults() WorldConfig {
@@ -183,12 +192,18 @@ type World struct {
 	supplier []string           // supplier IDs in creation order
 	health   *health.Monitor    // consumer's liveness monitor (nil unless Liveness)
 
+	// Telemetry plane (nil/empty unless WorldConfig.Telemetry).
+	agg        *telemetry.Aggregator
+	publishers map[string]*telemetry.Publisher
+	pubCallers map[string]*endpoint.Caller
+
 	mu            sync.Mutex
 	managers      map[string]*recovery.Manager
 	states        map[string]*keySetState
 	dead          map[string]bool // suppliers currently crash-killed
 	tickOK        []bool
 	lookupOK      []bool
+	freshness     []map[string]bool // per-tick aggregator freshness per supplier
 	preBound      []string          // peer the binding pointed at entering each tick
 	bound         []string          // peer the binding pointed at leaving each tick
 	suspected     []map[string]bool // per-tick detector verdict per supplier
@@ -403,6 +418,54 @@ func (w *World) build() error {
 		return fmt.Errorf("chaos: bind: %w", err)
 	}
 	w.binding = binding
+
+	if cfg.Telemetry {
+		if err := w.buildTelemetry(consumer); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// publishTimeout bounds each in-band telemetry send (real time, like the
+// rest of the data path): a partitioned supplier's report burns at most this
+// long before the tick moves on.
+const publishTimeout = 100 * time.Millisecond
+
+// buildTelemetry hosts the aggregator on the consumer's existing listener
+// and gives every supplier an in-band publisher: reports are requests on
+// telemetry.Topic over the same sim transport the workload uses. Staleness
+// is sized in ticks (2.5×TickEvery ≈ two missed publishes), on the schedule
+// clock, so freshness verdicts are deterministic in virtual time.
+func (w *World) buildTelemetry(consumer *worldNode) error {
+	w.agg = telemetry.NewAggregator(telemetry.AggregatorOptions{
+		Clock:      w.cfg.Clock,
+		StaleAfter: 5 * w.cfg.TickEvery / 2,
+	})
+	consumer.node.HandleTopic(telemetry.Topic, w.agg.Handler())
+	w.publishers = make(map[string]*telemetry.Publisher, len(w.supplier))
+	w.pubCallers = make(map[string]*endpoint.Caller, len(w.supplier))
+	for _, id := range w.supplier {
+		wn := w.nodes[id]
+		caller, err := endpoint.NewCaller(wn.tr, ConsumerID, endpoint.CallerOptions{Redial: true})
+		if err != nil {
+			return fmt.Errorf("chaos: telemetry caller %s: %w", id, err)
+		}
+		w.pubCallers[id] = caller
+		pub, err := telemetry.NewPublisher(telemetry.PublisherOptions{
+			Node: id,
+			// Each supplier reports its own (empty, isolated) registry:
+			// the plane's freshness signal is what the chaos invariant
+			// exercises, and tiny reports keep partition timeouts cheap.
+			Registry: obs.NewRegistry(),
+			Clock:    w.cfg.Clock,
+			Send:     telemetry.CallerSend(caller, id, ConsumerID, publishTimeout),
+		})
+		if err != nil {
+			return fmt.Errorf("chaos: telemetry publisher %s: %w", id, err)
+		}
+		w.publishers[id] = pub
+	}
 	return nil
 }
 
@@ -441,6 +504,9 @@ func (w *World) Tick(i int) {
 	if w.cfg.Liveness {
 		w.renewLeases()
 	}
+	if w.agg != nil {
+		w.publishTelemetry()
+	}
 
 	// The peer the binding points at entering the tick, and whether the
 	// liveness layer would divert a request to it. Sampling Suspect here is
@@ -469,10 +535,18 @@ func (w *World) Tick(i int) {
 			open[id] = w.health.State(id) == health.Open
 		}
 	}
+	var fresh map[string]bool
+	if w.agg != nil {
+		fresh = make(map[string]bool, len(w.supplier))
+		for _, id := range w.supplier {
+			fresh[id] = w.agg.Fresh(id)
+		}
+	}
 
 	w.mu.Lock()
 	w.tickOK = append(w.tickOK, ok)
 	w.lookupOK = append(w.lookupOK, found)
+	w.freshness = append(w.freshness, fresh)
 	w.preBound = append(w.preBound, pre)
 	w.bound = append(w.bound, post)
 	w.suspected = append(w.suspected, sus)
@@ -513,6 +587,29 @@ func (w *World) renewLeases() {
 	wg.Wait()
 }
 
+// publishTelemetry ships one report from every live supplier, concurrently
+// (a partitioned supplier burns its publishTimeout without stalling the
+// others). Crash-killed suppliers stay silent — their process is gone, which
+// is exactly the silence staleness marking exists to surface.
+func (w *World) publishTelemetry() {
+	var wg sync.WaitGroup
+	for _, id := range w.supplier {
+		w.mu.Lock()
+		deadNow := w.dead[id]
+		w.mu.Unlock()
+		if deadNow {
+			continue
+		}
+		pub := w.publishers[id]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = pub.Publish()
+		}()
+	}
+	wg.Wait()
+}
+
 func (w *World) setDead(id string, dead bool) {
 	w.mu.Lock()
 	w.dead[id] = dead
@@ -536,6 +633,18 @@ func (w *World) LookupOK() []bool {
 // Health returns the consumer's liveness monitor (nil unless the world was
 // built with Liveness).
 func (w *World) Health() *health.Monitor { return w.health }
+
+// Aggregator returns the consumer-hosted telemetry aggregator (nil unless
+// the world was built with Telemetry).
+func (w *World) Aggregator() *telemetry.Aggregator { return w.agg }
+
+// FreshTrace returns, per tick, the aggregator's end-of-tick freshness
+// verdict per supplier (nil entries when the world runs without Telemetry).
+func (w *World) FreshTrace() []map[string]bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]map[string]bool(nil), w.freshness...)
+}
 
 // DeadAttempts counts ticks whose request was aimed at a crash-killed
 // supplier without the liveness layer having diverted it first — the waste
@@ -701,6 +810,12 @@ func (w *World) recordWALViolation(msg string) {
 // Close tears the world down: workload, endpoints, registry, substrate,
 // storage, and (when World-owned) the WAL directory.
 func (w *World) Close() error {
+	for _, pub := range w.publishers {
+		_ = pub.Close()
+	}
+	for _, c := range w.pubCallers {
+		_ = c.Close()
+	}
 	if w.binding != nil {
 		_ = w.binding.Close()
 	}

@@ -133,11 +133,11 @@ func (b *Binding) connect(peer string) error {
 	// interceptor's call counts or latency histogram; tracing wraps both so
 	// the call span also records breaker fast-fails.
 	interceptors := []endpoint.ClientInterceptor{
-		endpoint.WithMetrics(nil, "core.binding", b.node.clock),
+		endpoint.WithMetrics(b.node.metrics, "core.binding", b.node.clock),
 	}
 	if h := b.node.health; h != nil {
 		interceptors = append([]endpoint.ClientInterceptor{
-			endpoint.WithBreaker(h, peer, nil, "core.binding"),
+			endpoint.WithBreaker(h, peer, b.node.metrics, "core.binding"),
 		}, interceptors...)
 	}
 	interceptors = append([]endpoint.ClientInterceptor{

@@ -8,6 +8,7 @@ import (
 	"ndsm/internal/discovery"
 	"ndsm/internal/endpoint"
 	"ndsm/internal/health"
+	"ndsm/internal/obs"
 	"ndsm/internal/simtime"
 	"ndsm/internal/svcdesc"
 	"ndsm/internal/trace"
@@ -49,6 +50,12 @@ type Config struct {
 	// (admission control); excess requests are shed with a retryable
 	// rejection. 0 means unlimited.
 	MaxInFlight int
+	// Metrics receives the node's instruments — server dispatch counters,
+	// binding call latency, shed counts. Nil uses the process default; a
+	// per-node registry is what gives multi-node simulations (and the
+	// telemetry plane riding on them) per-node series instead of one merged
+	// blur.
+	Metrics *obs.Registry
 	// Tracer records causal spans for the node's bindings and dispatches.
 	// Nil follows the process default (trace.SetDefault); tracing stays off
 	// until one is installed.
@@ -63,6 +70,7 @@ type Node struct {
 	registry discovery.Registry
 	clock    simtime.Clock
 	health   *health.Monitor
+	metrics  *obs.Registry
 	traceRef *trace.Ref
 
 	// Events is the node's event manager.
@@ -114,6 +122,7 @@ func NewNode(cfg Config) (*Node, error) {
 		registry:  registry,
 		clock:     cfg.Clock,
 		health:    cfg.Health,
+		metrics:   cfg.Metrics,
 		traceRef:  trace.NewRef(cfg.Tracer),
 		table:     transaction.NewTable(),
 		suppliers: make(map[string]*supplier),
@@ -122,11 +131,12 @@ func NewNode(cfg Config) (*Node, error) {
 		Name:        cfg.Name,
 		Kinds:       []wire.Kind{wire.KindRequest},
 		MaxInFlight: cfg.MaxInFlight,
+		Metrics:     cfg.Metrics,
 		Interceptors: []endpoint.ServerInterceptor{
 			// Tracing outermost so the server span brackets the metrics
 			// observation and any handler-side downstream calls.
 			endpoint.WithServerTracing(n.traceRef, "core.node.serve"),
-			endpoint.WithServerMetrics(nil, "core.node", nil),
+			endpoint.WithServerMetrics(cfg.Metrics, "core.node", nil),
 		},
 		Fallback: func(req *wire.Message) (*wire.Message, error) {
 			return nil, fmt.Errorf("%w: %s", ErrUnknownService, req.Topic)
@@ -144,6 +154,19 @@ func (n *Node) Registry() discovery.Registry { return n.registry }
 
 // Health returns the node's liveness monitor (nil when disabled).
 func (n *Node) Health() *health.Monitor { return n.health }
+
+// Metrics resolves the node's metrics registry (the process default when
+// none was configured).
+func (n *Node) Metrics() *obs.Registry { return obs.Or(n.metrics) }
+
+// HandleTopic registers a raw endpoint handler on the node's listener for a
+// topic outside the hosted-service namespace — no discovery registration, no
+// QoS. This is how in-band control planes (the telemetry aggregator) ride a
+// node's existing listener instead of opening a protocol of their own.
+func (n *Node) HandleTopic(topic string, h endpoint.Handler) { n.ep.Handle(topic, h) }
+
+// UnhandleTopic removes a HandleTopic registration.
+func (n *Node) UnhandleTopic(topic string) { n.ep.Unhandle(topic) }
 
 // SetTracer swaps the node's tracer at runtime (nil reverts to the process
 // default). Existing bindings pick it up on their next call.

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ndsm/internal/stats"
 )
@@ -305,6 +306,23 @@ func (s Snapshot) Diff(prev Snapshot) Snapshot {
 		ph := prev.Histograms[name]
 		h.Count -= ph.Count
 		out.Histograms[name] = h
+	}
+	return out
+}
+
+// Rate converts the snapshot's counters — typically the deltas a Diff
+// produced — into per-second rates over elapsed. This is how telemetry
+// reports turn "requests since last publish" into requests/second. A
+// non-positive elapsed yields an empty map: a rate over no time is
+// meaningless, not infinite.
+func (s Snapshot) Rate(elapsed time.Duration) map[string]float64 {
+	out := make(map[string]float64, len(s.Counters))
+	if elapsed <= 0 {
+		return out
+	}
+	secs := elapsed.Seconds()
+	for name, v := range s.Counters {
+		out[name] = float64(v) / secs
 	}
 	return out
 }

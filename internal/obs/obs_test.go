@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCounterConcurrent(t *testing.T) {
@@ -267,5 +268,71 @@ func TestSnapshotJSONQuantileKeys(t *testing.T) {
 	}
 	if lat["p50"] > lat["p95"] || lat["p95"] > lat["p99"] {
 		t.Errorf("quantiles not monotone: p50=%v p95=%v p99=%v", lat["p50"], lat["p95"], lat["p99"])
+	}
+}
+
+func TestSnapshotRate(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs").Inc(100)
+	r.Counter("errs").Inc(5)
+	r.Gauge("depth").Set(3)
+	prev := r.Snapshot()
+	r.Counter("reqs").Inc(40)
+	r.Counter("errs").Inc(1)
+	diff := r.Snapshot().Diff(prev)
+
+	rates := diff.Rate(2 * time.Second)
+	if got := rates["reqs"]; got != 20 {
+		t.Errorf("reqs rate = %v, want 20 (40 over 2s)", got)
+	}
+	if got := rates["errs"]; got != 0.5 {
+		t.Errorf("errs rate = %v, want 0.5", got)
+	}
+	if _, ok := rates["depth"]; ok {
+		t.Error("gauges must not appear in counter rates")
+	}
+
+	// Zero or negative elapsed means no rate claims at all, not Inf.
+	if got := diff.Rate(0); len(got) != 0 {
+		t.Errorf("rate over zero elapsed = %v, want empty", got)
+	}
+	if got := diff.Rate(-time.Second); len(got) != 0 {
+		t.Errorf("rate over negative elapsed = %v, want empty", got)
+	}
+}
+
+func TestRuntimeGauges(t *testing.T) {
+	r := NewRegistry()
+	update := RuntimeGauges(r)
+
+	check := func() map[string]float64 {
+		t.Helper()
+		g := r.Snapshot().Gauges
+		if g[GaugeGoroutines] < 1 {
+			t.Errorf("%s = %v, want >= 1", GaugeGoroutines, g[GaugeGoroutines])
+		}
+		if g[GaugeHeapBytes] <= 0 {
+			t.Errorf("%s = %v, want > 0", GaugeHeapBytes, g[GaugeHeapBytes])
+		}
+		if g[GaugeGCPauseMS] < 0 {
+			t.Errorf("%s = %v, want >= 0", GaugeGCPauseMS, g[GaugeGCPauseMS])
+		}
+		return g
+	}
+	check() // RuntimeGauges samples once at registration
+
+	// Spin up goroutines and resample: the gauge must move with the runtime.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); <-stop }()
+	}
+	update()
+	after := check()
+	close(stop)
+	wg.Wait()
+	if after[GaugeGoroutines] < 11 {
+		t.Errorf("goroutine gauge = %v after spawning 10, want >= 11", after[GaugeGoroutines])
 	}
 }

@@ -14,6 +14,15 @@
 //	                                  JSON (?format=jsonl for JSONL)
 //	GET /healthz                   -> liveness, with per-peer failure-detector
 //	                                  state when a health monitor is attached
+//	GET /cluster                   -> merged telemetry view (JSON per-node
+//	                                  time series + freshness) when an
+//	                                  aggregator is attached
+//	GET /dash                      -> self-contained HTML dashboard over the
+//	                                  same view (inline SVG sparklines, no
+//	                                  external assets)
+//	GET /debug/pprof/*             -> Go profiling endpoints, only after an
+//	                                  explicit EnablePprof (opt-in: profiles
+//	                                  leak internals and burn CPU)
 //
 // It is a compact http.Handler, so it embeds into any mux; cmd/ndsm-node
 // can front a node with it for browser access.
@@ -24,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -35,19 +45,36 @@ import (
 	"ndsm/internal/obs"
 	"ndsm/internal/qos"
 	"ndsm/internal/svcdesc"
+	"ndsm/internal/telemetry"
 	"ndsm/internal/trace"
 )
 
 // maxCallBody bounds POST /call payloads.
 const maxCallBody = 1 << 20
 
+// serverConfig is the bridge's one resolved lookup path for every
+// observability dependency. Handlers used to each re-derive their sources
+// (obs.Or sprinkled through /metrics, /healthz, /trace); now they take one
+// consistent copy per request via Bridge.config, and the Set*/Enable*
+// mutators swap fields under a single lock.
+type serverConfig struct {
+	metrics *obs.Registry
+	health  *health.Monitor
+	spans   *trace.Collector
+	agg     *telemetry.Aggregator
+	// sampleRuntime refreshes the runtime gauges (EnableRuntimeMetrics);
+	// /metrics calls it before snapshotting.
+	sampleRuntime func()
+	pprof         bool
+}
+
 // Bridge serves the middleware over HTTP.
 type Bridge struct {
 	registry discovery.Registry
 	node     *core.Node
-	metrics  *obs.Registry
-	healthM  *health.Monitor
-	spans    *trace.Collector
+
+	cfgMu sync.RWMutex
+	cfg   serverConfig
 
 	mu       sync.Mutex
 	bindings map[string]*core.Binding // service name -> cached binding
@@ -61,26 +88,81 @@ func New(registry discovery.Registry, node *core.Node) *Bridge {
 	b := &Bridge{
 		registry: registry,
 		node:     node,
-		metrics:  obs.Default(),
+		cfg:      serverConfig{metrics: obs.Default()},
 		bindings: make(map[string]*core.Binding),
 	}
 	if node != nil {
-		b.healthM = node.Health()
+		b.cfg.health = node.Health()
 	}
 	return b
 }
 
+// config resolves the effective per-request configuration: the stored
+// fields plus the process-default fallbacks (metrics registry, the default
+// tracer's collector).
+func (b *Bridge) config() serverConfig {
+	b.cfgMu.RLock()
+	c := b.cfg
+	b.cfgMu.RUnlock()
+	if c.metrics == nil {
+		c.metrics = obs.Default()
+	}
+	if c.spans == nil {
+		c.spans = trace.Default().Collector()
+	}
+	return c
+}
+
 // SetMetricsRegistry points /metrics at a specific registry instead of the
 // process-wide default (isolated tests, embedded multi-stack processes).
-func (b *Bridge) SetMetricsRegistry(r *obs.Registry) { b.metrics = obs.Or(r) }
+func (b *Bridge) SetMetricsRegistry(r *obs.Registry) {
+	b.cfgMu.Lock()
+	b.cfg.metrics = obs.Or(r)
+	b.cfgMu.Unlock()
+}
 
 // SetHealth points /healthz at a failure-detector monitor (overriding the
 // node's, if any).
-func (b *Bridge) SetHealth(m *health.Monitor) { b.healthM = m }
+func (b *Bridge) SetHealth(m *health.Monitor) {
+	b.cfgMu.Lock()
+	b.cfg.health = m
+	b.cfgMu.Unlock()
+}
 
 // SetTraceCollector points /trace at a span collector. Without one, /trace
 // falls back to the process-default tracer's collector.
-func (b *Bridge) SetTraceCollector(c *trace.Collector) { b.spans = c }
+func (b *Bridge) SetTraceCollector(c *trace.Collector) {
+	b.cfgMu.Lock()
+	b.cfg.spans = c
+	b.cfgMu.Unlock()
+}
+
+// SetAggregator attaches a telemetry aggregator, enabling GET /cluster and
+// GET /dash over its merged view.
+func (b *Bridge) SetAggregator(a *telemetry.Aggregator) {
+	b.cfgMu.Lock()
+	b.cfg.agg = a
+	b.cfgMu.Unlock()
+}
+
+// EnableRuntimeMetrics registers the Go runtime gauges (goroutines, heap
+// bytes, GC pause total) in the bridge's metrics registry and refreshes them
+// on every /metrics request.
+func (b *Bridge) EnableRuntimeMetrics() {
+	b.cfgMu.Lock()
+	update := obs.RuntimeGauges(b.cfg.metrics)
+	b.cfg.sampleRuntime = update
+	b.cfgMu.Unlock()
+}
+
+// EnablePprof turns on the /debug/pprof/* endpoints. Off by default: on the
+// hardened embedded server, profiling is an operator decision, not a
+// default attack surface.
+func (b *Bridge) EnablePprof() {
+	b.cfgMu.Lock()
+	b.cfg.pprof = true
+	b.cfgMu.Unlock()
+}
 
 var _ http.Handler = (*Bridge)(nil)
 
@@ -110,10 +192,16 @@ func (b *Bridge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, bibliometrics.Chart(bibliometrics.Figure1(), 50))
 	case r.URL.Path == "/metrics":
 		b.handleMetrics(w, r)
+	case r.URL.Path == "/cluster":
+		b.handleCluster(w, r)
+	case r.URL.Path == "/dash":
+		b.handleDash(w, r)
 	case r.URL.Path == "/services":
 		b.handleServices(w, r)
 	case strings.HasPrefix(r.URL.Path, "/call/"):
 		b.handleCall(w, r)
+	case strings.HasPrefix(r.URL.Path, "/debug/pprof/"):
+		b.handlePprof(w, r)
 	default:
 		http.NotFound(w, r)
 	}
@@ -128,11 +216,69 @@ func (b *Bridge) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	obs.Or(b.metrics).Counter("webbridge.metrics_requests").Inc(1)
+	c := b.config()
+	c.metrics.Counter("webbridge.metrics_requests").Inc(1)
+	if c.sampleRuntime != nil {
+		c.sampleRuntime()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(obs.Or(b.metrics).Snapshot())
+	_ = enc.Encode(c.metrics.Snapshot())
+}
+
+// handleCluster serves the telemetry aggregator's merged view: per-node
+// windowed time series, per-node freshness, health, and trace depth.
+func (b *Bridge) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	c := b.config()
+	if c.agg == nil {
+		http.Error(w, "telemetry aggregator not attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(c.agg.View())
+}
+
+// handleDash serves the single-file HTML dashboard over the same view.
+func (b *Bridge) handleDash(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	c := b.config()
+	if c.agg == nil {
+		http.Error(w, "telemetry aggregator not attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write(telemetry.RenderDash(c.agg.View()))
+}
+
+// handlePprof gates the Go profiling endpoints behind EnablePprof.
+func (b *Bridge) handlePprof(w http.ResponseWriter, r *http.Request) {
+	if !b.config().pprof {
+		http.NotFound(w, r)
+		return
+	}
+	switch r.URL.Path {
+	case "/debug/pprof/cmdline":
+		pprof.Cmdline(w, r)
+	case "/debug/pprof/profile":
+		pprof.Profile(w, r)
+	case "/debug/pprof/symbol":
+		pprof.Symbol(w, r)
+	case "/debug/pprof/trace":
+		pprof.Trace(w, r)
+	default:
+		// Index also serves the named profiles (heap, goroutine, ...).
+		pprof.Index(w, r)
+	}
 }
 
 // handleHealthz reports liveness plus, when a health monitor is attached,
@@ -148,8 +294,8 @@ func (b *Bridge) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Peers  []health.PeerStatus `json:"peers,omitempty"`
 	}
 	doc := healthDoc{Status: "ok"}
-	if b.healthM != nil {
-		doc.Peers = b.healthM.Status()
+	if m := b.config().health; m != nil {
+		doc.Peers = m.Status()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -165,10 +311,7 @@ func (b *Bridge) handleTrace(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	col := b.spans
-	if col == nil {
-		col = trace.Default().Collector()
-	}
+	col := b.config().spans
 	if col == nil {
 		http.Error(w, "tracing disabled (no collector)", http.StatusNotFound)
 		return
@@ -233,7 +376,7 @@ func (b *Bridge) handleCall(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
-	obs.Or(b.metrics).Counter("webbridge.calls").Inc(1)
+	b.config().metrics.Counter("webbridge.calls").Inc(1)
 	out, err := binding.Request(body)
 	if err != nil {
 		// Drop the cached binding so the next call re-matches from scratch.

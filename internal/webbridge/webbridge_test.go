@@ -20,6 +20,7 @@ import (
 	"ndsm/internal/recovery"
 	"ndsm/internal/simtime"
 	"ndsm/internal/svcdesc"
+	"ndsm/internal/telemetry"
 	"ndsm/internal/trace"
 	"ndsm/internal/transport"
 )
@@ -481,6 +482,118 @@ func TestMetricsQuantileKeys(t *testing.T) {
 	for _, key := range []string{`"p50"`, `"p95"`, `"p99"`} {
 		if !strings.Contains(body, key) {
 			t.Errorf("/metrics missing %s:\n%s", key, body)
+		}
+	}
+}
+
+func TestClusterAndDashEndpoints(t *testing.T) {
+	_, _, srv := fixture(t)
+	// Without an aggregator attached, the telemetry endpoints 404.
+	if code, _ := get(t, srv.URL+"/cluster"); code != http.StatusNotFound {
+		t.Fatalf("/cluster without aggregator = %d, want 404", code)
+	}
+	if code, _ := get(t, srv.URL+"/dash"); code != http.StatusNotFound {
+		t.Fatalf("/dash without aggregator = %d, want 404", code)
+	}
+}
+
+func TestClusterEndpointServesView(t *testing.T) {
+	fabric := transport.NewFabric()
+	registry := discovery.NewStore(nil, 0)
+	web, err := core.NewNode(core.Config{Name: "web", Transport: transport.NewMem(fabric), Registry: registry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = web.Close() })
+	bridge := New(registry, web)
+	t.Cleanup(func() { _ = bridge.Close() })
+
+	clock := simtime.NewVirtual(time.Unix(0, 0))
+	agg := telemetry.NewAggregator(telemetry.AggregatorOptions{Clock: clock, Registry: obs.NewRegistry()})
+	if err := agg.Ingest(&telemetry.Report{
+		Node: "n1", Seq: 1, Time: time.Unix(1, 0),
+		Counters: map[string]int64{"reqs": 12},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bridge.SetAggregator(agg)
+
+	srv := httptest.NewServer(bridge)
+	t.Cleanup(srv.Close)
+
+	code, body := get(t, srv.URL+"/cluster")
+	if code != http.StatusOK {
+		t.Fatalf("/cluster = %d body=%q", code, body)
+	}
+	var view telemetry.ClusterView
+	if err := json.Unmarshal([]byte(body), &view); err != nil {
+		t.Fatalf("/cluster not JSON: %v\n%s", err, body)
+	}
+	if len(view.Nodes) != 1 || view.Nodes[0].Node != "n1" || !view.Nodes[0].Fresh {
+		t.Fatalf("cluster view = %+v", view)
+	}
+	if len(view.Nodes[0].Series["reqs"]) != 1 {
+		t.Fatalf("reqs series missing: %+v", view.Nodes[0].Series)
+	}
+
+	code, page := get(t, srv.URL+"/dash")
+	if code != http.StatusOK || !strings.Contains(page, "<svg") || !strings.Contains(page, "n1") {
+		t.Fatalf("/dash = %d page=%.120q", code, page)
+	}
+
+	// POST is rejected on both read-only endpoints.
+	resp, err := http.Post(srv.URL+"/cluster", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /cluster = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestPprofGated(t *testing.T) {
+	registry := discovery.NewStore(nil, 0)
+	bridge := New(registry, nil)
+	t.Cleanup(func() { _ = bridge.Close() })
+	srv := httptest.NewServer(bridge)
+	t.Cleanup(srv.Close)
+
+	// Profiling endpoints stay dark until explicitly enabled.
+	if code, _ := get(t, srv.URL+"/debug/pprof/"); code != http.StatusNotFound {
+		t.Fatalf("pprof index before opt-in = %d, want 404", code)
+	}
+	bridge.EnablePprof()
+	code, body := get(t, srv.URL+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index after opt-in = %d body=%.120q", code, body)
+	}
+	if code, _ := get(t, srv.URL+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("pprof cmdline = %d, want 200", code)
+	}
+}
+
+func TestRuntimeMetricsOptIn(t *testing.T) {
+	registry := discovery.NewStore(nil, 0)
+	bridge := New(registry, nil)
+	t.Cleanup(func() { _ = bridge.Close() })
+	reg := obs.NewRegistry()
+	bridge.SetMetricsRegistry(reg)
+	srv := httptest.NewServer(bridge)
+	t.Cleanup(srv.Close)
+
+	_, before := get(t, srv.URL+"/metrics")
+	if strings.Contains(before, obs.GaugeGoroutines) {
+		t.Fatalf("runtime gauges present before opt-in:\n%s", before)
+	}
+	bridge.EnableRuntimeMetrics()
+	code, after := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, name := range []string{obs.GaugeGoroutines, obs.GaugeHeapBytes, obs.GaugeGCPauseMS} {
+		if !strings.Contains(after, name) {
+			t.Errorf("runtime gauge %s missing from /metrics:\n%s", name, after)
 		}
 	}
 }
