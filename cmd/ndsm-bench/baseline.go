@@ -11,8 +11,13 @@ import (
 	"ndsm/internal/experiments"
 )
 
-// baselineSchema versions the baseline file format.
-const baselineSchema = 1
+// baselineSchema versions the baseline file format. Schema 2 added the
+// sustained-load matrix and allocs/op gating; schema 1 files are still
+// readable (they simply carry no load points).
+const baselineSchema = 2
+
+// minBaselineSchema is the oldest schema readBaseline still accepts.
+const minBaselineSchema = 1
 
 // regressionTolerance is how much slower a benchmark may get before the
 // compare gate fails (fractional; 0.15 = 15%).
@@ -36,6 +41,9 @@ type Baseline struct {
 	Experiments map[string]map[string]float64 `json:"experiments"`
 	// Benchmarks maps microbenchmark name → measured cost.
 	Benchmarks map[string]BenchResult `json:"benchmarks"`
+	// Load maps "transport/consumers/mode" → sustained-load measurements
+	// (present when the baseline was built with -load).
+	Load map[string]LoadPoint `json:"load,omitempty"`
 }
 
 // buildBaseline runs the selected experiments and the microbenchmark suite
@@ -98,8 +106,9 @@ func readBaseline(path string) (*Baseline, error) {
 	if err := json.Unmarshal(data, &b); err != nil {
 		return nil, fmt.Errorf("baseline %s: %w", path, err)
 	}
-	if b.Schema != baselineSchema {
-		return nil, fmt.Errorf("baseline %s: schema %d, tool expects %d", path, b.Schema, baselineSchema)
+	if b.Schema < minBaselineSchema || b.Schema > baselineSchema {
+		return nil, fmt.Errorf("baseline %s: schema %d, tool expects %d..%d",
+			path, b.Schema, minBaselineSchema, baselineSchema)
 	}
 	return &b, nil
 }
@@ -120,6 +129,15 @@ func compareBaselines(old, new *Baseline, tolerance float64) (regressions, warni
 				"benchmark %s: %.0f ns/op vs %.0f ns/op baseline (+%.0f%%, tolerance %.0f%%)",
 				name, cur.NsPerOp, prev.NsPerOp,
 				100*(cur.NsPerOp/prev.NsPerOp-1), 100*tolerance))
+		}
+		// Allocation regressions gate too: a zero-alloc path growing any
+		// allocation fails outright; non-zero paths get the tolerance plus
+		// half an alloc of slack so counter jitter on tiny budgets does not
+		// flap the gate.
+		if float64(cur.AllocsPerOp) > float64(prev.AllocsPerOp)*(1+tolerance)+0.5 {
+			regressions = append(regressions, fmt.Sprintf(
+				"benchmark %s: %d allocs/op vs %d allocs/op baseline (tolerance %.0f%%)",
+				name, cur.AllocsPerOp, prev.AllocsPerOp, 100*tolerance))
 		}
 	}
 	for name := range new.Benchmarks {
@@ -149,6 +167,27 @@ func compareBaselines(old, new *Baseline, tolerance float64) (regressions, warni
 				warnings = append(warnings, fmt.Sprintf(
 					"experiment %s cell %q drifted: %v vs %v baseline", id, key, cur, prev))
 			}
+		}
+	}
+	// Load points warn rather than gate: sustained throughput is far more
+	// machine- and scheduler-sensitive than a microbenchmark, so drift is
+	// surfaced for a human to judge.
+	for _, key := range sortedKeys(old.Load) {
+		prev := old.Load[key]
+		cur, ok := new.Load[key]
+		if !ok {
+			warnings = append(warnings, fmt.Sprintf("load point %s missing from new baseline", key))
+			continue
+		}
+		if prev.ReqPerSec > 0 && cur.ReqPerSec < prev.ReqPerSec*(1-tolerance) {
+			warnings = append(warnings, fmt.Sprintf(
+				"load point %s throughput dropped: %.0f req/s vs %.0f req/s baseline",
+				key, cur.ReqPerSec, prev.ReqPerSec))
+		}
+		if cur.AllocsPerOp > prev.AllocsPerOp*(1+tolerance)+0.5 {
+			warnings = append(warnings, fmt.Sprintf(
+				"load point %s allocations grew: %.1f allocs/op vs %.1f allocs/op baseline",
+				key, cur.AllocsPerOp, prev.AllocsPerOp))
 		}
 	}
 	return regressions, warnings

@@ -1,0 +1,405 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ndsm/internal/endpoint"
+	"ndsm/internal/netsim"
+	"ndsm/internal/transport"
+	"ndsm/internal/wire"
+)
+
+// loadTopic is the echo method the sustained-load servers expose.
+const loadTopic = "load.echo"
+
+// loadTotalBudget is the total request count a phase is auto-sized to when
+// -load-requests is 0: per-consumer request counts shrink as the consumer
+// count grows, so a 100k-consumer sweep stays bounded in wall time.
+const loadTotalBudget = 60000
+
+// loadConfig sizes one sustained-load run (the -load flags).
+type loadConfig struct {
+	Transport string        // "sim" (netsim datagrams) or "tcp" (loopback sockets)
+	Consumers []int         // sweep of simulated-consumer counts
+	Suppliers int           // echo servers
+	Conns     int           // caller connections the consumers multiplex over
+	Requests  int           // requests per consumer (0: auto from loadTotalBudget)
+	Window    int           // pipeline depth per consumer in the batched phase
+	Payload   int           // request payload bytes
+	Airtime   time.Duration // per-datagram channel occupancy on sim (<0: none)
+}
+
+func (c loadConfig) withDefaults() loadConfig {
+	if c.Transport == "" {
+		c.Transport = "sim"
+	}
+	if len(c.Consumers) == 0 {
+		c.Consumers = []int{1000, 10000}
+	}
+	if c.Suppliers <= 0 {
+		c.Suppliers = 2
+	}
+	if c.Conns <= 0 {
+		c.Conns = 8
+	}
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.Payload <= 0 {
+		c.Payload = 64
+	}
+	if c.Airtime == 0 {
+		c.Airtime = 25 * time.Microsecond
+	}
+	if c.Airtime < 0 {
+		c.Airtime = 0
+	}
+	return c
+}
+
+// airtimeService models the shared radio medium netsim leaves free: every
+// datagram occupies the channel for a fixed airtime, and transmissions
+// serialize the way CSMA serializes a cell. Without this, the in-process
+// simulator under-represents the per-packet cost a real radio pays — the
+// very cost frame coalescing exists to amortize. The occupancy is a
+// calibrated spin while holding the medium: timer-based sleeps are
+// millisecond-grained under load and would swamp a microsecond airtime.
+type airtimeService struct {
+	transport.DatagramService
+	airtime   time.Duration
+	datagrams atomic.Int64
+
+	mu sync.Mutex // the medium: held for the duration of a transmission
+}
+
+func (s *airtimeService) Send(from, to netsim.NodeID, data []byte) error {
+	s.datagrams.Add(1)
+	if s.airtime > 0 {
+		s.mu.Lock()
+		for end := time.Now().Add(s.airtime); time.Now().Before(end); {
+		}
+		s.mu.Unlock()
+	}
+	return s.DatagramService.Send(from, to, data)
+}
+
+// parseConsumerSweep reads the -load-consumers flag ("1000,10000").
+func parseConsumerSweep(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("load: bad consumer count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// LoadPoint is one (transport, consumers, mode) cell of the sustained-load
+// matrix, recorded in the baseline so -compare can watch throughput and
+// allocation drift across commits.
+type LoadPoint struct {
+	ReqPerSec   float64 `json:"reqPerSec"`
+	P50Micros   float64 `json:"p50Micros"`
+	P99Micros   float64 `json:"p99Micros"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+	// MsgsPerDatagram is the coalescing factor on the sim substrate: wire
+	// messages (requests + replies) per radio datagram (0 on tcp).
+	MsgsPerDatagram float64 `json:"msgsPerDatagram,omitempty"`
+	// Speedup is batched req/s over unbatched req/s (batched rows only).
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// loadWorld is one phase's servers, callers, and everything to tear down.
+type loadWorld struct {
+	callers []*endpoint.Caller
+	servers []*endpoint.Server
+	closers []io.Closer
+	svc     *airtimeService // sim only: the shared medium (datagram counts)
+}
+
+func (w *loadWorld) Close() {
+	for _, c := range w.callers {
+		_ = c.Close()
+	}
+	for _, s := range w.servers {
+		_ = s.Close()
+	}
+	for _, c := range w.closers {
+		_ = c.Close()
+	}
+}
+
+func loadEcho(req *wire.Message) (*wire.Message, error) {
+	return &wire.Message{Kind: wire.KindReply, Payload: req.Payload}, nil
+}
+
+// buildLoadWorld stands up the suppliers and caller connections for one
+// phase. In batched mode the sim transports coalesce datagrams (both
+// directions: requests and replies); TCP coalesces unconditionally, so there
+// the phases differ only in pipelining.
+func buildLoadWorld(cfg loadConfig, batched bool) (*loadWorld, error) {
+	w := &loadWorld{}
+	serve := func(l transport.Listener) {
+		s := endpoint.NewServer(l, endpoint.ServerOptions{
+			Kinds: []wire.Kind{wire.KindRequest},
+		})
+		s.Handle(loadTopic, loadEcho)
+		w.servers = append(w.servers, s)
+	}
+	switch cfg.Transport {
+	case "sim":
+		// One flat radio cell: every node in range, lossless, no energy
+		// deaths, inboxes deep enough that the unbatched phase's datagram
+		// flood is not silently dropped.
+		net := netsim.New(netsim.Config{Range: 1e6, Unlimited: true, InboxSize: 1 << 16})
+		svc := &airtimeService{DatagramService: net, airtime: cfg.Airtime}
+		w.svc = svc
+		addSim := func(id string) (*transport.Sim, error) {
+			if err := net.AddNode(netsim.NodeID(id), netsim.Position{}); err != nil {
+				return nil, err
+			}
+			tr, err := transport.NewSim(svc, netsim.NodeID(id), nil)
+			if err != nil {
+				return nil, err
+			}
+			tr.SetBatching(batched)
+			w.closers = append(w.closers, tr)
+			return tr, nil
+		}
+		supIDs := make([]string, cfg.Suppliers)
+		for i := range supIDs {
+			supIDs[i] = fmt.Sprintf("sup%d", i)
+			tr, err := addSim(supIDs[i])
+			if err != nil {
+				w.Close()
+				return nil, err
+			}
+			l, err := tr.Listen(supIDs[i])
+			if err != nil {
+				w.Close()
+				return nil, err
+			}
+			serve(l)
+		}
+		for i := 0; i < cfg.Conns; i++ {
+			tr, err := addSim(fmt.Sprintf("cli%d", i))
+			if err != nil {
+				w.Close()
+				return nil, err
+			}
+			c, err := endpoint.NewCaller(tr, supIDs[i%len(supIDs)], endpoint.CallerOptions{Eager: true})
+			if err != nil {
+				w.Close()
+				return nil, err
+			}
+			w.callers = append(w.callers, c)
+		}
+	case "tcp":
+		tr := transport.NewTCP(nil)
+		w.closers = append(w.closers, tr)
+		addrs := make([]string, cfg.Suppliers)
+		for i := range addrs {
+			l, err := tr.Listen("127.0.0.1:0")
+			if err != nil {
+				w.Close()
+				return nil, err
+			}
+			addrs[i] = l.Addr()
+			serve(l)
+		}
+		for i := 0; i < cfg.Conns; i++ {
+			c, err := endpoint.NewCaller(tr, addrs[i%len(addrs)], endpoint.CallerOptions{Eager: true})
+			if err != nil {
+				w.Close()
+				return nil, err
+			}
+			w.callers = append(w.callers, c)
+		}
+	default:
+		return nil, fmt.Errorf("load: unknown transport %q (want sim or tcp)", cfg.Transport)
+	}
+	return w, nil
+}
+
+// runLoadPhase drives n simulated consumers against the world and measures
+// the sustained request rate. Unbatched: each consumer issues synchronous
+// round-trips (endpoint.Do) over per-message datagrams. Batched: each
+// consumer pipelines a window of async calls (endpoint.Go) and the
+// transports coalesce frames.
+func runLoadPhase(cfg loadConfig, n int, batched bool) (LoadPoint, error) {
+	world, err := buildLoadWorld(cfg, batched)
+	if err != nil {
+		return LoadPoint{}, err
+	}
+	defer world.Close()
+
+	perConsumer := cfg.Requests
+	if perConsumer <= 0 {
+		perConsumer = loadTotalBudget / n
+		if perConsumer < 4 {
+			perConsumer = 4
+		}
+	}
+	window := cfg.Window
+	if window > perConsumer {
+		window = perConsumer
+	}
+	total := n * perConsumer
+	payload := make([]byte, cfg.Payload)
+
+	// Latency slabs are allocated before the measured region so allocs/op
+	// reflects the request path plus goroutine startup, not bookkeeping.
+	latencies := make([][]time.Duration, n)
+	for j := range latencies {
+		latencies[j] = make([]time.Duration, 0, perConsumer)
+	}
+	var failures atomic.Int64
+	var firstErr atomic.Value // error — the first failure, for the report
+	fail := func(err error) {
+		failures.Add(1)
+		firstErr.CompareAndSwap(nil, err)
+	}
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for j := 0; j < n; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			c := world.callers[j%len(world.callers)]
+			lats := latencies[j]
+			call := func() *endpoint.Call {
+				return &endpoint.Call{Topic: loadTopic, Payload: payload, Timeout: 2 * time.Minute}
+			}
+			if !batched {
+				for r := 0; r < perConsumer; r++ {
+					t0 := time.Now()
+					if _, err := c.Do(call()); err != nil {
+						fail(err)
+						continue
+					}
+					lats = append(lats, time.Since(t0))
+				}
+			} else {
+				// Sliding window of in-flight futures: up to `window`
+				// requests are on the wire before the oldest is awaited.
+				type inflight struct {
+					fut *endpoint.Future
+					t0  time.Time
+				}
+				win := make([]inflight, window)
+				settle := func(f inflight) {
+					if _, err := f.fut.Wait(); err != nil {
+						fail(err)
+						return
+					}
+					lats = append(lats, time.Since(f.t0))
+				}
+				for r := 0; r < perConsumer; r++ {
+					slot := r % window
+					if r >= window {
+						settle(win[slot])
+					}
+					win[slot] = inflight{fut: c.Go(call()), t0: time.Now()}
+				}
+				first := perConsumer - window
+				if first < 0 {
+					first = 0
+				}
+				for r := first; r < perConsumer; r++ {
+					settle(win[r%window])
+				}
+			}
+			latencies[j] = lats
+		}(j)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	if f := failures.Load(); f > 0 {
+		return LoadPoint{}, fmt.Errorf("load: %d/%d requests failed (%s, %d consumers, batched=%v): first: %v",
+			f, total, cfg.Transport, n, batched, firstErr.Load())
+	}
+	merged := make([]time.Duration, 0, total)
+	for _, lats := range latencies {
+		merged = append(merged, lats...)
+	}
+	sort.Slice(merged, func(i, k int) bool { return merged[i] < merged[k] })
+	pct := func(p float64) float64 {
+		if len(merged) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(merged)-1))
+		return float64(merged[idx]) / float64(time.Microsecond)
+	}
+	point := LoadPoint{
+		ReqPerSec:   float64(total) / wall.Seconds(),
+		P50Micros:   pct(0.50),
+		P99Micros:   pct(0.99),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(total),
+	}
+	if world.svc != nil {
+		if d := world.svc.datagrams.Load(); d > 0 {
+			point.MsgsPerDatagram = float64(2*total) / float64(d)
+		}
+	}
+	return point, nil
+}
+
+// runLoadSuite sweeps the consumer counts, printing one table row per
+// (consumers, mode) pair, and returns the baseline-ready matrix keyed
+// "transport/consumers/mode".
+func runLoadSuite(cfg loadConfig, w io.Writer) (map[string]LoadPoint, error) {
+	cfg = cfg.withDefaults()
+	out := make(map[string]LoadPoint)
+	fmt.Fprintf(w, "Sustained load (%s transport, %d suppliers, %d conns, window %d):\n\n",
+		cfg.Transport, cfg.Suppliers, cfg.Conns, cfg.Window)
+	fmt.Fprintf(w, "%-10s %-10s %12s %10s %10s %11s %8s %9s\n",
+		"consumers", "mode", "req/s", "p50(µs)", "p99(µs)", "allocs/op", "msg/dg", "speedup")
+	for _, n := range cfg.Consumers {
+		unbatched, err := runLoadPhase(cfg, n, false)
+		if err != nil {
+			return nil, err
+		}
+		out[loadKey(cfg.Transport, n, "unbatched")] = unbatched
+		fmt.Fprintf(w, "%-10d %-10s %12.0f %10.1f %10.1f %11.1f %8.1f %9s\n",
+			n, "unbatched", unbatched.ReqPerSec, unbatched.P50Micros, unbatched.P99Micros,
+			unbatched.AllocsPerOp, unbatched.MsgsPerDatagram, "")
+		batched, err := runLoadPhase(cfg, n, true)
+		if err != nil {
+			return nil, err
+		}
+		if unbatched.ReqPerSec > 0 {
+			batched.Speedup = batched.ReqPerSec / unbatched.ReqPerSec
+		}
+		out[loadKey(cfg.Transport, n, "batched")] = batched
+		fmt.Fprintf(w, "%-10d %-10s %12.0f %10.1f %10.1f %11.1f %8.1f %8.1fx\n",
+			n, "batched", batched.ReqPerSec, batched.P50Micros, batched.P99Micros,
+			batched.AllocsPerOp, batched.MsgsPerDatagram, batched.Speedup)
+	}
+	fmt.Fprintln(w)
+	return out, nil
+}
+
+func loadKey(transport string, consumers int, mode string) string {
+	return fmt.Sprintf("%s/%d/%s", transport, consumers, mode)
+}

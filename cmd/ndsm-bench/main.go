@@ -15,12 +15,17 @@
 //	                           # or https://ui.perfetto.dev)
 //	ndsm-bench -quick -baseline BENCH.json
 //	                           # machine-readable baseline: every numeric
-//	                           # experiment cell + hot-path ns/op
+//	                           # experiment cell + hot-path ns/op + allocs/op
 //	ndsm-bench -quick -compare old.json
 //	                           # rebuild the baseline and fail (exit 1) on
 //	                           # >15% benchmark regressions against old.json
 //	ndsm-bench -compare old.json new.json
 //	                           # compare two baseline files without running
+//	ndsm-bench -load           # sustained-load harness: N consumers × M
+//	                           # suppliers, batched vs unbatched, req/s and
+//	                           # latency percentiles (see -load-* flags)
+//	ndsm-bench -load -quick -baseline BENCH.json
+//	                           # include the load matrix in the baseline
 package main
 
 import (
@@ -35,77 +40,119 @@ import (
 	"ndsm/internal/trace"
 )
 
+// cliOptions is everything the flags select; realMain takes it whole so
+// tests can drive the binary without re-parsing argv.
+type cliOptions struct {
+	quick      bool
+	run        string
+	list       bool
+	metrics    bool
+	traceFile  string
+	baseline   string
+	compare    string
+	compareNew string
+	load       bool
+	loadCfg    loadConfig
+}
+
 func main() {
-	quick := flag.Bool("quick", false, "run shrunken workloads")
-	run := flag.String("run", "", "comma-separated experiment IDs (default all)")
-	list := flag.Bool("list", false, "list experiment IDs and exit")
-	metrics := flag.Bool("metrics", false, "after the run, dump the middleware metrics snapshot as JSON")
-	traceFile := flag.String("trace", "", "capture causal spans and write them as Chrome trace-event JSON to this file")
-	baseline := flag.String("baseline", "", "write a machine-readable baseline (experiment metrics + ns/op) to this file")
-	compare := flag.String("compare", "", "compare against this baseline file; exit non-zero on >15% benchmark regressions")
+	var opts cliOptions
+	flag.BoolVar(&opts.quick, "quick", false, "run shrunken workloads")
+	flag.StringVar(&opts.run, "run", "", "comma-separated experiment IDs (default all)")
+	flag.BoolVar(&opts.list, "list", false, "list experiment IDs and exit")
+	flag.BoolVar(&opts.metrics, "metrics", false, "after the run, dump the middleware metrics snapshot as JSON")
+	flag.StringVar(&opts.traceFile, "trace", "", "capture causal spans and write them as Chrome trace-event JSON to this file")
+	flag.StringVar(&opts.baseline, "baseline", "", "write a machine-readable baseline (experiment metrics + ns/op) to this file")
+	flag.StringVar(&opts.compare, "compare", "", "compare against this baseline file; exit non-zero on >15% benchmark regressions")
+	flag.BoolVar(&opts.load, "load", false, "run the sustained-load harness (batched vs unbatched endpoint hot path)")
+	flag.StringVar(&opts.loadCfg.Transport, "load-transport", "sim", "load harness transport: sim (netsim datagrams) or tcp (loopback)")
+	consumers := flag.String("load-consumers", "", "comma-separated consumer counts to sweep (default 1000,10000; -quick default 500)")
+	flag.IntVar(&opts.loadCfg.Requests, "load-requests", 0, "requests per consumer (0: auto-size to ~60k total)")
+	flag.IntVar(&opts.loadCfg.Window, "load-window", 32, "pipeline window per consumer in the batched phase")
+	flag.DurationVar(&opts.loadCfg.Airtime, "load-airtime", 0, "per-datagram channel occupancy on the sim substrate (default 25µs; negative disables)")
 	flag.Parse()
-	if err := realMain(*quick, *run, *list, *metrics, *traceFile, *baseline, *compare, flag.Arg(0)); err != nil {
+	opts.compareNew = flag.Arg(0)
+	sweep, err := parseConsumerSweep(*consumers)
+	if err == nil {
+		if sweep == nil && opts.quick {
+			sweep = []int{500}
+		}
+		opts.loadCfg.Consumers = sweep
+		err = realMain(opts)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func realMain(quick bool, run string, list, metrics bool, traceFile, baseline, compare, compareNew string) error {
-	if list {
+func realMain(opts cliOptions) error {
+	if opts.list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
 		return nil
 	}
 	// File-vs-file compare: judge two existing baselines without running
 	// anything (what CI does against the committed seed).
-	if compare != "" && compareNew != "" {
-		oldB, err := readBaseline(compare)
+	if opts.compare != "" && opts.compareNew != "" {
+		oldB, err := readBaseline(opts.compare)
 		if err != nil {
 			return err
 		}
-		newB, err := readBaseline(compareNew)
+		newB, err := readBaseline(opts.compareNew)
 		if err != nil {
 			return err
 		}
 		regressions, warnings := compareBaselines(oldB, newB, regressionTolerance)
-		return reportComparison(os.Stdout, compare, regressions, warnings)
+		return reportComparison(os.Stdout, opts.compare, regressions, warnings)
 	}
-	if baseline != "" || compare != "" {
-		built, err := buildBaseline(quick, benchIDs(run))
+	if opts.baseline != "" || opts.compare != "" {
+		built, err := buildBaseline(opts.quick, benchIDs(opts.run))
 		if err != nil {
 			return err
 		}
-		if baseline != "" {
-			if err := writeBaseline(baseline, built); err != nil {
+		if opts.load {
+			built.Load, err = runLoadSuite(opts.loadCfg, os.Stdout)
+			if err != nil {
 				return err
 			}
-			fmt.Fprintf(os.Stderr, "ndsm-bench: wrote baseline (%d experiments, %d benchmarks) to %s\n",
-				len(built.Experiments), len(built.Benchmarks), baseline)
 		}
-		if compare != "" {
-			oldB, err := readBaseline(compare)
+		if opts.baseline != "" {
+			if err := writeBaseline(opts.baseline, built); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "ndsm-bench: wrote baseline (%d experiments, %d benchmarks, %d load points) to %s\n",
+				len(built.Experiments), len(built.Benchmarks), len(built.Load), opts.baseline)
+		}
+		if opts.compare != "" {
+			oldB, err := readBaseline(opts.compare)
 			if err != nil {
 				return err
 			}
 			regressions, warnings := compareBaselines(oldB, built, regressionTolerance)
-			return reportComparison(os.Stdout, compare, regressions, warnings)
+			return reportComparison(os.Stdout, opts.compare, regressions, warnings)
 		}
 		return nil
 	}
+	// Standalone load run: the harness replaces the experiment suite.
+	if opts.load {
+		_, err := runLoadSuite(opts.loadCfg, os.Stdout)
+		return err
+	}
 	var collector *trace.Collector
-	if traceFile != "" {
+	if opts.traceFile != "" {
 		// Installing a process-default tracer turns on every trace.Ref in the
 		// stack at once: endpoint callers, discovery, bindings, radio hops.
 		collector = trace.NewCollector(1 << 18)
 		trace.SetDefault(trace.New(trace.Options{Name: "bench", Collector: collector}))
 		defer trace.SetDefault(nil)
 	}
-	runner := experiments.Runner{QuickMode: quick}
-	if run == "" {
+	runner := experiments.Runner{QuickMode: opts.quick}
+	if opts.run == "" {
 		if err := runner.RunAll(os.Stdout); err != nil {
 			return err
 		}
 	} else {
-		for _, id := range strings.Split(run, ",") {
+		for _, id := range strings.Split(opts.run, ",") {
 			res, err := runner.Run(strings.TrimSpace(id))
 			if err != nil {
 				return err
@@ -113,17 +160,17 @@ func realMain(quick bool, run string, list, metrics bool, traceFile, baseline, c
 			fmt.Print(experiments.Render(res))
 		}
 	}
-	if metrics {
+	if opts.metrics {
 		if err := dumpMetrics(os.Stdout); err != nil {
 			return err
 		}
 	}
 	if collector != nil {
-		if err := trace.WriteChromeFile(traceFile, collector.Spans()); err != nil {
+		if err := trace.WriteChromeFile(opts.traceFile, collector.Spans()); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "ndsm-bench: wrote %d spans (%d dropped) to %s\n",
-			collector.Len(), collector.Dropped(), traceFile)
+			collector.Len(), collector.Dropped(), opts.traceFile)
 	}
 	return nil
 }

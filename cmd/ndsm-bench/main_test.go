@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -33,7 +34,7 @@ func fastSuite(t *testing.T) {
 func TestBaselineFileIsValidJSON(t *testing.T) {
 	fastSuite(t)
 	path := filepath.Join(t.TempDir(), "b.json")
-	if err := realMain(true, "F1,E1", false, false, "", path, "", ""); err != nil {
+	if err := realMain(cliOptions{quick: true, run: "F1,E1", baseline: path}); err != nil {
 		t.Fatalf("baseline run: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -58,11 +59,11 @@ func TestBaselineFileIsValidJSON(t *testing.T) {
 func TestCompareSelfPasses(t *testing.T) {
 	fastSuite(t)
 	path := filepath.Join(t.TempDir(), "b.json")
-	if err := realMain(true, "F1", false, false, "", path, "", ""); err != nil {
+	if err := realMain(cliOptions{quick: true, run: "F1", baseline: path}); err != nil {
 		t.Fatalf("baseline run: %v", err)
 	}
 	// File-vs-file self-compare: identical baselines cannot regress.
-	if err := realMain(true, "", false, false, "", "", path, path); err != nil {
+	if err := realMain(cliOptions{quick: true, compare: path, compareNew: path}); err != nil {
 		t.Fatalf("self-compare failed: %v", err)
 	}
 }
@@ -71,7 +72,7 @@ func TestCompareFailsOnRegression(t *testing.T) {
 	fastSuite(t)
 	dir := t.TempDir()
 	oldPath := filepath.Join(dir, "old.json")
-	if err := realMain(true, "F1", false, false, "", oldPath, "", ""); err != nil {
+	if err := realMain(cliOptions{quick: true, run: "F1", baseline: oldPath}); err != nil {
 		t.Fatalf("baseline run: %v", err)
 	}
 	old, err := readBaseline(oldPath)
@@ -89,7 +90,7 @@ func TestCompareFailsOnRegression(t *testing.T) {
 	if err := writeBaseline(newPath, &doctored); err != nil {
 		t.Fatal(err)
 	}
-	err = realMain(true, "", false, false, "", "", oldPath, newPath)
+	err = realMain(cliOptions{quick: true, compare: oldPath, compareNew: newPath})
 	if err == nil {
 		t.Fatal("2x regression passed the compare gate")
 	}
@@ -97,7 +98,7 @@ func TestCompareFailsOnRegression(t *testing.T) {
 		t.Fatalf("compare failed with %T (%v), want errRegression", err, err)
 	}
 	// The reverse direction — new is 2x faster — must pass.
-	if err := realMain(true, "", false, false, "", "", newPath, oldPath); err != nil {
+	if err := realMain(cliOptions{quick: true, compare: newPath, compareNew: oldPath}); err != nil {
 		t.Fatalf("speedup flagged as regression: %v", err)
 	}
 }
@@ -153,5 +154,116 @@ func TestReadBaselineRejectsBadFiles(t *testing.T) {
 	}
 	if _, err := readBaseline(filepath.Join(dir, "missing.json")); err == nil {
 		t.Fatal("missing baseline accepted")
+	}
+}
+
+func TestCompareFailsOnAllocRegression(t *testing.T) {
+	old := &Baseline{
+		Schema: baselineSchema,
+		Benchmarks: map[string]BenchResult{
+			"zero": {NsPerOp: 100, AllocsPerOp: 0},
+			"some": {NsPerOp: 100, AllocsPerOp: 10},
+		},
+	}
+	// A zero-alloc path growing a single allocation must fail the gate.
+	grew := &Baseline{
+		Schema: baselineSchema,
+		Benchmarks: map[string]BenchResult{
+			"zero": {NsPerOp: 100, AllocsPerOp: 1},
+			"some": {NsPerOp: 100, AllocsPerOp: 10},
+		},
+	}
+	regs, _ := compareBaselines(old, grew, regressionTolerance)
+	if len(regs) != 1 {
+		t.Fatalf("0->1 allocs not flagged: %v", regs)
+	}
+	// +1 alloc on a 10-alloc budget is within tolerance+slack; +3 is not.
+	within := &Baseline{
+		Schema:     baselineSchema,
+		Benchmarks: map[string]BenchResult{"zero": {NsPerOp: 100}, "some": {NsPerOp: 100, AllocsPerOp: 11}},
+	}
+	if regs, _ := compareBaselines(old, within, regressionTolerance); len(regs) != 0 {
+		t.Fatalf("within-slack alloc growth flagged: %v", regs)
+	}
+	over := &Baseline{
+		Schema:     baselineSchema,
+		Benchmarks: map[string]BenchResult{"zero": {NsPerOp: 100}, "some": {NsPerOp: 100, AllocsPerOp: 13}},
+	}
+	if regs, _ := compareBaselines(old, over, regressionTolerance); len(regs) != 1 {
+		t.Fatalf("+3 allocs on 10 not flagged: %v", regs)
+	}
+}
+
+func TestCompareWarnsOnLoadDrift(t *testing.T) {
+	old := &Baseline{
+		Schema: baselineSchema,
+		Load: map[string]LoadPoint{
+			"sim/1000/batched": {ReqPerSec: 100000, AllocsPerOp: 20},
+		},
+	}
+	slower := &Baseline{
+		Schema: baselineSchema,
+		Load: map[string]LoadPoint{
+			"sim/1000/batched": {ReqPerSec: 50000, AllocsPerOp: 40},
+		},
+	}
+	regs, warns := compareBaselines(old, slower, regressionTolerance)
+	if len(regs) != 0 {
+		t.Fatalf("load drift gated instead of warned: %v", regs)
+	}
+	if len(warns) != 2 {
+		t.Fatalf("want throughput + alloc warnings, got %v", warns)
+	}
+	if _, warns := compareBaselines(old, &Baseline{Schema: baselineSchema}, regressionTolerance); len(warns) == 0 {
+		t.Fatal("missing load point produced no warning")
+	}
+}
+
+func TestReadBaselineAcceptsSchemaOne(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.json")
+	if err := os.WriteFile(path, []byte(`{"schema":1,"benchmarks":{"x":{"nsPerOp":5}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := readBaseline(path)
+	if err != nil {
+		t.Fatalf("schema-1 baseline rejected: %v", err)
+	}
+	if b.Benchmarks["x"].NsPerOp != 5 {
+		t.Fatalf("schema-1 contents lost: %+v", b)
+	}
+}
+
+func TestParseConsumerSweep(t *testing.T) {
+	got, err := parseConsumerSweep("100, 2000")
+	if err != nil || len(got) != 2 || got[0] != 100 || got[1] != 2000 {
+		t.Fatalf("parse = %v, %v", got, err)
+	}
+	if _, err := parseConsumerSweep("abc"); err == nil {
+		t.Fatal("garbage sweep accepted")
+	}
+	if got, err := parseConsumerSweep(""); err != nil || got != nil {
+		t.Fatalf("empty sweep = %v, %v", got, err)
+	}
+}
+
+// TestLoadSuiteSmoke runs a miniature sweep end to end over both transports:
+// every request answered, sane numbers, baseline keys present.
+func TestLoadSuiteSmoke(t *testing.T) {
+	for _, tr := range []string{"sim", "tcp"} {
+		cfg := loadConfig{Transport: tr, Consumers: []int{50}, Requests: 8, Conns: 2, Suppliers: 1, Window: 4}
+		var sb strings.Builder
+		points, err := runLoadSuite(cfg, &sb)
+		if err != nil {
+			t.Fatalf("%s: %v", tr, err)
+		}
+		for _, mode := range []string{"unbatched", "batched"} {
+			p, ok := points[loadKey(tr, 50, mode)]
+			if !ok || p.ReqPerSec <= 0 || p.P99Micros < p.P50Micros {
+				t.Fatalf("%s/%s: bad point %+v (have %v)", tr, mode, p, points)
+			}
+		}
+		if !strings.Contains(sb.String(), "batched") {
+			t.Fatalf("%s: table missing rows:\n%s", tr, sb.String())
+		}
 	}
 }

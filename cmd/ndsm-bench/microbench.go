@@ -1,11 +1,13 @@
 package main
 
 import (
+	"io"
 	"testing"
 	"time"
 
 	"ndsm/internal/core"
 	"ndsm/internal/discovery"
+	"ndsm/internal/endpoint"
 	"ndsm/internal/obs"
 	"ndsm/internal/qos"
 	"ndsm/internal/svcdesc"
@@ -25,7 +27,10 @@ type microbench struct {
 // swap in fast stubs.
 var microbenches = []microbench{
 	{"wire.binary.encode", benchWireEncode},
+	{"wire.binary.encodeAppend", benchWireEncodeAppend},
 	{"wire.binary.decode", benchWireDecode},
+	{"wire.batch.send", benchBatchSend},
+	{"endpoint.oneway.go", benchOneWayGo},
 	{"obs.counter.inc", benchCounterInc},
 	{"kernel.request", benchKernelRequest},
 	{"telemetry.publish", benchTelemetryPublish},
@@ -50,6 +55,64 @@ func benchWireEncode(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := (wire.Binary{}).Encode(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchWireEncodeAppend is the zero-alloc serialization path the batched
+// endpoint hot path rides: append-encoding into a caller-owned buffer.
+func benchWireEncodeAppend(b *testing.B) {
+	m := benchMessage()
+	buf := make([]byte, 0, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := (wire.Binary{}).AppendEncode(buf[:0], m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out[:0]
+	}
+}
+
+// benchBatchSend times one message through the coalescing frame writer —
+// serialize, frame, CRC, and the (uncontended) flush.
+func benchBatchSend(b *testing.B) {
+	bw := wire.NewBatchWriter(io.Discard, wire.Binary{})
+	m := benchMessage()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := bw.Send(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchOneWayGo times the fire-and-forget call path end to end over the
+// in-memory transport: pooled request envelope, no waiter, no reply.
+func benchOneWayGo(b *testing.B) {
+	fabric := transport.NewFabric()
+	srvTr := transport.NewMem(fabric)
+	l, err := srvTr.Listen("srv")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := endpoint.NewServer(l, endpoint.ServerOptions{
+		OneWayKinds: []wire.Kind{wire.KindData},
+	})
+	srv.Handle("bench", func(*wire.Message) (*wire.Message, error) { return nil, nil })
+	defer srv.Close() //nolint:errcheck
+	caller, err := endpoint.NewCaller(transport.NewMem(fabric), "srv", endpoint.CallerOptions{Eager: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer caller.Close() //nolint:errcheck
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fut := caller.Go(&endpoint.Call{Topic: "bench", Payload: payload, OneWay: true})
+		if _, err := fut.Wait(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ndsm/internal/endpoint"
 	"ndsm/internal/qos"
@@ -338,6 +339,86 @@ func (b *Binding) requestOnce(payload []byte) ([]byte, error) {
 	}
 	b.Tracker().ObserveDelivery(b.node.clock.Now().Sub(start))
 	return m.Payload, nil
+}
+
+// RequestAsync starts one exchange without waiting for the reply: the
+// request is pipelined onto the wire before RequestAsync returns, so a
+// consumer can keep a window of requests in flight over the one supplier
+// connection. Like RequestStatic it skips the graceful-degradation
+// machinery (rebinding decisions are inherently synchronous); the QoS
+// tracker still observes the outcome when the reply is awaited.
+func (b *Binding) RequestAsync(payload []byte) *AsyncReply {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return &AsyncReply{err: ErrNodeClosed}
+	}
+	caller := b.caller
+	b.mu.Unlock()
+
+	timeout := b.spec.Benefit.ZeroAfter
+	if timeout == 0 {
+		timeout = b.spec.Benefit.FullUntil
+	}
+	callTimeout := timeout
+	if callTimeout <= 0 {
+		callTimeout = endpoint.NoTimeout
+	}
+	r := &AsyncReply{b: b, peer: b.Peer(), timeout: timeout, start: b.node.clock.Now()}
+	r.fut = caller.Go(&endpoint.Call{
+		Topic:   b.spec.Query.Name,
+		Src:     b.node.name,
+		Dst:     r.peer,
+		Payload: payload,
+		Timeout: callTimeout,
+	})
+	return r
+}
+
+// AsyncReply is a pending RequestAsync: a promise for the supplier's reply.
+type AsyncReply struct {
+	b       *Binding
+	fut     *endpoint.Future
+	peer    string
+	timeout time.Duration
+	start   time.Time
+	err     error // pre-send failure
+
+	once    sync.Once
+	payload []byte
+	outErr  error
+}
+
+// Wait blocks for the reply (bounded by the binding's QoS deadline fixed at
+// issue time) and feeds the QoS tracker exactly once: a delivery observation
+// with the true request-to-reply latency, or a failure for transport-level
+// errors. Wait is idempotent.
+func (r *AsyncReply) Wait() ([]byte, error) {
+	r.once.Do(func() {
+		if r.err != nil {
+			r.outErr = r.err
+			return
+		}
+		m, err := r.fut.Wait()
+		if err != nil {
+			if re, ok := endpoint.IsRemote(err); ok {
+				// The supplier answered: an application error, not a QoS
+				// failure.
+				r.outErr = &remoteError{msg: re.Msg}
+				return
+			}
+			r.b.Tracker().ObserveFailure()
+			if errors.Is(err, endpoint.ErrTimeout) {
+				r.outErr = fmt.Errorf("core: request to %s timed out after %v", r.peer, r.timeout)
+				return
+			}
+			r.outErr = err
+			return
+		}
+		r.b.Tracker().ObserveDelivery(r.b.node.clock.Now().Sub(r.start))
+		r.payload = m.Payload
+	})
+	return r.payload, r.outErr
 }
 
 // Poll turns the binding into a continuous (or intermittent-with-prediction)

@@ -577,3 +577,58 @@ func TestQoSFloorWithoutAlternativeKeepsServing(t *testing.T) {
 		t.Fatalf("out=%q err=%v", out, err)
 	}
 }
+
+func TestRequestAsyncPipelined(t *testing.T) {
+	w := newWorld(t)
+	sup := w.node("supplier-1")
+	con := w.node("consumer-1")
+	if err := sup.Serve(bpDesc(0.9), echoHandler("bp:")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := con.Bind(&qos.Spec{Query: svcdesc.Query{Name: "sensor/bp"}}, BindOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	const n = 32
+	replies := make([]*AsyncReply, n)
+	for i := range replies {
+		replies[i] = b.RequestAsync([]byte(fmt.Sprintf("r-%d", i)))
+	}
+	for i, r := range replies {
+		out, err := r.Wait()
+		if err != nil {
+			t.Fatalf("async request %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("bp:r-%d", i); string(out) != want {
+			t.Fatalf("reply %d = %q, want %q", i, out, want)
+		}
+		// Wait is idempotent.
+		again, err2 := r.Wait()
+		if err2 != nil || string(again) != string(out) {
+			t.Fatalf("second Wait diverged: %q %v", again, err2)
+		}
+	}
+	// The tracker observed the deliveries.
+	if got := b.Tracker().Report().Delivered; got < n {
+		t.Fatalf("tracker saw %d deliveries, want >= %d", got, n)
+	}
+}
+
+func TestRequestAsyncAfterClose(t *testing.T) {
+	w := newWorld(t)
+	sup := w.node("supplier-1")
+	con := w.node("consumer-1")
+	if err := sup.Serve(bpDesc(0.9), echoHandler("bp:")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := con.Bind(&qos.Spec{Query: svcdesc.Query{Name: "sensor/bp"}}, BindOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = b.Close()
+	if _, err := b.RequestAsync(nil).Wait(); !errors.Is(err, ErrNodeClosed) {
+		t.Fatalf("err = %v, want ErrNodeClosed", err)
+	}
+}

@@ -236,12 +236,7 @@ func (c *Client) Close() error { return c.caller.Close() }
 // call performs one request/response exchange through the endpoint and maps
 // its errors back onto the discovery protocol's vocabulary.
 func (c *Client) call(topic string, payload []byte) (*wire.Message, error) {
-	c.mu.Lock()
-	timeout := c.timeout
-	c.mu.Unlock()
-	if timeout <= 0 {
-		timeout = endpoint.NoTimeout
-	}
+	timeout := c.callTimeout()
 	reply, err := c.caller.Do(&endpoint.Call{
 		Kind:    wire.KindControl,
 		Topic:   topic,
@@ -249,16 +244,63 @@ func (c *Client) call(topic string, payload []byte) (*wire.Message, error) {
 		Timeout: timeout,
 	})
 	if err != nil {
-		if re, ok := endpoint.IsRemote(err); ok {
-			return nil, fmt.Errorf("discovery: registry: %s", re.Msg)
-		}
-		if errors.Is(err, endpoint.ErrTimeout) {
-			return nil, fmt.Errorf("discovery: %s: no reply within %v", topic, timeout)
-		}
-		if errors.Is(err, endpoint.ErrClosed) {
-			return nil, ErrClosed
-		}
-		return nil, fmt.Errorf("discovery: %s: %w", topic, err)
+		return nil, translateErr(topic, timeout, err)
 	}
 	return reply, nil
+}
+
+func (c *Client) callTimeout() time.Duration {
+	c.mu.Lock()
+	timeout := c.timeout
+	c.mu.Unlock()
+	if timeout <= 0 {
+		timeout = endpoint.NoTimeout
+	}
+	return timeout
+}
+
+// translateErr maps endpoint outcomes onto the discovery error vocabulary.
+func translateErr(topic string, timeout time.Duration, err error) error {
+	if re, ok := endpoint.IsRemote(err); ok {
+		return fmt.Errorf("discovery: registry: %s", re.Msg)
+	}
+	if errors.Is(err, endpoint.ErrTimeout) {
+		return fmt.Errorf("discovery: %s: no reply within %v", topic, timeout)
+	}
+	if errors.Is(err, endpoint.ErrClosed) {
+		return ErrClosed
+	}
+	return fmt.Errorf("discovery: %s: %w", topic, err)
+}
+
+// RegisterBatch registers many descriptions in one pipelined burst: every
+// request is on the wire before the first reply is awaited, so a supplier
+// advertising N services pays roughly one round trip instead of N (and the
+// requests coalesce into batched frames on transports that support it). It
+// returns the first error encountered; registrations after a marshal
+// failure are not sent, but requests already pipelined still complete on
+// the registry.
+func (c *Client) RegisterBatch(ds []*svcdesc.Description) error {
+	timeout := c.callTimeout()
+	futs := make([]*endpoint.Future, 0, len(ds))
+	var firstErr error
+	for _, d := range ds {
+		payload, err := svcdesc.MarshalDescription(d)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		futs = append(futs, c.caller.Go(&endpoint.Call{
+			Kind:    wire.KindControl,
+			Topic:   topicRegister,
+			Payload: payload,
+			Timeout: timeout,
+		}))
+	}
+	for _, fut := range futs {
+		if _, err := fut.Wait(); err != nil && firstErr == nil {
+			firstErr = translateErr(topicRegister, timeout, err)
+		}
+	}
+	return firstErr
 }

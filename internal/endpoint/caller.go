@@ -27,16 +27,27 @@ type CallerOptions struct {
 	// Interceptors wrap the round-trip, outermost first.
 	Interceptors []ClientInterceptor
 	// OnSend and OnRecv observe every message put on / taken off the wire
-	// (protocol message-cost accounting). Both may be nil.
+	// (protocol message-cost accounting). Both may be nil. OnSend observers
+	// must not retain the message past the callback: request envelopes are
+	// pooled and recycled as soon as the callback returns.
 	OnSend func(*wire.Message)
 	OnRecv func(*wire.Message)
 }
 
-// waiter is one pending call parked in the demux map.
+// waiter is one pending call parked in the demux map. Waiters are pooled;
+// every send into ch happens while holding Caller.mu, in the same critical
+// section that removes the waiter from the map — so once a waiter is
+// unreachable from the map, no further send can occur and the channel can be
+// safely drained and recycled.
 type waiter struct {
-	ch  chan waitResult
-	gen uint64 // connection generation the call was sent on
+	ch       chan waitResult
+	gen      uint64    // connection generation the call was sent on
+	deadline time.Time // for the periodic sweep; zero means none
 }
+
+// sweepInterval is how many calls go by between deadline sweeps of the
+// waiter map, resolving futures that were never waited on. Power of two.
+const sweepInterval = 256
 
 type waitResult struct {
 	m   *wire.Message
@@ -189,21 +200,50 @@ func (c *Caller) demux(conn transport.Conn, gen uint64) {
 			c.opts.OnRecv(m)
 		}
 		c.mu.Lock()
-		w := c.waiters[m.Corr]
-		if w != nil {
+		if w := c.waiters[m.Corr]; w != nil {
+			// Removal and delivery share one critical section (the buffered
+			// send cannot block: a mapped waiter has never been sent to), so
+			// an unmapped waiter is guaranteed fully delivered — the invariant
+			// waiter pooling rests on.
 			delete(c.waiters, m.Corr)
-		}
-		c.mu.Unlock()
-		if w != nil {
 			w.ch <- waitResult{m: m}
 		}
+		c.mu.Unlock()
 		// Uncorrelated messages (stale replies from timed-out calls) are
 		// dropped here — exactly what the per-layer demux loops used to do.
 	}
 }
 
-// roundtrip is the terminal ClientFunc: one correlated exchange.
+// Go starts call without waiting for the reply and returns its Future,
+// pipelining any number of requests onto the one connection. With OneWay set
+// the returned future resolves as soon as the frame is accepted for sending
+// (a shared pre-resolved future on success — the fire-and-forget path
+// performs zero allocations in steady state).
+//
+// Go bypasses the client interceptor chain: retry, breaker, and tracing
+// interceptors are synchronous round-trip policies and apply only to Do.
+// Pre-send failures (closed caller, failed dial, send error) come back as an
+// already-failed future.
+func (c *Caller) Go(call *Call) *Future {
+	fut, err := c.start(call)
+	if err != nil {
+		return failedFuture(err)
+	}
+	return fut
+}
+
+// roundtrip is the terminal ClientFunc: one correlated exchange — a start
+// plus an immediate Wait.
 func (c *Caller) roundtrip(call *Call) (*wire.Message, error) {
+	fut, err := c.start(call)
+	if err != nil {
+		return nil, err
+	}
+	return fut.Wait()
+}
+
+// start issues the request on the wire and returns the future for its reply.
+func (c *Caller) start(call *Call) (*Future, error) {
 	c.mu.Lock()
 	conn, gen, err := c.ensureConnLocked()
 	if err != nil {
@@ -212,15 +252,6 @@ func (c *Caller) roundtrip(call *Call) (*wire.Message, error) {
 	}
 	clock := c.clock
 	id := c.nextID.Add(1)
-	w := &waiter{ch: make(chan waitResult, 1), gen: gen}
-	c.waiters[id] = w
-	c.mu.Unlock()
-
-	cancel := func() {
-		c.mu.Lock()
-		delete(c.waiters, id)
-		c.mu.Unlock()
-	}
 
 	timeout := call.Timeout
 	if timeout == 0 {
@@ -229,26 +260,56 @@ func (c *Caller) roundtrip(call *Call) (*wire.Message, error) {
 	if timeout < 0 {
 		timeout = 0 // NoTimeout: wait forever
 	}
-	kind := call.Kind
-	if kind == 0 {
-		kind = wire.KindRequest
-	}
-	req := &wire.Message{
-		ID:      id,
-		Kind:    kind,
-		Src:     call.Src,
-		Dst:     call.Dst,
-		Topic:   call.Topic,
-		Headers: call.Headers,
-		Payload: call.Payload,
-	}
+	var deadline time.Time
 	if timeout > 0 {
 		// Deadline propagation: the server (and anything downstream) sees
 		// how long this call stays worth serving.
-		req.Deadline = clock.Now().Add(timeout)
+		deadline = clock.Now().Add(timeout)
 	}
-	if err := conn.Send(req); err != nil {
-		cancel()
+
+	var w *waiter
+	var fut *Future
+	if !call.OneWay {
+		w = getWaiter()
+		w.gen = gen
+		w.deadline = deadline
+		c.waiters[id] = w
+		fut = &Future{c: c, id: id, w: w, topic: call.Topic, timeout: timeout, deadline: deadline, clock: clock}
+	}
+	if id%sweepInterval == 0 {
+		// Amortized cleanup for futures nobody waits on: without it an
+		// abandoned future's waiter would sit in the map until the connection
+		// dies.
+		c.sweepLocked(clock.Now())
+	}
+	c.mu.Unlock()
+
+	kind := call.Kind
+	if kind == 0 {
+		if call.OneWay {
+			kind = wire.KindData
+		} else {
+			kind = wire.KindRequest
+		}
+	}
+	req := getMsg()
+	req.ID = id
+	req.Kind = kind
+	req.Src = call.Src
+	req.Dst = call.Dst
+	req.Topic = call.Topic
+	req.Headers = call.Headers
+	req.Payload = call.Payload
+	req.Deadline = deadline
+	err = conn.Send(req)
+	if err == nil && c.opts.OnSend != nil {
+		c.opts.OnSend(req)
+	}
+	putMsg(req) // transports and OnSend observers must not retain (see transport.Conn)
+	if err != nil {
+		if w != nil && c.cancelWaiter(id, w) {
+			putWaiter(w)
+		}
 		c.mu.Lock()
 		c.dropConnLocked(gen)
 		closed := c.closed
@@ -258,30 +319,32 @@ func (c *Caller) roundtrip(call *Call) (*wire.Message, error) {
 		}
 		return nil, fmt.Errorf("%w: send %s: %v", ErrUnavailable, call.Topic, err)
 	}
-	if c.opts.OnSend != nil {
-		c.opts.OnSend(req)
+	if call.OneWay {
+		return resolvedFuture, nil
 	}
+	return fut, nil
+}
 
-	var timer <-chan time.Time
-	if timeout > 0 {
-		timer = clock.After(timeout)
+// cancelWaiter removes id's waiter from the demux map if it is still w, and
+// reports whether it did. A false return means the waiter was already
+// resolved: its result is guaranteed buffered on w.ch.
+func (c *Caller) cancelWaiter(id uint64, w *waiter) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.waiters[id] == w {
+		delete(c.waiters, id)
+		return true
 	}
-	select {
-	case r := <-w.ch:
-		if r.err != nil {
-			return nil, r.err
+	return false
+}
+
+// sweepLocked fails every waiter whose deadline has passed. Caller holds
+// c.mu; sends are part of the removal critical section (see waiter).
+func (c *Caller) sweepLocked(now time.Time) {
+	for id, w := range c.waiters {
+		if !w.deadline.IsZero() && now.After(w.deadline) {
+			delete(c.waiters, id)
+			w.ch <- waitResult{err: fmt.Errorf("%w: deadline passed before reply", ErrTimeout)}
 		}
-		if r.m.Kind == wire.KindError {
-			if r.m.Headers[HeaderShed] != "" {
-				return nil, &ShedError{Topic: call.Topic}
-			}
-			return nil, &RemoteError{Topic: call.Topic, Msg: string(r.m.Payload)}
-		}
-		return r.m, nil
-	case <-timer:
-		cancel()
-		// The connection stays up: the demux loop discards the late reply
-		// (its waiter is gone), so one slow call doesn't cost a reconnect.
-		return nil, fmt.Errorf("%w: %s after %v", ErrTimeout, call.Topic, timeout)
 	}
 }

@@ -141,6 +141,12 @@ type Call struct {
 	// waits forever. The deadline also propagates on the wire (Message
 	// .Deadline) so servers and downstream hops can shed doomed work.
 	Timeout time.Duration
+	// OneWay marks the call fire-and-forget: no reply is awaited and no
+	// demux state is parked. The default kind becomes wire.KindData, and the
+	// server must list that kind in ServerOptions.OneWayKinds to dispatch it.
+	// The future returned by Caller.Go resolves as soon as the frame is
+	// accepted for sending.
+	OneWay bool
 }
 
 // ClientFunc performs a call: the terminal one is the caller's round-trip;

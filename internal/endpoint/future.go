@@ -1,0 +1,157 @@
+package endpoint
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ndsm/internal/simtime"
+	"ndsm/internal/wire"
+)
+
+// Future is the handle for a call started with Caller.Go: a promise for the
+// reply. Wait blocks until the reply arrives, the call's deadline passes, or
+// the connection dies, and is idempotent — every call returns the same
+// outcome. A Future whose Wait is never called does not leak: the caller's
+// periodic deadline sweep (or connection teardown) resolves it internally.
+//
+// A Future is safe for concurrent use.
+type Future struct {
+	c        *Caller
+	id       uint64
+	topic    string
+	timeout  time.Duration
+	deadline time.Time // zero: wait forever
+	clock    simtime.Clock
+
+	mu   sync.Mutex
+	w    *waiter // nil once resolved
+	done bool
+	m    *wire.Message
+	err  error
+}
+
+// resolvedFuture is the shared already-succeeded future returned by one-way
+// sends, keeping the fire-and-forget fast path allocation-free.
+var resolvedFuture = &Future{done: true}
+
+// failedFuture wraps an immediate (pre-send) failure as a resolved Future.
+func failedFuture(err error) *Future {
+	return &Future{done: true, err: err}
+}
+
+// Wait blocks until the call resolves and returns the reply. The deadline is
+// the one fixed when the call was issued: a Wait that starts late gets only
+// the remaining time, and a Wait after the deadline returns ErrTimeout
+// immediately unless the reply already arrived. On timeout the connection
+// stays up — the late reply is discarded by the demux loop.
+func (f *Future) Wait() (*wire.Message, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done {
+		return f.m, f.err
+	}
+	var timer <-chan time.Time
+	if !f.deadline.IsZero() {
+		remaining := f.deadline.Sub(f.clock.Now())
+		if remaining <= 0 {
+			f.expireLocked()
+			return f.m, f.err
+		}
+		timer = f.clock.After(remaining)
+	}
+	select {
+	case r := <-f.w.ch:
+		f.settleLocked(r)
+	case <-timer:
+		f.expireLocked()
+	}
+	return f.m, f.err
+}
+
+// Done reports whether the future has resolved, without waiting for the
+// reply (it can contend briefly with a concurrent Wait). A true result means
+// Wait will return immediately.
+func (f *Future) Done() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done {
+		return true
+	}
+	// A buffered result means the demux already resolved the call; settle it
+	// now so the waiter can be pooled.
+	select {
+	case r := <-f.w.ch:
+		f.settleLocked(r)
+		return true
+	default:
+		return false
+	}
+}
+
+// expireLocked resolves the future as timed out — unless a result raced in,
+// in which case the result wins. Caller holds f.mu.
+func (f *Future) expireLocked() {
+	if f.c.cancelWaiter(f.id, f.w) {
+		// We removed the demux entry, so no result was (or ever will be)
+		// delivered: the call timed out.
+		f.settleLocked(waitResult{err: fmt.Errorf("%w: %s after %v", ErrTimeout, f.topic, f.timeout)})
+		return
+	}
+	// The entry was already removed by the demux, sweep, or teardown — all of
+	// which buffer the result before releasing the lock, so this receive
+	// cannot block.
+	f.settleLocked(<-f.w.ch)
+}
+
+// settleLocked records the outcome, translating error replies, and returns
+// the waiter to the pool. Caller holds f.mu; the waiter must no longer be
+// reachable from the demux map.
+func (f *Future) settleLocked(r waitResult) {
+	m, err := r.m, r.err
+	if err == nil && m.Kind == wire.KindError {
+		if m.Headers[HeaderShed] != "" {
+			err = &ShedError{Topic: f.topic}
+		} else {
+			err = &RemoteError{Topic: f.topic, Msg: string(m.Payload)}
+		}
+		m = nil
+	}
+	f.m, f.err, f.done = m, err, true
+	putWaiter(f.w)
+	f.w = nil
+}
+
+// waiterPool recycles waiters (and their reply channels) across calls: the
+// demux discipline guarantees at most one buffered send per checkout, and
+// putWaiter drains it, so a recycled channel is always empty.
+var waiterPool = sync.Pool{
+	New: func() any { return &waiter{ch: make(chan waitResult, 1)} },
+}
+
+func getWaiter() *waiter { return waiterPool.Get().(*waiter) }
+
+func putWaiter(w *waiter) {
+	select {
+	case <-w.ch: // drop an undelivered result (cancelled before Wait)
+	default:
+	}
+	w.gen = 0
+	w.deadline = time.Time{}
+	waiterPool.Put(w)
+}
+
+// msgPool recycles request envelopes. A message is returned to the pool as
+// soon as Send accepts it — transports must not retain messages past Send
+// (see transport.Conn) and OnSend observers must not retain them past the
+// callback.
+var msgPool = sync.Pool{
+	New: func() any { return new(wire.Message) },
+}
+
+func getMsg() *wire.Message { return msgPool.Get().(*wire.Message) }
+
+func putMsg(m *wire.Message) {
+	*m = wire.Message{}
+	msgPool.Put(m)
+}

@@ -17,6 +17,13 @@ type ServerOptions struct {
 	// Kinds lists the message kinds dispatched to handlers; other kinds are
 	// silently ignored (default: KindRequest and KindControl).
 	Kinds []wire.Kind
+	// OneWayKinds lists kinds dispatched fire-and-forget: the topic handler
+	// runs but no reply is written (its return value is discarded), matching
+	// calls issued with Call.OneWay. Typical values: KindData, KindEvent. A
+	// kind listed here wins over Kinds. Under admission-control overload
+	// one-way messages are dropped (and counted as shed) — there is no
+	// reply to reject them with.
+	OneWayKinds []wire.Kind
 	// Interceptors wrap every dispatch, outermost first.
 	Interceptors []ServerInterceptor
 	// Fallback serves topics with no registered handler (default: a
@@ -40,6 +47,7 @@ type Server struct {
 	opts     ServerOptions
 	dispatch Handler
 	accepts  map[wire.Kind]bool
+	oneway   map[wire.Kind]bool
 
 	inflight atomic.Int64
 	shed     *obs.Counter
@@ -65,12 +73,16 @@ func NewServer(l transport.Listener, opts ServerOptions) *Server {
 		listener: l,
 		opts:     opts,
 		accepts:  make(map[wire.Kind]bool, len(kinds)),
+		oneway:   make(map[wire.Kind]bool, len(opts.OneWayKinds)),
 		handlers: make(map[string]Handler),
 		conns:    make(map[transport.Conn]struct{}),
 		shed:     obs.Or(opts.Metrics).Counter(metricName + ".shed"),
 	}
 	for _, k := range kinds {
 		s.accepts[k] = true
+	}
+	for _, k := range opts.OneWayKinds {
+		s.oneway[k] = true
 	}
 	s.dispatch = chainServer(opts.Interceptors, s.route)
 	s.wg.Add(1)
@@ -159,12 +171,37 @@ func (s *Server) serveConn(conn transport.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	// Replies are written from handler goroutines; serialize them.
-	var sendMu sync.Mutex
+	// Replies are written straight from handler goroutines: Conn.Send is
+	// safe for concurrent use, and on coalescing transports concurrent
+	// replies share one frame batch — serializing them here would cap every
+	// batch at a single message.
 	for {
 		req, err := conn.Recv()
 		if err != nil {
 			return
+		}
+		if s.oneway[req.Kind] {
+			// Fire-and-forget dispatch: run the handler, write nothing back.
+			if s.opts.MaxInFlight > 0 {
+				if s.inflight.Add(1) > int64(s.opts.MaxInFlight) {
+					s.inflight.Add(-1)
+					s.shed.Inc(1) // dropped, not rejected: one-way has no reply channel
+					continue
+				}
+				s.wg.Add(1)
+				go func(req *wire.Message) {
+					defer s.wg.Done()
+					defer s.inflight.Add(-1)
+					_, _ = s.dispatch(req)
+				}(req)
+				continue
+			}
+			s.wg.Add(1)
+			go func(req *wire.Message) {
+				defer s.wg.Done()
+				_, _ = s.dispatch(req)
+			}(req)
+			continue
 		}
 		if !s.accepts[req.Kind] {
 			continue
@@ -184,9 +221,7 @@ func (s *Server) serveConn(conn transport.Conn) {
 				Headers: map[string]string{HeaderShed: "1"},
 				Payload: []byte("server at capacity"),
 			}
-			sendMu.Lock()
 			_ = conn.Send(reject)
-			sendMu.Unlock()
 			continue
 		}
 		s.wg.Add(1)
@@ -208,8 +243,6 @@ func (s *Server) serveConn(conn transport.Conn) {
 			if reply.Src == "" {
 				reply.Src = s.opts.Name
 			}
-			sendMu.Lock()
-			defer sendMu.Unlock()
 			_ = conn.Send(reply)
 		}(req)
 	}

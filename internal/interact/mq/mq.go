@@ -197,10 +197,10 @@ func (b *Broker) serveConn(conn transport.Conn) {
 		delete(b.conns, conn)
 		b.mu.Unlock()
 	}()
-	var sendMu sync.Mutex
+	// Conn.Send is safe for concurrent use (long-poll replies come from
+	// their own goroutines), and unserialized sends coalesce on batching
+	// transports.
 	reply := func(req *wire.Message, kind wire.Kind, payload []byte) {
-		sendMu.Lock()
-		defer sendMu.Unlock()
 		_ = conn.Send(&wire.Message{Kind: kind, Corr: req.ID, Topic: req.Topic, Payload: payload})
 	}
 	for {
@@ -316,6 +316,40 @@ func (c *Client) request(topic string, headers map[string]string, payload []byte
 func (c *Client) Push(queueName string, data []byte) error {
 	_, err := c.request(topicPush, map[string]string{"queue": queueName}, data)
 	return err
+}
+
+// PushAsync enqueues an item without blocking for the broker's ack: the
+// request is pipelined onto the wire before PushAsync returns, so
+// back-to-back pushes keep the connection full (and coalesce into batched
+// frames on transports that support it). The returned handle resolves to
+// exactly what Push would have returned.
+func (c *Client) PushAsync(queueName string, data []byte) *PushHandle {
+	fut := c.caller.Go(&endpoint.Call{
+		Topic:   topicPush,
+		Headers: map[string]string{"queue": queueName},
+		Payload: data,
+		Timeout: endpoint.NoTimeout,
+	})
+	return &PushHandle{fut: fut}
+}
+
+// PushHandle is a pending PushAsync: a promise for the broker's ack.
+type PushHandle struct{ fut *endpoint.Future }
+
+// Wait blocks for the acknowledgement and returns Push's error (nil once
+// the item is durably queued, ErrQueueFull/ErrClosed/... otherwise).
+func (h *PushHandle) Wait() error {
+	_, err := h.fut.Wait()
+	if err != nil {
+		if re, ok := endpoint.IsRemote(err); ok {
+			return decodeErr([]byte(re.Msg))
+		}
+		if errors.Is(err, endpoint.ErrClosed) || errors.Is(err, endpoint.ErrUnavailable) {
+			return ErrClosed
+		}
+		return fmt.Errorf("mq: %w", err)
+	}
+	return nil
 }
 
 // Pop dequeues the oldest item, long-polling up to wait. It returns ErrEmpty

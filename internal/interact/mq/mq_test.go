@@ -226,3 +226,38 @@ func TestDialFailure(t *testing.T) {
 		t.Fatal("dial to nowhere succeeded")
 	}
 }
+
+func TestPushAsyncPipelined(t *testing.T) {
+	_, c := fixture(t, 0)
+	const n = 20
+	handles := make([]*PushHandle, n)
+	for i := range handles {
+		handles[i] = c.PushAsync("jobs", []byte{byte(i)})
+	}
+	for i, h := range handles {
+		if err := h.Wait(); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	// Pipelined pushes from one goroutine stay FIFO: one ordered connection,
+	// broker enqueues inline.
+	for i := 0; i < n; i++ {
+		got, err := c.Pop("jobs", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("pop %d = %v", i, got)
+		}
+	}
+}
+
+func TestPushAsyncQueueFull(t *testing.T) {
+	_, c := fixture(t, 1)
+	if err := c.PushAsync("q", []byte("a")).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PushAsync("q", []byte("b")).Wait(); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+}

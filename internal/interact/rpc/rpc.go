@@ -137,6 +137,11 @@ func (c *Client) Call(method string, payload []byte, timeout time.Duration) ([]b
 		t = endpoint.NoTimeout
 	}
 	m, err := c.caller.Do(&endpoint.Call{Topic: method, Payload: payload, Timeout: t})
+	return translate(m, err, method, timeout)
+}
+
+// translate maps endpoint outcomes onto the rpc error vocabulary.
+func translate(m *wire.Message, err error, method string, timeout time.Duration) ([]byte, error) {
 	if err != nil {
 		if re, ok := endpoint.IsRemote(err); ok {
 			return nil, fmt.Errorf("rpc: remote: %s", re.Msg)
@@ -154,12 +159,28 @@ func (c *Client) Call(method string, payload []byte, timeout time.Duration) ([]b
 	return m.Payload, nil
 }
 
+// GoCall starts method without waiting for the reply and returns its future:
+// the pipelined form of Call. The request is on the wire when GoCall
+// returns, so back-to-back GoCalls keep the connection full instead of
+// alternating send/wait. Resolve with fut.Wait (endpoint error vocabulary);
+// Go wraps this with the rpc translation.
+func (c *Client) GoCall(method string, payload []byte, timeout time.Duration) *endpoint.Future {
+	t := timeout
+	if t <= 0 {
+		t = endpoint.NoTimeout
+	}
+	return c.caller.Go(&endpoint.Call{Topic: method, Payload: payload, Timeout: t})
+}
+
 // Go invokes method asynchronously; the returned channel receives the single
-// result.
+// result. The request is pipelined onto the wire before Go returns — only
+// the wait parks a goroutine.
 func (c *Client) Go(method string, payload []byte, timeout time.Duration) <-chan Result {
+	fut := c.GoCall(method, payload, timeout)
 	out := make(chan Result, 1)
 	go func() {
-		data, err := c.Call(method, payload, timeout)
+		m, err := fut.Wait()
+		data, err := translate(m, err, method, timeout)
 		out <- Result{Data: data, Err: err}
 	}()
 	return out

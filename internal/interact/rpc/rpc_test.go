@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"ndsm/internal/endpoint"
 	"ndsm/internal/transport"
 )
 
@@ -175,5 +176,33 @@ func TestHandlerReplacement(t *testing.T) {
 	got, err := cli.Call("m", nil, time.Second)
 	if err != nil || string(got) != "v2" {
 		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestGoCallPipelined(t *testing.T) {
+	srv, cli := fixture(t)
+	srv.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
+	const n = 50
+	futs := make([]*endpoint.Future, n)
+	for i := range futs {
+		futs[i] = cli.GoCall("echo", []byte(fmt.Sprintf("m-%d", i)), 2*time.Second)
+	}
+	for i, fut := range futs {
+		m, err := fut.Wait()
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("m-%d", i); string(m.Payload) != want {
+			t.Fatalf("cross-wired reply %d: %q", i, m.Payload)
+		}
+	}
+}
+
+func TestGoCallRemoteError(t *testing.T) {
+	srv, cli := fixture(t)
+	srv.Handle("boom", func(p []byte) ([]byte, error) { return nil, errors.New("kaput") })
+	if _, err := cli.GoCall("boom", nil, 2*time.Second).Wait(); err == nil ||
+		!strings.Contains(err.Error(), "kaput") {
+		t.Fatalf("err = %v, want remote kaput", err)
 	}
 }

@@ -1,7 +1,6 @@
 package transport
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -11,10 +10,15 @@ import (
 	"ndsm/internal/wire"
 )
 
-// TCP is the wireline Transport over stdlib net. Messages are framed with
-// wire.WriteFrame (length prefix + content-type tag + CRC32), so a single
+// TCP is the wireline Transport over stdlib net. Messages are framed as in
+// wire.AppendFrame (length prefix + content-type tag + CRC32), so a single
 // connection can interleave codecs; this transport encodes with the codec
 // given at construction and decodes whatever tag each inbound frame carries.
+//
+// The send path coalesces: concurrent senders share a wire.BatchWriter, so
+// under load many frames leave in one syscall, and a steady-state send
+// allocates nothing. The receive path reads through a wire.FrameReader,
+// slicing a batch apart out of one buffered read.
 type TCP struct {
 	codec wire.Codec
 
@@ -96,10 +100,9 @@ func (t *TCP) Close() error {
 
 func (t *TCP) wrap(nc net.Conn) *tcpConn {
 	c := &tcpConn{
-		nc:    nc,
-		codec: t.codec,
-		br:    bufio.NewReader(nc),
-		bw:    bufio.NewWriter(nc),
+		nc: nc,
+		fr: wire.NewFrameReader(nc),
+		bw: wire.NewBatchWriter(nc, t.codec),
 	}
 	t.mu.Lock()
 	t.conns = append(t.conns, c)
@@ -128,24 +131,16 @@ func (l *tcpListener) Addr() string { return l.nl.Addr().String() }
 func (l *tcpListener) Close() error { return l.nl.Close() }
 
 type tcpConn struct {
-	nc    net.Conn
-	codec wire.Codec
-	br    *bufio.Reader
-
-	wmu sync.Mutex
-	bw  *bufio.Writer
+	nc net.Conn
+	fr *wire.FrameReader
+	bw *wire.BatchWriter
 
 	closeOnce sync.Once
 	closeErr  error
 }
 
 func (c *tcpConn) Send(m *wire.Message) error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	if err := wire.WriteMessage(c.bw, c.codec, m); err != nil {
-		return err
-	}
-	if err := c.bw.Flush(); err != nil {
+	if err := c.bw.Send(m); err != nil {
 		if errors.Is(err, net.ErrClosed) {
 			return ErrClosed
 		}
@@ -155,7 +150,7 @@ func (c *tcpConn) Send(m *wire.Message) error {
 }
 
 func (c *tcpConn) Recv() (*wire.Message, error) {
-	m, err := wire.ReadMessage(c.br)
+	m, err := c.fr.ReadMessage()
 	if err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
 			return nil, ErrClosed

@@ -26,10 +26,16 @@ var (
 )
 
 // Conn is a bidirectional, ordered message stream between two endpoints.
-// Send and Recv may be used concurrently with each other; neither may be
-// called concurrently with itself.
+// Send is safe for concurrent use (pipelined callers send from many
+// goroutines at once); Recv may run concurrently with Send but not with
+// itself — a connection has one receive loop.
 type Conn interface {
 	// Send transmits one message. It does not wait for the peer to read it.
+	//
+	// Send must not retain m or any memory it references past the call:
+	// implementations either serialize the message before returning or clone
+	// it. Callers rely on this to recycle request envelopes through pools
+	// the moment Send returns.
 	Send(m *wire.Message) error
 	// Recv blocks for the next message. It returns ErrClosed after the
 	// connection closes and all buffered messages are drained.

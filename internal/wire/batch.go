@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"io"
+	"sync"
+)
+
+// BatchWriter coalesces frames from any number of concurrent senders into
+// batched writes: every Send encodes its message into a shared pending
+// buffer, and the first sender to arrive while no flush is running becomes
+// the flusher, draining everything queued — its own frame plus whatever
+// concurrent senders appended meanwhile — in one Write call. Under load this
+// collapses N frames into one syscall (the group-commit idiom); with a single
+// caller it degenerates to exactly one write per frame, so idle connections
+// pay nothing for the machinery.
+//
+// Send encodes with the codec's append fast path (AppendEncoder) into the
+// reused pending buffer, so a steady-state send performs zero allocations.
+//
+// Error semantics match a socket send buffer: a Send whose bytes were
+// accepted before a later write failure may return nil even though the bytes
+// never reached the wire. The first write error is sticky — every subsequent
+// Send returns it — and the connection's receive side observes the same
+// failure, so the endpoint layer tears the connection down either way.
+type BatchWriter struct {
+	w     io.Writer
+	codec Codec
+
+	mu       sync.Mutex
+	pending  []byte // frames queued for the active (or next) flush
+	spare    []byte // double-buffer: reused as the next pending
+	flushing bool
+	err      error
+
+	frames  uint64 // frames accepted
+	batches uint64 // Write calls issued
+}
+
+// NewBatchWriter returns a coalescing frame writer over w encoding with
+// codec (Binary if nil).
+func NewBatchWriter(w io.Writer, codec Codec) *BatchWriter {
+	if codec == nil {
+		codec = Binary{}
+	}
+	return &BatchWriter{w: w, codec: codec}
+}
+
+// Send encodes m as one frame and queues it for the next batched write. It
+// returns once the frame has been handed to the underlying writer — by this
+// call or by the concurrent sender currently flushing.
+func (b *BatchWriter) Send(m *Message) error {
+	b.mu.Lock()
+	if b.err != nil {
+		err := b.err
+		b.mu.Unlock()
+		return err
+	}
+	out, err := AppendMessageFrame(b.pending, b.codec, m)
+	if err != nil {
+		b.mu.Unlock()
+		return err
+	}
+	b.pending = out
+	b.frames++
+	if b.flushing {
+		// The active flusher's drain loop will pick this frame up; returning
+		// now is what lets k concurrent senders share one syscall.
+		b.mu.Unlock()
+		return nil
+	}
+	b.flushing = true
+	for b.err == nil && len(b.pending) > 0 {
+		buf := b.pending
+		b.pending = b.spare[:0]
+		b.batches++
+		b.mu.Unlock()
+		_, werr := b.w.Write(buf)
+		b.mu.Lock()
+		if cap(buf) > maxRetainedScratch {
+			buf = nil // one huge batch must not pin its buffer forever
+		}
+		b.spare = buf[:0]
+		if werr != nil {
+			b.err = werr
+		}
+	}
+	b.flushing = false
+	err = b.err
+	b.mu.Unlock()
+	return err
+}
+
+// Stats reports the number of frames accepted and batched Write calls
+// issued. frames/batches is the achieved coalescing factor.
+func (b *BatchWriter) Stats() (frames, batches uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.frames, b.batches
+}

@@ -42,7 +42,17 @@ func (Binary) Encode(m *Message) ([]byte, error) {
 	for k, v := range m.Headers {
 		size += len(k) + len(v) + 10
 	}
-	buf := make([]byte, 0, size)
+	return Binary{}.AppendEncode(make([]byte, 0, size), m)
+}
+
+// AppendEncode implements AppendEncoder: it serializes m by appending to buf,
+// allocating only when buf's capacity runs out. This is the hot-path form the
+// batched connection writers use to encode straight into a pooled, reused
+// write buffer.
+func (Binary) AppendEncode(buf []byte, m *Message) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return buf, err
+	}
 	buf = append(buf, binaryMagic, binaryVersion, byte(m.Kind), m.Priority)
 	buf = binary.AppendUvarint(buf, m.ID)
 	buf = binary.AppendUvarint(buf, m.Corr)

@@ -53,6 +53,42 @@ func WriteFrame(w io.Writer, contentType byte, body []byte) error {
 	return nil
 }
 
+// AppendFrame appends one frame carrying body to dst and returns the
+// extended slice — the allocation-free form of WriteFrame. On error dst is
+// returned unchanged.
+func AppendFrame(dst []byte, contentType byte, body []byte) ([]byte, error) {
+	if len(body) > MaxFrameSize {
+		return dst, ErrFrameTooLarge
+	}
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, contentType)
+	binary.BigEndian.PutUint32(dst[start:start+4], uint32(len(body)))
+	dst = append(dst, body...)
+	crc := crc32.Update(0, crc32.IEEETable, dst[start+4:])
+	return binary.BigEndian.AppendUint32(dst, crc), nil
+}
+
+// AppendMessageFrame encodes m with codec and appends the resulting frame to
+// dst. With an AppendEncoder codec the message body is serialized directly
+// into dst — no intermediate buffer — which is what keeps the batched
+// connection send path allocation-free in steady state. On error dst is
+// returned unchanged.
+func AppendMessageFrame(dst []byte, codec Codec, m *Message) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, codec.ContentType())
+	out, err := EncodeAppend(codec, dst, m)
+	if err != nil {
+		return dst[:start], err
+	}
+	n := len(out) - start - 5
+	if n > MaxFrameSize {
+		return out[:start], ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(out[start:start+4], uint32(n))
+	crc := crc32.Update(0, crc32.IEEETable, out[start+4:])
+	return binary.BigEndian.AppendUint32(out, crc), nil
+}
+
 // ReadFrame reads one frame, verifying the CRC, and returns the content type
 // and body.
 func ReadFrame(r io.Reader) (contentType byte, body []byte, err error) {

@@ -2,6 +2,8 @@ package wire
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"testing"
 	"time"
 )
@@ -102,6 +104,96 @@ func FuzzWireDecode(f *testing.F) {
 			if _, isBinary := c.(Binary); isBinary && !m.Equal(m2) {
 				t.Fatalf("binary: round-trip changed message:\n was: %+v\n got: %+v", m, m2)
 			}
+		}
+	})
+}
+
+// frameStreamSeed builds a coalesced batch of count frames, as the batched
+// write path would put them on the wire.
+func frameStreamSeed(f *testing.F, count int) []byte {
+	f.Helper()
+	var stream []byte
+	for i := 0; i < count; i++ {
+		m := fuzzSeedMessage()
+		m.ID = uint64(i + 1)
+		codec := fuzzCodecs[i%len(fuzzCodecs)]
+		var err error
+		stream, err = AppendMessageFrame(stream, codec, m)
+		if err != nil {
+			f.Fatalf("%s: seed frame: %v", codec.Name(), err)
+		}
+	}
+	return stream
+}
+
+// FuzzFrameStream feeds arbitrary bytes to the batched-path FrameReader as a
+// coalesced frame stream. The reader must never panic, must agree frame-for-
+// frame (and error-class-for-error-class) with the classic one-frame-per-call
+// ReadFrame, and every batch of frames it accepts must re-serialize via
+// AppendFrame into a stream that reads back identically.
+func FuzzFrameStream(f *testing.F) {
+	// Seeds: single frames, merged multi-frame batches, split/truncated
+	// boundaries, and CRC corruption inside a batch.
+	single := frameStreamSeed(f, 1)
+	batch := frameStreamSeed(f, 5)
+	f.Add(single)
+	f.Add(batch)
+	f.Add(batch[:len(batch)-3])              // truncated mid-trailer
+	f.Add(batch[:len(single)+2])             // truncated mid-header of frame 2
+	f.Add(append(batch[:0:0], batch[5:]...)) // batch missing the first header
+	corrupt := append(batch[:0:0], batch...)
+	corrupt[len(single)+7] ^= 0xFF // flips a byte inside the second frame
+	f.Add(corrupt)
+	huge := append(batch[:0:0], batch...)
+	huge[0] = 0xFF // length prefix beyond MaxFrameSize
+	f.Add(huge)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data))
+		classic := bytes.NewReader(data)
+		var reser []byte
+		var types []byte
+		var bodies [][]byte
+		for {
+			ct, body, err := fr.Next()
+			cct, cbody, cerr := ReadFrame(classic)
+			if (err == nil) != (cerr == nil) {
+				t.Fatalf("batched and classic readers disagree: %v vs %v", err, cerr)
+			}
+			if err != nil {
+				// The error class must match: clean EOF, torn frame, CRC, size.
+				for _, sentinel := range []error{io.EOF, io.ErrUnexpectedEOF, ErrFrameCRC, ErrFrameTooLarge} {
+					if errors.Is(err, sentinel) != errors.Is(cerr, sentinel) {
+						t.Fatalf("error class mismatch on %v: batched %v, classic %v", sentinel, err, cerr)
+					}
+				}
+				break
+			}
+			if ct != cct || !bytes.Equal(body, cbody) {
+				t.Fatalf("frame mismatch: batched (%d, %x) vs classic (%d, %x)", ct, body, cct, cbody)
+			}
+			types = append(types, ct)
+			bodies = append(bodies, append([]byte(nil), body...))
+			reser, err = AppendFrame(reser, ct, body)
+			if err != nil {
+				t.Fatalf("accepted frame failed to re-serialize: %v", err)
+			}
+		}
+		// Round trip: the re-serialized batch must read back frame-identical.
+		fr2 := NewFrameReader(bytes.NewReader(reser))
+		for i := range bodies {
+			ct, body, err := fr2.Next()
+			if err != nil {
+				t.Fatalf("re-read frame %d/%d: %v", i, len(bodies), err)
+			}
+			if ct != types[i] || !bytes.Equal(body, bodies[i]) {
+				t.Fatalf("re-read frame %d changed: (%d, %x) vs (%d, %x)", i, ct, body, types[i], bodies[i])
+			}
+		}
+		if _, _, err := fr2.Next(); !errors.Is(err, io.EOF) {
+			t.Fatalf("re-read trailing = %v, want EOF", err)
 		}
 	})
 }

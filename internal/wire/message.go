@@ -142,6 +142,11 @@ func (m *Message) headerKeys() []string {
 }
 
 // Codec serializes messages. Implementations must be safe for concurrent use.
+//
+// Decode must not alias its input: the returned message has to remain valid
+// after the caller reuses or mutates data, because connection readers decode
+// out of pooled scratch buffers that are overwritten by the next frame (see
+// FrameReader). All three shipped codecs copy every string and the payload.
 type Codec interface {
 	// Name returns the codec's short identifier ("binary", "xml", "json").
 	Name() string
@@ -151,4 +156,27 @@ type Codec interface {
 	Encode(m *Message) ([]byte, error)
 	// Decode parses a serialized message.
 	Decode(data []byte) (*Message, error)
+}
+
+// AppendEncoder is the optional zero-allocation extension of Codec: encoding
+// by appending to a caller-owned buffer. Batched connection writers use it to
+// serialize straight into a pooled write buffer; codecs that cannot append
+// (XML, JSON) fall back to Encode via EncodeAppend.
+type AppendEncoder interface {
+	// AppendEncode appends m's serialized form to buf and returns the
+	// extended slice. On error buf is returned unchanged (same length).
+	AppendEncode(buf []byte, m *Message) ([]byte, error)
+}
+
+// EncodeAppend serializes m with codec, appending to buf: the codec's
+// AppendEncode when it has one, otherwise Encode plus a copy.
+func EncodeAppend(codec Codec, buf []byte, m *Message) ([]byte, error) {
+	if ae, ok := codec.(AppendEncoder); ok {
+		return ae.AppendEncode(buf, m)
+	}
+	body, err := codec.Encode(m)
+	if err != nil {
+		return buf, err
+	}
+	return append(buf, body...), nil
 }
