@@ -29,11 +29,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"ndsm/internal/core"
 	"ndsm/internal/discovery"
+	"ndsm/internal/discovery/cluster"
 	"ndsm/internal/endpoint"
 	"ndsm/internal/obs"
 	"ndsm/internal/qos"
@@ -63,6 +65,7 @@ type nodeConfig struct {
 
 func main() {
 	registry := flag.String("registry", "127.0.0.1:7400", "ndsm-registry address")
+	registryCluster := flag.String("registry-cluster", "", "comma-separated registry cluster member addresses; overrides -registry")
 	listen := flag.String("listen", "127.0.0.1:7500", "this node's service address")
 	config := flag.String("config", "", "JSON config of services to host")
 	lookup := flag.String("lookup", "", "one-shot lookup of a service name pattern")
@@ -90,6 +93,7 @@ func main() {
 		PublishTo:    *publish,
 		PublishEvery: *publishEvery,
 	}
+	opts.RegistryCluster = *registryCluster
 	if err := run(*registry, *listen, *config, *lookup, *call, opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -107,6 +111,10 @@ type serveOptions struct {
 	Aggregate    bool
 	PublishTo    string
 	PublishEvery time.Duration
+	// RegistryCluster lists registry cluster member addresses; when set the
+	// node resolves through the quorum scatter-gather cluster resolver with a
+	// client-side lookup cache instead of a single central client.
+	RegistryCluster string
 }
 
 func run(registryAddr, listen, configPath, lookup string, call bool, opts serveOptions) error {
@@ -114,7 +122,28 @@ func run(registryAddr, listen, configPath, lookup string, call bool, opts serveO
 	// registry, surfaced over the HTTP bridge's GET /metrics.
 	tr := transport.Instrument(transport.NewTCP(nil), nil)
 	defer tr.Close() //nolint:errcheck
-	registry := discovery.NewClient(tr, registryAddr)
+	var registry discovery.Resolver
+	if opts.RegistryCluster != "" {
+		var members []string
+		for _, m := range strings.Split(opts.RegistryCluster, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				members = append(members, m)
+			}
+		}
+		cres, err := cluster.NewResolver(tr, cluster.ResolverOptions{Members: members})
+		if err != nil {
+			return err
+		}
+		// Steady-state lookups are local cache hits that revalidate in the
+		// background; writes still fan out to the replica owners.
+		registry = discovery.NewCached(cres, discovery.CacheOptions{
+			TTL:      10 * time.Second,
+			StaleFor: 30 * time.Second,
+		})
+		fmt.Printf("resolving through %d-member registry cluster\n", len(members))
+	} else {
+		registry = discovery.NewClient(tr, registryAddr)
+	}
 	defer registry.Close() //nolint:errcheck
 
 	if lookup != "" {
@@ -126,7 +155,7 @@ func run(registryAddr, listen, configPath, lookup string, call bool, opts serveO
 	return serve(tr, registry, listen, configPath, opts)
 }
 
-func doLookup(tr transport.Transport, registry discovery.Registry, listen, pattern string, call bool) error {
+func doLookup(tr transport.Transport, registry discovery.Resolver, listen, pattern string, call bool) error {
 	descs, err := registry.Lookup(&svcdesc.Query{Name: pattern})
 	if err != nil {
 		return err
@@ -163,7 +192,7 @@ func doLookup(tr transport.Transport, registry discovery.Registry, listen, patte
 	return nil
 }
 
-func serve(tr transport.Transport, registry discovery.Registry, listen, configPath string, opts serveOptions) error {
+func serve(tr transport.Transport, registry discovery.Resolver, listen, configPath string, opts serveOptions) error {
 	raw, err := os.ReadFile(configPath)
 	if err != nil {
 		return err

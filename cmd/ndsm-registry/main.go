@@ -1,9 +1,18 @@
 // Command ndsm-registry runs a standalone centralized discovery registry
-// (§3.3) over TCP. Middleware nodes point their registry clients at it.
+// (§3.3) over TCP, either as a single node or as one member of a replicated
+// sharded registry cluster. Middleware nodes point their registry clients at
+// it (single) or at the member list (cluster).
 //
 // Usage:
 //
-//	ndsm-registry [-listen 127.0.0.1:7400] [-ttl 30s]
+//	ndsm-registry [-listen 127.0.0.1:7400] [-ttl 30s] [-sweep 5s]
+//	ndsm-registry -listen 127.0.0.1:7400 \
+//	    -cluster 127.0.0.1:7400,127.0.0.1:7401,127.0.0.1:7402 [-sync 2s]
+//
+// In cluster mode the -listen address doubles as this member's identity and
+// must appear in -cluster; every member runs the same command with its own
+// -listen. Descriptions are sharded by consistent hash, replicated to RF
+// owners, and repaired by gossip anti-entropy every -sync.
 package main
 
 import (
@@ -11,49 +20,74 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"ndsm/internal/discovery"
+	"ndsm/internal/discovery/cluster"
 	"ndsm/internal/transport"
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:7400", "address to listen on")
+	listen := flag.String("listen", "127.0.0.1:7400", "address to listen on (cluster mode: also this member's identity)")
 	ttl := flag.Duration("ttl", 30*time.Second, "default advertisement lease")
 	sweep := flag.Duration("sweep", 5*time.Second, "expired-entry sweep interval")
+	members := flag.String("cluster", "", "comma-separated member addresses; enables replicated cluster mode")
+	sync := flag.Duration("sync", 2*time.Second, "anti-entropy gossip interval (cluster mode)")
+	rf := flag.Int("rf", 0, "replication factor (cluster mode; default 2, clamped to the member count)")
 	flag.Parse()
-	if err := run(*listen, *ttl, *sweep); err != nil {
+	if err := run(*listen, *ttl, *sweep, *members, *sync, *rf); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, ttl, sweepEvery time.Duration) error {
+func run(listen string, ttl, sweepEvery time.Duration, members string, syncEvery time.Duration, rf int) error {
 	tr := transport.NewTCP(nil)
 	defer tr.Close() //nolint:errcheck
 	l, err := tr.Listen(listen)
 	if err != nil {
 		return err
 	}
-	store := discovery.NewStore(nil, ttl)
-	srv := discovery.NewServer(store, l)
-	defer srv.Close() //nolint:errcheck
-	fmt.Printf("ndsm-registry listening on %s (lease %v)\n", srv.Addr(), ttl)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	ticker := time.NewTicker(sweepEvery)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-ticker.C:
-			if removed := store.Sweep(); removed > 0 {
-				fmt.Printf("swept %d expired advertisements (%d live)\n", removed, store.Len())
+
+	if members != "" {
+		var peers []string
+		for _, m := range strings.Split(members, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				peers = append(peers, m)
 			}
-		case sig := <-stop:
-			fmt.Printf("shutting down on %v\n", sig)
-			return nil
 		}
+		node, err := cluster.NewNode(tr, l, cluster.NodeOptions{
+			Self:              listen,
+			Members:           peers,
+			ReplicationFactor: rf,
+			DefaultTTL:        ttl,
+			SyncEvery:         syncEvery,
+			SweepEvery:        sweepEvery,
+		})
+		if err != nil {
+			return err
+		}
+		defer node.Close() //nolint:errcheck
+		fmt.Printf("ndsm-registry member %s of %d-node cluster (lease %v, gossip every %v)\n",
+			listen, len(peers), ttl, syncEvery)
+		sig := <-stop
+		fmt.Printf("shutting down on %v\n", sig)
+		return nil
 	}
+
+	// Single node: lease expiry is driven by the server's own sweep ticker —
+	// a quiet registry sheds dead leases without waiting for traffic.
+	srv := discovery.NewResolverServer(discovery.NewStore(nil, ttl), l, discovery.ServerOptions{
+		SweepEvery: sweepEvery,
+	})
+	defer srv.Close() //nolint:errcheck
+	fmt.Printf("ndsm-registry listening on %s (lease %v, sweep every %v)\n", srv.Addr(), ttl, sweepEvery)
+	sig := <-stop
+	fmt.Printf("shutting down on %v\n", sig)
+	return nil
 }

@@ -49,6 +49,10 @@ const (
 	// FaultKillRegistry crash-stops the centralized registry node, forcing
 	// adaptive discovery to fail over to flooding; the revert restarts it.
 	FaultKillRegistry FaultKind = "kill-registry"
+	// FaultKillRegistryNode crash-stops one member of a registry cluster
+	// (target is the member ID, e.g. "registry1"); the revert restarts it.
+	// Replication and lookup quorums are expected to absorb the loss.
+	FaultKillRegistryNode FaultKind = "kill-registry-node"
 	// FaultWALCrash crashes the target supplier's durable storage: the WAL is
 	// closed mid-run, reopened, and replayed into a fresh state machine.
 	// Instantaneous (no revert window).

@@ -1,6 +1,10 @@
 package chaos
 
-import "fmt"
+import (
+	"fmt"
+
+	"ndsm/internal/discovery/cluster"
+)
 
 // Invariant is a property of a finished chaos run. Check returns one message
 // per violation (empty means the invariant held).
@@ -285,6 +289,109 @@ func (t TelemetryFreshness) Check(w *World, events []Event) []string {
 				out = append(out, fmt.Sprintf(
 					"%s not fresh within %d ticks of partition heal at tick %d",
 					ev.Target, bound, heal))
+			}
+		}
+	}
+	return out
+}
+
+// ClusterLookupAvailability checks the registry cluster's headline promise:
+// a single member kill must not cost the consumer a single cached-cluster
+// lookup once the detection bound has passed. The probe runs without flood
+// fallback, so only replication (RF owners per key), lookup quorums, and the
+// lease cache's stale window can absorb the loss — exactly the mechanisms
+// under test. It only applies to worlds built with a RegistryCluster.
+type ClusterLookupAvailability struct {
+	// Bound is the tick allowance after the kill during which a probe may
+	// still fail while timeouts and suspicion settle (default 3).
+	Bound int
+}
+
+// Name implements Invariant.
+func (ClusterLookupAvailability) Name() string { return "cluster-lookup-availability" }
+
+// Check implements Invariant.
+func (c ClusterLookupAvailability) Check(w *World, events []Event) []string {
+	probes := w.ClusterLookupOK()
+	if len(probes) == 0 {
+		return nil
+	}
+	bound := c.Bound
+	if bound <= 0 {
+		bound = 3
+	}
+	n := len(probes)
+	var out []string
+	for idx, ev := range events {
+		if ev.Phase != PhaseInject || ev.Fault != FaultKillRegistryNode {
+			continue
+		}
+		from := w.TickOf(ev.At)
+		// Revive tick: end of run unless an explicit (non-permanent) revert
+		// for this member lands earlier.
+		revive := n
+		for _, rv := range events[idx+1:] {
+			if rv.Phase == PhaseRevert && rv.Fault == FaultKillRegistryNode && rv.Target == ev.Target {
+				if rv.At < permanentAt {
+					revive = w.TickOf(rv.At)
+				}
+				break
+			}
+		}
+		if revive > n {
+			revive = n
+		}
+		for i := from + bound; i < revive; i++ {
+			if i >= 0 && !probes[i] {
+				out = append(out, fmt.Sprintf(
+					"cluster lookup failed at tick %d with only %s down (killed at %v, tick %d)",
+					i, ev.Target, ev.At, from))
+			}
+		}
+	}
+	return out
+}
+
+// ClusterReplication checks anti-entropy's repair promise: once every member
+// is back (the checker runs after Finish reverted all kills) and gossip has
+// settled, every live registration must be held by all of its RF ring owners.
+// A key still missing from an owner means a member death permanently shrank
+// the replica set — repair never happened. It only applies to cluster worlds.
+type ClusterReplication struct{}
+
+// Name implements Invariant.
+func (ClusterReplication) Name() string { return "cluster-replication" }
+
+// Check implements Invariant.
+func (ClusterReplication) Check(w *World, _ []Event) []string {
+	nodes := w.ClusterNodes()
+	if len(nodes) == 0 {
+		return nil
+	}
+	// Give gossip a bounded, deterministic chance to finish in-flight repair:
+	// the engine's Finish revived every member, so full-mesh rounds converge.
+	w.SettleCluster()
+	rf := w.ReplicationFactor()
+	byID := make(map[string]*cluster.Node, len(nodes))
+	for _, n := range nodes {
+		byID[n.Self()] = n
+	}
+	ring := nodes[0].Ring()
+	// The union of live keys across members is the replicated set; check each
+	// against every owner the ring assigns it.
+	seen := make(map[string]bool)
+	var out []string
+	for _, n := range nodes {
+		for _, key := range n.Table().LiveKeys() {
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			for _, owner := range ring.Owners(key, rf) {
+				if on := byID[owner]; on != nil && !on.Table().HasLive(key) {
+					out = append(out, fmt.Sprintf(
+						"key %s not replicated on owner %s after settle", key, owner))
+				}
 			}
 		}
 	}

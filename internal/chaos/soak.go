@@ -40,6 +40,17 @@ type ScenarioConfig struct {
 	Telemetry bool
 	// FreshBound is the telemetry-freshness tick budget (default 5).
 	FreshBound int
+	// RegistryCluster, when >= 2, runs the replicated sharded registry world
+	// of that many members: the generator draws single-member kills instead
+	// of whole-registry kills, and the cluster availability and replication
+	// invariants are checked over the run.
+	RegistryCluster int
+	// ReplicationFactor is the cluster's owner-set size (default 2; cluster
+	// scenarios only).
+	ReplicationFactor int
+	// ClusterBound is the cluster-lookup-availability tick allowance after a
+	// member kill (default 3).
+	ClusterBound int
 	// Schedule overrides the generated fault schedule (Seed still fixes the
 	// substrate RNG). Experiments use this to replay one hand-built kill
 	// schedule under different world configurations.
@@ -93,6 +104,14 @@ type ScenarioResult struct {
 	DeadAttempts int64
 	// OKByTick is the per-tick request outcome trace.
 	OKByTick []bool
+	// LookupOKByTick is the per-tick discovery probe trace (through the
+	// consumer's full registry view, flood fallback included).
+	LookupOKByTick []bool
+	// ClusterOKByTick is the per-tick cached cluster-path probe trace (nil
+	// for classic single-registry worlds).
+	ClusterOKByTick []bool
+	// ClusterLookupsOK counts the successful entries of ClusterOKByTick.
+	ClusterLookupsOK int
 	// Violations holds every invariant violation, prefixed by the invariant
 	// name. Empty means the run was clean.
 	Violations []string
@@ -117,12 +136,18 @@ func (r *ScenarioResult) EventsString() string {
 // targets wired to its node IDs.
 func StandardChoices(w *World) []FaultChoice {
 	sups := w.SupplierIDs()
+	registryKill := FaultChoice{Kind: FaultKillRegistry, Targets: []string{RegistryID}}
+	if members := w.ClusterMembers(); len(members) > 0 {
+		// Cluster worlds have no single registry to kill; the generator draws
+		// single-member kills instead, which replication must absorb.
+		registryKill = FaultChoice{Kind: FaultKillRegistryNode, Targets: members}
+	}
 	return []FaultChoice{
 		{Kind: FaultLossBurst, Targets: []string{"0.4"}},
 		{Kind: FaultLatencySpike, Targets: []string{"30ms"}},
 		{Kind: FaultPartition, Targets: sups},
 		{Kind: FaultCrashSupplier, Targets: sups},
-		{Kind: FaultKillRegistry, Targets: []string{RegistryID}},
+		registryKill,
 		{Kind: FaultWALCrash, Targets: sups, Instant: true},
 	}
 }
@@ -153,14 +178,16 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		})
 	}
 	world, err := NewWorld(WorldConfig{
-		Seed:      cfg.Seed,
-		Suppliers: cfg.Suppliers,
-		TickEvery: cfg.TickEvery,
-		Clock:     vclock,
-		Dir:       cfg.Dir,
-		Liveness:  !cfg.DisableLiveness,
-		Telemetry: cfg.Telemetry,
-		Tracer:    tracer,
+		Seed:              cfg.Seed,
+		Suppliers:         cfg.Suppliers,
+		TickEvery:         cfg.TickEvery,
+		Clock:             vclock,
+		Dir:               cfg.Dir,
+		Liveness:          !cfg.DisableLiveness,
+		Telemetry:         cfg.Telemetry,
+		RegistryCluster:   cfg.RegistryCluster,
+		ReplicationFactor: cfg.ReplicationFactor,
+		Tracer:            tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("chaos: world seed %d: %w", cfg.Seed, err)
@@ -207,9 +234,16 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			res.TicksOK++
 		}
 	}
-	for _, ok := range world.LookupOK() {
+	res.LookupOKByTick = world.LookupOK()
+	for _, ok := range res.LookupOKByTick {
 		if ok {
 			res.LookupsOK++
+		}
+	}
+	res.ClusterOKByTick = world.ClusterLookupOK()
+	for _, ok := range res.ClusterOKByTick {
+		if ok {
+			res.ClusterLookupsOK++
 		}
 	}
 	for _, msg := range injectErrs {
@@ -221,6 +255,8 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		DiscoveryConvergence{Bound: cfg.ConvergeBound},
 		SuspectBeforeViolate{Bound: cfg.SuspectBound},
 		TelemetryFreshness{Bound: cfg.FreshBound},
+		ClusterLookupAvailability{Bound: cfg.ClusterBound},
+		ClusterReplication{},
 		WALReplayClean{},
 	}
 	for _, inv := range invariants {

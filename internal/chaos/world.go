@@ -13,6 +13,7 @@ import (
 
 	"ndsm/internal/core"
 	"ndsm/internal/discovery"
+	"ndsm/internal/discovery/cluster"
 	"ndsm/internal/endpoint"
 	"ndsm/internal/health"
 	"ndsm/internal/netmux"
@@ -72,6 +73,17 @@ type WorldConfig struct {
 	// and the world records each supplier's end-of-tick freshness verdict —
 	// the trace the telemetry-freshness invariant checks around partitions.
 	Telemetry bool
+	// RegistryCluster, when >= 2, replaces the single registry node with a
+	// replicated sharded cluster of that many members ("registry0" ..
+	// "registryN-1"): every endpoint resolves through a scatter-gather
+	// cluster resolver instead of one central client, the consumer
+	// additionally runs a lookup lease cache sized in ticks (TTL one tick,
+	// stale window four), and the world drives one anti-entropy round per
+	// member per tick. 0 or 1 keeps the classic single-registry world.
+	RegistryCluster int
+	// ReplicationFactor is the cluster's owner-set size R (default 2;
+	// cluster worlds only).
+	ReplicationFactor int
 }
 
 func (c WorldConfig) withDefaults() WorldConfig {
@@ -92,6 +104,9 @@ func (c WorldConfig) withDefaults() WorldConfig {
 	}
 	if c.CollectWindow <= 0 {
 		c.CollectWindow = 25 * time.Millisecond
+	}
+	if c.RegistryCluster >= 2 && c.ReplicationFactor <= 0 {
+		c.ReplicationFactor = cluster.DefaultReplicationFactor
 	}
 	return c
 }
@@ -186,9 +201,16 @@ type World struct {
 	registryTr     *transport.Sim
 	registryServer *discovery.Server
 
+	// Cluster-mode registry plane (empty unless WorldConfig.RegistryCluster).
+	clusterMembers []string
+	clusterNodes   []*cluster.Node
+	clusterMuxes   []*netmux.Mux
+	clusterTrs     []*transport.Sim
+	clusterProbe   discovery.Resolver // consumer's cached cluster view
+
 	nodes    map[string]*worldNode // consumer + suppliers
 	binding  *core.Binding
-	probe    discovery.Registry // the consumer's registry view, for lookup probes
+	probe    discovery.Resolver // the consumer's registry view, for lookup probes
 	supplier []string           // supplier IDs in creation order
 	health   *health.Monitor    // consumer's liveness monitor (nil unless Liveness)
 
@@ -201,8 +223,10 @@ type World struct {
 	managers      map[string]*recovery.Manager
 	states        map[string]*keySetState
 	dead          map[string]bool // suppliers currently crash-killed
+	deadRegistry  map[string]bool // cluster members currently crash-killed
 	tickOK        []bool
 	lookupOK      []bool
+	clusterOK     []bool            // per-tick cached cluster-resolver probe outcomes
 	freshness     []map[string]bool // per-tick aggregator freshness per supplier
 	preBound      []string          // peer the binding pointed at entering each tick
 	bound         []string          // peer the binding pointed at leaving each tick
@@ -234,13 +258,14 @@ func (m muxDatagram) Recv(id netsim.NodeID) (<-chan netsim.Packet, error) {
 func NewWorld(cfg WorldConfig) (*World, error) {
 	cfg = cfg.withDefaults()
 	w := &World{
-		cfg:      cfg,
-		dir:      cfg.Dir,
-		nodes:    make(map[string]*worldNode),
-		managers: make(map[string]*recovery.Manager),
-		states:   make(map[string]*keySetState),
-		dead:     make(map[string]bool),
-		ackedBy:  make(map[string][]string),
+		cfg:          cfg,
+		dir:          cfg.Dir,
+		nodes:        make(map[string]*worldNode),
+		managers:     make(map[string]*recovery.Manager),
+		states:       make(map[string]*keySetState),
+		dead:         make(map[string]bool),
+		deadRegistry: make(map[string]bool),
+		ackedBy:      make(map[string][]string),
 	}
 	if w.dir == "" {
 		dir, err := os.MkdirTemp("", "ndsm-chaos-*")
@@ -270,29 +295,74 @@ func (w *World) build() error {
 		Tracer:    cfg.Tracer,
 	})
 
-	// Registry node: mux -> sim transport -> store server.
-	if err := w.Net.AddNode(RegistryID, netsim.Position{X: 0, Y: 10}); err != nil {
-		return err
+	if cfg.RegistryCluster >= 2 {
+		// Replicated sharded registry: N members, each a full cluster node
+		// (shard table + gossip) on its own radio. Anti-entropy is driven
+		// synchronously by the world — one SyncNow per live member per tick —
+		// so gossip progress is deterministic against the fault schedule.
+		for i := 0; i < cfg.RegistryCluster; i++ {
+			w.clusterMembers = append(w.clusterMembers, fmt.Sprintf("registry%d", i))
+		}
+		for i, id := range w.clusterMembers {
+			if err := w.Net.AddNode(netsim.NodeID(id), netsim.Position{X: float64(-10 * (i + 1)), Y: 10}); err != nil {
+				return err
+			}
+			mux, err := netmux.New(w.Net, netsim.NodeID(id))
+			if err != nil {
+				return err
+			}
+			w.clusterMuxes = append(w.clusterMuxes, mux)
+			tr, err := transport.NewSim(muxDatagram{mux}, netsim.NodeID(id), nil)
+			if err != nil {
+				return err
+			}
+			w.clusterTrs = append(w.clusterTrs, tr)
+			l, err := tr.Listen(id)
+			if err != nil {
+				return err
+			}
+			node, err := cluster.NewNode(tr, l, cluster.NodeOptions{
+				Self:              id,
+				Members:           w.clusterMembers,
+				ReplicationFactor: cfg.ReplicationFactor,
+				// Lease clocks run on the schedule clock, like the classic
+				// store; gossip exchanges are data-path traffic and time out
+				// in wall time like every registry call.
+				Clock:         cfg.Clock,
+				DefaultTTL:    time.Hour,
+				GossipTimeout: clientTimeout,
+				Tracer:        cfg.Tracer,
+			})
+			if err != nil {
+				return err
+			}
+			w.clusterNodes = append(w.clusterNodes, node)
+		}
+	} else {
+		// Registry node: mux -> sim transport -> store server.
+		if err := w.Net.AddNode(RegistryID, netsim.Position{X: 0, Y: 10}); err != nil {
+			return err
+		}
+		mux, err := netmux.New(w.Net, RegistryID)
+		if err != nil {
+			return err
+		}
+		w.registryMux = mux
+		tr, err := transport.NewSim(muxDatagram{mux}, RegistryID, nil)
+		if err != nil {
+			return err
+		}
+		w.registryTr = tr
+		l, err := tr.Listen(RegistryID)
+		if err != nil {
+			return err
+		}
+		// The store runs on the schedule clock so short liveness leases expire in
+		// virtual time, in lockstep with the fault schedule. The hour default
+		// keeps detector-less worlds lease-stable, exactly as before.
+		w.registryServer = discovery.NewServer(discovery.NewStore(cfg.Clock, time.Hour), l)
+		w.registryServer.SetTracer(cfg.Tracer)
 	}
-	mux, err := netmux.New(w.Net, RegistryID)
-	if err != nil {
-		return err
-	}
-	w.registryMux = mux
-	tr, err := transport.NewSim(muxDatagram{mux}, RegistryID, nil)
-	if err != nil {
-		return err
-	}
-	w.registryTr = tr
-	l, err := tr.Listen(RegistryID)
-	if err != nil {
-		return err
-	}
-	// The store runs on the schedule clock so short liveness leases expire in
-	// virtual time, in lockstep with the fault schedule. The hour default
-	// keeps detector-less worlds lease-stable, exactly as before.
-	w.registryServer = discovery.NewServer(discovery.NewStore(cfg.Clock, time.Hour), l)
-	w.registryServer.SetTracer(cfg.Tracer)
 
 	// The liveness layer is the consumer's: heartbeats arrive through its
 	// lookup results (lease renewals the suppliers push every tick), timed on
@@ -339,10 +409,39 @@ func (w *World) build() error {
 			MaxResults:    cfg.Suppliers,
 		})
 		agent.SetTracer(cfg.Tracer)
-		client := discovery.NewClient(tr, RegistryID)
-		client.SetCallTimeout(clientTimeout, nil)
-		client.SetTracer(cfg.Tracer)
-		adaptive := discovery.NewAdaptive(client, agent,
+		var central discovery.Resolver
+		if len(w.clusterMembers) > 0 {
+			cres, err := cluster.NewResolver(tr, cluster.ResolverOptions{
+				Members:           w.clusterMembers,
+				ReplicationFactor: cfg.ReplicationFactor,
+			})
+			if err != nil {
+				mux.Close()
+				return nil, err
+			}
+			cres.SetCallTimeout(clientTimeout, nil)
+			cres.SetTracer(cfg.Tracer)
+			// The lease cache sits on the consumer's lookup path: one tick
+			// of freshness, four of stale-serve-while-revalidate. Suspicion
+			// invalidations (forwarded down the watched -> adaptive ->
+			// cached stack) keep a suspected corpse from riding out the
+			// stale window.
+			cached := discovery.NewCached(cres, discovery.CacheOptions{
+				Clock:    cfg.Clock,
+				TTL:      cfg.TickEvery,
+				StaleFor: 4 * cfg.TickEvery,
+			})
+			if id == ConsumerID {
+				w.clusterProbe = cached
+			}
+			central = cached
+		} else {
+			client := discovery.NewClient(tr, RegistryID)
+			client.SetCallTimeout(clientTimeout, nil)
+			client.SetTracer(cfg.Tracer)
+			central = client
+		}
+		adaptive := discovery.NewAdaptive(central, agent,
 			func() int { return w.Net.Density(netsim.NodeID(id)) },
 			discovery.DensityPolicy(1), cfg.Clock)
 		node, err := core.NewNode(core.Config{Name: id, Transport: tr, Registry: adaptive, Health: h, Tracer: cfg.Tracer})
@@ -504,6 +603,9 @@ func (w *World) Tick(i int) {
 	if w.cfg.Liveness {
 		w.renewLeases()
 	}
+	if len(w.clusterNodes) > 0 {
+		w.syncCluster()
+	}
 	if w.agg != nil {
 		w.publishTelemetry()
 	}
@@ -524,6 +626,15 @@ func (w *World) Tick(i int) {
 
 	descs, lerr := w.probe.Lookup(&svcdesc.Query{Name: w.cfg.Service})
 	found := lerr == nil && len(descs) > 0
+
+	// In cluster worlds, also probe the cached cluster resolver directly
+	// (no flood fallback): the trace the cluster-lookup-availability
+	// invariant judges, and the load that exercises the lease cache.
+	clusterFound := false
+	if w.clusterProbe != nil {
+		cdescs, cerr := w.clusterProbe.Lookup(&svcdesc.Query{Name: w.cfg.Service})
+		clusterFound = cerr == nil && len(cdescs) > 0
+	}
 
 	post := w.binding.Peer()
 	var sus, open map[string]bool
@@ -546,6 +657,9 @@ func (w *World) Tick(i int) {
 	w.mu.Lock()
 	w.tickOK = append(w.tickOK, ok)
 	w.lookupOK = append(w.lookupOK, found)
+	if w.clusterProbe != nil {
+		w.clusterOK = append(w.clusterOK, clusterFound)
+	}
 	w.freshness = append(w.freshness, fresh)
 	w.preBound = append(w.preBound, pre)
 	w.bound = append(w.bound, post)
@@ -585,6 +699,65 @@ func (w *World) renewLeases() {
 		}()
 	}
 	wg.Wait()
+}
+
+// syncCluster drives one anti-entropy round per live registry member
+// (round-robin peer choice inside each member). Dead members neither
+// initiate nor matter as targets: a round aimed at a corpse times out, is
+// counted as a gossip error, and the member moves on next tick.
+func (w *World) syncCluster() {
+	for i, node := range w.clusterNodes {
+		w.mu.Lock()
+		deadNow := w.deadRegistry[w.clusterMembers[i]]
+		w.mu.Unlock()
+		if deadNow {
+			continue
+		}
+		_ = node.SyncNow()
+	}
+}
+
+// SettleCluster runs full-mesh anti-entropy rounds until quiescent —
+// invariant checkers call it after the engine's reverts revived every
+// member, so replication verdicts judge the converged steady state, not
+// gossip still in flight.
+func (w *World) SettleCluster() {
+	for round := 0; round < 4; round++ {
+		for _, node := range w.clusterNodes {
+			for _, peer := range w.clusterMembers {
+				if peer != node.Self() {
+					_ = node.SyncWith(peer)
+				}
+			}
+		}
+	}
+}
+
+// ClusterMembers lists the registry cluster member IDs (empty for classic
+// single-registry worlds).
+func (w *World) ClusterMembers() []string { return append([]string(nil), w.clusterMembers...) }
+
+// ClusterNodes exposes the cluster members (invariant checkers introspect
+// replication through their tables).
+func (w *World) ClusterNodes() []*cluster.Node {
+	return append([]*cluster.Node(nil), w.clusterNodes...)
+}
+
+// ReplicationFactor returns the cluster's owner-set size (0 for classic
+// worlds).
+func (w *World) ReplicationFactor() int {
+	if len(w.clusterMembers) == 0 {
+		return 0
+	}
+	return w.cfg.ReplicationFactor
+}
+
+// ClusterLookupOK returns the per-tick cached cluster-resolver probe
+// outcomes (empty for classic worlds).
+func (w *World) ClusterLookupOK() []bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]bool(nil), w.clusterOK...)
 }
 
 // publishTelemetry ships one report from every live supplier, concurrently
@@ -762,6 +935,21 @@ func (w *World) RegisterInjectors(e *Engine) {
 		}
 		return func() error { return w.Net.Revive(RegistryID) }, nil
 	}))
+	e.Register(FaultKillRegistryNode, InjectorFunc(func(target string) (func() error, error) {
+		id := netsim.NodeID(target)
+		if err := w.Net.Kill(id); err != nil {
+			return nil, err
+		}
+		w.mu.Lock()
+		w.deadRegistry[target] = true
+		w.mu.Unlock()
+		return func() error {
+			w.mu.Lock()
+			w.deadRegistry[target] = false
+			w.mu.Unlock()
+			return w.Net.Revive(id)
+		}, nil
+	}))
 	e.Register(FaultWALCrash, InjectorFunc(func(target string) (func() error, error) {
 		return nil, w.walCrash(target)
 	}))
@@ -835,6 +1023,15 @@ func (w *World) Close() error {
 	}
 	if w.registryMux != nil {
 		w.registryMux.Close()
+	}
+	for _, node := range w.clusterNodes {
+		_ = node.Close()
+	}
+	for _, tr := range w.clusterTrs {
+		_ = tr.Close()
+	}
+	for _, mux := range w.clusterMuxes {
+		mux.Close()
 	}
 	if w.Net != nil {
 		w.Net.Close()

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ndsm/internal/discovery"
 	"ndsm/internal/endpoint"
 	"ndsm/internal/qos"
 	"ndsm/internal/svcdesc"
@@ -240,6 +241,9 @@ func (b *Binding) request(payload []byte) ([]byte, error) {
 			// failed rebind is not fatal — suspicion may be false, and the
 			// request below will tell.
 			b.node.Events.Publish(Event{Type: EventPeerSuspected, Service: b.spec.Query.Name, Peer: peer})
+			// A cached resolver would re-serve the corpse for the rest of its
+			// lease; drop those results so the rebind's lookup re-resolves.
+			discovery.Invalidate(b.node.registry, peer)
 			_ = b.Rebind()
 		}
 	}
@@ -261,7 +265,10 @@ func (b *Binding) request(payload []byte) ([]byte, error) {
 		// failure, no rebind.
 		return nil, err
 	}
-	// Transport-level failure: degrade gracefully by rebinding.
+	// Transport-level failure: degrade gracefully by rebinding. Cached
+	// lookup results naming the failed peer are dropped first — rebinding
+	// through a cache that still lists the corpse wastes the lease.
+	discovery.Invalidate(b.node.registry, b.Peer())
 	tracker := b.Tracker()
 	tracker.ObserveFailure()
 	if b.violated() {

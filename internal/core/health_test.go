@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -216,5 +217,75 @@ func TestNodeHealthAccessors(t *testing.T) {
 	}
 	if plain.Registry() != discovery.Registry(w.registry) {
 		t.Fatal("nil-health node should keep the raw registry")
+	}
+}
+
+// countingRegistry wraps a Resolver and counts wire lookups.
+type countingRegistry struct {
+	discovery.Resolver
+	lookups atomic.Int64
+}
+
+func (c *countingRegistry) Lookup(q *svcdesc.Query) ([]*svcdesc.Description, error) {
+	c.lookups.Add(1)
+	return c.Resolver.Lookup(q)
+}
+
+func TestSuspicionInvalidatesLookupCache(t *testing.T) {
+	// A consumer resolving through a long-TTL lookup cache must not serve a
+	// suspected peer out of that cache: the EventPeerSuspected rebind path
+	// invalidates the provider, so the re-match goes back to the wire.
+	w := newWorld(t)
+	hi := w.node("s-hi")
+	lo := w.node("s-lo")
+	if err := hi.Serve(bpDesc(0.95), echoHandler("hi:")); err != nil {
+		t.Fatal(err)
+	}
+	if err := lo.Serve(bpDesc(0.90), echoHandler("lo:")); err != nil {
+		t.Fatal(err)
+	}
+
+	clock := simtime.NewVirtual(time.Unix(0, 0))
+	m := testMonitor(clock)
+	counting := &countingRegistry{Resolver: w.registry}
+	cached := discovery.NewCached(counting, discovery.CacheOptions{TTL: time.Hour})
+	con, err := NewNode(Config{
+		Name:      "consumer-1",
+		Transport: transport.NewMem(w.fabric),
+		Registry:  cached,
+		Health:    m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = con.Close() })
+
+	b, err := con.Bind(bpSpec(), BindOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close() //nolint:errcheck
+	if b.Peer() != "s-hi" {
+		t.Fatalf("bound %s, want s-hi", b.Peer())
+	}
+	after := counting.lookups.Load()
+	if after == 0 {
+		t.Fatal("bind never reached the wire")
+	}
+
+	// Silence past the detector's fallback: the next request suspects s-hi
+	// and rebinds. With an hour of cache TTL the re-match could only see
+	// fresh providers if the suspicion invalidated the cached result.
+	m.Heartbeat("s-hi")
+	clock.Advance(300 * time.Millisecond)
+	out, err := b.Request([]byte("x"))
+	if err != nil {
+		t.Fatalf("request after proactive rebind: %v", err)
+	}
+	if string(out) != "lo:x" || b.Peer() != "s-lo" {
+		t.Fatalf("reply %q peer %s: rebind did not land on s-lo", out, b.Peer())
+	}
+	if got := counting.lookups.Load(); got != after+1 {
+		t.Fatalf("wire lookups = %d after rebind, want %d: the suspected peer was served from cache", got, after+1)
 	}
 }

@@ -37,7 +37,7 @@ type Config struct {
 	Transport transport.Transport
 	// Registry is the discovery organization the node uses (centralized
 	// client, flood agent, mirrored, adaptive — anything).
-	Registry discovery.Registry
+	Registry discovery.Resolver
 	// Clock times QoS and leases (default real).
 	Clock simtime.Clock
 	// Health is the optional liveness layer. When set, the node's registry
@@ -67,7 +67,7 @@ type Config struct {
 type Node struct {
 	name     string
 	tr       transport.Transport
-	registry discovery.Registry
+	registry discovery.Resolver
 	clock    simtime.Clock
 	health   *health.Monitor
 	metrics  *obs.Registry
@@ -150,7 +150,7 @@ func (n *Node) Name() string { return n.name }
 
 // Registry returns the node's registry view (health-watched when a monitor
 // is configured).
-func (n *Node) Registry() discovery.Registry { return n.registry }
+func (n *Node) Registry() discovery.Resolver { return n.registry }
 
 // Health returns the node's liveness monitor (nil when disabled).
 func (n *Node) Health() *health.Monitor { return n.health }

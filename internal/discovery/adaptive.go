@@ -219,6 +219,16 @@ func (a *Adaptive) Lookup(q *svcdesc.Query) ([]*svcdesc.Description, error) {
 	}
 }
 
+// InvalidateProvider implements Invalidator, forwarding to the central side
+// (the flood agent holds no cache to invalidate). A consumer stack like
+// watched(adaptive(cached(cluster))) needs this hop or suspicion-driven
+// invalidations would stop here and strand stale cache entries below.
+func (a *Adaptive) InvalidateProvider(provider string) {
+	if a.central != nil {
+		Invalidate(a.central, provider)
+	}
+}
+
 // Close implements Registry.
 func (a *Adaptive) Close() error {
 	var firstErr error

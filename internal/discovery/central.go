@@ -18,20 +18,47 @@ import (
 
 // Registry protocol topics (centralized organization). Requests are
 // KindControl messages; replies are KindReply (success) or KindError with
-// the error text as payload.
+// the error text as payload. Exported so other servers speaking the same
+// protocol (a registry-cluster node) stay on one topic vocabulary.
 const (
-	topicRegister   = "disc.register"
-	topicUnregister = "disc.unregister"
-	topicRenew      = "disc.renew"
-	topicLookup     = "disc.lookup"
+	TopicRegister   = "disc.register"
+	TopicUnregister = "disc.unregister"
+	TopicRenew      = "disc.renew"
+	TopicLookup     = "disc.lookup"
 )
 
-// Server is the centralized registry: a Store exposed over a transport
-// listener via the shared endpoint engine.
+// Sweeper is implemented by backings whose lease table benefits from
+// periodic expiry (Store, a cluster node's replicated table).
+type Sweeper interface {
+	// Sweep removes expired entries, returning how many were removed.
+	Sweep() int
+}
+
+// ServerOptions tunes a registry server beyond its defaults.
+type ServerOptions struct {
+	// Clock times the sweep ticker (simtime.Real if nil).
+	Clock simtime.Clock
+	// SweepEvery drives lease expiry from a ticker so a quiet registry still
+	// sheds dead leases: without it, expiry only happens opportunistically on
+	// the next incoming request, and a registry nobody talks to keeps corpses
+	// forever. Zero disables the ticker (requests still sweep).
+	SweepEvery time.Duration
+	// Metrics receives the server's instruments (process default if nil).
+	Metrics *obs.Registry
+}
+
+// Server exposes any Resolver backing over a transport listener via the
+// shared endpoint engine, speaking the centralized registry protocol.
 type Server struct {
-	store    *Store
+	backing  Resolver
+	store    *Store // non-nil when the backing is a plain Store
+	sweeper  Sweeper
 	ep       *endpoint.Server
 	traceRef *trace.Ref
+
+	stopSweep chan struct{}
+	sweepWG   sync.WaitGroup
+	closeOnce sync.Once
 
 	// Requests counts handled requests by topic.
 	Requests stats.Counter
@@ -40,30 +67,63 @@ type Server struct {
 // NewServer starts serving the store on the listener in a background
 // accept loop.
 func NewServer(store *Store, l transport.Listener) *Server {
-	s := &Server{store: store, traceRef: trace.NewRef(nil)}
+	return NewResolverServer(store, l, ServerOptions{})
+}
+
+// NewResolverServer starts serving any Resolver backing on the listener —
+// the same wire protocol NewServer speaks, over whatever lease table the
+// backing keeps.
+func NewResolverServer(backing Resolver, l transport.Listener, opts ServerOptions) *Server {
+	s := &Server{backing: backing, traceRef: trace.NewRef(nil)}
+	s.store, _ = backing.(*Store)
+	s.sweeper, _ = backing.(Sweeper)
 	s.ep = endpoint.NewServer(l, endpoint.ServerOptions{
 		Kinds: []wire.Kind{wire.KindControl, wire.KindRequest},
 		Interceptors: []endpoint.ServerInterceptor{
 			endpoint.WithServerTracing(s.traceRef, "disc.serve"),
 			s.sweepAndCount,
-			endpoint.WithServerMetrics(nil, "discovery.server", nil),
+			endpoint.WithServerMetrics(opts.Metrics, "discovery.server", nil),
 		},
 		Fallback: func(req *wire.Message) (*wire.Message, error) {
 			return nil, fmt.Errorf("discovery: unknown topic %q", req.Topic)
 		},
 	})
-	s.ep.Handle(topicRegister, s.handleRegister)
-	s.ep.Handle(topicUnregister, s.handleUnregister)
-	s.ep.Handle(topicRenew, s.handleRenew)
-	s.ep.Handle(topicLookup, s.handleLookup)
+	s.ep.Handle(TopicRegister, s.handleRegister)
+	s.ep.Handle(TopicUnregister, s.handleUnregister)
+	s.ep.Handle(TopicRenew, s.handleRenew)
+	s.ep.Handle(TopicLookup, s.handleLookup)
+	if opts.SweepEvery > 0 && s.sweeper != nil {
+		clock := opts.Clock
+		if clock == nil {
+			clock = simtime.Real{}
+		}
+		s.stopSweep = make(chan struct{})
+		s.sweepWG.Add(1)
+		go s.sweepLoop(clock, opts.SweepEvery)
+	}
 	return s
+}
+
+// sweepLoop expires stale leases on the ticker until Close.
+func (s *Server) sweepLoop(clock simtime.Clock, every time.Duration) {
+	defer s.sweepWG.Done()
+	for {
+		select {
+		case <-clock.After(every):
+			s.sweeper.Sweep()
+		case <-s.stopSweep:
+			return
+		}
+	}
 }
 
 // sweepAndCount expires stale leases before every operation and tallies the
 // request by topic — unknown topics included, as before the endpoint port.
 func (s *Server) sweepAndCount(next endpoint.Handler) endpoint.Handler {
 	return func(req *wire.Message) (*wire.Message, error) {
-		s.store.Sweep()
+		if s.sweeper != nil {
+			s.sweeper.Sweep()
+		}
 		s.Requests.Inc(req.Topic, 1)
 		return next(req)
 	}
@@ -76,32 +136,46 @@ func (s *Server) SetTracer(t *trace.Tracer) { s.traceRef.Set(t) }
 // Addr returns the listener's bound address.
 func (s *Server) Addr() string { return s.ep.Addr() }
 
-// Store returns the server's backing store.
+// Store returns the server's backing store (nil when the backing is not a
+// plain *Store).
 func (s *Server) Store() *Store { return s.store }
 
-// Close stops accepting, closes all connections, and waits for handlers.
-func (s *Server) Close() error { return s.ep.Close() }
+// Handle registers an extra topic on the server's listener — how a cluster
+// node rides its registry listener for gossip without a second protocol
+// port.
+func (s *Server) Handle(topic string, h endpoint.Handler) { s.ep.Handle(topic, h) }
+
+// Close stops the sweep ticker and the endpoint server.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		if s.stopSweep != nil {
+			close(s.stopSweep)
+		}
+	})
+	s.sweepWG.Wait()
+	return s.ep.Close()
+}
 
 func (s *Server) handleRegister(req *wire.Message) (*wire.Message, error) {
 	d, err := svcdesc.UnmarshalDescription(req.Payload)
 	if err != nil {
 		return nil, err
 	}
-	if err := s.store.Register(d); err != nil {
+	if err := s.backing.Register(d); err != nil {
 		return nil, err
 	}
 	return &wire.Message{Kind: wire.KindAck}, nil
 }
 
 func (s *Server) handleUnregister(req *wire.Message) (*wire.Message, error) {
-	if err := s.store.Unregister(string(req.Payload)); err != nil {
+	if err := s.backing.Unregister(string(req.Payload)); err != nil {
 		return nil, err
 	}
 	return &wire.Message{Kind: wire.KindAck}, nil
 }
 
 func (s *Server) handleRenew(req *wire.Message) (*wire.Message, error) {
-	if err := s.store.Renew(string(req.Payload)); err != nil {
+	if err := s.backing.Renew(string(req.Payload)); err != nil {
 		return nil, err
 	}
 	return &wire.Message{Kind: wire.KindAck}, nil
@@ -112,7 +186,7 @@ func (s *Server) handleLookup(req *wire.Message) (*wire.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	descs, err := s.store.Lookup(q)
+	descs, err := s.backing.Lookup(q)
 	if err != nil {
 		return nil, err
 	}
@@ -187,19 +261,19 @@ func (c *Client) Register(d *svcdesc.Description) error {
 	if err != nil {
 		return err
 	}
-	_, err = c.call(topicRegister, payload)
+	_, err = c.call(TopicRegister, payload)
 	return err
 }
 
 // Unregister implements Registry.
 func (c *Client) Unregister(key string) error {
-	_, err := c.call(topicUnregister, []byte(key))
+	_, err := c.call(TopicUnregister, []byte(key))
 	return err
 }
 
 // Renew implements Registry.
 func (c *Client) Renew(key string) error {
-	_, err := c.call(topicRenew, []byte(key))
+	_, err := c.call(TopicRenew, []byte(key))
 	return err
 }
 
@@ -212,7 +286,7 @@ func (c *Client) Lookup(q *svcdesc.Query) ([]*svcdesc.Description, error) {
 	r := obs.Default()
 	r.Counter("discovery.lookup.queries").Inc(1)
 	start := time.Now()
-	reply, err := c.call(topicLookup, payload)
+	reply, err := c.call(TopicLookup, payload)
 	r.Histogram("discovery.lookup.latency_ms").Observe(
 		float64(time.Since(start)) / float64(time.Millisecond))
 	if err != nil {
@@ -292,14 +366,14 @@ func (c *Client) RegisterBatch(ds []*svcdesc.Description) error {
 		}
 		futs = append(futs, c.caller.Go(&endpoint.Call{
 			Kind:    wire.KindControl,
-			Topic:   topicRegister,
+			Topic:   TopicRegister,
 			Payload: payload,
 			Timeout: timeout,
 		}))
 	}
 	for _, fut := range futs {
 		if _, err := fut.Wait(); err != nil && firstErr == nil {
-			firstErr = translateErr(topicRegister, timeout, err)
+			firstErr = translateErr(TopicRegister, timeout, err)
 		}
 	}
 	return firstErr

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzGossipDecode drives both gossip decoders over arbitrary bytes: they
+// must stay total (no panic, no runaway allocation) and, when a payload does
+// decode, the decoded value must survive an encode/decode round trip
+// unchanged. (Byte-level canonicality is not required — binary.Uvarint
+// accepts non-minimal encodings the encoder never emits.)
+func FuzzGossipDecode(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(AppendDigest(nil, &Digest{From: "r0"}))
+	f.Add(AppendDigest(nil, &Digest{
+		From: "registry0",
+		Entries: []DigestEntry{
+			{Key: "n1|sensor/bp|", Seq: 7, Origin: "registry1"},
+			{Key: "n2|printer|", Seq: 1 << 33, Origin: "registry2"},
+		},
+	}))
+	f.Add(AppendDelta(nil, &Delta{From: "r1"}))
+	f.Add(AppendDelta(nil, &Delta{
+		From: "registry1",
+		Entries: []DeltaEntry{
+			{Key: "n1|sensor/bp|", Seq: 3, Origin: "registry0", TTLMillis: 1500,
+				Desc: []byte("<description><name>sensor/bp</name></description>")},
+			{Key: "n9|gone|", Seq: 12, Origin: "registry2", Deleted: true, TTLMillis: 30000},
+		},
+		Want: []string{"n3|svc/a|", "n4|svc/b|"},
+	}))
+	f.Add([]byte{gossipVersion, kindDigest, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Add([]byte{gossipVersion, kindDelta, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if dig, err := DecodeDigest(data); err == nil {
+			again, err := DecodeDigest(AppendDigest(nil, dig))
+			if err != nil {
+				t.Fatalf("re-decode digest: %v", err)
+			}
+			if !reflect.DeepEqual(dig, again) {
+				t.Fatalf("digest round trip: %+v != %+v", dig, again)
+			}
+		}
+		if delta, err := DecodeDelta(data); err == nil {
+			again, err := DecodeDelta(AppendDelta(nil, delta))
+			if err != nil {
+				t.Fatalf("re-decode delta: %v", err)
+			}
+			if !reflect.DeepEqual(delta, again) {
+				t.Fatalf("delta round trip: %+v != %+v", delta, again)
+			}
+		}
+	})
+}

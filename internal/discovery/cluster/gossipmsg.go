@@ -1,0 +1,302 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Gossip wire format. Anti-entropy messages ride the endpoint layer as
+// ordinary control requests on the gossip topics; payloads use a compact
+// length-prefixed binary encoding (uvarints, like the frame layer) rather
+// than XML — digests are sent every round and scale with the table size, so
+// they are the one discovery payload where encoding cost matters.
+//
+//	digest := version kind=1 str(from) uvarint(n) n*(str(key) uvarint(seq) str(origin))
+//	delta  := version kind=2 str(from) uvarint(n) n*entry uvarint(m) m*str(wantKey)
+//	entry  := str(key) uvarint(seq) str(origin) byte(deleted) uvarint(ttlMillis) bytes(desc)
+//	str    := uvarint(len) len bytes
+const (
+	gossipVersion = 1
+	kindDigest    = 1
+	kindDelta     = 2
+)
+
+// Decode hard limits: gossip peers are trusted, but the decoder must stay
+// total on arbitrary bytes (it is fuzzed), so claimed lengths are bounded
+// before any allocation.
+const (
+	maxGossipEntries = 1 << 16
+	maxGossipKeyLen  = 1 << 12
+	maxGossipDescLen = 1 << 20
+)
+
+// ErrBadGossip reports an undecodable gossip payload.
+var ErrBadGossip = errors.New("cluster: bad gossip payload")
+
+// DigestEntry summarizes one replicated entry: enough for a peer to decide
+// staleness without shipping the description.
+type DigestEntry struct {
+	Key    string
+	Seq    uint64
+	Origin string
+}
+
+// Digest is the anti-entropy opener: the initiator's full table summary.
+type Digest struct {
+	From    string
+	Entries []DigestEntry
+}
+
+// DeltaEntry carries one full replicated entry. TTLMillis is the lease
+// remaining at send time (receivers re-anchor it on their own clock, so
+// members need no clock agreement); Deleted marks a tombstone, whose Desc is
+// empty.
+type DeltaEntry struct {
+	Key       string
+	Seq       uint64
+	Origin    string
+	Deleted   bool
+	TTLMillis uint64
+	Desc      []byte
+}
+
+// Delta is the anti-entropy answer: entries the receiver is missing, plus
+// the keys the sender wants back (the pull half of push-pull).
+type Delta struct {
+	From    string
+	Entries []DeltaEntry
+	Want    []string
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendDigest encodes d onto dst.
+func AppendDigest(dst []byte, d *Digest) []byte {
+	dst = append(dst, gossipVersion, kindDigest)
+	dst = appendString(dst, d.From)
+	dst = binary.AppendUvarint(dst, uint64(len(d.Entries)))
+	for _, e := range d.Entries {
+		dst = appendString(dst, e.Key)
+		dst = binary.AppendUvarint(dst, e.Seq)
+		dst = appendString(dst, e.Origin)
+	}
+	return dst
+}
+
+// AppendDelta encodes d onto dst.
+func AppendDelta(dst []byte, d *Delta) []byte {
+	dst = append(dst, gossipVersion, kindDelta)
+	dst = appendString(dst, d.From)
+	dst = binary.AppendUvarint(dst, uint64(len(d.Entries)))
+	for _, e := range d.Entries {
+		dst = appendString(dst, e.Key)
+		dst = binary.AppendUvarint(dst, e.Seq)
+		dst = appendString(dst, e.Origin)
+		deleted := byte(0)
+		if e.Deleted {
+			deleted = 1
+		}
+		dst = append(dst, deleted)
+		dst = binary.AppendUvarint(dst, e.TTLMillis)
+		dst = appendBytes(dst, e.Desc)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(d.Want)))
+	for _, k := range d.Want {
+		dst = appendString(dst, k)
+	}
+	return dst
+}
+
+// decoder walks a gossip payload with bounds checks on every read.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, ErrBadGossip
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) str(limit int) (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(limit) || d.off+int(n) > len(d.buf) {
+		return "", ErrBadGossip
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *decoder) bytes(limit int) ([]byte, error) {
+	s, err := d.str(limit)
+	if err != nil {
+		return nil, err
+	}
+	if s == "" {
+		return nil, nil
+	}
+	return []byte(s), nil
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.off >= len(d.buf) {
+		return 0, ErrBadGossip
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *decoder) header(kind byte) error {
+	v, err := d.byte()
+	if err != nil {
+		return err
+	}
+	if v != gossipVersion {
+		return fmt.Errorf("%w: version %d", ErrBadGossip, v)
+	}
+	k, err := d.byte()
+	if err != nil {
+		return err
+	}
+	if k != kind {
+		return fmt.Errorf("%w: kind %d, want %d", ErrBadGossip, k, kind)
+	}
+	return nil
+}
+
+func (d *decoder) count() (int, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > maxGossipEntries {
+		return 0, fmt.Errorf("%w: %d entries", ErrBadGossip, n)
+	}
+	// A digest entry takes at least 3 bytes on the wire; reject counts the
+	// remaining buffer cannot possibly hold before allocating for them.
+	if int(n) > len(d.buf)-d.off {
+		return 0, ErrBadGossip
+	}
+	return int(n), nil
+}
+
+func (d *decoder) done() error {
+	if d.off != len(d.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadGossip, len(d.buf)-d.off)
+	}
+	return nil
+}
+
+// DecodeDigest decodes a digest payload.
+func DecodeDigest(buf []byte) (*Digest, error) {
+	d := &decoder{buf: buf}
+	if err := d.header(kindDigest); err != nil {
+		return nil, err
+	}
+	out := &Digest{}
+	var err error
+	if out.From, err = d.str(maxGossipKeyLen); err != nil {
+		return nil, err
+	}
+	n, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	out.Entries = make([]DigestEntry, 0, n)
+	for i := 0; i < n; i++ {
+		var e DigestEntry
+		if e.Key, err = d.str(maxGossipKeyLen); err != nil {
+			return nil, err
+		}
+		if e.Seq, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		if e.Origin, err = d.str(maxGossipKeyLen); err != nil {
+			return nil, err
+		}
+		out.Entries = append(out.Entries, e)
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeDelta decodes a delta payload.
+func DecodeDelta(buf []byte) (*Delta, error) {
+	d := &decoder{buf: buf}
+	if err := d.header(kindDelta); err != nil {
+		return nil, err
+	}
+	out := &Delta{}
+	var err error
+	if out.From, err = d.str(maxGossipKeyLen); err != nil {
+		return nil, err
+	}
+	n, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	out.Entries = make([]DeltaEntry, 0, n)
+	for i := 0; i < n; i++ {
+		var e DeltaEntry
+		if e.Key, err = d.str(maxGossipKeyLen); err != nil {
+			return nil, err
+		}
+		if e.Seq, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		if e.Origin, err = d.str(maxGossipKeyLen); err != nil {
+			return nil, err
+		}
+		del, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		if del > 1 {
+			return nil, fmt.Errorf("%w: deleted flag %d", ErrBadGossip, del)
+		}
+		e.Deleted = del == 1
+		if e.TTLMillis, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		if e.Desc, err = d.bytes(maxGossipDescLen); err != nil {
+			return nil, err
+		}
+		out.Entries = append(out.Entries, e)
+	}
+	m, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	out.Want = make([]string, 0, m)
+	for i := 0; i < m; i++ {
+		k, err := d.str(maxGossipKeyLen)
+		if err != nil {
+			return nil, err
+		}
+		out.Want = append(out.Want, k)
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ndsm/internal/discovery"
+	"ndsm/internal/health"
+	"ndsm/internal/obs"
+	"ndsm/internal/simtime"
+	"ndsm/internal/svcdesc"
+	"ndsm/internal/trace"
+	"ndsm/internal/transport"
+)
+
+// ResolverOptions configures a cluster-aware client resolver.
+type ResolverOptions struct {
+	// Members is the registry cluster membership. It must match the
+	// members the nodes themselves were built with.
+	Members []string
+	// ReplicationFactor is the owner-set size R (default
+	// DefaultReplicationFactor, clamped to the membership size). It must
+	// match the nodes' factor.
+	ReplicationFactor int
+	// VNodes is the consistent-hash virtual-node count (default
+	// DefaultVNodes). It must match the nodes' count.
+	VNodes int
+	// Monitor, when set, watches the member set: every successful call
+	// heartbeats the member, every failure is reported, so the consumer's
+	// failure detector tracks registry nodes exactly like service peers.
+	Monitor *health.Monitor
+	// Metrics receives the resolver's instruments (process default if nil).
+	Metrics *obs.Registry
+}
+
+// Resolver is the cluster-aware client side of the sharded registry: writes
+// go to every owner of the key concurrently and return on the first success
+// (anti-entropy repairs the rest), lookups scatter-gather the whole
+// membership and succeed once a quorum of N-R+1 members answered — the
+// smallest responder set guaranteed to intersect every key's owner set, so a
+// quorum-complete merge misses nothing.
+//
+// A Resolver is what consumers wrap in discovery.NewCached: the cache
+// absorbs the scatter-gather cost so the steady state is a local hit.
+type Resolver struct {
+	ring    *Ring
+	rf      int
+	quorum  int
+	tr      transport.Transport
+	monitor *health.Monitor
+	metrics *obs.Registry
+
+	mu           sync.Mutex
+	clients      map[string]*discovery.Client
+	callTimeout  time.Duration
+	timeoutClock simtime.Clock
+	tracer       *trace.Tracer
+	closed       bool
+}
+
+var _ discovery.Resolver = (*Resolver)(nil)
+
+// NewResolver creates a resolver over the given cluster membership.
+func NewResolver(tr transport.Transport, opts ResolverOptions) (*Resolver, error) {
+	ring := NewRing(opts.Members, opts.VNodes)
+	if ring.Size() == 0 {
+		return nil, fmt.Errorf("cluster: resolver needs at least one member")
+	}
+	rf := opts.ReplicationFactor
+	if rf <= 0 {
+		rf = DefaultReplicationFactor
+	}
+	if rf > ring.Size() {
+		rf = ring.Size()
+	}
+	return &Resolver{
+		ring:    ring,
+		rf:      rf,
+		quorum:  ring.Size() - rf + 1,
+		tr:      tr,
+		monitor: opts.Monitor,
+		metrics: obs.Or(opts.Metrics),
+		clients: make(map[string]*discovery.Client),
+	}, nil
+}
+
+// Members returns the canonical cluster membership.
+func (r *Resolver) Members() []string { return r.ring.Members() }
+
+// Quorum returns the lookup responder quorum (N-R+1).
+func (r *Resolver) Quorum() int { return r.quorum }
+
+// SetCallTimeout bounds each member call (see discovery.Client.SetCallTimeout).
+func (r *Resolver) SetCallTimeout(d time.Duration, clock simtime.Clock) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.callTimeout, r.timeoutClock = d, clock
+	for _, c := range r.clients {
+		c.SetCallTimeout(d, clock)
+	}
+}
+
+// SetTracer installs the tracer on every member client.
+func (r *Resolver) SetTracer(t *trace.Tracer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tracer = t
+	for _, c := range r.clients {
+		c.SetTracer(t)
+	}
+}
+
+// client returns (creating lazily) the member's registry client.
+func (r *Resolver) client(member string) (*discovery.Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, discovery.ErrClosed
+	}
+	if c := r.clients[member]; c != nil {
+		return c, nil
+	}
+	c := discovery.NewClient(r.tr, member)
+	if r.callTimeout > 0 {
+		c.SetCallTimeout(r.callTimeout, r.timeoutClock)
+	}
+	if r.tracer != nil {
+		c.SetTracer(r.tracer)
+	}
+	r.clients[member] = c
+	return c, nil
+}
+
+// observe feeds the optional member-set monitor.
+func (r *Resolver) observe(member string, err error) {
+	if r.monitor == nil {
+		return
+	}
+	if err == nil {
+		r.monitor.Heartbeat(member)
+		r.monitor.ReportSuccess(member)
+	} else {
+		r.monitor.ReportFailure(member)
+	}
+}
+
+// fanout runs op against every owner of key concurrently and returns on the
+// first success; stragglers finish in the background (their results only
+// feed the monitor). With all owners down it returns the first error.
+func (r *Resolver) fanout(key string, op func(c *discovery.Client) error) error {
+	owners := r.ring.Owners(key, r.rf)
+	errc := make(chan error, len(owners))
+	for _, m := range owners {
+		m := m
+		go func() {
+			c, err := r.client(m)
+			if err == nil {
+				err = op(c)
+			}
+			r.observe(m, err)
+			errc <- err
+		}()
+	}
+	var firstErr error
+	for range owners {
+		err := <-errc
+		if err == nil {
+			return nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Register implements discovery.Resolver: the advertisement is written to
+// every owner of its key.
+func (r *Resolver) Register(d *svcdesc.Description) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	return r.fanout(d.Key(), func(c *discovery.Client) error { return c.Register(d) })
+}
+
+// Unregister implements discovery.Resolver.
+func (r *Resolver) Unregister(key string) error {
+	return r.fanout(key, func(c *discovery.Client) error { return c.Unregister(key) })
+}
+
+// Renew implements discovery.Resolver.
+func (r *Resolver) Renew(key string) error {
+	return r.fanout(key, func(c *discovery.Client) error { return c.Renew(key) })
+}
+
+// Lookup implements discovery.Resolver: every member is queried
+// concurrently and the call returns as soon as a responder quorum has
+// answered, merged and deduplicated by description key. Below quorum the
+// merge could silently miss keys whose owners were all unreachable, so it
+// fails instead.
+func (r *Resolver) Lookup(q *svcdesc.Query) ([]*svcdesc.Description, error) {
+	r.metrics.Counter("discovery.cluster.resolver.lookups").Inc(1)
+	members := r.ring.Members()
+	type result struct {
+		descs []*svcdesc.Description
+		err   error
+	}
+	resc := make(chan result, len(members))
+	for _, m := range members {
+		m := m
+		go func() {
+			c, err := r.client(m)
+			var descs []*svcdesc.Description
+			if err == nil {
+				descs, err = c.Lookup(q)
+			}
+			r.observe(m, err)
+			resc <- result{descs: descs, err: err}
+		}()
+	}
+	merged := make(map[string]*svcdesc.Description)
+	successes := 0
+	var firstErr error
+	for range members {
+		res := <-resc
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			continue
+		}
+		successes++
+		for _, d := range res.descs {
+			if _, ok := merged[d.Key()]; !ok {
+				merged[d.Key()] = d
+			}
+		}
+		if successes >= r.quorum {
+			keys := make([]string, 0, len(merged))
+			for k := range merged {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			out := make([]*svcdesc.Description, 0, len(keys))
+			for _, k := range keys {
+				out = append(out, merged[k])
+			}
+			return out, nil
+		}
+	}
+	r.metrics.Counter("discovery.cluster.resolver.quorum_failures").Inc(1)
+	if firstErr == nil {
+		firstErr = discovery.ErrClosed
+	}
+	return nil, fmt.Errorf("cluster: lookup quorum %d/%d members: %w",
+		successes, r.quorum, firstErr)
+}
+
+// Close implements discovery.Resolver, closing every member client.
+func (r *Resolver) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	clients := make([]*discovery.Client, 0, len(r.clients))
+	for _, c := range r.clients {
+		clients = append(clients, c)
+	}
+	r.clients = make(map[string]*discovery.Client)
+	r.mu.Unlock()
+	var firstErr error
+	for _, c := range clients {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

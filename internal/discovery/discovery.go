@@ -26,8 +26,12 @@ import (
 	"ndsm/internal/svcdesc"
 )
 
-// Registry is the uniform discovery API all four organizations implement.
-type Registry interface {
+// Resolver is the uniform discovery API every organization implements —
+// centralized client, flood agent, mirrored, adaptive, the sharded cluster
+// resolver, and the lease cache that can wrap any of them. Consumers (core
+// bindings, the health watcher, command wiring) depend on nothing more
+// concrete than this.
+type Resolver interface {
 	// Register advertises a service (idempotent on the description key;
 	// re-registering renews the lease).
 	Register(d *svcdesc.Description) error
@@ -39,6 +43,29 @@ type Registry interface {
 	Lookup(q *svcdesc.Query) ([]*svcdesc.Description, error)
 	// Close releases the registry's resources.
 	Close() error
+}
+
+// Registry is the historical name for Resolver, kept as an alias so existing
+// call sites and implementations need no change.
+type Registry = Resolver
+
+// Invalidator is implemented by resolvers that keep local lookup state (the
+// lease cache, and any wrapper forwarding to one). Consumers call it when
+// out-of-band evidence — a failure detector suspecting a peer, a rebind away
+// from a corpse — says cached results naming that provider are no longer
+// trustworthy.
+type Invalidator interface {
+	// InvalidateProvider drops cached lookup results that include the
+	// provider.
+	InvalidateProvider(provider string)
+}
+
+// Invalidate forwards to r's InvalidateProvider when r caches lookups (it
+// is a no-op for cache-less resolvers).
+func Invalidate(r Resolver, provider string) {
+	if inv, ok := r.(Invalidator); ok {
+		inv.InvalidateProvider(provider)
+	}
 }
 
 // Discovery errors.

@@ -298,7 +298,7 @@ func TestCentralServerCountsRequests(t *testing.T) {
 	_ = cli.Register(desc("n1", "svc"))
 	_, _ = cli.Lookup(&svcdesc.Query{})
 	snap := srv.Requests.Snapshot()
-	if snap[topicRegister] != 1 || snap[topicLookup] != 1 {
+	if snap[TopicRegister] != 1 || snap[TopicLookup] != 1 {
 		t.Fatalf("server counters = %v", snap)
 	}
 }

@@ -5,8 +5,10 @@ import (
 	"time"
 
 	"ndsm/internal/discovery"
+	"ndsm/internal/discovery/cluster"
 	"ndsm/internal/netmux"
 	"ndsm/internal/netsim"
+	"ndsm/internal/obs"
 	"ndsm/internal/routing"
 	"ndsm/internal/stats"
 	"ndsm/internal/svcdesc"
@@ -82,6 +84,12 @@ type E1Options struct {
 	Sizes []int
 	// Lookups per configuration (default 5).
 	Lookups int
+	// ClusterSizes are the registry-cluster member counts for the lookup-path
+	// sweep (default 1, 3, 5).
+	ClusterSizes []int
+	// ClusterLookups per cluster configuration (default 200; enough samples
+	// for a stable p50 on a microsecond-scale path).
+	ClusterLookups int
 }
 
 func (o E1Options) withDefaults() E1Options {
@@ -90,6 +98,12 @@ func (o E1Options) withDefaults() E1Options {
 	}
 	if o.Lookups <= 0 {
 		o.Lookups = 5
+	}
+	if len(o.ClusterSizes) == 0 {
+		o.ClusterSizes = []int{1, 3, 5}
+	}
+	if o.ClusterLookups <= 0 {
+		o.ClusterLookups = 200
 	}
 	return o
 }
@@ -113,15 +127,110 @@ func E1(opts E1Options) (Result, error) {
 		}
 		table.AddRow(n, "centralized (registry)", msgs, lat, found)
 	}
+
+	clusterTbl := stats.NewTable("E1b: registry cluster lookup path",
+		"cluster size", "wire p50 µs", "cached p50 µs", "speedup x", "cache hit %")
+	notes := []string{
+		"Flood cost grows with N (every node rebroadcasts the query once);",
+		"centralized cost grows only with the hop distance to the registry.",
+		"E1b: steady-state lookups against a replicated registry cluster,",
+		"quorum scatter-gather over the wire vs the client-side lease cache.",
+	}
+	for _, size := range opts.ClusterSizes {
+		wire, cachedP50, hit, err := e1Cluster(size, opts.ClusterLookups)
+		if err != nil {
+			return Result{}, fmt.Errorf("E1 cluster size=%d: %w", size, err)
+		}
+		speedup := 0.0
+		if cachedP50 > 0 {
+			speedup = wire / cachedP50
+		}
+		clusterTbl.AddRow(size, wire, cachedP50, speedup, hit)
+		if speedup < 10 {
+			notes = append(notes, fmt.Sprintf(
+				"UNEXPECTED: cluster size %d cached p50 only %.1fx faster than wire (want >=10x).",
+				size, speedup))
+		}
+	}
 	return Result{
 		ID:     "E1",
 		Title:  "Discovery: message cost and latency vs network size",
-		Tables: []*stats.Table{table},
-		Notes: []string{
-			"Flood cost grows with N (every node rebroadcasts the query once);",
-			"centralized cost grows only with the hop distance to the registry.",
-		},
+		Tables: []*stats.Table{table, clusterTbl},
+		Notes:  notes,
 	}, nil
+}
+
+// e1Cluster measures the two steady-state lookup paths against a registry
+// cluster of the given size on an in-memory fabric: the quorum scatter-gather
+// wire path, and the client lease cache serving fresh hits locally. Returns
+// the two p50s (µs) and the cache hit rate (%).
+func e1Cluster(size, lookups int) (wireP50, cachedP50, hitRate float64, err error) {
+	fabric := transport.NewFabric()
+	members := make([]string, size)
+	for i := range members {
+		members[i] = fmt.Sprintf("registry%d", i)
+	}
+	var nodes []*cluster.Node
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+	for _, id := range members {
+		tr := transport.NewMem(fabric)
+		l, lerr := tr.Listen(id)
+		if lerr != nil {
+			return 0, 0, 0, lerr
+		}
+		n, nerr := cluster.NewNode(tr, l, cluster.NodeOptions{Self: id, Members: members})
+		if nerr != nil {
+			return 0, 0, 0, nerr
+		}
+		nodes = append(nodes, n)
+	}
+
+	res, err := cluster.NewResolver(transport.NewMem(fabric), cluster.ResolverOptions{Members: members})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer res.Close() //nolint:errcheck
+	metrics := obs.NewRegistry()
+	cached := discovery.NewCached(res, discovery.CacheOptions{TTL: time.Hour, Metrics: metrics})
+	defer cached.Close() //nolint:errcheck
+
+	for i := 0; i < 8; i++ {
+		if err := cached.Register(bpService(fmt.Sprintf("sup%d", i))); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	q := &svcdesc.Query{Name: "sensor/bp"}
+	if _, err := cached.Lookup(q); err != nil { // prime the cache
+		return 0, 0, 0, err
+	}
+
+	wire := stats.NewSample(lookups)
+	for i := 0; i < lookups; i++ {
+		start := time.Now()
+		if _, err := res.Lookup(q); err != nil {
+			return 0, 0, 0, err
+		}
+		wire.Add(float64(time.Since(start)) / float64(time.Microsecond))
+	}
+	local := stats.NewSample(lookups)
+	for i := 0; i < lookups; i++ {
+		start := time.Now()
+		if _, err := cached.Lookup(q); err != nil {
+			return 0, 0, 0, err
+		}
+		local.Add(float64(time.Since(start)) / float64(time.Microsecond))
+	}
+
+	hits := metrics.Counter("discovery.cache.hits").Value()
+	misses := metrics.Counter("discovery.cache.misses").Value()
+	if total := hits + misses; total > 0 {
+		hitRate = 100 * float64(hits) / float64(total)
+	}
+	return wire.Median(), local.Median(), hitRate, nil
 }
 
 // e1Distributed floods lookups from corner 0 for a service at the far
@@ -282,6 +391,14 @@ func E2(opts E2Options) (Result, error) {
 		}
 		table.AddRow(sc.name, sc.density, reg, mode, fmt.Sprintf("%d/%d", ok, opts.Lookups))
 	}
+	for _, size := range []int{1, 3, 5} {
+		mode, ok, err := e2ClusterScenario(size, opts.Lookups)
+		if err != nil {
+			return Result{}, fmt.Errorf("E2 cluster(%d): %w", size, err)
+		}
+		name := fmt.Sprintf("dense, cluster(%d), member down", size)
+		table.AddRow(name, 10, "1 member down", mode, fmt.Sprintf("%d/%d", ok, opts.Lookups))
+	}
 	return Result{
 		ID:     "E2",
 		Title:  "Adaptive discovery: centralized when dense+healthy, flooding otherwise",
@@ -289,8 +406,96 @@ func E2(opts E2Options) (Result, error) {
 		Notes: []string{
 			"Policy: DensityPolicy(6). Lookups keep succeeding when the registry dies —",
 			"the adaptive organization degrades to flooding instead of failing.",
+			"Cluster rows kill one registry member: a single-node 'cluster' degrades",
+			"to flooding like the classic registry, while 3 and 5 members keep the",
+			"lookup quorum and the adaptive layer stays on the centralized path.",
 		},
 	}, nil
+}
+
+// e2ClusterScenario runs the adaptive stack with a registry cluster as its
+// centralized side and one member killed: with enough members the lookup
+// quorum survives and the policy stays central; a 1-member cluster behaves
+// like the dead classic registry and the agent floods.
+func e2ClusterScenario(size, lookups int) (mode string, okCount int, err error) {
+	net := netsim.New(netsim.Config{Range: 12, Unlimited: true})
+	defer net.Close()
+	ids := []netsim.NodeID{"q", "s", "r"}
+	for i, id := range ids {
+		if err := net.AddNode(id, netsim.Position{X: float64(i) * 10}); err != nil {
+			return "", 0, err
+		}
+	}
+	var agents []*discovery.Agent
+	for _, id := range ids {
+		mux, err := netmux.New(net, id)
+		if err != nil {
+			return "", 0, err
+		}
+		defer mux.Close()
+		a := discovery.NewAgent(mux, discovery.AgentConfig{CollectWindow: 100 * time.Millisecond, MaxResults: 1})
+		defer a.Close() //nolint:errcheck
+		agents = append(agents, a)
+	}
+	if err := agents[1].Register(bpService("s")); err != nil {
+		return "", 0, err
+	}
+
+	// Cluster registry over mem transport (infrastructure network).
+	fabric := transport.NewFabric()
+	members := make([]string, size)
+	for i := range members {
+		members[i] = fmt.Sprintf("registry%d", i)
+	}
+	var nodes []*cluster.Node
+	defer func() {
+		for _, n := range nodes {
+			if n != nil {
+				_ = n.Close()
+			}
+		}
+	}()
+	for _, id := range members {
+		tr := transport.NewMem(fabric)
+		l, lerr := tr.Listen(id)
+		if lerr != nil {
+			return "", 0, lerr
+		}
+		n, nerr := cluster.NewNode(tr, l, cluster.NodeOptions{Self: id, Members: members})
+		if nerr != nil {
+			return "", 0, nerr
+		}
+		nodes = append(nodes, n)
+	}
+	central, err := cluster.NewResolver(transport.NewMem(fabric), cluster.ResolverOptions{Members: members})
+	if err != nil {
+		return "", 0, err
+	}
+	if err := central.Register(bpService("s")); err != nil {
+		return "", 0, err
+	}
+	central.SetCallTimeout(50*time.Millisecond, nil)
+
+	// One member dies. Replication (RF 2, clamped to 1 for the single-member
+	// cluster) and the N-RF+1 lookup quorum decide whether the centralized
+	// path survives it.
+	_ = nodes[0].Close()
+	nodes[0] = nil
+
+	ad := discovery.NewAdaptive(central, agents[0], func() int { return 10 }, discovery.DensityPolicy(6), nil)
+	for i := 0; i < lookups; i++ {
+		descs, err := ad.Lookup(&svcdesc.Query{Name: "sensor/bp"})
+		if err == nil && len(descs) > 0 {
+			okCount++
+		}
+	}
+	dec := ad.Decisions.Snapshot()
+	if dec[string(discovery.ModeCentral)] >= dec[string(discovery.ModeFlood)] {
+		mode = string(discovery.ModeCentral)
+	} else {
+		mode = string(discovery.ModeFlood)
+	}
+	return mode, okCount, nil
 }
 
 func e2Scenario(density int, registryUp bool, lookups int) (mode string, okCount int, err error) {
@@ -319,7 +524,7 @@ func e2Scenario(density int, registryUp bool, lookups int) (mode string, okCount
 	}
 
 	// Central registry over mem transport (infrastructure network).
-	var central discovery.Registry
+	var central discovery.Resolver
 	fabric := transport.NewFabric()
 	mem := transport.NewMem(fabric)
 	defer mem.Close() //nolint:errcheck

@@ -64,6 +64,21 @@ func TestE1Shape(t *testing.T) {
 	if flood9 <= central9 {
 		t.Fatalf("flooding (%v) should cost more than centralized (%v)", flood9, central9)
 	}
+	// The cluster lookup-path sweep: one row per cluster size, and at every
+	// size the cached path must beat the wire quorum path by >=10x at p50 —
+	// the acceptance bar for the client lease cache.
+	cl := res.Tables[1]
+	if len(cl.Rows) != 3 {
+		t.Fatalf("cluster table rows = %d", len(cl.Rows))
+	}
+	for i := range cl.Rows {
+		if speedup := cellFloat(t, res, 1, i, 3); speedup < 10 {
+			t.Errorf("cluster row %d: cached lookup only %.1fx faster than wire, want >=10x", i, speedup)
+		}
+		if hit := cellFloat(t, res, 1, i, 4); hit < 99 {
+			t.Errorf("cluster row %d: cache hit rate %.1f%%, want ~100%%", i, hit)
+		}
+	}
 }
 
 func TestE2Shape(t *testing.T) {
@@ -72,7 +87,7 @@ func TestE2Shape(t *testing.T) {
 		t.Fatal(err)
 	}
 	rows := res.Tables[0].Rows
-	if len(rows) != 3 {
+	if len(rows) != 6 {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	if cell(t, res, 0, 0, 3) != "central" {
@@ -83,6 +98,17 @@ func TestE2Shape(t *testing.T) {
 	}
 	if cell(t, res, 0, 2, 3) != "flood" {
 		t.Fatalf("registry-down chose %s", cell(t, res, 0, 2, 3))
+	}
+	// Cluster rows: a 1-member cluster with its member down degrades to
+	// flooding like the classic dead registry; 3 and 5 members keep the
+	// lookup quorum and the adaptive layer stays central.
+	if cell(t, res, 0, 3, 3) != "flood" {
+		t.Fatalf("cluster(1) member-down chose %s", cell(t, res, 0, 3, 3))
+	}
+	for i := 4; i <= 5; i++ {
+		if cell(t, res, 0, i, 3) != "central" {
+			t.Fatalf("row %d (quorum-up cluster) chose %s", i, cell(t, res, 0, i, 3))
+		}
 	}
 	// All lookups succeeded in every scenario (graceful degradation).
 	for i := range rows {
@@ -358,6 +384,30 @@ func TestE11Shape(t *testing.T) {
 	// to violate (that is the experiment's point).
 	if v := cellFloat(t, res, 0, 0, 5); v != 0 {
 		t.Fatalf("%v detector-on violations: %+v", v, res.Notes)
+	}
+}
+
+func TestE12Shape(t *testing.T) {
+	res, err := E12(E12Options{Ticks: 40, KillAt: 8, KillTicks: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want classic and cluster", len(rows))
+	}
+	// The cluster's centralized path must serve every probe through the kill
+	// window — the tentpole claim the chaos invariant also gates.
+	if central := cellFloat(t, res, 0, 1, 4); central != 100 {
+		t.Fatalf("cluster central-path availability %v%% in kill window, want 100%%\n%+v",
+			central, res.Notes)
+	}
+	// Both worlds must be invariant-clean: the classic world survives via
+	// flood fallback, the cluster via replication.
+	for i := range rows {
+		if v := cellFloat(t, res, 0, i, 5); v != 0 {
+			t.Fatalf("row %d has %v violations: %+v", i, v, res.Notes)
+		}
 	}
 }
 

@@ -19,7 +19,7 @@ type Runner struct {
 
 // IDs lists all experiment identifiers in run order.
 func IDs() []string {
-	return []string{"F1", "E1", "E2", "E3", "E4", "E4x", "E5", "E5a", "E6", "E6a", "E7", "E8", "E9", "E10", "E11"}
+	return []string{"F1", "E1", "E2", "E3", "E4", "E4x", "E5", "E5a", "E6", "E6a", "E7", "E8", "E9", "E10", "E11", "E12"}
 }
 
 // Run executes one experiment by ID.
@@ -30,7 +30,7 @@ func (r Runner) Run(id string) (Result, error) {
 		return F1(), nil
 	case "E1":
 		if q {
-			return E1(E1Options{Sizes: []int{9, 16}, Lookups: 2})
+			return E1(E1Options{Sizes: []int{9, 16}, Lookups: 2, ClusterLookups: 50})
 		}
 		return E1(E1Options{})
 	case "E2":
@@ -95,6 +95,11 @@ func (r Runner) Run(id string) (Result, error) {
 			return E11(E11Options{Ticks: 40})
 		}
 		return E11(E11Options{})
+	case "E12":
+		if q {
+			return E12(E12Options{Ticks: 40, KillAt: 8, KillTicks: 15})
+		}
+		return E12(E12Options{})
 	default:
 		return Result{}, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
 	}

@@ -5,37 +5,40 @@ import (
 	"ndsm/internal/svcdesc"
 )
 
-// watchedRegistry decorates a discovery.Registry so that every provider
+// watchedRegistry decorates a discovery.Resolver so that every provider
 // listed in a successful lookup counts as a heartbeat.
 type watchedRegistry struct {
-	inner   discovery.Registry
+	inner   discovery.Resolver
 	monitor *Monitor
 }
 
-var _ discovery.Registry = (*watchedRegistry)(nil)
+var (
+	_ discovery.Resolver    = (*watchedRegistry)(nil)
+	_ discovery.Invalidator = (*watchedRegistry)(nil)
+)
 
-// WatchRegistry wraps a registry so lookups feed the monitor: a provider
+// WatchRegistry wraps a resolver so lookups feed the monitor: a provider
 // listed in a lookup result either renewed its lease recently (centralized
 // mode) or answered the flood query directly (distributed mode) — both are
 // proofs of life piggybacked on the discovery traffic the stack already
 // generates, so the failure detector needs no wire protocol of its own.
-func WatchRegistry(inner discovery.Registry, m *Monitor) discovery.Registry {
+func WatchRegistry(inner discovery.Resolver, m *Monitor) discovery.Resolver {
 	if m == nil {
 		return inner
 	}
 	return &watchedRegistry{inner: inner, monitor: m}
 }
 
-// Register implements discovery.Registry.
+// Register implements discovery.Resolver.
 func (w *watchedRegistry) Register(d *svcdesc.Description) error { return w.inner.Register(d) }
 
-// Unregister implements discovery.Registry.
+// Unregister implements discovery.Resolver.
 func (w *watchedRegistry) Unregister(key string) error { return w.inner.Unregister(key) }
 
-// Renew implements discovery.Registry.
+// Renew implements discovery.Resolver.
 func (w *watchedRegistry) Renew(key string) error { return w.inner.Renew(key) }
 
-// Lookup implements discovery.Registry, heartbeating every listed provider.
+// Lookup implements discovery.Resolver, heartbeating every listed provider.
 func (w *watchedRegistry) Lookup(q *svcdesc.Query) ([]*svcdesc.Description, error) {
 	descs, err := w.inner.Lookup(q)
 	if err != nil {
@@ -49,5 +52,12 @@ func (w *watchedRegistry) Lookup(q *svcdesc.Query) ([]*svcdesc.Description, erro
 	return descs, nil
 }
 
-// Close implements discovery.Registry.
+// InvalidateProvider implements discovery.Invalidator, forwarding to the
+// wrapped resolver when it caches lookups (a no-op otherwise) — suspicion
+// raised against a provider must reach the cache even through this wrapper.
+func (w *watchedRegistry) InvalidateProvider(provider string) {
+	discovery.Invalidate(w.inner, provider)
+}
+
+// Close implements discovery.Resolver.
 func (w *watchedRegistry) Close() error { return w.inner.Close() }

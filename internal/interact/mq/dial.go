@@ -1,0 +1,35 @@
+package mq
+
+import (
+	"fmt"
+
+	"ndsm/internal/discovery"
+	"ndsm/internal/svcdesc"
+	"ndsm/internal/transport"
+)
+
+// DialService connects to a broker found through the registry instead of a
+// fixed address: the query is resolved (through whatever Resolver the caller
+// runs — central, cluster, or cached) and the matches are dialed in order
+// until one accepts. Brokers advertise like any other service, so the MOM
+// style gets registry failover and lookup caching for free.
+func DialService(tr transport.Transport, r discovery.Resolver, q *svcdesc.Query) (*Client, error) {
+	descs, err := r.Lookup(q)
+	if err != nil {
+		return nil, fmt.Errorf("mq: resolve broker: %w", err)
+	}
+	if len(descs) == 0 {
+		return nil, fmt.Errorf("mq: no broker matches %q", q.Name)
+	}
+	var firstErr error
+	for _, d := range descs {
+		c, err := Dial(tr, d.Provider)
+		if err == nil {
+			return c, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, fmt.Errorf("mq: every advertised broker refused: %w", firstErr)
+}

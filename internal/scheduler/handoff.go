@@ -44,13 +44,13 @@ type HandoffReport struct {
 // QoS spec.
 type HandoffManager struct {
 	table    *transaction.Table
-	registry discovery.Registry
+	registry discovery.Resolver
 	specFor  SpecFor
 }
 
 // NewHandoffManager wires the pieces together. specFor may be nil, in which
 // case a name-only query on the transaction's topic is used.
-func NewHandoffManager(table *transaction.Table, registry discovery.Registry, specFor SpecFor) *HandoffManager {
+func NewHandoffManager(table *transaction.Table, registry discovery.Resolver, specFor SpecFor) *HandoffManager {
 	if specFor == nil {
 		specFor = func(txn transaction.Txn) *qos.Spec {
 			return &qos.Spec{Query: svcdesc.Query{Name: txn.Topic}}

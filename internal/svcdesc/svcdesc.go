@@ -74,6 +74,28 @@ func (d *Description) Key() string {
 	return d.Provider + "|" + d.Name + "|" + d.InstanceID
 }
 
+// KeyHash returns the stable 64-bit hash of the advertisement key — the
+// value sharded registries place on their consistent-hash ring. See KeyHash.
+func (d *Description) KeyHash() uint64 { return KeyHash(d.Key()) }
+
+// KeyHash is FNV-1a over the key bytes. The function is pinned by test: it
+// must never change, because every member of a registry cluster (and every
+// client routing writes to shard owners) derives placement from it — two
+// builds disagreeing on the hash would scatter one service's advertisement
+// across disjoint owner sets.
+func KeyHash(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
 // HashPassword returns the hex SHA-256 of a plaintext password, the format
 // stored in PasswordHash.
 func HashPassword(plain string) string {

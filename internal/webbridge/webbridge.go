@@ -70,7 +70,7 @@ type serverConfig struct {
 
 // Bridge serves the middleware over HTTP.
 type Bridge struct {
-	registry discovery.Registry
+	registry discovery.Resolver
 	node     *core.Node
 
 	cfgMu sync.RWMutex
@@ -84,7 +84,7 @@ type Bridge struct {
 // (lookup-only bridges suit registry hosts). When node carries a health
 // monitor, /healthz reports its per-peer state; attach one explicitly with
 // SetHealth otherwise.
-func New(registry discovery.Registry, node *core.Node) *Bridge {
+func New(registry discovery.Resolver, node *core.Node) *Bridge {
 	b := &Bridge{
 		registry: registry,
 		node:     node,

@@ -34,6 +34,7 @@ package ndsm
 import (
 	"ndsm/internal/core"
 	"ndsm/internal/discovery"
+	"ndsm/internal/discovery/cluster"
 	"ndsm/internal/interop"
 	"ndsm/internal/netsim"
 	"ndsm/internal/qos"
@@ -138,8 +139,12 @@ var (
 
 // --- discovery (§3.3) ---
 
-// Registry is the uniform discovery API all organizations implement.
-type Registry = discovery.Registry
+// Resolver is the uniform discovery API all organizations implement;
+// Registry is its historical alias.
+type (
+	Resolver = discovery.Resolver
+	Registry = discovery.Registry
+)
 
 // Store is the in-process leased advertisement table.
 type Store = discovery.Store
@@ -184,6 +189,32 @@ var (
 
 // DensityPolicy is the default adaptive mode policy.
 var DensityPolicy = discovery.DensityPolicy
+
+// Cached wraps any Resolver with a client-side lookup lease cache:
+// steady-state lookups are local hits that revalidate asynchronously.
+type (
+	CachedResolver = discovery.Cached
+	CacheOptions   = discovery.CacheOptions
+)
+
+// NewCachedResolver builds the caching layer.
+var NewCachedResolver = discovery.NewCached
+
+// Replicated sharded registry cluster (consistent-hash placement, gossip
+// anti-entropy at replication factor R, quorum scatter-gather lookups).
+type (
+	ClusterNode            = cluster.Node
+	ClusterNodeOptions     = cluster.NodeOptions
+	ClusterResolver        = cluster.Resolver
+	ClusterResolverOptions = cluster.ResolverOptions
+)
+
+// NewClusterNode runs one registry cluster member; NewClusterResolver is the
+// client side that fans writes to replica owners and quorum-reads lookups.
+var (
+	NewClusterNode     = cluster.NewNode
+	NewClusterResolver = cluster.NewResolver
+)
 
 // --- transports (§3.2) ---
 
