@@ -190,6 +190,17 @@ func compareBaselines(old, new *Baseline, tolerance float64) (regressions, warni
 				key, cur.AllocsPerOp, prev.AllocsPerOp))
 		}
 	}
+	// E13's control-lane miss rate at 2x overload gates absolutely, not by
+	// drift: the priority-lane contract is "~0% misses under overload", so
+	// any new baseline where the control lane misses more than 1% of its
+	// deadlines has broken admission isolation, whatever the old number was.
+	if cells, ok := new.Experiments["E13"]; ok {
+		const e13Key = "E13: deadline miss rate vs offered load/lanes 2.0x/control miss %"
+		if miss, ok := cells[e13Key]; ok && miss > 1.0 {
+			regressions = append(regressions, fmt.Sprintf(
+				"experiment E13: control-lane deadline-miss rate %.2f%% at 2x overload exceeds the 1%% isolation gate", miss))
+		}
+	}
 	return regressions, warnings
 }
 

@@ -136,6 +136,32 @@ func TestCompareToleratesSmallDrift(t *testing.T) {
 	}
 }
 
+func TestCompareGatesE13ControlMissRate(t *testing.T) {
+	const e13Key = "E13: deadline miss rate vs offered load/lanes 2.0x/control miss %"
+	old := &Baseline{Schema: baselineSchema}
+	clean := &Baseline{
+		Schema: baselineSchema,
+		Experiments: map[string]map[string]float64{
+			"E13": {e13Key: 0},
+		},
+	}
+	if regs, _ := compareBaselines(old, clean, regressionTolerance); len(regs) != 0 {
+		t.Fatalf("0%% control miss flagged: %v", regs)
+	}
+	// The gate is absolute: a new baseline missing control deadlines at 2x
+	// overload fails regardless of what the old baseline recorded.
+	broken := &Baseline{
+		Schema: baselineSchema,
+		Experiments: map[string]map[string]float64{
+			"E13": {e13Key: 12.5},
+		},
+	}
+	regs, _ := compareBaselines(old, broken, regressionTolerance)
+	if len(regs) != 1 {
+		t.Fatalf("12.5%% control miss at 2x overload passed the gate: %v", regs)
+	}
+}
+
 func TestReadBaselineRejectsBadFiles(t *testing.T) {
 	dir := t.TempDir()
 	bad := filepath.Join(dir, "bad.json")

@@ -31,6 +31,7 @@ var microbenches = []microbench{
 	{"wire.binary.decode", benchWireDecode},
 	{"wire.batch.send", benchBatchSend},
 	{"endpoint.oneway.go", benchOneWayGo},
+	{"endpoint.lane.request", benchLaneRequest},
 	{"obs.counter.inc", benchCounterInc},
 	{"kernel.request", benchKernelRequest},
 	{"telemetry.publish", benchTelemetryPublish},
@@ -113,6 +114,46 @@ func benchOneWayGo(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		fut := caller.Go(&endpoint.Call{Topic: "bench", Payload: payload, OneWay: true})
 		if _, err := fut.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchLaneRequest measures an admitted round-trip through the lane-aware
+// admission controller: the header stamp, the lane parse, and the
+// quota-accounted acquire/release on an uncontended server. This is the
+// per-request cost of priority lanes when nothing sheds — the overhead the
+// flat MaxInFlight bound was traded against.
+func benchLaneRequest(b *testing.B) {
+	fabric := transport.NewFabric()
+	srvTr := transport.NewMem(fabric)
+	l, err := srvTr.Listen("srv")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := endpoint.NewServer(l, endpoint.ServerOptions{
+		Name:        "bench.lane",
+		MaxInFlight: 64,
+		Metrics:     obs.NewRegistry(),
+		Lanes:       &endpoint.LaneConfig{Quota: map[endpoint.Lane]int{endpoint.LaneControl: 8}},
+	})
+	srv.Handle("bench", func(m *wire.Message) (*wire.Message, error) {
+		return &wire.Message{Kind: wire.KindReply}, nil
+	})
+	defer srv.Close() //nolint:errcheck
+	caller, err := endpoint.NewCaller(transport.NewMem(fabric), "srv", endpoint.CallerOptions{
+		Eager: true,
+		Lane:  endpoint.LaneControl,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer caller.Close() //nolint:errcheck
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := caller.Do(&endpoint.Call{Topic: "bench", Payload: payload, Timeout: endpoint.NoTimeout}); err != nil {
 			b.Fatal(err)
 		}
 	}

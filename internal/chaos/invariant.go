@@ -407,3 +407,32 @@ func (WALReplayClean) Name() string { return "wal-replay-clean" }
 
 // Check implements Invariant.
 func (WALReplayClean) Check(w *World, _ []Event) []string { return w.WALViolations() }
+
+// PriorityIsolation checks the admission controller's overload contract (it
+// only applies to worlds built with Overload): the control lane's reserved
+// slot means a control probe is never shed while the same supplier is
+// admitting bulk traffic. A tick where the control probe came back shed AND
+// any of that tick's bulk burst was admitted and served is a violation —
+// the server had capacity, and spent it on lower-priority work.
+//
+// Sheds are judged, not raw failures: a control probe lost to the radio or
+// a partition times out rather than sheds, so network faults cannot fake a
+// violation.
+type PriorityIsolation struct{}
+
+// Name implements Invariant.
+func (PriorityIsolation) Name() string { return "priority-isolation" }
+
+// Check implements Invariant.
+func (PriorityIsolation) Check(w *World, _ []Event) []string {
+	ctlShed := w.ControlShedTrace()
+	bulkAdm := w.BulkAdmitTrace()
+	var out []string
+	for i, shed := range ctlShed {
+		if shed && i < len(bulkAdm) && bulkAdm[i] > 0 {
+			out = append(out, fmt.Sprintf(
+				"tick %d: control probe shed while %d bulk requests were admitted", i, bulkAdm[i]))
+		}
+	}
+	return out
+}

@@ -51,6 +51,11 @@ type ScenarioConfig struct {
 	// ClusterBound is the cluster-lookup-availability tick allowance after a
 	// member kill (default 3).
 	ClusterBound int
+	// Overload runs the priority-lane overload world: lane-aware admission
+	// on every supplier, a per-tick bulk burst plus control probe at the
+	// bound supplier, and the priority-isolation invariant checked over the
+	// run.
+	Overload bool
 	// Schedule overrides the generated fault schedule (Seed still fixes the
 	// substrate RNG). Experiments use this to replay one hand-built kill
 	// schedule under different world configurations.
@@ -187,6 +192,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		Telemetry:         cfg.Telemetry,
 		RegistryCluster:   cfg.RegistryCluster,
 		ReplicationFactor: cfg.ReplicationFactor,
+		Overload:          cfg.Overload,
 		Tracer:            tracer,
 	})
 	if err != nil {
@@ -258,6 +264,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		ClusterLookupAvailability{Bound: cfg.ClusterBound},
 		ClusterReplication{},
 		WALReplayClean{},
+		PriorityIsolation{},
 	}
 	for _, inv := range invariants {
 		for _, v := range inv.Check(world, events) {

@@ -26,6 +26,7 @@ import (
 	"ndsm/internal/telemetry"
 	"ndsm/internal/trace"
 	"ndsm/internal/transport"
+	"ndsm/internal/wire"
 )
 
 // WorldConfig sizes a chaos world.
@@ -84,6 +85,15 @@ type WorldConfig struct {
 	// ReplicationFactor is the cluster's owner-set size R (default 2;
 	// cluster worlds only).
 	ReplicationFactor int
+	// Overload turns on the priority-lane overload workload: every supplier
+	// runs lane-aware admission control (a small MaxInFlight pool with one
+	// slot reserved for the control lane), serves a slow bulk topic, and each
+	// tick the consumer floods the bound supplier with a burst of bulk-lane
+	// requests alongside exactly one control-lane probe. The per-tick
+	// control/bulk outcomes are the trace the priority-isolation invariant
+	// judges: bulk may shed freely, but no control probe may shed on a tick
+	// where bulk traffic was admitted.
+	Overload bool
 }
 
 func (c WorldConfig) withDefaults() WorldConfig {
@@ -219,6 +229,11 @@ type World struct {
 	publishers map[string]*telemetry.Publisher
 	pubCallers map[string]*endpoint.Caller
 
+	// Overload plane (nil/empty unless WorldConfig.Overload): per-supplier
+	// bulk and control callers owned by the consumer.
+	overBulk map[string]*endpoint.Caller
+	overCtl  map[string]*endpoint.Caller
+
 	mu            sync.Mutex
 	managers      map[string]*recovery.Manager
 	states        map[string]*keySetState
@@ -236,6 +251,10 @@ type World struct {
 	acked         []string
 	ackedBy       map[string][]string
 	walViolations []string
+	ctlOKTrace    []bool // per-tick control probe success (overload worlds)
+	ctlShedTrace  []bool // per-tick control probe shed verdict
+	bulkAdmitTick []int  // per-tick bulk requests admitted and served
+	bulkShedTick  []int  // per-tick bulk requests shed
 }
 
 // muxDatagram presents one netmux protocol channel as the sim transport's
@@ -444,7 +463,22 @@ func (w *World) build() error {
 		adaptive := discovery.NewAdaptive(central, agent,
 			func() int { return w.Net.Density(netsim.NodeID(id)) },
 			discovery.DensityPolicy(1), cfg.Clock)
-		node, err := core.NewNode(core.Config{Name: id, Transport: tr, Registry: adaptive, Health: h, Tracer: cfg.Tracer})
+		nodeCfg := core.Config{Name: id, Transport: tr, Registry: adaptive, Health: h, Tracer: cfg.Tracer}
+		if cfg.Overload && id != ConsumerID {
+			// Lane-aware admission on every supplier: a tiny pool, one slot
+			// reserved for the control lane, a short benefit-aware queue. The
+			// per-tick bulk burst is sized to drown the shared slots, so
+			// isolation — not raw capacity — is what keeps control probes on
+			// time. Expiry/benefit decisions run on wall time, like the data
+			// path the deadlines belong to.
+			nodeCfg.MaxInFlight = overloadMaxInFlight
+			nodeCfg.Lanes = &endpoint.LaneConfig{
+				Quota:      map[endpoint.Lane]int{endpoint.LaneControl: 1},
+				QueueDepth: overloadQueueDepth,
+				Clock:      simtime.Real{},
+			}
+		}
+		node, err := core.NewNode(nodeCfg)
 		if err != nil {
 			_ = adaptive.Close()
 			_ = tr.Close()
@@ -495,6 +529,20 @@ func (w *World) build() error {
 		if err := wn.node.Serve(desc, handler); err != nil {
 			return err
 		}
+		if cfg.Overload {
+			// The bulk topic simulates a slow background transfer: each call
+			// parks an admission slot for a few milliseconds of wall time, so
+			// a burst of them saturates the shared pool. The control topic
+			// answers immediately — a control probe only misses if admission
+			// sheds or the network eats it.
+			wn.node.HandleTopic(BulkTopic, func(req *wire.Message) (*wire.Message, error) {
+				time.Sleep(overloadBulkWork)
+				return &wire.Message{Kind: wire.KindReply, Payload: []byte(sid)}, nil
+			})
+			wn.node.HandleTopic(CtlTopic, func(req *wire.Message) (*wire.Message, error) {
+				return &wire.Message{Kind: wire.KindReply, Payload: []byte(sid)}, nil
+			})
+		}
 	}
 
 	consumer, err := mkEndpoint(ConsumerID, 5, w.health)
@@ -523,8 +571,49 @@ func (w *World) build() error {
 			return err
 		}
 	}
+	if cfg.Overload {
+		// Per-supplier caller pairs, classified once at construction the way
+		// a real control plane and a real bulk pipeline would be: every call
+		// through them carries the lane in-band.
+		w.overBulk = make(map[string]*endpoint.Caller, len(w.supplier))
+		w.overCtl = make(map[string]*endpoint.Caller, len(w.supplier))
+		for _, id := range w.supplier {
+			bc, err := endpoint.NewCaller(consumer.tr, id, endpoint.CallerOptions{
+				Redial: true, Lane: endpoint.LaneBulk,
+			})
+			if err != nil {
+				return fmt.Errorf("chaos: overload bulk caller %s: %w", id, err)
+			}
+			w.overBulk[id] = bc
+			cc, err := endpoint.NewCaller(consumer.tr, id, endpoint.CallerOptions{
+				Redial: true, Lane: endpoint.LaneControl,
+			})
+			if err != nil {
+				return fmt.Errorf("chaos: overload control caller %s: %w", id, err)
+			}
+			w.overCtl[id] = cc
+		}
+	}
 	return nil
 }
+
+// Overload workload sizing: the per-tick bulk burst (overloadBulkBurst)
+// must exceed the shared admission slots plus the bulk queue
+// (overloadMaxInFlight - 1 reserved + overloadQueueDepth) so every tick
+// genuinely sheds bulk, and overloadBulkWork must be long enough that the
+// burst still occupies the pool when the control probe lands.
+const (
+	// BulkTopic is the overload world's slow background-transfer topic.
+	BulkTopic = "chaos/bulk"
+	// CtlTopic is the overload world's fast control-probe topic.
+	CtlTopic = "chaos/ctl"
+
+	overloadMaxInFlight = 4
+	overloadQueueDepth  = 2
+	overloadBulkBurst   = 10
+	overloadBulkWork    = 5 * time.Millisecond
+	overloadTimeout     = 100 * time.Millisecond
+)
 
 // publishTimeout bounds each in-band telemetry send (real time, like the
 // rest of the data path): a partitioned supplier's report burns at most this
@@ -636,6 +725,14 @@ func (w *World) Tick(i int) {
 		clusterFound = cerr == nil && len(cdescs) > 0
 	}
 
+	// Overload workload: a bulk burst plus one control probe at the bound
+	// supplier, after the tick's regular request so the two never contend.
+	var ctlOK, ctlShed bool
+	var bulkAdm, bulkShed int
+	if w.overBulk != nil {
+		ctlOK, ctlShed, bulkAdm, bulkShed = w.overloadStep(w.binding.Peer())
+	}
+
 	post := w.binding.Peer()
 	var sus, open map[string]bool
 	if w.health != nil {
@@ -675,7 +772,86 @@ func (w *World) Tick(i int) {
 		by := string(out)
 		w.ackedBy[by] = append(w.ackedBy[by], key)
 	}
+	if w.overBulk != nil {
+		w.ctlOKTrace = append(w.ctlOKTrace, ctlOK)
+		w.ctlShedTrace = append(w.ctlShedTrace, ctlShed)
+		w.bulkAdmitTick = append(w.bulkAdmitTick, bulkAdm)
+		w.bulkShedTick = append(w.bulkShedTick, bulkShed)
+	}
 	w.mu.Unlock()
+}
+
+// overloadStep drives one tick of the overload workload at target: a burst
+// of overloadBulkBurst bulk-lane futures pipelined first, then exactly one
+// control-lane probe while the burst still occupies the pool. Outcomes are
+// classified client-side: a shed is the server's deliberate rejection; any
+// other failure (radio loss, partition timeout, dead supplier) counts as
+// neither admitted nor shed, so network faults cannot fake an isolation
+// violation. Skipped (all zeros) when the binding points nowhere or at a
+// crash-killed supplier.
+func (w *World) overloadStep(target string) (ctlOK, ctlShed bool, admitted, shed int) {
+	if target == "" {
+		return
+	}
+	w.mu.Lock()
+	deadNow := w.dead[target]
+	w.mu.Unlock()
+	if deadNow {
+		return
+	}
+	bulk, ctl := w.overBulk[target], w.overCtl[target]
+	if bulk == nil || ctl == nil {
+		return
+	}
+	futs := make([]*endpoint.Future, 0, overloadBulkBurst)
+	for i := 0; i < overloadBulkBurst; i++ {
+		futs = append(futs, bulk.Go(&endpoint.Call{Topic: BulkTopic, Timeout: overloadTimeout}))
+	}
+	_, cerr := ctl.Do(&endpoint.Call{Topic: CtlTopic, Timeout: overloadTimeout})
+	ctlOK = cerr == nil
+	ctlShed = endpoint.IsShed(cerr)
+	for _, f := range futs {
+		_, err := f.Wait()
+		switch {
+		case err == nil:
+			admitted++
+		case endpoint.IsShed(err):
+			shed++
+		}
+	}
+	return
+}
+
+// ControlOKTrace returns, per tick, whether the overload world's control
+// probe completed (empty unless WorldConfig.Overload).
+func (w *World) ControlOKTrace() []bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]bool(nil), w.ctlOKTrace...)
+}
+
+// ControlShedTrace returns, per tick, whether the control probe was shed by
+// the supplier's admission control (empty unless WorldConfig.Overload).
+func (w *World) ControlShedTrace() []bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]bool(nil), w.ctlShedTrace...)
+}
+
+// BulkAdmitTrace returns, per tick, how many bulk-burst requests were
+// admitted and served (empty unless WorldConfig.Overload).
+func (w *World) BulkAdmitTrace() []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]int(nil), w.bulkAdmitTick...)
+}
+
+// BulkShedTrace returns, per tick, how many bulk-burst requests the
+// supplier shed (empty unless WorldConfig.Overload).
+func (w *World) BulkShedTrace() []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]int(nil), w.bulkShedTick...)
 }
 
 // renewLeases re-registers every live supplier's services concurrently,
@@ -1002,6 +1178,12 @@ func (w *World) Close() error {
 		_ = pub.Close()
 	}
 	for _, c := range w.pubCallers {
+		_ = c.Close()
+	}
+	for _, c := range w.overBulk {
+		_ = c.Close()
+	}
+	for _, c := range w.overCtl {
 		_ = c.Close()
 	}
 	if w.binding != nil {

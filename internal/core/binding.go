@@ -28,6 +28,7 @@ type Binding struct {
 	minRatio   float64
 	minBenefit float64
 	minSamples int
+	lane       endpoint.Lane
 
 	mu     sync.Mutex
 	peer   string
@@ -46,6 +47,11 @@ type BindOptions struct {
 	MinDeliveryRatio float64
 	MinBenefit       float64
 	MinSamples       int
+	// Lane classifies every request on this binding for admission control at
+	// the supplier (stamped in-band at the endpoint layer). A periodic
+	// control loop binds with endpoint.LaneControl so a bulk flood cannot
+	// shed its requests; background transfers bind with endpoint.LaneBulk.
+	Lane endpoint.Lane
 }
 
 // Bind discovers, selects, and connects the best supplier for spec.
@@ -66,6 +72,7 @@ func (n *Node) Bind(spec *qos.Spec, opts BindOptions) (*Binding, error) {
 		minRatio:   opts.MinDeliveryRatio,
 		minBenefit: opts.MinBenefit,
 		minSamples: opts.MinSamples,
+		lane:       opts.Lane,
 	}
 	if b.minSamples <= 0 {
 		b.minSamples = 10
@@ -334,6 +341,7 @@ func (b *Binding) requestOnce(payload []byte) ([]byte, error) {
 		Dst:     b.Peer(),
 		Payload: payload,
 		Timeout: callTimeout,
+		Lane:    b.lane,
 	})
 	if err != nil {
 		if re, ok := endpoint.IsRemote(err); ok {
@@ -378,6 +386,7 @@ func (b *Binding) RequestAsync(payload []byte) *AsyncReply {
 		Dst:     r.peer,
 		Payload: payload,
 		Timeout: callTimeout,
+		Lane:    b.lane,
 	})
 	return r
 }

@@ -50,6 +50,11 @@ type Config struct {
 	// (admission control); excess requests are shed with a retryable
 	// rejection. 0 means unlimited.
 	MaxInFlight int
+	// Lanes enables priority-lane admission control over the MaxInFlight
+	// pool (per-lane quotas, shared-pool borrowing, benefit-aware queue
+	// shedding — see endpoint.LaneConfig). Its Clock defaults to the node's
+	// clock so expiry decisions agree with the deadlines bindings stamp.
+	Lanes *endpoint.LaneConfig
 	// Metrics receives the node's instruments — server dispatch counters,
 	// binding call latency, shed counts. Nil uses the process default; a
 	// per-node registry is what gives multi-node simulations (and the
@@ -127,10 +132,16 @@ func NewNode(cfg Config) (*Node, error) {
 		table:     transaction.NewTable(),
 		suppliers: make(map[string]*supplier),
 	}
+	if cfg.Lanes != nil && cfg.Lanes.Clock == nil {
+		lanes := *cfg.Lanes
+		lanes.Clock = cfg.Clock
+		cfg.Lanes = &lanes
+	}
 	n.ep = endpoint.NewServer(l, endpoint.ServerOptions{
 		Name:        cfg.Name,
 		Kinds:       []wire.Kind{wire.KindRequest},
 		MaxInFlight: cfg.MaxInFlight,
+		Lanes:       cfg.Lanes,
 		Metrics:     cfg.Metrics,
 		Interceptors: []endpoint.ServerInterceptor{
 			// Tracing outermost so the server span brackets the metrics

@@ -26,6 +26,10 @@ type CallerOptions struct {
 	Redial bool
 	// Interceptors wrap the round-trip, outermost first.
 	Interceptors []ClientInterceptor
+	// Lane is the default admission lane for calls that leave Call.Lane at
+	// LaneDefault — a caller owned by a bulk pipeline (telemetry, batch
+	// transfer) classifies all its traffic once here.
+	Lane Lane
 	// OnSend and OnRecv observe every message put on / taken off the wire
 	// (protocol message-cost accounting). Both may be nil. OnSend observers
 	// must not retain the message past the callback: request envelopes are
@@ -292,13 +296,17 @@ func (c *Caller) start(call *Call) (*Future, error) {
 			kind = wire.KindRequest
 		}
 	}
+	lane := call.Lane
+	if lane == LaneDefault {
+		lane = c.opts.Lane
+	}
 	req := getMsg()
 	req.ID = id
 	req.Kind = kind
 	req.Src = call.Src
 	req.Dst = call.Dst
 	req.Topic = call.Topic
-	req.Headers = call.Headers
+	req.Headers = laneStamped(call.Headers, lane)
 	req.Payload = call.Payload
 	req.Deadline = deadline
 	err = conn.Send(req)

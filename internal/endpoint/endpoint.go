@@ -82,10 +82,13 @@ func IsRemote(err error) (*RemoteError, bool) {
 // gets air) is safe even for non-idempotent protocols.
 type ShedError struct {
 	Topic string
+	// Lane is the admission lane the shed was charged to, echoed by the
+	// server on the reject reply (LaneDefault when the peer predates lanes).
+	Lane Lane
 }
 
 func (e *ShedError) Error() string {
-	return fmt.Sprintf("endpoint: %s shed by overloaded peer", e.Topic)
+	return fmt.Sprintf("endpoint: %s shed by overloaded peer (lane %s)", e.Topic, e.Lane)
 }
 
 // Retryable implements RetryableError.
@@ -141,6 +144,12 @@ type Call struct {
 	// waits forever. The deadline also propagates on the wire (Message
 	// .Deadline) so servers and downstream hops can shed doomed work.
 	Timeout time.Duration
+	// Lane is the call's admission priority class, stamped once here at the
+	// endpoint layer as an in-band header (HeaderLane) — like trace context —
+	// so bounded servers along the path can isolate control traffic from
+	// bulk load. The zero value (LaneDefault, or the caller's default lane)
+	// adds no header and no allocation.
+	Lane Lane
 	// OneWay marks the call fire-and-forget: no reply is awaited and no
 	// demux state is parked. The default kind becomes wire.KindData, and the
 	// server must list that kind in ServerOptions.OneWayKinds to dispatch it.

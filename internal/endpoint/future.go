@@ -111,7 +111,8 @@ func (f *Future) settleLocked(r waitResult) {
 	m, err := r.m, r.err
 	if err == nil && m.Kind == wire.KindError {
 		if m.Headers[HeaderShed] != "" {
-			err = &ShedError{Topic: f.topic}
+			lane, _ := ParseLane(m.Headers[HeaderLane])
+			err = &ShedError{Topic: f.topic, Lane: lane}
 		} else {
 			err = &RemoteError{Topic: f.topic, Msg: string(m.Payload)}
 		}

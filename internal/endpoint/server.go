@@ -3,7 +3,6 @@ package endpoint
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"ndsm/internal/obs"
 	"ndsm/internal/transport"
@@ -34,8 +33,16 @@ type ServerOptions struct {
 	// dispatch with a HeaderShed-marked KindError reply, which callers
 	// surface as a retryable *ShedError. 0 means unlimited.
 	MaxInFlight int
+	// Lanes enables priority-lane admission control over the MaxInFlight
+	// pool: per-lane reserved quotas plus a shared remainder that low lanes
+	// borrow from and surrender first, and a deadline-aware pending queue
+	// that sheds lowest-benefit work first under overload. Nil keeps the
+	// flat single-counter bound.
+	Lanes *LaneConfig
 	// Metrics receives the admission counters (nil: the default registry):
-	// shed rejections under "<Name or endpoint.server>.shed".
+	// shed rejections under "<Name or endpoint.server>.shed", plus — with
+	// Lanes configured — "<name>.shed.expired", "<name>.shed.preempted",
+	// and per-lane "<name>.lane.<lane>.{admitted,shed,queued}".
 	Metrics *obs.Registry
 }
 
@@ -49,8 +56,9 @@ type Server struct {
 	accepts  map[wire.Kind]bool
 	oneway   map[wire.Kind]bool
 
-	inflight atomic.Int64
-	shed     *obs.Counter
+	// adm is the admission controller; nil means unlimited (no bound was
+	// configured) and requests dispatch straight off the read loop.
+	adm *admitter
 
 	mu       sync.Mutex
 	handlers map[string]Handler
@@ -76,7 +84,22 @@ func NewServer(l transport.Listener, opts ServerOptions) *Server {
 		oneway:   make(map[wire.Kind]bool, len(opts.OneWayKinds)),
 		handlers: make(map[string]Handler),
 		conns:    make(map[transport.Conn]struct{}),
-		shed:     obs.Or(opts.Metrics).Counter(metricName + ".shed"),
+	}
+	capacity := opts.MaxInFlight
+	if capacity == 0 && opts.Lanes != nil {
+		// Lanes without an explicit bound: the reservations are the bound.
+		for _, q := range opts.Lanes.Quota {
+			if q > 0 {
+				capacity += q
+			}
+		}
+	}
+	if capacity > 0 {
+		s.adm = newAdmitter(s, capacity, opts.Lanes, metricName, obs.Or(opts.Metrics))
+	} else {
+		// Register the shed counter even when unlimited, so the metric name
+		// exists (at zero) wherever a server runs.
+		obs.Or(opts.Metrics).Counter(metricName + ".shed")
 	}
 	for _, k := range kinds {
 		s.accepts[k] = true
@@ -108,7 +131,7 @@ func (s *Server) Unhandle(topic string) {
 }
 
 // Close stops accepting, closes all connections, and waits for in-flight
-// handlers.
+// handlers. Queued (admitted-pending) requests are dropped.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -124,6 +147,9 @@ func (s *Server) Close() error {
 	_ = s.listener.Close()
 	for _, c := range conns {
 		_ = c.Close()
+	}
+	if s.adm != nil {
+		s.adm.close()
 	}
 	s.wg.Wait()
 	return nil
@@ -180,70 +206,67 @@ func (s *Server) serveConn(conn transport.Conn) {
 		if err != nil {
 			return
 		}
-		if s.oneway[req.Kind] {
-			// Fire-and-forget dispatch: run the handler, write nothing back.
-			if s.opts.MaxInFlight > 0 {
-				if s.inflight.Add(1) > int64(s.opts.MaxInFlight) {
-					s.inflight.Add(-1)
-					s.shed.Inc(1) // dropped, not rejected: one-way has no reply channel
-					continue
-				}
-				s.wg.Add(1)
-				go func(req *wire.Message) {
-					defer s.wg.Done()
-					defer s.inflight.Add(-1)
-					_, _ = s.dispatch(req)
-				}(req)
-				continue
-			}
-			s.wg.Add(1)
-			go func(req *wire.Message) {
-				defer s.wg.Done()
-				_, _ = s.dispatch(req)
-			}(req)
+		if !s.oneway[req.Kind] && !s.accepts[req.Kind] {
 			continue
 		}
-		if !s.accepts[req.Kind] {
+		if s.adm == nil {
+			s.spawn(req, conn, admitToken{})
 			continue
 		}
-		// Admission control: bound in-flight requests across the whole
-		// server. Rejections happen here, before a goroutine is spawned, so
-		// overload costs the server one small reply instead of a dispatch.
-		bounded := s.opts.MaxInFlight > 0
-		if bounded && s.inflight.Add(1) > int64(s.opts.MaxInFlight) {
-			s.inflight.Add(-1)
-			s.shed.Inc(1)
-			reject := &wire.Message{
-				Kind:    wire.KindError,
-				Corr:    req.ID,
-				Topic:   req.Topic,
-				Src:     s.opts.Name,
-				Headers: map[string]string{HeaderShed: "1"},
-				Payload: []byte("server at capacity"),
-			}
-			_ = conn.Send(reject)
-			continue
-		}
-		s.wg.Add(1)
-		go func(req *wire.Message) {
-			defer s.wg.Done()
-			if bounded {
-				defer s.inflight.Add(-1)
-			}
-			reply, err := s.dispatch(req)
-			if err != nil {
-				reply = &wire.Message{Kind: wire.KindError, Payload: []byte(err.Error())}
-			} else if reply == nil {
-				reply = &wire.Message{Kind: wire.KindAck}
-			}
-			reply.Corr = req.ID
-			if reply.Topic == "" {
-				reply.Topic = req.Topic
-			}
-			if reply.Src == "" {
-				reply.Src = s.opts.Name
-			}
-			_ = conn.Send(reply)
-		}(req)
+		// Admission control: the controller either dispatches (spawn), parks
+		// the request in a lane queue, or sheds it — before a goroutine is
+		// spawned, so overload costs the server one small reply (or, for
+		// one-way traffic, nothing) instead of a dispatch.
+		s.adm.offer(req, conn)
 	}
+}
+
+// spawn dispatches req on its own goroutine, releasing the admission slot —
+// and promoting queued work onto it — when the handler finishes. The token
+// release lives here and nowhere else: whichever path admitted the request
+// (straight off the read loop or out of a lane queue), the slot cannot leak
+// or double-free. One-way kinds run the handler and write nothing back.
+func (s *Server) spawn(req *wire.Message, conn transport.Conn, tok admitToken) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer s.adm.release(tok) // deferred LIFO: release precedes wg.Done
+		if s.oneway[req.Kind] {
+			_, _ = s.dispatch(req)
+			return
+		}
+		reply, err := s.dispatch(req)
+		if err != nil {
+			reply = &wire.Message{Kind: wire.KindError, Payload: []byte(err.Error())}
+		} else if reply == nil {
+			reply = &wire.Message{Kind: wire.KindAck}
+		}
+		reply.Corr = req.ID
+		if reply.Topic == "" {
+			reply.Topic = req.Topic
+		}
+		if reply.Src == "" {
+			reply.Src = s.opts.Name
+		}
+		_ = conn.Send(reply)
+	}()
+}
+
+// reject answers a shed request with a HeaderShed-marked KindError reply
+// carrying the lane the shed was charged to; callers surface it as a
+// retryable *ShedError. One-way messages are dropped silently — counted as
+// shed, but there is no reply channel to reject them with.
+func (s *Server) reject(req *wire.Message, conn transport.Conn, lane Lane, reason string) {
+	if s.oneway[req.Kind] {
+		return
+	}
+	reject := &wire.Message{
+		Kind:    wire.KindError,
+		Corr:    req.ID,
+		Topic:   req.Topic,
+		Src:     s.opts.Name,
+		Headers: map[string]string{HeaderShed: "1", HeaderLane: lane.String()},
+		Payload: []byte(reason),
+	}
+	_ = conn.Send(reject)
 }

@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 // cell fetches a table cell by row/column index.
@@ -408,6 +409,37 @@ func TestE12Shape(t *testing.T) {
 		if v := cellFloat(t, res, 0, i, 5); v != 0 {
 			t.Fatalf("row %d has %v violations: %+v", i, v, res.Notes)
 		}
+	}
+}
+
+func TestE13Shape(t *testing.T) {
+	res, err := E13(E13Options{Duration: 350 * time.Millisecond, Loads: []float64{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowByLabel := func(label string) int {
+		for i, row := range res.Tables[0].Rows {
+			if len(row) > 0 && row[0] == label {
+				return i
+			}
+		}
+		t.Fatalf("row %q missing:\n%s", label, res.Tables[0].Render())
+		return -1
+	}
+	flat, lanes := rowByLabel("flat 2.0x"), rowByLabel("lanes 2.0x")
+	flatMiss := cellFloat(t, res, 0, flat, 1)
+	lanesMiss := cellFloat(t, res, 0, lanes, 1)
+	// The tentpole claim at 2x overload: lanes keep the control loop on
+	// deadline (near-zero misses; 10% allows CI scheduler noise) while the
+	// flat bound starves it, and bulk is what sheds in lanes mode.
+	if lanesMiss > 10 {
+		t.Fatalf("lanes control miss %v%% at 2x overload, want ~0\n%s", lanesMiss, res.Tables[0].Render())
+	}
+	if lanesMiss > flatMiss {
+		t.Fatalf("lanes (%v%%) missed more than flat (%v%%)\n%s", lanesMiss, flatMiss, res.Tables[0].Render())
+	}
+	if shed := cellFloat(t, res, 0, lanes, 4); shed == 0 {
+		t.Fatalf("lanes mode shed no bulk at 2x overload\n%s", res.Tables[0].Render())
 	}
 }
 

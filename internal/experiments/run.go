@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 )
 
 // Quick controls experiment sizing: quick mode shrinks populations and
@@ -19,7 +20,7 @@ type Runner struct {
 
 // IDs lists all experiment identifiers in run order.
 func IDs() []string {
-	return []string{"F1", "E1", "E2", "E3", "E4", "E4x", "E5", "E5a", "E6", "E6a", "E7", "E8", "E9", "E10", "E11", "E12"}
+	return []string{"F1", "E1", "E2", "E3", "E4", "E4x", "E5", "E5a", "E6", "E6a", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
 }
 
 // Run executes one experiment by ID.
@@ -100,6 +101,11 @@ func (r Runner) Run(id string) (Result, error) {
 			return E12(E12Options{Ticks: 40, KillAt: 8, KillTicks: 15})
 		}
 		return E12(E12Options{})
+	case "E13":
+		if q {
+			return E13(E13Options{Duration: 350 * time.Millisecond, Loads: []float64{1, 2}})
+		}
+		return E13(E13Options{})
 	default:
 		return Result{}, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
 	}

@@ -265,11 +265,21 @@ func (b *Broker) serveConn(conn transport.Conn) {
 type Client struct {
 	caller   *endpoint.Caller
 	traceRef *trace.Ref
+	lane     endpoint.Lane
 }
 
 // Dial connects to a broker.
 func Dial(tr transport.Transport, addr string) (*Client, error) {
-	c := &Client{traceRef: trace.NewRef(nil)}
+	return DialLane(tr, addr, endpoint.LaneDefault)
+}
+
+// DialLane connects to a broker with every request classified into an
+// admission lane (stamped in-band at the endpoint layer). Queue traffic is
+// the textbook bulk workload: a client feeding a telemetry or batch pipeline
+// dials with endpoint.LaneBulk so bounded servers along the path shed its
+// pushes before any control-lane work.
+func DialLane(tr transport.Transport, addr string, lane endpoint.Lane) (*Client, error) {
+	c := &Client{traceRef: trace.NewRef(nil), lane: lane}
 	caller, err := endpoint.NewCaller(tr, addr, endpoint.CallerOptions{
 		Eager: true,
 		Interceptors: []endpoint.ClientInterceptor{
@@ -296,6 +306,7 @@ func (c *Client) request(topic string, headers map[string]string, payload []byte
 		Topic:   topic,
 		Headers: headers,
 		Payload: payload,
+		Lane:    c.lane,
 		// The broker owns all waiting (long-poll bounded by WaitMillis), so
 		// the client itself waits without a local deadline, as before.
 		Timeout: endpoint.NoTimeout,
@@ -328,6 +339,7 @@ func (c *Client) PushAsync(queueName string, data []byte) *PushHandle {
 		Topic:   topicPush,
 		Headers: map[string]string{"queue": queueName},
 		Payload: data,
+		Lane:    c.lane,
 		Timeout: endpoint.NoTimeout,
 	})
 	return &PushHandle{fut: fut}

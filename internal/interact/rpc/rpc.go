@@ -38,11 +38,27 @@ type Server struct {
 	calls map[string]int64
 }
 
-// NewServer starts serving on the listener.
+// ServerConfig tunes an RPC server's admission control: MaxInFlight bounds
+// concurrent dispatches (0 unlimited) and Lanes layers priority-lane quotas
+// and benefit-aware queue shedding over that bound (see endpoint.LaneConfig).
+type ServerConfig struct {
+	MaxInFlight int
+	Lanes       *endpoint.LaneConfig
+}
+
+// NewServer starts serving on the listener with unlimited admission.
 func NewServer(l transport.Listener) *Server {
+	return NewServerWith(l, ServerConfig{})
+}
+
+// NewServerWith starts serving on the listener with the given admission
+// configuration.
+func NewServerWith(l transport.Listener, cfg ServerConfig) *Server {
 	s := &Server{calls: make(map[string]int64), traceRef: trace.NewRef(nil)}
 	s.ep = endpoint.NewServer(l, endpoint.ServerOptions{
-		Kinds: []wire.Kind{wire.KindRequest},
+		Kinds:       []wire.Kind{wire.KindRequest},
+		MaxInFlight: cfg.MaxInFlight,
+		Lanes:       cfg.Lanes,
 		Interceptors: []endpoint.ServerInterceptor{
 			endpoint.WithServerTracing(s.traceRef, "rpc.serve"),
 			s.countCalls,
@@ -132,11 +148,19 @@ func (c *Client) Close() error { return c.caller.Close() }
 // Call invokes method with payload and waits up to timeout for the reply
 // (timeout <= 0: wait forever).
 func (c *Client) Call(method string, payload []byte, timeout time.Duration) ([]byte, error) {
+	return c.CallLane(method, payload, timeout, endpoint.LaneDefault)
+}
+
+// CallLane is Call on an explicit admission lane: the class rides in-band
+// (endpoint.HeaderLane) so a bounded server isolates this call from — or
+// sheds it before — other lanes' traffic. A periodic control caller uses
+// endpoint.LaneControl; background transfers use endpoint.LaneBulk.
+func (c *Client) CallLane(method string, payload []byte, timeout time.Duration, lane endpoint.Lane) ([]byte, error) {
 	t := timeout
 	if t <= 0 {
 		t = endpoint.NoTimeout
 	}
-	m, err := c.caller.Do(&endpoint.Call{Topic: method, Payload: payload, Timeout: t})
+	m, err := c.caller.Do(&endpoint.Call{Topic: method, Payload: payload, Timeout: t, Lane: lane})
 	return translate(m, err, method, timeout)
 }
 
@@ -165,11 +189,16 @@ func translate(m *wire.Message, err error, method string, timeout time.Duration)
 // alternating send/wait. Resolve with fut.Wait (endpoint error vocabulary);
 // Go wraps this with the rpc translation.
 func (c *Client) GoCall(method string, payload []byte, timeout time.Duration) *endpoint.Future {
+	return c.GoCallLane(method, payload, timeout, endpoint.LaneDefault)
+}
+
+// GoCallLane is GoCall on an explicit admission lane (see CallLane).
+func (c *Client) GoCallLane(method string, payload []byte, timeout time.Duration, lane endpoint.Lane) *endpoint.Future {
 	t := timeout
 	if t <= 0 {
 		t = endpoint.NoTimeout
 	}
-	return c.caller.Go(&endpoint.Call{Topic: method, Payload: payload, Timeout: t})
+	return c.caller.Go(&endpoint.Call{Topic: method, Payload: payload, Timeout: t, Lane: lane})
 }
 
 // Go invokes method asynchronously; the returned channel receives the single

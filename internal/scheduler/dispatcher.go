@@ -18,6 +18,10 @@ type Dispatcher struct {
 	// DropLate discards items already past deadline instead of running them.
 	dropLate bool
 
+	// maxBacklog bounds the queue; overflow preemptively evicts the
+	// lowest-priority, lowest-benefit item (0: unbounded).
+	maxBacklog int
+
 	kick     chan struct{}
 	stop     chan struct{}
 	done     chan struct{}
@@ -26,6 +30,7 @@ type Dispatcher struct {
 	dispatched atomic.Int64
 	missed     atomic.Int64
 	dropped    atomic.Int64
+	shed       atomic.Int64
 }
 
 // DispatcherConfig configures a Dispatcher.
@@ -38,6 +43,12 @@ type DispatcherConfig struct {
 	BurstBytes      float64
 	// DropLate discards items past their deadline instead of executing.
 	DropLate bool
+	// MaxBacklog bounds the pending queue (0: unbounded). When a Submit
+	// overflows it, the least-valuable item is preemptively shed — lowest
+	// Priority first, lowest remaining benefit (Item.Benefit decayed from
+	// submission time) within a priority — so under overload a backlog of
+	// bulk work surrenders before fresh high-priority work queues behind it.
+	MaxBacklog int
 	// Clock times deadlines and bandwidth (default real).
 	Clock simtime.Clock
 }
@@ -51,12 +62,13 @@ func NewDispatcher(cfg DispatcherConfig) *Dispatcher {
 		cfg.Clock = simtime.Real{}
 	}
 	d := &Dispatcher{
-		queue:    NewQueue(cfg.Policy),
-		clock:    cfg.Clock,
-		dropLate: cfg.DropLate,
-		kick:     make(chan struct{}, 1),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		queue:      NewQueue(cfg.Policy),
+		clock:      cfg.Clock,
+		dropLate:   cfg.DropLate,
+		maxBacklog: cfg.MaxBacklog,
+		kick:       make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
 	}
 	if cfg.RateBytesPerSec > 0 {
 		burst := cfg.BurstBytes
@@ -69,9 +81,17 @@ func NewDispatcher(cfg DispatcherConfig) *Dispatcher {
 	return d
 }
 
-// Submit enqueues an item for dispatch.
+// Submit enqueues an item for dispatch. With MaxBacklog set, an overflowing
+// Submit sheds the least-valuable queued item (possibly this one) instead of
+// growing the backlog without bound.
 func (d *Dispatcher) Submit(it Item) {
+	it.enq = d.clock.Now()
 	d.queue.Push(it)
+	if d.maxBacklog > 0 && d.queue.Len() > d.maxBacklog {
+		if _, ok := d.queue.EvictLowest(d.clock.Now()); ok {
+			d.shed.Add(1)
+		}
+	}
 	select {
 	case d.kick <- struct{}{}:
 	default:
@@ -88,6 +108,9 @@ func (d *Dispatcher) Stop() {
 func (d *Dispatcher) Stats() (dispatched, missed, dropped int64) {
 	return d.dispatched.Load(), d.missed.Load(), d.dropped.Load()
 }
+
+// Shed reports how many items preemptive backlog shedding evicted.
+func (d *Dispatcher) Shed() int64 { return d.shed.Load() }
 
 // Backlog reports the queued item count.
 func (d *Dispatcher) Backlog() int { return d.queue.Len() }

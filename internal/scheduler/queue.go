@@ -12,6 +12,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"ndsm/internal/qos"
 )
 
 // Policy selects the dispatch order.
@@ -48,8 +50,22 @@ type Item struct {
 	Size int
 	// Do is executed at dispatch.
 	Do func()
+	// Benefit is the item's time-constraint benefit function, evaluated from
+	// submission time: under a bounded backlog (DispatcherConfig.MaxBacklog)
+	// the lowest-benefit item of the lowest priority sheds first. The zero
+	// value never decays.
+	Benefit qos.Benefit
 
-	seq uint64 // arrival order, for FIFO and tie-breaking
+	seq uint64    // arrival order, for FIFO and tie-breaking
+	enq time.Time // submission time, stamped by Dispatcher.Submit
+}
+
+// benefitAt evaluates the item's remaining worth at now, in [0,1].
+func (it Item) benefitAt(now time.Time) float64 {
+	if it.enq.IsZero() {
+		return it.Benefit.At(0)
+	}
+	return it.Benefit.At(now.Sub(it.enq))
 }
 
 // Queue is a policy-ordered queue of items. The zero value is not usable;
@@ -88,6 +104,38 @@ func (q *Queue) Pop() (Item, error) {
 		return Item{}, ErrEmpty
 	}
 	return heap.Pop(&q.items).(Item), nil
+}
+
+// EvictLowest removes and returns the least-valuable queued item — the one
+// preemptive overload shedding drops first: lowest Priority, then lowest
+// remaining benefit (so decayed work yields before fresh work), then oldest
+// arrival. ok=false when the queue is empty.
+func (q *Queue) EvictLowest(now time.Time) (Item, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.items.items)
+	if n == 0 {
+		return Item{}, false
+	}
+	worst := 0
+	for i := 1; i < n; i++ {
+		if shedBefore(q.items.items[i], q.items.items[worst], now) {
+			worst = i
+		}
+	}
+	return heap.Remove(&q.items, worst).(Item), true
+}
+
+// shedBefore orders overload eviction: a sheds before b.
+func shedBefore(a, b Item, now time.Time) bool {
+	if a.Priority != b.Priority {
+		return a.Priority < b.Priority
+	}
+	ab, bb := a.benefitAt(now), b.benefitAt(now)
+	if ab != bb {
+		return ab < bb
+	}
+	return a.seq < b.seq
 }
 
 // Len returns the number of queued items.

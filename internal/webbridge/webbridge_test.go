@@ -13,6 +13,7 @@ import (
 
 	"ndsm/internal/core"
 	"ndsm/internal/discovery"
+	"ndsm/internal/endpoint"
 	"ndsm/internal/health"
 	"ndsm/internal/netmux"
 	"ndsm/internal/netsim"
@@ -23,6 +24,7 @@ import (
 	"ndsm/internal/telemetry"
 	"ndsm/internal/trace"
 	"ndsm/internal/transport"
+	"ndsm/internal/wire"
 )
 
 func fixture(t *testing.T) (*discovery.Store, *core.Node, *httptest.Server) {
@@ -294,6 +296,65 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if diff.Counters["discovery.lookup.hits"] <= 0 {
 		t.Errorf("lookup hit not counted: %v", diff.Counters["discovery.lookup.hits"])
+	}
+}
+
+// TestMetricsEndpointLaneCounters sheds one bulk call at a lane-aware
+// endpoint server on the default registry and asserts /metrics exposes the
+// per-lane admission series (and /dash picks the node's prefix up as a
+// series group, since both render the same registry).
+func TestMetricsEndpointLaneCounters(t *testing.T) {
+	before := obs.Default().Snapshot()
+
+	fabric := transport.NewFabric()
+	tr := transport.NewMem(fabric)
+	l, err := tr.Listen("lane-srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity 1, all of it reserved for control: a bulk call sheds without
+	// blocking, a control call admits through the reservation.
+	esrv := endpoint.NewServer(l, endpoint.ServerOptions{
+		Name:        "lanesrv",
+		MaxInFlight: 1,
+		Lanes:       &endpoint.LaneConfig{Quota: map[endpoint.Lane]int{endpoint.LaneControl: 1}},
+	})
+	t.Cleanup(func() { _ = esrv.Close() })
+	esrv.Handle("w", func(req *wire.Message) (*wire.Message, error) {
+		return &wire.Message{Kind: wire.KindReply}, nil
+	})
+	caller, err := endpoint.NewCaller(tr, "lane-srv", endpoint.CallerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = caller.Close() })
+	if _, err := caller.Do(&endpoint.Call{Topic: "w", Lane: endpoint.LaneBulk, Timeout: 5 * time.Second}); !endpoint.IsShed(err) {
+		t.Fatalf("bulk call: got %v, want shed", err)
+	}
+	if _, err := caller.Do(&endpoint.Call{Topic: "w", Lane: endpoint.LaneControl, Timeout: 5 * time.Second}); err != nil {
+		t.Fatalf("control call: %v", err)
+	}
+
+	bridge := New(discovery.NewStore(nil, 0), nil)
+	srv := httptest.NewServer(bridge)
+	t.Cleanup(srv.Close)
+	code, body := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, body)
+	}
+	diff := snap.Diff(before)
+	for _, counter := range []string{
+		"lanesrv.lane.bulk.shed",
+		"lanesrv.lane.control.admitted",
+		"lanesrv.shed",
+	} {
+		if diff.Counters[counter] <= 0 {
+			t.Errorf("counter %s did not move (delta %d)", counter, diff.Counters[counter])
+		}
 	}
 }
 

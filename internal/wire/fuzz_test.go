@@ -39,6 +39,17 @@ func fuzzTracedMessage() *Message {
 	return m
 }
 
+// fuzzLaneMessage seeds the corpus with a message carrying the priority-lane
+// admission header in its on-wire form ("ndsm-lane", stamped once by the
+// endpoint layer like trace context), so the fuzzer explores lane-class
+// mutations — valid names, garbage, empty — from the start.
+func fuzzLaneMessage() *Message {
+	m := fuzzSeedMessage()
+	m.Headers["ndsm-lane"] = "control"
+	m.Deadline = time.Date(2003, 6, 1, 12, 0, 0, 25_000_000, time.UTC)
+	return m
+}
+
 // FuzzWireDecode feeds arbitrary bytes to every codec's Decode. A decode may
 // reject the input with an error, but it must never panic; and anything it
 // accepts must re-encode cleanly into a stable form: Encode succeeds,
@@ -46,7 +57,7 @@ func fuzzTracedMessage() *Message {
 // encode of that result is byte-identical to the first (the encoding is a
 // fixed point after one normalisation pass).
 func FuzzWireDecode(f *testing.F) {
-	for _, seed := range []*Message{fuzzSeedMessage(), fuzzTracedMessage()} {
+	for _, seed := range []*Message{fuzzSeedMessage(), fuzzTracedMessage(), fuzzLaneMessage()} {
 		for _, c := range fuzzCodecs {
 			enc, err := c.Encode(seed)
 			if err != nil {

@@ -237,22 +237,26 @@ func TestBinaryHeadersSortedOnWire(t *testing.T) {
 			"span-id":  "0000000000000042",
 			"queue":    "q1",
 			"ttl":      "2",
+			// The admission-lane header the endpoint layer stamps (its key is
+			// hardcoded here: wire cannot import endpoint). Lane-classified
+			// traffic must stay byte-deterministic like traced traffic.
+			"ndsm-lane": "control",
 		}
 		for _, k := range insert {
 			m.Headers[k] = vals[k]
 		}
 		return m
 	}
-	keys := []string{"trace-id", "span-id", "queue", "ttl"}
+	keys := []string{"trace-id", "span-id", "queue", "ttl", "ndsm-lane"}
 	base, err := Binary{}.Encode(mk(keys))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Every insertion order yields the same bytes.
 	perms := [][]string{
-		{"ttl", "queue", "span-id", "trace-id"},
-		{"span-id", "trace-id", "ttl", "queue"},
-		{"queue", "ttl", "trace-id", "span-id"},
+		{"ttl", "queue", "span-id", "trace-id", "ndsm-lane"},
+		{"span-id", "ndsm-lane", "trace-id", "ttl", "queue"},
+		{"ndsm-lane", "queue", "ttl", "trace-id", "span-id"},
 	}
 	for _, p := range perms {
 		enc, err := Binary{}.Encode(mk(p))
