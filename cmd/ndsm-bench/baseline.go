@@ -201,6 +201,35 @@ func compareBaselines(old, new *Baseline, tolerance float64) (regressions, warni
 				"experiment E13: control-lane deadline-miss rate %.2f%% at 2x overload exceeds the 1%% isolation gate", miss))
 		}
 	}
+	// E14's alerting-plane contract gates absolutely too: every fault class
+	// must reach critical within its bound, a calm world must raise nothing,
+	// and the quota adapter must actually stop the control-lane misses it
+	// was built to stop. Detection that is slow, noisy, or toothless is a
+	// regression whatever the old baseline measured.
+	if cells, ok := new.Experiments["E14"]; ok {
+		const detect = "E14: time to alert by fault class (virtual time)/"
+		const adapt = "E14: overload adaptation (real time)/"
+		gates := []struct {
+			key   string
+			bound float64
+			desc  string
+		}{
+			{detect + "partition (telemetry-freshness)/alert ticks", 10,
+				"partition detection latency"},
+			{detect + "registry member kills (lookup-availability)/alert ticks", 15,
+				"member-kill detection latency"},
+			{detect + "calm soak/transitions", 0,
+				"calm-world false-positive alerts"},
+			{adapt + "adapter/ctl miss % post-adapt", 1.0,
+				"control-lane miss rate after the quota adapter reacted"},
+		}
+		for _, g := range gates {
+			if v, ok := cells[g.key]; ok && v > g.bound {
+				regressions = append(regressions, fmt.Sprintf(
+					"experiment E14: %s %.2f exceeds the %.0f gate (%q)", g.desc, v, g.bound, g.key))
+			}
+		}
+	}
 	return regressions, warnings
 }
 

@@ -10,6 +10,8 @@ import (
 	"ndsm/internal/endpoint"
 	"ndsm/internal/obs"
 	"ndsm/internal/qos"
+	"ndsm/internal/simtime"
+	"ndsm/internal/slo"
 	"ndsm/internal/svcdesc"
 	"ndsm/internal/telemetry"
 	"ndsm/internal/transport"
@@ -35,6 +37,7 @@ var microbenches = []microbench{
 	{"obs.counter.inc", benchCounterInc},
 	{"kernel.request", benchKernelRequest},
 	{"telemetry.publish", benchTelemetryPublish},
+	{"slo.evaluate", benchSLOEvaluate},
 }
 
 func benchMessage() *wire.Message {
@@ -232,6 +235,69 @@ func benchTelemetryPublish(b *testing.B) {
 		if err := p.Publish(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchSLOEvaluate times one burn-rate pass over a realistic alerting plane:
+// three reporting nodes, a ratio objective per node plus a fleet-wide
+// freshness objective, and a window's worth of counter history to walk. This
+// is the per-tick cost a node pays for having SLOs configured (the
+// no-objectives path is held to zero allocations by the internal/slo guard).
+func benchSLOEvaluate(b *testing.B) {
+	clock := simtime.NewVirtual(time.Unix(0, 0))
+	agg := telemetry.NewAggregator(telemetry.AggregatorOptions{
+		Clock:      clock,
+		StaleAfter: 10 * time.Second,
+		Registry:   obs.NewRegistry(),
+	})
+	nodes := []string{"n1", "n2", "n3"}
+	for seq := 1; seq <= 60; seq++ {
+		clock.Advance(time.Second)
+		for _, n := range nodes {
+			if err := agg.Ingest(&telemetry.Report{
+				Node: n,
+				Seq:  uint64(seq),
+				Time: clock.Now(),
+				Counters: map[string]int64{
+					"rpc.total": int64(20 * seq),
+					"rpc.err":   int64(seq / 10),
+				},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	eng, err := slo.New(slo.Options{Aggregator: agg, Clock: clock})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range nodes {
+		if err := eng.Add(slo.Objective{
+			Name:        "rpc-errors-" + n,
+			Kind:        slo.KindRatio,
+			Node:        n,
+			BadSeries:   "rpc.err",
+			TotalSeries: "rpc.total",
+			Window:      30 * time.Second,
+			ShortWindow: 5 * time.Second,
+			Budget:      0.1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := eng.Add(slo.Objective{
+		Name:        "telemetry-freshness",
+		Kind:        slo.KindFreshness,
+		Window:      30 * time.Second,
+		ShortWindow: 5 * time.Second,
+		Budget:      0.25,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Evaluate()
 	}
 }
 

@@ -37,10 +37,12 @@ import (
 	"ndsm/internal/discovery"
 	"ndsm/internal/discovery/cluster"
 	"ndsm/internal/endpoint"
+	"ndsm/internal/flightrec"
 	"ndsm/internal/obs"
 	"ndsm/internal/qos"
 	"ndsm/internal/recovery"
 	"ndsm/internal/sensors"
+	"ndsm/internal/slo"
 	"ndsm/internal/svcdesc"
 	"ndsm/internal/telemetry"
 	"ndsm/internal/trace"
@@ -78,6 +80,9 @@ func main() {
 	aggregate := flag.Bool("aggregate", false, "host a telemetry aggregator on this node's listener; the HTTP bridge serves GET /cluster and GET /dash")
 	publish := flag.String("publish", "", "publish this node's telemetry reports in-band to the aggregator node at this address")
 	publishEvery := flag.Duration("publish-every", 5*time.Second, "telemetry publish interval (with -publish)")
+	sloOn := flag.Bool("slo", false, "with -aggregate: run the burn-rate SLO engine over the aggregated telemetry; the HTTP bridge serves GET /alerts and GET /flight")
+	sloConfig := flag.String("slo-config", "", "JSON array of declarative SLO objectives (implies -slo; default: the built-in freshness and telemetry-reject objectives)")
+	sloWindow := flag.Duration("slo-window", time.Minute, "long burn window for the built-in objectives (with -slo)")
 	flag.Parse()
 	if *traced {
 		// One process-wide tracer: every trace.Ref in the stack follows it,
@@ -92,6 +97,9 @@ func main() {
 		Aggregate:    *aggregate,
 		PublishTo:    *publish,
 		PublishEvery: *publishEvery,
+		SLO:          *sloOn || *sloConfig != "",
+		SLOConfig:    *sloConfig,
+		SLOWindow:    *sloWindow,
 	}
 	opts.RegistryCluster = *registryCluster
 	if err := run(*registry, *listen, *config, *lookup, *call, opts); err != nil {
@@ -115,6 +123,13 @@ type serveOptions struct {
 	// node resolves through the quorum scatter-gather cluster resolver with a
 	// client-side lookup cache instead of a single central client.
 	RegistryCluster string
+	// SLO runs the burn-rate engine (and a flight recorder) over the hosted
+	// aggregator's series; SLOConfig optionally replaces the built-in
+	// objectives with a declarative JSON set, and SLOWindow sizes the
+	// built-ins' long window.
+	SLO       bool
+	SLOConfig string
+	SLOWindow time.Duration
 }
 
 func run(registryAddr, listen, configPath, lookup string, call bool, opts serveOptions) error {
@@ -299,6 +314,63 @@ func serve(tr transport.Transport, registry discovery.Resolver, listen, configPa
 		fmt.Printf("publishing telemetry to %s every %v\n", opts.PublishTo, opts.PublishEvery)
 	}
 
+	// Alerting plane. The SLO engine judges the hosted aggregator's series
+	// on a fixed cadence; critical transitions cut a flight-recorder bundle
+	// (recent spans, metrics delta, per-node freshness) the bridge serves at
+	// GET /flight for post-mortems.
+	var eng *slo.Engine
+	var flight *flightrec.Recorder
+	if opts.SLO {
+		if agg == nil {
+			return fmt.Errorf("-slo needs -aggregate: the engine judges the aggregated telemetry")
+		}
+		eng, err = slo.New(slo.Options{Aggregator: agg})
+		if err != nil {
+			return err
+		}
+		defer eng.Close() //nolint:errcheck
+		objectives := slo.DefaultObjectives(opts.SLOWindow)
+		if opts.SLOConfig != "" {
+			raw, err := os.ReadFile(opts.SLOConfig)
+			if err != nil {
+				return err
+			}
+			if objectives, err = slo.ParseObjectives(raw); err != nil {
+				return err
+			}
+		}
+		for _, o := range objectives {
+			if err := eng.Add(o); err != nil {
+				return fmt.Errorf("slo objective %q: %w", o.Name, err)
+			}
+		}
+		flight = flightrec.NewRecorder(flightrec.Options{
+			MinInterval: opts.PublishEvery,
+			Spans:       trace.Default().Collector(),
+			Metrics:     obs.Or(nil),
+			Aggregator:  agg,
+		})
+		eng.Alerts().Notify(func(t slo.Transition) {
+			if t.To != slo.Critical {
+				return
+			}
+			flight.Snapshot(flightrec.Trigger{
+				Objective: t.Objective,
+				Node:      t.Node,
+				Severity:  t.To.String(),
+				Windows: map[string]float64{
+					"burnLong":    t.BurnLong,
+					"burnShort":   t.BurnShort,
+					"badFraction": t.BadFraction,
+				},
+			})
+			fmt.Fprintf(os.Stderr, "SLO CRITICAL %s node=%s burnLong=%.2f burnShort=%.2f\n",
+				t.Objective, t.Node, t.BurnLong, t.BurnShort)
+		})
+		eng.Start(opts.PublishEvery)
+		fmt.Printf("slo engine: %d objectives, evaluating every %v\n", len(objectives), opts.PublishEvery)
+	}
+
 	// Runtime introspection gauges ride the process-default registry whether
 	// or not the bridge is up: a -publish node ships them in its reports.
 	sampleRuntime := obs.RuntimeGauges(nil)
@@ -313,6 +385,10 @@ func serve(tr transport.Transport, registry discovery.Resolver, listen, configPa
 		if agg != nil {
 			bridge.SetAggregator(agg)
 		}
+		if eng != nil {
+			bridge.SetSLO(eng)
+			bridge.SetFlightRecorder(flight)
+		}
 		if opts.Pprof {
 			bridge.EnablePprof()
 			fmt.Printf("pprof enabled at /debug/pprof/ on %s\n", opts.HTTPAddr)
@@ -323,7 +399,7 @@ func serve(tr transport.Transport, registry discovery.Resolver, listen, configPa
 				fmt.Fprintf(os.Stderr, "http bridge: %v\n", err)
 			}
 		}()
-		fmt.Printf("http bridge on %s (GET /services, POST /call/<svc>, GET /metrics, GET /healthz, GET /trace, GET /cluster, GET /dash)\n", opts.HTTPAddr)
+		fmt.Printf("http bridge on %s (GET /services, POST /call/<svc>, GET /metrics, GET /healthz, GET /trace, GET /cluster, GET /dash, GET /alerts, GET /flight)\n", opts.HTTPAddr)
 	}
 
 	stop := make(chan os.Signal, 1)

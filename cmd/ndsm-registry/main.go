@@ -26,6 +26,8 @@ import (
 
 	"ndsm/internal/discovery"
 	"ndsm/internal/discovery/cluster"
+	"ndsm/internal/endpoint"
+	"ndsm/internal/telemetry"
 	"ndsm/internal/transport"
 )
 
@@ -36,14 +38,16 @@ func main() {
 	members := flag.String("cluster", "", "comma-separated member addresses; enables replicated cluster mode")
 	sync := flag.Duration("sync", 2*time.Second, "anti-entropy gossip interval (cluster mode)")
 	rf := flag.Int("rf", 0, "replication factor (cluster mode; default 2, clamped to the member count)")
+	publish := flag.String("publish", "", "publish this registry's telemetry reports in-band to the aggregator node at this address (so an SLO engine's freshness objective notices a dead member)")
+	publishEvery := flag.Duration("publish-every", 5*time.Second, "telemetry publish interval (with -publish)")
 	flag.Parse()
-	if err := run(*listen, *ttl, *sweep, *members, *sync, *rf); err != nil {
+	if err := run(*listen, *ttl, *sweep, *members, *sync, *rf, *publish, *publishEvery); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, ttl, sweepEvery time.Duration, members string, syncEvery time.Duration, rf int) error {
+func run(listen string, ttl, sweepEvery time.Duration, members string, syncEvery time.Duration, rf int, publishTo string, publishEvery time.Duration) error {
 	tr := transport.NewTCP(nil)
 	defer tr.Close() //nolint:errcheck
 	l, err := tr.Listen(listen)
@@ -53,6 +57,29 @@ func run(listen string, ttl, sweepEvery time.Duration, members string, syncEvery
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	// Optional telemetry reporting: the registry describes itself to an
+	// aggregator node like any other reporter, so a member that dies shows
+	// up as a stale node on the aggregator's dashboard — and trips its
+	// telemetry-freshness SLO — instead of failing silently.
+	if publishTo != "" {
+		caller, err := endpoint.NewCaller(tr, publishTo, endpoint.CallerOptions{Redial: true})
+		if err != nil {
+			return fmt.Errorf("telemetry caller: %w", err)
+		}
+		defer caller.Close() //nolint:errcheck
+		pub, err := telemetry.NewPublisher(telemetry.PublisherOptions{
+			Node:     listen,
+			Interval: publishEvery,
+			Send:     telemetry.CallerSend(caller, listen, publishTo, 0),
+		})
+		if err != nil {
+			return fmt.Errorf("telemetry publisher: %w", err)
+		}
+		pub.Start()
+		defer pub.Close() //nolint:errcheck
+		fmt.Printf("publishing telemetry to %s every %v\n", publishTo, publishEvery)
+	}
 
 	if members != "" {
 		var peers []string

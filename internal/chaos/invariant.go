@@ -408,6 +408,75 @@ func (WALReplayClean) Name() string { return "wal-replay-clean" }
 // Check implements Invariant.
 func (WALReplayClean) Check(w *World, _ []Event) []string { return w.WALViolations() }
 
+// AlertLatency checks the alerting plane's detection promise (it only
+// applies to worlds built with SLO): any injected fault that silences a
+// supplier's telemetry — a partition or a crash — must drive the freshness
+// objective for that supplier to critical within Bound ticks of the inject.
+// The engine's multi-window burn math needs the silence to fill both windows
+// before paging, so the bound is wider than raw staleness marking; faults
+// reverted before the deadline are skipped, like every detection invariant
+// here — a short blip may legitimately never page.
+type AlertLatency struct {
+	// Bound is the tick budget from inject to critical (default 10: ~3 ticks
+	// for staleness marking plus ~4 for the long window to cross half-stale,
+	// with margin).
+	Bound int
+}
+
+// Name implements Invariant.
+func (AlertLatency) Name() string { return "alert-latency" }
+
+// Check implements Invariant.
+func (a AlertLatency) Check(w *World, events []Event) []string {
+	if w.SLO() == nil {
+		return nil
+	}
+	bound := a.Bound
+	if bound <= 0 {
+		bound = 10
+	}
+	trace := w.AlertTrace()
+	n := len(trace)
+	isSupplier := make(map[string]bool, len(w.supplier))
+	for _, id := range w.supplier {
+		isSupplier[id] = true
+	}
+	var out []string
+	for idx, ev := range events {
+		if ev.Phase != PhaseInject || !isSupplier[ev.Target] {
+			continue
+		}
+		if ev.Fault != FaultPartition && ev.Fault != FaultCrashSupplier {
+			continue
+		}
+		from := w.TickOf(ev.At)
+		// Revert tick: end of run unless an explicit (non-permanent) revert
+		// for this target lands earlier.
+		revert := n
+		for _, rv := range events[idx+1:] {
+			if rv.Phase == PhaseRevert && rv.Fault == ev.Fault && rv.Target == ev.Target {
+				if rv.At < permanentAt {
+					revert = w.TickOf(rv.At)
+				}
+				break
+			}
+		}
+		if revert > n {
+			revert = n
+		}
+		deadline := from + bound
+		if deadline >= revert || deadline >= n {
+			continue // fault too short or too late in the run to judge
+		}
+		if !freshnessCriticalWithin(trace, ev.Target, from, deadline) {
+			out = append(out, fmt.Sprintf(
+				"%s of %s at %v (tick %d) never drove %s critical within %d ticks",
+				ev.Fault, ev.Target, ev.At, from, FreshnessObjective, bound))
+		}
+	}
+	return out
+}
+
 // PriorityIsolation checks the admission controller's overload contract (it
 // only applies to worlds built with Overload): the control lane's reserved
 // slot means a control probe is never shed while the same supplier is

@@ -2,11 +2,14 @@ package chaos
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
+	"ndsm/internal/flightrec"
 	"ndsm/internal/simtime"
+	"ndsm/internal/slo"
 	"ndsm/internal/trace"
 )
 
@@ -56,6 +59,18 @@ type ScenarioConfig struct {
 	// bound supplier, and the priority-isolation invariant checked over the
 	// run.
 	Overload bool
+	// SLO runs the alerting plane (implies Telemetry; see WorldConfig.SLO)
+	// and checks the alert-latency invariant: silencing faults must drive
+	// the freshness objective critical within AlertBound ticks. Violating
+	// runs additionally dump the flight recorder's bundles next to the
+	// causal trace when TraceDir is set.
+	SLO bool
+	// AlertBound is the alert-latency tick budget (default 10).
+	AlertBound int
+	// NoFaults suppresses schedule generation entirely: the world runs calm.
+	// With SLO on, this is the false-positive soak — a calm run must end
+	// with zero alert transitions.
+	NoFaults bool
 	// Schedule overrides the generated fault schedule (Seed still fixes the
 	// substrate RNG). Experiments use this to replay one hand-built kill
 	// schedule under different world configurations.
@@ -125,6 +140,13 @@ type ScenarioResult struct {
 	TraceFile string
 	// Spans counts the causal spans collected for a traced run.
 	Spans int
+	// Alerts is every SLO alert transition over the run, in order (empty
+	// unless ScenarioConfig.SLO). The calm-world soak asserts it stays
+	// empty; faulty runs read detection latency off the At stamps.
+	Alerts []slo.Transition
+	// FlightFile is the flight-recorder bundle dump of a violating SLO run
+	// (empty for clean runs or when TraceDir was unset).
+	FlightFile string
 }
 
 // EventsString renders the applied-event trace canonically.
@@ -193,6 +215,8 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		RegistryCluster:   cfg.RegistryCluster,
 		ReplicationFactor: cfg.ReplicationFactor,
 		Overload:          cfg.Overload,
+		SLO:               cfg.SLO,
+		SpanCollector:     collector,
 		Tracer:            tracer,
 	})
 	if err != nil {
@@ -201,7 +225,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	defer world.Close() //nolint:errcheck
 
 	schedule := cfg.Schedule
-	if len(schedule) == 0 {
+	if len(schedule) == 0 && !cfg.NoFaults {
 		schedule = Generate(GeneratorConfig{
 			Seed:    cfg.Seed,
 			Horizon: time.Duration(cfg.Ticks) * cfg.TickEvery,
@@ -255,6 +279,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	for _, msg := range injectErrs {
 		res.Violations = append(res.Violations, "inject: "+msg)
 	}
+	res.Alerts = world.AlertTransitions()
 	invariants := []Invariant{
 		AckedDurable{},
 		RebindRecovery{Bound: cfg.RebindBound},
@@ -265,6 +290,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		ClusterReplication{},
 		WALReplayClean{},
 		PriorityIsolation{},
+		AlertLatency{Bound: cfg.AlertBound},
 	}
 	for _, inv := range invariants {
 		for _, v := range inv.Check(world, events) {
@@ -282,7 +308,30 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			}
 		}
 	}
+	// A violating SLO run dumps its post-mortem bundles beside the trace —
+	// the black box arrives with the failure report.
+	if rec := world.FlightRecorder(); rec != nil && cfg.TraceDir != "" && len(res.Violations) > 0 {
+		path := filepath.Join(cfg.TraceDir, fmt.Sprintf("chaos-flight-%d.json", cfg.Seed))
+		if err := writeFlightFile(path, rec); err != nil {
+			res.Violations = append(res.Violations, "flight: dump failed: "+err.Error())
+		} else {
+			res.FlightFile = path
+		}
+	}
 	return res, nil
+}
+
+// writeFlightFile dumps a recorder's retained bundles to path.
+func writeFlightFile(path string, rec *flightrec.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // SoakConfig sizes a multi-scenario soak.
@@ -358,6 +407,9 @@ func (r *SoakReport) String() string {
 	for _, res := range r.Results {
 		if res.TraceFile != "" {
 			fmt.Fprintf(&b, "  trace for seed %d: %s\n", res.Seed, res.TraceFile)
+		}
+		if res.FlightFile != "" {
+			fmt.Fprintf(&b, "  flight bundles for seed %d: %s\n", res.Seed, res.FlightFile)
 		}
 	}
 	if len(r.Violations()) > 0 {

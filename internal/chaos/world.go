@@ -15,6 +15,7 @@ import (
 	"ndsm/internal/discovery"
 	"ndsm/internal/discovery/cluster"
 	"ndsm/internal/endpoint"
+	"ndsm/internal/flightrec"
 	"ndsm/internal/health"
 	"ndsm/internal/netmux"
 	"ndsm/internal/netsim"
@@ -22,6 +23,7 @@ import (
 	"ndsm/internal/qos"
 	"ndsm/internal/recovery"
 	"ndsm/internal/simtime"
+	"ndsm/internal/slo"
 	"ndsm/internal/svcdesc"
 	"ndsm/internal/telemetry"
 	"ndsm/internal/trace"
@@ -94,9 +96,26 @@ type WorldConfig struct {
 	// judges: bulk may shed freely, but no control probe may shed on a tick
 	// where bulk traffic was admitted.
 	Overload bool
+	// SLO turns on the alerting plane (implies Telemetry): the consumer runs
+	// a burn-rate engine over the aggregator, self-ingesting one report per
+	// tick with its own workload counters (control-probe outcomes, lookup
+	// outcomes, bulk admit/shed totals) so ratio objectives have series to
+	// judge. Objectives installed: telemetry-freshness over every reporting
+	// node, control-deadline-miss in overload worlds, and lookup-availability
+	// in cluster worlds. The engine evaluates once per tick; the per-tick
+	// severity trace is what the alert-latency invariant checks, and every
+	// transition to critical cuts a flight-recorder bundle.
+	SLO bool
+	// SpanCollector, when set alongside SLO, feeds recent spans into the
+	// flight recorder's bundles (RunScenario passes its trace collector
+	// through when TraceDir is configured).
+	SpanCollector *trace.Collector
 }
 
 func (c WorldConfig) withDefaults() WorldConfig {
+	if c.SLO {
+		c.Telemetry = true
+	}
 	if c.Suppliers <= 0 {
 		c.Suppliers = 3
 	}
@@ -234,6 +253,11 @@ type World struct {
 	overBulk map[string]*endpoint.Caller
 	overCtl  map[string]*endpoint.Caller
 
+	// SLO plane (nil unless WorldConfig.SLO).
+	sloEngine *slo.Engine
+	flight    *flightrec.Recorder
+	sloSeq    uint64
+
 	mu            sync.Mutex
 	managers      map[string]*recovery.Manager
 	states        map[string]*keySetState
@@ -251,10 +275,12 @@ type World struct {
 	acked         []string
 	ackedBy       map[string][]string
 	walViolations []string
-	ctlOKTrace    []bool // per-tick control probe success (overload worlds)
-	ctlShedTrace  []bool // per-tick control probe shed verdict
-	bulkAdmitTick []int  // per-tick bulk requests admitted and served
-	bulkShedTick  []int  // per-tick bulk requests shed
+	ctlOKTrace    []bool                    // per-tick control probe success (overload worlds)
+	ctlShedTrace  []bool                    // per-tick control probe shed verdict
+	bulkAdmitTick []int                     // per-tick bulk requests admitted and served
+	bulkShedTick  []int                     // per-tick bulk requests shed
+	alertTrace    []map[string]slo.Severity // per-tick severity per "objective/node" (SLO worlds)
+	alertTrans    []slo.Transition          // every alert transition over the run (SLO worlds)
 }
 
 // muxDatagram presents one netmux protocol channel as the sim transport's
@@ -571,6 +597,11 @@ func (w *World) build() error {
 			return err
 		}
 	}
+	if cfg.SLO {
+		if err := w.buildSLO(); err != nil {
+			return err
+		}
+	}
 	if cfg.Overload {
 		// Per-supplier caller pairs, classified once at construction the way
 		// a real control plane and a real bulk pipeline would be: every call
@@ -727,10 +758,10 @@ func (w *World) Tick(i int) {
 
 	// Overload workload: a bulk burst plus one control probe at the bound
 	// supplier, after the tick's regular request so the two never contend.
-	var ctlOK, ctlShed bool
+	var ctlIssued, ctlOK, ctlShed bool
 	var bulkAdm, bulkShed int
 	if w.overBulk != nil {
-		ctlOK, ctlShed, bulkAdm, bulkShed = w.overloadStep(w.binding.Peer())
+		ctlIssued, ctlOK, ctlShed, bulkAdm, bulkShed = w.overloadStep(w.binding.Peer())
 	}
 
 	post := w.binding.Peer()
@@ -779,6 +810,20 @@ func (w *World) Tick(i int) {
 		w.bulkShedTick = append(w.bulkShedTick, bulkShed)
 	}
 	w.mu.Unlock()
+
+	if w.sloEngine != nil {
+		lookupVerdict := found
+		if w.clusterProbe != nil {
+			// Cluster worlds judge availability on the cached cluster path —
+			// the mechanism under test — not the flood-backed full view.
+			lookupVerdict = clusterFound
+		}
+		w.sloStep(tickCounters{
+			ctlIssued: ctlIssued, ctlOK: ctlOK,
+			lookupOK: lookupVerdict,
+			bulkAdm:  bulkAdm, bulkShed: bulkShed,
+		})
+	}
 }
 
 // overloadStep drives one tick of the overload workload at target: a burst
@@ -787,9 +832,11 @@ func (w *World) Tick(i int) {
 // classified client-side: a shed is the server's deliberate rejection; any
 // other failure (radio loss, partition timeout, dead supplier) counts as
 // neither admitted nor shed, so network faults cannot fake an isolation
-// violation. Skipped (all zeros) when the binding points nowhere or at a
-// crash-killed supplier.
-func (w *World) overloadStep(target string) (ctlOK, ctlShed bool, admitted, shed int) {
+// violation. Skipped (issued false, all zeros) when the binding points
+// nowhere or at a crash-killed supplier — a skipped probe is not a deadline
+// miss, so the control SLO only burns on genuine admission or network
+// failures.
+func (w *World) overloadStep(target string) (issued, ctlOK, ctlShed bool, admitted, shed int) {
 	if target == "" {
 		return
 	}
@@ -803,6 +850,7 @@ func (w *World) overloadStep(target string) (ctlOK, ctlShed bool, admitted, shed
 	if bulk == nil || ctl == nil {
 		return
 	}
+	issued = true
 	futs := make([]*endpoint.Future, 0, overloadBulkBurst)
 	for i := 0; i < overloadBulkBurst; i++ {
 		futs = append(futs, bulk.Go(&endpoint.Call{Topic: BulkTopic, Timeout: overloadTimeout}))

@@ -170,6 +170,17 @@ func (n *Node) Health() *health.Monitor { return n.health }
 // none was configured).
 func (n *Node) Metrics() *obs.Registry { return obs.Or(n.metrics) }
 
+// SetLaneQuota re-reserves one lane's admission quota on the node's server
+// at runtime (see endpoint.Server.SetLaneQuota). False without lane-aware
+// admission. This is the seam telemetry-driven quota adapters retune
+// through.
+func (n *Node) SetLaneQuota(lane endpoint.Lane, quota int) bool {
+	return n.ep.SetLaneQuota(lane, quota)
+}
+
+// LaneQuota reads one lane's current reserved quota on the node's server.
+func (n *Node) LaneQuota(lane endpoint.Lane) int { return n.ep.LaneQuota(lane) }
+
 // HandleTopic registers a raw endpoint handler on the node's listener for a
 // topic outside the hosted-service namespace — no discovery registration, no
 // QoS. This is how in-band control planes (the telemetry aggregator) ride a

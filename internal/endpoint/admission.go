@@ -346,6 +346,67 @@ func (a *admitter) preemptLocked(r int, now time.Time) *pending {
 	return victim
 }
 
+// setQuota re-reserves rank r's lane quota at runtime, rebalancing against
+// the shared pool so the capacity budget (quota sum + shared cap) is
+// invariant: growth is funded by (and clamped to) the shared pool's cap,
+// shrink returns slots to it. In-use accounting is untouched — a lane
+// holding more reserved slots than its new quota simply admits nothing on
+// reservation until it drains, and an over-committed shared pool drains the
+// same way, so in-flight work may transiently exceed the bound by at most
+// the widened amount until slots lent out before the change complete.
+// That transient is the point during an incident: the widened lane admits
+// *now*, not after bulk work finishes. Either direction can make
+// promotion possible (growth frees the lane's reservation, shrink widens
+// the pool), so queued work is drained exactly like a release. Returns the
+// quota actually applied after clamping.
+func (a *admitter) setQuota(r, quota int) int {
+	if quota < 0 {
+		quota = 0
+	}
+	now := a.clock.Now()
+	var runs []*pending
+	var toks []admitToken
+	var dead []*pending
+	a.mu.Lock()
+	if a.closed {
+		q := a.quota[r]
+		a.mu.Unlock()
+		return q
+	}
+	delta := quota - a.quota[r]
+	if delta > a.sharedCap {
+		delta = a.sharedCap
+	}
+	a.quota[r] += delta
+	a.sharedCap -= delta
+	applied := a.quota[r]
+	for {
+		p, ptok, ok := a.promoteLocked(now, &dead)
+		if !ok {
+			break
+		}
+		runs = append(runs, p)
+		toks = append(toks, ptok)
+	}
+	a.mu.Unlock()
+	for _, p := range dead {
+		a.shedExpired.Inc(1)
+		a.countShed(p.rank)
+		a.srv.reject(p.req, p.conn, laneByRank[p.rank], "deadline passed in queue")
+	}
+	for i, p := range runs {
+		a.srv.spawn(p.req, p.conn, toks[i])
+	}
+	return applied
+}
+
+// laneQuota reads rank r's current reservation.
+func (a *admitter) laneQuota(r int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.quota[r]
+}
+
 // close drops every queued entry (the server is shutting down; their
 // connections are closing anyway) and stops further promotion.
 func (a *admitter) close() {

@@ -130,6 +130,28 @@ func (s *Server) Unhandle(topic string) {
 	s.mu.Unlock()
 }
 
+// SetLaneQuota re-reserves one lane's admission quota at runtime —
+// telemetry-driven adapters widen the control lane while its deadline-miss
+// SLO burns and decay it back after recovery. Growth borrows from (and is
+// clamped to) the shared pool so total capacity never changes. Reports
+// false on servers without lane-aware admission.
+func (s *Server) SetLaneQuota(lane Lane, quota int) bool {
+	if s.adm == nil || !s.adm.laneAware {
+		return false
+	}
+	s.adm.setQuota(lane.rank(), quota)
+	return true
+}
+
+// LaneQuota reads a lane's current reserved quota (0 without lane-aware
+// admission).
+func (s *Server) LaneQuota(lane Lane) int {
+	if s.adm == nil || !s.adm.laneAware {
+		return 0
+	}
+	return s.adm.laneQuota(lane.rank())
+}
+
 // Close stops accepting, closes all connections, and waits for in-flight
 // handlers. Queued (admitted-pending) requests are dropped.
 func (s *Server) Close() error {

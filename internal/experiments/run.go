@@ -20,7 +20,7 @@ type Runner struct {
 
 // IDs lists all experiment identifiers in run order.
 func IDs() []string {
-	return []string{"F1", "E1", "E2", "E3", "E4", "E4x", "E5", "E5a", "E6", "E6a", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+	return []string{"F1", "E1", "E2", "E3", "E4", "E4x", "E5", "E5a", "E6", "E6a", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
 }
 
 // Run executes one experiment by ID.
@@ -106,6 +106,16 @@ func (r Runner) Run(id string) (Result, error) {
 			return E13(E13Options{Duration: 350 * time.Millisecond, Loads: []float64{1, 2}})
 		}
 		return E13(E13Options{})
+	case "E14":
+		if q {
+			return E14(E14Options{
+				Ticks: 60, FaultTicks: 18, CalmSeeds: 2,
+				FloodFor: 250 * time.Millisecond,
+				Recovery: 300 * time.Millisecond,
+				Window:   300 * time.Millisecond,
+			})
+		}
+		return E14(E14Options{})
 	default:
 		return Result{}, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
 	}

@@ -1,0 +1,164 @@
+package flightrec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"ndsm/internal/health"
+	"ndsm/internal/obs"
+	"ndsm/internal/simtime"
+	"ndsm/internal/telemetry"
+	"ndsm/internal/trace"
+)
+
+// fullRecorder builds a recorder with every source populated.
+func fullRecorder(t *testing.T, vc *simtime.Virtual, opts Options) (*Recorder, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.Counter("srv.lane.control.admitted").Inc(7)
+	reg.Counter("srv.lane.bulk.shed").Inc(3)
+	reg.Counter("srv.shed").Inc(3)
+	reg.Counter("unrelated.requests").Inc(100)
+	reg.Gauge("srv.lane.control.queued").Set(2)
+
+	col := trace.NewCollector(16)
+	for i := 0; i < 4; i++ {
+		col.Record(trace.Span{TraceID: 1, SpanID: uint64(i + 1), Name: "op", Node: "n1",
+			Start: vc.Now(), End: vc.Now().Add(time.Millisecond)})
+	}
+
+	mon := health.NewMonitor(health.Options{Clock: vc})
+	mon.Heartbeat("peer-1")
+
+	agg := telemetry.NewAggregator(telemetry.AggregatorOptions{
+		Clock: vc, StaleAfter: 5 * time.Second, Registry: obs.NewRegistry(),
+	})
+	if err := agg.Ingest(&telemetry.Report{Node: "n1", Seq: 1, Time: vc.Now(),
+		Counters: map[string]int64{"x": 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	opts.Clock = vc
+	opts.Spans = col
+	opts.Metrics = reg
+	opts.Health = mon
+	opts.Aggregator = agg
+	return NewRecorder(opts), reg
+}
+
+// TestSnapshotCapturesAllPlanes cuts one bundle and checks every plane
+// landed: spans, obs snapshot + lane extraction, health, telemetry
+// freshness, and the trigger's window values.
+func TestSnapshotCapturesAllPlanes(t *testing.T) {
+	vc := simtime.NewVirtual(time.Unix(0, 0))
+	rec, reg := fullRecorder(t, vc, Options{})
+
+	b := rec.Snapshot(Trigger{
+		Objective: "ctl-miss", Node: "n1", Severity: "critical",
+		Windows: map[string]float64{"burnLong": 6.2, "burnShort": 9.1},
+	})
+	if b == nil {
+		t.Fatal("snapshot suppressed with no rate limit")
+	}
+	if b.Seq != 1 || b.Trigger.Objective != "ctl-miss" || b.Trigger.Windows["burnLong"] != 6.2 {
+		t.Fatalf("bundle header wrong: %+v", b)
+	}
+	if len(b.Spans) != 4 || b.SpanTotal != 4 {
+		t.Fatalf("spans: got %d (total %d), want 4", len(b.Spans), b.SpanTotal)
+	}
+	if b.Obs == nil || b.Obs.Counters["srv.lane.control.admitted"] != 7 {
+		t.Fatalf("obs snapshot missing: %+v", b.Obs)
+	}
+	if b.ObsDelta != nil {
+		t.Fatal("first bundle has an obs delta")
+	}
+	for _, k := range []string{"srv.lane.control.admitted", "srv.lane.bulk.shed", "srv.shed", "srv.lane.control.queued"} {
+		if _, ok := b.Lanes[k]; !ok {
+			t.Fatalf("lane extraction missing %s: %+v", k, b.Lanes)
+		}
+	}
+	if _, ok := b.Lanes["unrelated.requests"]; ok {
+		t.Fatal("lane extraction swept in unrelated counters")
+	}
+	if len(b.Health) != 1 || b.Health[0].Peer != "peer-1" {
+		t.Fatalf("health states: %+v", b.Health)
+	}
+	if len(b.Telemetry) != 1 || b.Telemetry[0].Node != "n1" || !b.Telemetry[0].Fresh {
+		t.Fatalf("telemetry freshness: %+v", b.Telemetry)
+	}
+
+	// A second bundle carries the delta since the first.
+	reg.Counter("srv.lane.control.admitted").Inc(5)
+	vc.Advance(time.Second)
+	b2 := rec.Snapshot(Trigger{Objective: "ctl-miss", Severity: "critical"})
+	if b2.ObsDelta == nil || b2.ObsDelta.Counters["srv.lane.control.admitted"] != 5 {
+		t.Fatalf("second bundle delta: %+v", b2.ObsDelta)
+	}
+}
+
+// TestRingBoundAndRateLimit checks eviction and MinInterval suppression.
+func TestRingBoundAndRateLimit(t *testing.T) {
+	vc := simtime.NewVirtual(time.Unix(0, 0))
+	rec, _ := fullRecorder(t, vc, Options{Capacity: 3, MinInterval: time.Second})
+
+	for i := 0; i < 5; i++ {
+		vc.Advance(time.Second)
+		if b := rec.Snapshot(Trigger{Objective: fmt.Sprintf("o%d", i), Severity: "critical"}); b == nil {
+			t.Fatalf("snapshot %d suppressed despite interval", i)
+		}
+	}
+	if rec.Len() != 3 || rec.Total() != 5 {
+		t.Fatalf("ring len %d total %d, want 3/5", rec.Len(), rec.Total())
+	}
+	bundles := rec.Bundles()
+	if bundles[0].Trigger.Objective != "o2" || bundles[2].Trigger.Objective != "o4" {
+		t.Fatalf("eviction order wrong: %s..%s", bundles[0].Trigger.Objective, bundles[2].Trigger.Objective)
+	}
+
+	// A flapping alert inside MinInterval is counted, not recorded.
+	if b := rec.Snapshot(Trigger{Objective: "flap", Severity: "critical"}); b != nil {
+		t.Fatal("rate limit did not suppress")
+	}
+	if rec.Suppressed() != 1 || rec.Total() != 5 {
+		t.Fatalf("suppressed %d total %d, want 1/5", rec.Suppressed(), rec.Total())
+	}
+}
+
+// TestMaxSpansKeepsNewest bounds the per-bundle span copy to the tail.
+func TestMaxSpansKeepsNewest(t *testing.T) {
+	vc := simtime.NewVirtual(time.Unix(0, 0))
+	col := trace.NewCollector(64)
+	for i := 0; i < 10; i++ {
+		col.Record(trace.Span{TraceID: 1, SpanID: uint64(i + 1), Name: "op", Node: "n1"})
+	}
+	rec := NewRecorder(Options{Clock: vc, Spans: col, MaxSpans: 3})
+	b := rec.Snapshot(Trigger{Objective: "x", Severity: "critical"})
+	if len(b.Spans) != 3 || b.Spans[2].SpanID != 10 {
+		t.Fatalf("span tail wrong: %+v", b.Spans)
+	}
+}
+
+// TestWriteJSON serializes the retained bundles as one parseable document.
+func TestWriteJSON(t *testing.T) {
+	vc := simtime.NewVirtual(time.Unix(0, 0))
+	rec, _ := fullRecorder(t, vc, Options{})
+	rec.Snapshot(Trigger{Objective: "ctl-miss", Severity: "critical"})
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Bundles []json.RawMessage `json:"bundles"`
+		Total   uint64            `json:"total"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("flight document does not parse: %v", err)
+	}
+	if len(doc.Bundles) != 1 || doc.Total != 1 {
+		t.Fatalf("document %+v", doc)
+	}
+}

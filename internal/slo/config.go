@@ -1,0 +1,108 @@
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// objectiveConfig is the JSON wire form of an Objective: durations as Go
+// duration strings, the kind by name. This is what `ndsm-node -slo-config`
+// reads, so operators declare SLOs without recompiling.
+type objectiveConfig struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description,omitempty"`
+	Node        string  `json:"node,omitempty"`
+	Kind        string  `json:"kind"`
+	BadSeries   string  `json:"badSeries,omitempty"`
+	TotalSeries string  `json:"totalSeries,omitempty"`
+	Series      string  `json:"series,omitempty"`
+	Max         float64 `json:"max,omitempty"`
+	Budget      float64 `json:"budget,omitempty"`
+	Window      string  `json:"window,omitempty"`
+	ShortWindow string  `json:"shortWindow,omitempty"`
+	WarnBurn    float64 `json:"warnBurn,omitempty"`
+	CritBurn    float64 `json:"critBurn,omitempty"`
+	ClearAfter  int     `json:"clearAfter,omitempty"`
+}
+
+// ParseObjectives decodes a JSON array of declarative objectives. Validation
+// beyond shape (required series names, budget range) happens in Engine.Add.
+func ParseObjectives(data []byte) ([]Objective, error) {
+	var cfgs []objectiveConfig
+	if err := json.Unmarshal(data, &cfgs); err != nil {
+		return nil, fmt.Errorf("slo: config: %w", err)
+	}
+	out := make([]Objective, 0, len(cfgs))
+	for i, c := range cfgs {
+		o := Objective{
+			Name:        c.Name,
+			Description: c.Description,
+			Node:        c.Node,
+			BadSeries:   c.BadSeries,
+			TotalSeries: c.TotalSeries,
+			Series:      c.Series,
+			Max:         c.Max,
+			Budget:      c.Budget,
+			WarnBurn:    c.WarnBurn,
+			CritBurn:    c.CritBurn,
+			ClearAfter:  c.ClearAfter,
+		}
+		switch c.Kind {
+		case "", "ratio":
+			o.Kind = KindRatio
+		case "threshold":
+			o.Kind = KindThreshold
+		case "freshness":
+			o.Kind = KindFreshness
+		default:
+			return nil, fmt.Errorf("slo: config objective %d: unknown kind %q", i, c.Kind)
+		}
+		var err error
+		if o.Window, err = parseDuration(c.Window); err != nil {
+			return nil, fmt.Errorf("slo: config objective %q window: %w", c.Name, err)
+		}
+		if o.ShortWindow, err = parseDuration(c.ShortWindow); err != nil {
+			return nil, fmt.Errorf("slo: config objective %q shortWindow: %w", c.Name, err)
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+func parseDuration(s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return time.ParseDuration(s)
+}
+
+// DefaultObjectives is the out-of-the-box set a node enables with a bare
+// `-slo` flag: telemetry freshness across every reporting node (the
+// universal "is anyone silent" page) plus a shed-rate watch over the
+// endpoint servers' admission counters.
+func DefaultObjectives(window time.Duration) []Objective {
+	if window <= 0 {
+		window = time.Minute
+	}
+	return []Objective{
+		{
+			Name:        "telemetry-freshness",
+			Description: "every reporting node publishes within the staleness horizon",
+			Kind:        KindFreshness,
+			Budget:      0.05,
+			Window:      window,
+			ShortWindow: window / 6,
+			CritBurn:    10,
+		},
+		{
+			Name:        "telemetry-rejects",
+			Description: "replayed or reordered telemetry stays rare",
+			Kind:        KindRatio,
+			BadSeries:   "telemetry.rejected",
+			TotalSeries: "telemetry.reports",
+			Budget:      0.05,
+			Window:      window,
+		},
+	}
+}

@@ -14,12 +14,28 @@ const (
 	sparkH = 28
 )
 
+// DashAlert is one alert row for the dashboard's alerts panel. The telemetry
+// package cannot import the slo engine (the engine consumes the aggregator),
+// so the bridge flattens live alert state into this neutral shape.
+type DashAlert struct {
+	Objective string
+	Node      string
+	Severity  string // "ok" | "warning" | "critical"
+	Burn      float64
+	Since     time.Time
+}
+
 // RenderDash renders the cluster view as a single self-contained HTML page:
 // one card per node (freshness badge, per-peer health, trace depth) with an
 // inline-SVG sparkline per metric series. No scripts, no external assets —
 // it must work from the embedded web server of a constrained device, which
 // is the paper's §2 deployment target.
-func RenderDash(v ClusterView) []byte {
+func RenderDash(v ClusterView) []byte { return RenderDashAlerts(v, nil) }
+
+// RenderDashAlerts is RenderDash plus an alerts panel above the node cards:
+// every SLO alert instance with its severity, long-window burn rate, and
+// how long it has held its level.
+func RenderDashAlerts(v ClusterView, alerts []DashAlert) []byte {
 	var b strings.Builder
 	b.WriteString(`<!DOCTYPE html>
 <html lang="en"><head><meta charset="utf-8"><title>ndsm cluster</title>
@@ -35,10 +51,14 @@ td,th{padding:.1em .6em;text-align:left;border-bottom:1px solid #2a2a2a}
 .spark{vertical-align:middle} .val{color:#9cf}
 .peers{color:#aaa;font-size:.85em;margin:.3em 0}
 .sus{color:#f99}
+.alerts{border:1px solid #333;border-radius:6px;padding:.8em 1em;margin:.8em 0;background:#181818}
+.alerts h2{font-size:1em;margin:0 0 .4em}
+.sev-ok{background:#153;color:#9f9} .sev-warning{background:#542;color:#fc6} .sev-critical{background:#511;color:#f99}
 </style></head><body>
 `)
 	fmt.Fprintf(&b, "<h1>ndsm cluster telemetry</h1>\n<p class=\"meta\">%d node(s) &middot; view at %s &middot; stale after %s</p>\n",
 		len(v.Nodes), html.EscapeString(v.Now.Format(time.RFC3339)), v.StaleAfter)
+	writeAlertsPanel(&b, v.Now, alerts)
 	for _, n := range v.Nodes {
 		badge := `<span class="badge fresh">fresh</span>`
 		if !n.Fresh {
@@ -71,6 +91,27 @@ td,th{padding:.1em .6em;text-align:left;border-bottom:1px solid #2a2a2a}
 	}
 	b.WriteString("</body></html>\n")
 	return []byte(b.String())
+}
+
+// writeAlertsPanel renders the SLO alerts table. No alerts configured: no
+// panel (the dashboard predates the engine and must not grow noise).
+func writeAlertsPanel(b *strings.Builder, now time.Time, alerts []DashAlert) {
+	if len(alerts) == 0 {
+		return
+	}
+	b.WriteString("<div class=\"alerts\"><h2>SLO alerts</h2>\n")
+	b.WriteString("<table><tr><th>objective</th><th>node</th><th>state</th><th>burn</th><th>since</th></tr>\n")
+	for _, a := range alerts {
+		since := ""
+		if !a.Since.IsZero() {
+			since = now.Sub(a.Since).String()
+		}
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td><span class=\"badge sev-%s\">%s</span></td><td class=\"val\">%.2f</td><td>%s</td></tr>\n",
+			html.EscapeString(a.Objective), html.EscapeString(a.Node),
+			html.EscapeString(a.Severity), html.EscapeString(a.Severity),
+			a.Burn, html.EscapeString(since))
+	}
+	b.WriteString("</table></div>\n")
 }
 
 func writeSeriesTable(b *strings.Builder, series map[string][]Point) {

@@ -93,6 +93,20 @@ func (p *Publisher) Publish() error {
 		Rates:    diff.Rate(elapsed),
 		Gauges:   diff.Gauges,
 	}
+	// Fold histogram quantiles in as gauges (<hist>.p50/.p99): quantile
+	// estimates do not survive delta arithmetic, but as published gauge
+	// series they give the aggregator — and the SLO engine's
+	// latency-quantile objectives — a per-node latency signal to judge.
+	for name, h := range snap.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		if r.Gauges == nil {
+			r.Gauges = make(map[string]float64, 2*len(snap.Histograms))
+		}
+		r.Gauges[name+".p50"] = h.P50
+		r.Gauges[name+".p99"] = h.P99
+	}
 	if p.opts.Health != nil {
 		r.Health = p.opts.Health.Status()
 	}

@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ndsm/internal/obs"
+	"ndsm/internal/simtime"
+)
+
+// TestPublisherHistogramQuantileGauges: the publisher folds histogram
+// quantiles into the report's gauges so latency-threshold SLOs have a
+// per-node series to watch.
+func TestPublisherHistogramQuantileGauges(t *testing.T) {
+	clock := simtime.NewVirtual(time.Unix(0, 0))
+	reg := obs.NewRegistry()
+	var got []*Report
+	p, err := NewPublisher(PublisherOptions{
+		Node:     "n1",
+		Registry: reg,
+		Clock:    clock,
+		Send:     func(r *Report) error { got = append(got, r); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close() //nolint:errcheck
+
+	for i := 0; i < 100; i++ {
+		reg.Histogram("rpc.latency").Observe(float64(i + 1))
+	}
+	clock.Advance(time.Second)
+	if err := p.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("sent %d reports, want 1", len(got))
+	}
+	r := got[0]
+	p50, ok50 := r.Gauges["rpc.latency.p50"]
+	p99, ok99 := r.Gauges["rpc.latency.p99"]
+	if !ok50 || !ok99 {
+		t.Fatalf("quantile gauges missing: %+v", r.Gauges)
+	}
+	if p50 <= 0 || p99 < p50 {
+		t.Fatalf("quantiles implausible: p50=%v p99=%v", p50, p99)
+	}
+
+	// An empty histogram must not export zero-valued quantiles.
+	reg.Histogram("idle.latency")
+	clock.Advance(time.Second)
+	if err := p.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got[1].Gauges["idle.latency.p99"]; ok {
+		t.Fatalf("empty histogram exported a quantile gauge: %+v", got[1].Gauges)
+	}
+}
+
+// TestRenderDashAlerts: the alerts panel renders firing objectives and is
+// omitted entirely when the cluster is calm.
+func TestRenderDashAlerts(t *testing.T) {
+	clock := simtime.NewVirtual(time.Unix(0, 0))
+	a := NewAggregator(AggregatorOptions{Clock: clock, StaleAfter: time.Hour, Registry: obs.NewRegistry()})
+	if err := a.Ingest(&Report{Node: "n1", Seq: 1, Time: clock.Now(),
+		Counters: map[string]int64{"reqs": 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	alerts := []DashAlert{
+		{Objective: "ctl-<miss>", Node: "n1", Severity: "critical", Burn: 6.25, Since: clock.Now()},
+		{Objective: "freshness", Node: "n2", Severity: "warning", Burn: 1.5, Since: clock.Now()},
+	}
+	page := string(RenderDashAlerts(a.View(), alerts))
+	for _, want := range []string{"SLO alerts", "sev-critical", "sev-warning", "ctl-&lt;miss&gt;", "6.25"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("alert dash missing %q", want)
+		}
+	}
+	if strings.Contains(page, "ctl-<miss>") {
+		t.Error("objective name not HTML-escaped")
+	}
+
+	calm := string(RenderDashAlerts(a.View(), nil))
+	if strings.Contains(calm, "SLO alerts") {
+		t.Error("calm dash renders an alerts panel")
+	}
+}

@@ -19,7 +19,14 @@
 //	                                  aggregator is attached
 //	GET /dash                      -> self-contained HTML dashboard over the
 //	                                  same view (inline SVG sparklines, no
-//	                                  external assets)
+//	                                  external assets), with an SLO alerts
+//	                                  panel when an engine is attached
+//	GET /alerts                    -> live SLO alert state (per-instance
+//	                                  severity, burn rates) plus a severity
+//	                                  summary, when an engine is attached
+//	GET /flight                    -> the flight recorder's retained
+//	                                  post-mortem bundles, when one is
+//	                                  attached
 //	GET /debug/pprof/*             -> Go profiling endpoints, only after an
 //	                                  explicit EnablePprof (opt-in: profiles
 //	                                  leak internals and burn CPU)
@@ -41,9 +48,11 @@ import (
 	"ndsm/internal/bibliometrics"
 	"ndsm/internal/core"
 	"ndsm/internal/discovery"
+	"ndsm/internal/flightrec"
 	"ndsm/internal/health"
 	"ndsm/internal/obs"
 	"ndsm/internal/qos"
+	"ndsm/internal/slo"
 	"ndsm/internal/svcdesc"
 	"ndsm/internal/telemetry"
 	"ndsm/internal/trace"
@@ -62,6 +71,8 @@ type serverConfig struct {
 	health  *health.Monitor
 	spans   *trace.Collector
 	agg     *telemetry.Aggregator
+	slo     *slo.Engine
+	flight  *flightrec.Recorder
 	// sampleRuntime refreshes the runtime gauges (EnableRuntimeMetrics);
 	// /metrics calls it before snapshotting.
 	sampleRuntime func()
@@ -145,6 +156,22 @@ func (b *Bridge) SetAggregator(a *telemetry.Aggregator) {
 	b.cfgMu.Unlock()
 }
 
+// SetSLO attaches an alerting engine, enabling GET /alerts (live alert
+// state), the alerts panel on /dash, and the alert summary in /healthz.
+func (b *Bridge) SetSLO(e *slo.Engine) {
+	b.cfgMu.Lock()
+	b.cfg.slo = e
+	b.cfgMu.Unlock()
+}
+
+// SetFlightRecorder attaches a flight recorder, enabling GET /flight
+// (retained post-mortem bundles).
+func (b *Bridge) SetFlightRecorder(r *flightrec.Recorder) {
+	b.cfgMu.Lock()
+	b.cfg.flight = r
+	b.cfgMu.Unlock()
+}
+
 // EnableRuntimeMetrics registers the Go runtime gauges (goroutines, heap
 // bytes, GC pause total) in the bridge's metrics registry and refreshes them
 // on every /metrics request.
@@ -196,6 +223,10 @@ func (b *Bridge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		b.handleCluster(w, r)
 	case r.URL.Path == "/dash":
 		b.handleDash(w, r)
+	case r.URL.Path == "/alerts":
+		b.handleAlerts(w, r)
+	case r.URL.Path == "/flight":
+		b.handleFlight(w, r)
 	case r.URL.Path == "/services":
 		b.handleServices(w, r)
 	case strings.HasPrefix(r.URL.Path, "/call/"):
@@ -257,7 +288,66 @@ func (b *Bridge) handleDash(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	_, _ = w.Write(telemetry.RenderDash(c.agg.View()))
+	_, _ = w.Write(telemetry.RenderDashAlerts(c.agg.View(), dashAlerts(c.slo)))
+}
+
+// dashAlerts flattens the engine's live alert state into the telemetry
+// package's neutral dashboard rows (nil engine: no panel).
+func dashAlerts(e *slo.Engine) []telemetry.DashAlert {
+	if e == nil {
+		return nil
+	}
+	states := e.States()
+	out := make([]telemetry.DashAlert, 0, len(states))
+	for _, s := range states {
+		out = append(out, telemetry.DashAlert{
+			Objective: s.Objective,
+			Node:      s.Node,
+			Severity:  s.Severity.String(),
+			Burn:      s.BurnLong,
+			Since:     s.Since,
+		})
+	}
+	return out
+}
+
+// handleAlerts serves the engine's live alert state: one row per alert
+// instance (objective × node) with severity, window burn rates, and the
+// severity digest external probes want.
+func (b *Bridge) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	c := b.config()
+	if c.slo == nil {
+		http.Error(w, "slo engine not attached", http.StatusNotFound)
+		return
+	}
+	doc := struct {
+		Summary slo.Summary      `json:"summary"`
+		Alerts  []slo.AlertState `json:"alerts"`
+	}{Summary: c.slo.Summary(), Alerts: c.slo.States()}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+// handleFlight serves the flight recorder's retained post-mortem bundles as
+// one JSON document.
+func (b *Bridge) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	c := b.config()
+	if c.flight == nil {
+		http.Error(w, "flight recorder not attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = c.flight.WriteJSON(w)
 }
 
 // handlePprof gates the Go profiling endpoints behind EnablePprof.
@@ -292,10 +382,19 @@ func (b *Bridge) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type healthDoc struct {
 		Status string              `json:"status"`
 		Peers  []health.PeerStatus `json:"peers,omitempty"`
+		// Alerts is the SLO severity digest — external probes learn "is
+		// anything critical" from the same endpoint they already poll,
+		// without parsing /alerts.
+		Alerts *slo.Summary `json:"alerts,omitempty"`
 	}
 	doc := healthDoc{Status: "ok"}
-	if m := b.config().health; m != nil {
+	c := b.config()
+	if m := c.health; m != nil {
 		doc.Peers = m.Status()
+	}
+	if c.slo != nil {
+		sum := c.slo.Summary()
+		doc.Alerts = &sum
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
