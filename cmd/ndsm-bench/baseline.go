@@ -23,6 +23,12 @@ const minBaselineSchema = 1
 // compare gate fails (fractional; 0.15 = 15%).
 const regressionTolerance = 0.15
 
+// loadRegressionTolerance is the tighter bound on sustained-load req/s: the
+// load servers run with wide-event recorders attached, and the analytics
+// plane's contract is that instrumentation costs the representative workload
+// less than 5% of its throughput.
+const loadRegressionTolerance = 0.05
+
 // BenchResult is one microbenchmark's measured cost.
 type BenchResult struct {
 	NsPerOp     float64 `json:"nsPerOp"`
@@ -169,9 +175,11 @@ func compareBaselines(old, new *Baseline, tolerance float64) (regressions, warni
 			}
 		}
 	}
-	// Load points warn rather than gate: sustained throughput is far more
-	// machine- and scheduler-sensitive than a microbenchmark, so drift is
-	// surfaced for a human to judge.
+	// Load req/s gates at 5%: the load servers record wide events, so this
+	// is the bound that keeps request analytics inside its overhead budget
+	// on the representative workload. Everything else about a load point
+	// warns — sustained throughput is machine-sensitive, and CI treats the
+	// whole compare as advisory anyway (quiet local hardware is the judge).
 	for _, key := range sortedKeys(old.Load) {
 		prev := old.Load[key]
 		cur, ok := new.Load[key]
@@ -179,10 +187,11 @@ func compareBaselines(old, new *Baseline, tolerance float64) (regressions, warni
 			warnings = append(warnings, fmt.Sprintf("load point %s missing from new baseline", key))
 			continue
 		}
-		if prev.ReqPerSec > 0 && cur.ReqPerSec < prev.ReqPerSec*(1-tolerance) {
-			warnings = append(warnings, fmt.Sprintf(
-				"load point %s throughput dropped: %.0f req/s vs %.0f req/s baseline",
-				key, cur.ReqPerSec, prev.ReqPerSec))
+		if prev.ReqPerSec > 0 && cur.ReqPerSec < prev.ReqPerSec*(1-loadRegressionTolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"load point %s throughput dropped: %.0f req/s vs %.0f req/s baseline (-%.1f%%, tolerance %.0f%%)",
+				key, cur.ReqPerSec, prev.ReqPerSec,
+				100*(1-cur.ReqPerSec/prev.ReqPerSec), 100*loadRegressionTolerance))
 		}
 		if cur.AllocsPerOp > prev.AllocsPerOp*(1+tolerance)+0.5 {
 			warnings = append(warnings, fmt.Sprintf(
@@ -227,6 +236,38 @@ func compareBaselines(old, new *Baseline, tolerance float64) (regressions, warni
 			if v, ok := cells[g.key]; ok && v > g.bound {
 				regressions = append(regressions, fmt.Sprintf(
 					"experiment E14: %s %.2f exceeds the %.0f gate (%q)", g.desc, v, g.bound, g.key))
+			}
+		}
+	}
+	// E15's request-analytics contracts gate absolutely: the injected hot
+	// topic must rank #1 in the cluster-merged top-k, the merged t-digest p99
+	// must sit within 5% of the exact distribution, the sampled-out recorder
+	// path must stay allocation-free, and the recorder's absolute cost on a
+	// worst-case no-op closed loop must stay under 2µs per request (measured
+	// ~0.3–0.9µs: two clock reads plus the lock-cheap Record; the bound is
+	// where the path has clearly grown a lock fight or an allocation). The
+	// percentage form of the overhead contract is the 5% load gate above —
+	// the load servers record wide events, so load req/s is instrumented
+	// req/s. Attribution that misranks, misestimates, or taxes the hot path
+	// is a regression whatever the old baseline measured.
+	if cells, ok := new.Experiments["E15"]; ok {
+		const attr = "E15: cluster attribution from merged sketches/hot/"
+		maxGates := []struct {
+			key   string
+			bound float64
+			desc  string
+		}{
+			{attr + "rank", 1, "hot-topic rank in the merged top-k"},
+			{attr + "p99 err %", 5, "merged-sketch p99 error vs exact"},
+			{"E15: sampled-out hot path/recorder.Record (sampled out)/allocs/op", 0,
+				"sampled-out recorder allocations"},
+			{"E15: endpoint throughput with wide events/closed loop/overhead ns/req", 2000,
+				"wide-event overhead per request (closed-loop echo)"},
+		}
+		for _, g := range maxGates {
+			if v, ok := cells[g.key]; ok && v > g.bound {
+				regressions = append(regressions, fmt.Sprintf(
+					"experiment E15: %s %.2f exceeds the %.0f gate (%q)", g.desc, v, g.bound, g.key))
 			}
 		}
 	}

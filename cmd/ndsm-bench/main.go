@@ -70,6 +70,7 @@ func main() {
 	flag.IntVar(&opts.loadCfg.Requests, "load-requests", 0, "requests per consumer (0: auto-size to ~60k total)")
 	flag.IntVar(&opts.loadCfg.Window, "load-window", 32, "pipeline window per consumer in the batched phase")
 	flag.DurationVar(&opts.loadCfg.Airtime, "load-airtime", 0, "per-datagram channel occupancy on the sim substrate (default 25µs; negative disables)")
+	flag.IntVar(&opts.loadCfg.Repeat, "load-repeat", 0, "runs per load point, keeping the best req/s (default 3; 1 for a quick smoke)")
 	flag.Parse()
 	opts.compareNew = flag.Arg(0)
 	sweep, err := parseConsumerSweep(*consumers)

@@ -10,6 +10,7 @@ import (
 	"ndsm/internal/endpoint"
 	"ndsm/internal/obs"
 	"ndsm/internal/qos"
+	"ndsm/internal/reqlog"
 	"ndsm/internal/simtime"
 	"ndsm/internal/slo"
 	"ndsm/internal/svcdesc"
@@ -38,6 +39,7 @@ var microbenches = []microbench{
 	{"kernel.request", benchKernelRequest},
 	{"telemetry.publish", benchTelemetryPublish},
 	{"slo.evaluate", benchSLOEvaluate},
+	{"reqlog.record", benchReqLogRecord},
 }
 
 func benchMessage() *wire.Message {
@@ -298,6 +300,32 @@ func benchSLOEvaluate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.Evaluate()
+	}
+}
+
+// benchReqLogRecord times the wide-event recorder's steady-state hot path:
+// a healthy record on a warm topic that the exemplar sampler drops — the
+// per-request cost every instrumented server pays. The compare gate's
+// zero-alloc rule pins this path allocation-free.
+func benchReqLogRecord(b *testing.B) {
+	rec := reqlog.New(reqlog.Options{
+		SampleEvery: 1 << 30,
+		Registry:    obs.NewRegistry(),
+	})
+	r := reqlog.Record{
+		Time:    time.Unix(0, 0),
+		Kind:    reqlog.KindServer,
+		Topic:   "bench",
+		Outcome: reqlog.OutcomeOK,
+		Latency: 2 * time.Millisecond,
+	}
+	for i := 0; i < 4096; i++ {
+		rec.Record(r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Record(r)
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"ndsm/internal/obs"
 	"ndsm/internal/qos"
 	"ndsm/internal/recovery"
+	"ndsm/internal/reqlog"
 	"ndsm/internal/sensors"
 	"ndsm/internal/slo"
 	"ndsm/internal/svcdesc"
@@ -83,6 +84,9 @@ func main() {
 	sloOn := flag.Bool("slo", false, "with -aggregate: run the burn-rate SLO engine over the aggregated telemetry; the HTTP bridge serves GET /alerts and GET /flight")
 	sloConfig := flag.String("slo-config", "", "JSON array of declarative SLO objectives (implies -slo; default: the built-in freshness and telemetry-reject objectives)")
 	sloWindow := flag.Duration("slo-window", time.Minute, "long burn window for the built-in objectives (with -slo)")
+	reqlogOn := flag.Bool("reqlog", false, "record one wide event per request with tail sampling; the HTTP bridge serves GET /requests and GET /topk, and -publish ships sketch digests")
+	reqlogSample := flag.Int("reqlog-sample", 0, "keep 1 in N healthy requests as exemplars (with -reqlog; default 64)")
+	topicLanes := flag.String("topic-lanes", "", "JSON object mapping topic patterns (trailing * for prefixes) to admission lanes for this node's outbound calls")
 	flag.Parse()
 	if *traced {
 		// One process-wide tracer: every trace.Ref in the stack follows it,
@@ -100,6 +104,9 @@ func main() {
 		SLO:          *sloOn || *sloConfig != "",
 		SLOConfig:    *sloConfig,
 		SLOWindow:    *sloWindow,
+		ReqLog:       *reqlogOn,
+		ReqLogSample: *reqlogSample,
+		TopicLanes:   *topicLanes,
 	}
 	opts.RegistryCluster = *registryCluster
 	if err := run(*registry, *listen, *config, *lookup, *call, opts); err != nil {
@@ -130,6 +137,15 @@ type serveOptions struct {
 	SLO       bool
 	SLOConfig string
 	SLOWindow time.Duration
+	// ReqLog enables the per-request wide-event recorder (GET /requests and
+	// GET /topk on the bridge, digests in published reports, the tail ring in
+	// flight bundles); ReqLogSample is its healthy-request keep rate (1-in-N,
+	// 0 for the default).
+	ReqLog       bool
+	ReqLogSample int
+	// TopicLanes is a JSON file mapping topic patterns to admission lanes,
+	// applied to the node's outbound binding calls.
+	TopicLanes string
 }
 
 func run(registryAddr, listen, configPath, lookup string, call bool, opts serveOptions) error {
@@ -237,7 +253,34 @@ func serve(tr transport.Transport, registry discovery.Resolver, listen, configPa
 		fmt.Printf("wal %s: %d prior registration records\n", opts.WALPath, prior)
 	}
 
-	node, err := core.NewNode(core.Config{Name: listen, Transport: tr, Registry: registry})
+	// Request analytics plane: the recorder lands one wide event per dispatch,
+	// shed, and binding call, with tail-based retention. The lane table is
+	// parsed before the node exists so a bad config fails fast.
+	var rec *reqlog.Recorder
+	if opts.ReqLog {
+		sample := opts.ReqLogSample
+		if sample <= 0 {
+			sample = 64 // the recorder's own default, echoed for the log line
+		}
+		rec = reqlog.New(reqlog.Options{SampleEvery: sample})
+		fmt.Printf("request analytics on (healthy sample 1-in-%d)\n", sample)
+	}
+	var lanes *endpoint.LaneTable
+	if opts.TopicLanes != "" {
+		raw, err := os.ReadFile(opts.TopicLanes)
+		if err != nil {
+			return err
+		}
+		if lanes, err = endpoint.ParseTopicLanes(raw); err != nil {
+			return fmt.Errorf("parse %s: %w", opts.TopicLanes, err)
+		}
+		fmt.Printf("topic-lane table: %d rules\n", lanes.Len())
+	}
+
+	node, err := core.NewNode(core.Config{
+		Name: listen, Transport: tr, Registry: registry,
+		ReqLog: rec, TopicLanes: lanes,
+	})
 	if err != nil {
 		return err
 	}
@@ -303,6 +346,7 @@ func serve(tr transport.Transport, registry discovery.Resolver, listen, configPa
 		pub, err := telemetry.NewPublisher(telemetry.PublisherOptions{
 			Node:     listen,
 			Spans:    trace.Default().Collector(),
+			ReqLog:   rec,
 			Interval: opts.PublishEvery,
 			Send:     telemetry.CallerSend(caller, listen, opts.PublishTo, 0),
 		})
@@ -349,6 +393,7 @@ func serve(tr transport.Transport, registry discovery.Resolver, listen, configPa
 			Spans:       trace.Default().Collector(),
 			Metrics:     obs.Or(nil),
 			Aggregator:  agg,
+			ReqLog:      rec,
 		})
 		eng.Alerts().Notify(func(t slo.Transition) {
 			if t.To != slo.Critical {
@@ -388,6 +433,9 @@ func serve(tr transport.Transport, registry discovery.Resolver, listen, configPa
 		if eng != nil {
 			bridge.SetSLO(eng)
 			bridge.SetFlightRecorder(flight)
+		}
+		if rec != nil {
+			bridge.SetReqLog(rec)
 		}
 		if opts.Pprof {
 			bridge.EnablePprof()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ndsm/internal/discovery/cluster"
+	"ndsm/internal/reqlog"
 )
 
 // Invariant is a property of a finished chaos run. Check returns one message
@@ -407,6 +408,61 @@ func (WALReplayClean) Name() string { return "wal-replay-clean" }
 
 // Check implements Invariant.
 func (WALReplayClean) Check(w *World, _ []Event) []string { return w.WALViolations() }
+
+// TailCapture checks the wide-event plane's retention contract (it only
+// applies to worlds built with Overload): a shed the consumer observed is,
+// by construction, a deliberate server rejection — and the server records
+// the wide event *before* it sends the rejection — so every client-observed
+// shed must be present as a shed record in some supplier's tail ring.
+// Sheds are always tail-worthy (never sampled) and the chaos recorders are
+// sized so the ring cannot evict within a run, which makes the count exact:
+// fewer retained sheds than observed sheds means the observability plane
+// dropped an anomalous request. The reverse inequality is legal — a shed
+// whose rejection the network ate is recorded server-side but reaches the
+// client as a timeout.
+//
+// Each retained shed must also be attributable: a record without a topic or
+// a shed reason is a violation on its own, because an exemplar an operator
+// cannot act on is not an exemplar.
+type TailCapture struct{}
+
+// Name implements Invariant.
+func (TailCapture) Name() string { return "tail-capture" }
+
+// Check implements Invariant.
+func (TailCapture) Check(w *World, _ []Event) []string {
+	logs := w.ReqLogs()
+	if len(logs) == 0 {
+		return nil
+	}
+	observed := 0
+	for _, n := range w.BulkShedTrace() {
+		observed += n
+	}
+	for _, shed := range w.ControlShedTrace() {
+		if shed {
+			observed++
+		}
+	}
+	retained := 0
+	var out []string
+	for id, rl := range logs {
+		for _, rec := range rl.Snapshot(reqlog.Filter{Outcome: reqlog.OutcomeShed}) {
+			retained++
+			if rec.Topic == "" || rec.ShedReason == "" {
+				out = append(out, fmt.Sprintf(
+					"%s retained a shed record without attribution (topic=%q reason=%q)",
+					id, rec.Topic, rec.ShedReason))
+			}
+		}
+	}
+	if retained < observed {
+		out = append(out, fmt.Sprintf(
+			"consumer observed %d sheds but supplier tail rings retain only %d",
+			observed, retained))
+	}
+	return out
+}
 
 // AlertLatency checks the alerting plane's detection promise (it only
 // applies to worlds built with SLO): any injected fault that silences a

@@ -62,6 +62,27 @@ func TestOverloadWorldIsolatesControlLane(t *testing.T) {
 	if v := (PriorityIsolation{}).Check(w, nil); len(v) != 0 {
 		t.Fatalf("priority-isolation violations on a clean run: %v", v)
 	}
+
+	// Tail capture: every client-observed shed must be retained server-side
+	// as a wide event with its topic and reason attached.
+	if v := (TailCapture{}).Check(w, nil); len(v) != 0 {
+		t.Fatalf("tail-capture violations on a clean run: %v", v)
+	}
+	retained := 0
+	for id, recs := range w.ShedRecords() {
+		for _, rec := range recs {
+			if rec.Topic != BulkTopic && rec.Topic != CtlTopic {
+				t.Fatalf("%s retained a shed on unexpected topic %q", id, rec.Topic)
+			}
+			if rec.Lane == "" || rec.ShedReason == "" {
+				t.Fatalf("%s shed record missing lane/reason: %+v", id, rec)
+			}
+		}
+		retained += len(recs)
+	}
+	if retained < shedBulk {
+		t.Fatalf("tail rings retain %d sheds, consumer observed %d", retained, shedBulk)
+	}
 }
 
 // TestOverloadScenarioShort is the CI smoke: one seeded overload scenario

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"ndsm/internal/flightrec"
+	"ndsm/internal/reqlog"
 	"ndsm/internal/simtime"
 	"ndsm/internal/slo"
 	"ndsm/internal/trace"
@@ -147,6 +149,10 @@ type ScenarioResult struct {
 	// FlightFile is the flight-recorder bundle dump of a violating SLO run
 	// (empty for clean runs or when TraceDir was unset).
 	FlightFile string
+	// TailFile is the wide-event shed-record dump of a violating overload
+	// run — every supplier's retained shed exemplars, keyed by supplier
+	// (empty for clean runs or when TraceDir was unset).
+	TailFile string
 }
 
 // EventsString renders the applied-event trace canonically.
@@ -290,6 +296,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		ClusterReplication{},
 		WALReplayClean{},
 		PriorityIsolation{},
+		TailCapture{},
 		AlertLatency{Bound: cfg.AlertBound},
 	}
 	for _, inv := range invariants {
@@ -318,7 +325,29 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			res.FlightFile = path
 		}
 	}
+	// A violating overload run dumps its shed exemplars too: the tail ring
+	// holds exactly the anomalous requests a post-mortem starts from.
+	if cfg.TraceDir != "" && len(res.Violations) > 0 {
+		if sheds := world.ShedRecords(); len(sheds) > 0 {
+			path := filepath.Join(cfg.TraceDir, fmt.Sprintf("chaos-tail-%d.json", cfg.Seed))
+			if err := writeTailFile(path, sheds); err != nil {
+				res.Violations = append(res.Violations, "tail: dump failed: "+err.Error())
+			} else {
+				res.TailFile = path
+			}
+		}
+	}
 	return res, nil
+}
+
+// writeTailFile dumps per-supplier shed wide events to path as one indented
+// JSON document.
+func writeTailFile(path string, sheds map[string][]reqlog.Record) error {
+	data, err := json.MarshalIndent(sheds, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // writeFlightFile dumps a recorder's retained bundles to path.
@@ -410,6 +439,9 @@ func (r *SoakReport) String() string {
 		}
 		if res.FlightFile != "" {
 			fmt.Fprintf(&b, "  flight bundles for seed %d: %s\n", res.Seed, res.FlightFile)
+		}
+		if res.TailFile != "" {
+			fmt.Fprintf(&b, "  shed tail records for seed %d: %s\n", res.Seed, res.TailFile)
 		}
 	}
 	if len(r.Violations()) > 0 {

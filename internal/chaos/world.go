@@ -22,6 +22,7 @@ import (
 	"ndsm/internal/obs"
 	"ndsm/internal/qos"
 	"ndsm/internal/recovery"
+	"ndsm/internal/reqlog"
 	"ndsm/internal/simtime"
 	"ndsm/internal/slo"
 	"ndsm/internal/svcdesc"
@@ -249,9 +250,12 @@ type World struct {
 	pubCallers map[string]*endpoint.Caller
 
 	// Overload plane (nil/empty unless WorldConfig.Overload): per-supplier
-	// bulk and control callers owned by the consumer.
+	// bulk and control callers owned by the consumer, plus each supplier's
+	// wide-event recorder — the server-side request log the tail-capture
+	// invariant audits against the consumer's observed sheds.
 	overBulk map[string]*endpoint.Caller
 	overCtl  map[string]*endpoint.Caller
+	reqlogs  map[string]*reqlog.Recorder
 
 	// SLO plane (nil unless WorldConfig.SLO).
 	sloEngine *slo.Engine
@@ -311,6 +315,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		dead:         make(map[string]bool),
 		deadRegistry: make(map[string]bool),
 		ackedBy:      make(map[string][]string),
+		reqlogs:      make(map[string]*reqlog.Recorder),
 	}
 	if w.dir == "" {
 		dir, err := os.MkdirTemp("", "ndsm-chaos-*")
@@ -503,6 +508,19 @@ func (w *World) build() error {
 				QueueDepth: overloadQueueDepth,
 				Clock:      simtime.Real{},
 			}
+			// Every overloaded supplier keeps a wide-event recorder sized so
+			// the tail ring outlives the run: at most
+			// ticks*(overloadBulkBurst+1) sheds can ever occur, far under the
+			// ring's 3/4 share of the capacity, so "shed but evicted" cannot
+			// fake a tail-capture violation. Healthy traffic (workload writes,
+			// telemetry publishes) is sampled hard — exemplars are the point.
+			rl := reqlog.New(reqlog.Options{
+				Capacity:    8192,
+				SampleEvery: 256,
+				Registry:    obs.NewRegistry(),
+			})
+			nodeCfg.ReqLog = rl
+			w.reqlogs[id] = rl
 		}
 		node, err := core.NewNode(nodeCfg)
 		if err != nil {
@@ -900,6 +918,31 @@ func (w *World) BulkShedTrace() []int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return append([]int(nil), w.bulkShedTick...)
+}
+
+// ReqLogs returns each supplier's wide-event recorder (empty unless
+// WorldConfig.Overload). Recorders stay readable after Close — the rings are
+// plain memory — so invariants and artifact dumps run against the finished
+// world.
+func (w *World) ReqLogs() map[string]*reqlog.Recorder {
+	out := make(map[string]*reqlog.Recorder, len(w.reqlogs))
+	for id, rl := range w.reqlogs {
+		out[id] = rl
+	}
+	return out
+}
+
+// ShedRecords returns every shed wide event retained across all supplier
+// recorders — the server-side half of the tail-capture audit, and the body
+// of the chaos-tail artifact a violating seed dumps.
+func (w *World) ShedRecords() map[string][]reqlog.Record {
+	out := make(map[string][]reqlog.Record)
+	for id, rl := range w.reqlogs {
+		if recs := rl.Snapshot(reqlog.Filter{Outcome: reqlog.OutcomeShed}); len(recs) > 0 {
+			out[id] = recs
+		}
+	}
+	return out
 }
 
 // renewLeases re-registers every live supplier's services concurrently,

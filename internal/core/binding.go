@@ -152,10 +152,23 @@ func (b *Binding) connect(peer string) error {
 	interceptors = append([]endpoint.ClientInterceptor{
 		endpoint.WithTracing(b.node.traceRef, "binding.call"),
 	}, interceptors...)
+	if b.node.reqlog != nil {
+		// Outermost of all: the wide event sees the final outcome, total
+		// latency, and the trace context the tracing interceptor injected.
+		interceptors = append([]endpoint.ClientInterceptor{
+			endpoint.WithWideEvents(endpoint.WideEventOptions{
+				Recorder: b.node.reqlog,
+				Clock:    b.node.clock,
+				Peer:     peer,
+			}),
+		}, interceptors...)
+	}
 	caller, err := endpoint.NewCaller(b.node.tr, peer, endpoint.CallerOptions{
 		Clock:        b.node.clock,
 		Eager:        true,
 		Interceptors: interceptors,
+		Lane:         b.lane,
+		TopicLanes:   b.node.topicLanes,
 	})
 	if err != nil {
 		return fmt.Errorf("core: dial %s: %w", peer, err)

@@ -9,6 +9,7 @@ import (
 	"ndsm/internal/endpoint"
 	"ndsm/internal/health"
 	"ndsm/internal/obs"
+	"ndsm/internal/reqlog"
 	"ndsm/internal/simtime"
 	"ndsm/internal/svcdesc"
 	"ndsm/internal/trace"
@@ -65,18 +66,28 @@ type Config struct {
 	// Nil follows the process default (trace.SetDefault); tracing stays off
 	// until one is installed.
 	Tracer *trace.Tracer
+	// ReqLog is the node's wide-event recorder: every server dispatch and
+	// shed, and every binding call, lands in it as one structured record
+	// (see reqlog). Nil disables request analytics.
+	ReqLog *reqlog.Recorder
+	// TopicLanes classifies binding calls into admission lanes by service
+	// topic when the binding itself doesn't choose one — the config-driven
+	// counterpart to BindOptions.Lane.
+	TopicLanes *endpoint.LaneTable
 }
 
 // Node is one middleware endpoint: it serves any number of supplier services
 // on a single listener and opens QoS-managed consumer bindings.
 type Node struct {
-	name     string
-	tr       transport.Transport
-	registry discovery.Resolver
-	clock    simtime.Clock
-	health   *health.Monitor
-	metrics  *obs.Registry
-	traceRef *trace.Ref
+	name       string
+	tr         transport.Transport
+	registry   discovery.Resolver
+	clock      simtime.Clock
+	health     *health.Monitor
+	metrics    *obs.Registry
+	traceRef   *trace.Ref
+	reqlog     *reqlog.Recorder
+	topicLanes *endpoint.LaneTable
 
 	// Events is the node's event manager.
 	Events Bus
@@ -122,15 +133,17 @@ func NewNode(cfg Config) (*Node, error) {
 	// answered a flood — evidence of life the detector is built on.
 	registry := health.WatchRegistry(cfg.Registry, cfg.Health)
 	n := &Node{
-		name:      cfg.Name,
-		tr:        cfg.Transport,
-		registry:  registry,
-		clock:     cfg.Clock,
-		health:    cfg.Health,
-		metrics:   cfg.Metrics,
-		traceRef:  trace.NewRef(cfg.Tracer),
-		table:     transaction.NewTable(),
-		suppliers: make(map[string]*supplier),
+		name:       cfg.Name,
+		tr:         cfg.Transport,
+		registry:   registry,
+		clock:      cfg.Clock,
+		health:     cfg.Health,
+		metrics:    cfg.Metrics,
+		traceRef:   trace.NewRef(cfg.Tracer),
+		reqlog:     cfg.ReqLog,
+		topicLanes: cfg.TopicLanes,
+		table:      transaction.NewTable(),
+		suppliers:  make(map[string]*supplier),
 	}
 	if cfg.Lanes != nil && cfg.Lanes.Clock == nil {
 		lanes := *cfg.Lanes
@@ -143,6 +156,8 @@ func NewNode(cfg Config) (*Node, error) {
 		MaxInFlight: cfg.MaxInFlight,
 		Lanes:       cfg.Lanes,
 		Metrics:     cfg.Metrics,
+		ReqLog:      cfg.ReqLog,
+		Clock:       cfg.Clock,
 		Interceptors: []endpoint.ServerInterceptor{
 			// Tracing outermost so the server span brackets the metrics
 			// observation and any handler-side downstream calls.

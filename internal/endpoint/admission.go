@@ -161,7 +161,7 @@ func (a *admitter) offer(req *wire.Message, conn transport.Conn) {
 		a.mu.Unlock()
 		a.shedExpired.Inc(1)
 		a.countShed(r)
-		a.srv.reject(req, conn, laneByRank[r], "deadline passed at admission")
+		a.srv.reject(req, conn, laneByRank[r], "deadline passed at admission", 0)
 		return
 	}
 	if tok, ok := a.acquireLocked(r); ok {
@@ -169,7 +169,7 @@ func (a *admitter) offer(req *wire.Message, conn transport.Conn) {
 			a.admitted[r].Inc(1)
 		}
 		a.mu.Unlock()
-		a.srv.spawn(req, conn, tok)
+		a.srv.spawn(req, conn, tok, 0)
 		return
 	}
 	if a.queueCap > 0 {
@@ -186,13 +186,13 @@ func (a *admitter) offer(req *wire.Message, conn transport.Conn) {
 			a.mu.Unlock()
 			a.shedPreempted.Inc(1)
 			a.countShed(victim.rank)
-			a.srv.reject(victim.req, victim.conn, laneByRank[victim.rank], "preempted by higher-benefit work")
+			a.srv.reject(victim.req, victim.conn, laneByRank[victim.rank], "preempted by higher-benefit work", now.Sub(victim.enq))
 			return
 		}
 	}
 	a.mu.Unlock()
 	a.countShed(r)
-	a.srv.reject(req, conn, laneByRank[r], "server at capacity")
+	a.srv.reject(req, conn, laneByRank[r], "server at capacity", 0)
 }
 
 // countShed bumps the total and (lane mode) per-lane shed counters.
@@ -257,10 +257,10 @@ func (a *admitter) release(tok admitToken) {
 	for _, p := range dead {
 		a.shedExpired.Inc(1)
 		a.countShed(p.rank)
-		a.srv.reject(p.req, p.conn, laneByRank[p.rank], "deadline passed in queue")
+		a.srv.reject(p.req, p.conn, laneByRank[p.rank], "deadline passed in queue", now.Sub(p.enq))
 	}
 	for i, p := range runs {
-		a.srv.spawn(p.req, p.conn, toks[i])
+		a.srv.spawn(p.req, p.conn, toks[i], now.Sub(p.enq))
 	}
 }
 
@@ -392,10 +392,10 @@ func (a *admitter) setQuota(r, quota int) int {
 	for _, p := range dead {
 		a.shedExpired.Inc(1)
 		a.countShed(p.rank)
-		a.srv.reject(p.req, p.conn, laneByRank[p.rank], "deadline passed in queue")
+		a.srv.reject(p.req, p.conn, laneByRank[p.rank], "deadline passed in queue", now.Sub(p.enq))
 	}
 	for i, p := range runs {
-		a.srv.spawn(p.req, p.conn, toks[i])
+		a.srv.spawn(p.req, p.conn, toks[i], now.Sub(p.enq))
 	}
 	return applied
 }

@@ -30,6 +30,11 @@ type CallerOptions struct {
 	// LaneDefault — a caller owned by a bulk pipeline (telemetry, batch
 	// transfer) classifies all its traffic once here.
 	Lane Lane
+	// TopicLanes classifies calls by topic when Call.Lane is unset:
+	// explicit call lane > topic table > Lane. Resolution happens before
+	// the interceptor chain runs, so retry, metrics, and wide-event
+	// recording all see the effective lane.
+	TopicLanes *LaneTable
 	// OnSend and OnRecv observe every message put on / taken off the wire
 	// (protocol message-cost accounting). Both may be nil. OnSend observers
 	// must not retain the message past the callback: request envelopes are
@@ -120,7 +125,21 @@ func (c *Caller) SetClock(clock simtime.Clock) {
 
 // Do performs one call through the interceptor chain.
 func (c *Caller) Do(call *Call) (*wire.Message, error) {
+	call.Lane = c.laneFor(call)
 	return c.invoke(call)
+}
+
+// laneFor resolves a call's effective admission lane: an explicit Call.Lane
+// wins, then the caller's topic table, then the caller default. Idempotent,
+// so re-resolving a reused Call is harmless.
+func (c *Caller) laneFor(call *Call) Lane {
+	if call.Lane != LaneDefault {
+		return call.Lane
+	}
+	if lane, ok := c.opts.TopicLanes.Lookup(call.Topic); ok {
+		return lane
+	}
+	return c.opts.Lane
 }
 
 // Close shuts the caller down; outstanding calls fail with ErrClosed.
@@ -229,6 +248,7 @@ func (c *Caller) demux(conn transport.Conn, gen uint64) {
 // Pre-send failures (closed caller, failed dial, send error) come back as an
 // already-failed future.
 func (c *Caller) Go(call *Call) *Future {
+	call.Lane = c.laneFor(call)
 	fut, err := c.start(call)
 	if err != nil {
 		return failedFuture(err)
@@ -296,9 +316,12 @@ func (c *Caller) start(call *Call) (*Future, error) {
 			kind = wire.KindRequest
 		}
 	}
+	// Do and Go resolved the effective lane before the chain; roundtrip and
+	// direct starts see it on the call. The fallback covers Calls built by
+	// hand against older idioms.
 	lane := call.Lane
 	if lane == LaneDefault {
-		lane = c.opts.Lane
+		lane = c.laneFor(call)
 	}
 	req := getMsg()
 	req.ID = id

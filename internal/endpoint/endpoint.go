@@ -156,6 +156,11 @@ type Call struct {
 	// The future returned by Caller.Go resolves as soon as the frame is
 	// accepted for sending.
 	OneWay bool
+
+	// attempts counts extra attempts WithRetry spent on this call, read by
+	// the wide-event interceptor outside it. Interceptor-chain plumbing, not
+	// caller state: WithWideEvents zeroes it before the chain runs.
+	attempts int
 }
 
 // ClientFunc performs a call: the terminal one is the caller's round-trip;

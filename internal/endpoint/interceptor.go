@@ -90,6 +90,7 @@ func WithRetry(clock simtime.Clock, p RetryPolicy, reg *obs.Registry, name strin
 					delay = p.MaxDelay
 				}
 				retries.Inc(1)
+				call.attempts++
 				m, err = next(call)
 			}
 			if err != nil && Retryable(err, p.RetryTimeouts) {

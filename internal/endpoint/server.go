@@ -3,8 +3,11 @@ package endpoint
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"ndsm/internal/obs"
+	"ndsm/internal/reqlog"
+	"ndsm/internal/simtime"
 	"ndsm/internal/transport"
 	"ndsm/internal/wire"
 )
@@ -44,6 +47,14 @@ type ServerOptions struct {
 	// Lanes configured — "<name>.shed.expired", "<name>.shed.preempted",
 	// and per-lane "<name>.lane.<lane>.{admitted,shed,queued}".
 	Metrics *obs.Registry
+	// ReqLog receives one wide event per inbound request — dispatched work
+	// with queue wait and handler latency, shed work with its reason (sheds
+	// never reach the interceptor chain, so this is their only per-request
+	// record). Nil disables recording at the cost of one nil check.
+	ReqLog *reqlog.Recorder
+	// Clock timestamps wide events (default real time; virtual in tests).
+	// Should agree with Lanes.Clock when both are set.
+	Clock simtime.Clock
 }
 
 // Server is the listening half of the endpoint: it accepts connections and
@@ -59,6 +70,13 @@ type Server struct {
 	// adm is the admission controller; nil means unlimited (no bound was
 	// configured) and requests dispatch straight off the read loop.
 	adm *admitter
+
+	// rec is the wide-event recorder (nil: disabled); recLanes mirrors the
+	// lane config's topic table so recorded events carry the same effective
+	// lane admission charged.
+	rec      *reqlog.Recorder
+	recLanes map[string]Lane
+	clock    simtime.Clock
 
 	mu       sync.Mutex
 	handlers map[string]Handler
@@ -77,6 +95,14 @@ func NewServer(l transport.Listener, opts ServerOptions) *Server {
 	if metricName == "" {
 		metricName = "endpoint.server"
 	}
+	clock := opts.Clock
+	if clock == nil {
+		if opts.Lanes != nil && opts.Lanes.Clock != nil {
+			clock = opts.Lanes.Clock
+		} else {
+			clock = simtime.Real{}
+		}
+	}
 	s := &Server{
 		listener: l,
 		opts:     opts,
@@ -84,6 +110,11 @@ func NewServer(l transport.Listener, opts ServerOptions) *Server {
 		oneway:   make(map[wire.Kind]bool, len(opts.OneWayKinds)),
 		handlers: make(map[string]Handler),
 		conns:    make(map[transport.Conn]struct{}),
+		rec:      opts.ReqLog,
+		clock:    clock,
+	}
+	if opts.Lanes != nil {
+		s.recLanes = opts.Lanes.TopicLanes
 	}
 	capacity := opts.MaxInFlight
 	if capacity == 0 && opts.Lanes != nil {
@@ -232,7 +263,7 @@ func (s *Server) serveConn(conn transport.Conn) {
 			continue
 		}
 		if s.adm == nil {
-			s.spawn(req, conn, admitToken{})
+			s.spawn(req, conn, admitToken{}, 0)
 			continue
 		}
 		// Admission control: the controller either dispatches (spawn), parks
@@ -248,16 +279,30 @@ func (s *Server) serveConn(conn transport.Conn) {
 // release lives here and nowhere else: whichever path admitted the request
 // (straight off the read loop or out of a lane queue), the slot cannot leak
 // or double-free. One-way kinds run the handler and write nothing back.
-func (s *Server) spawn(req *wire.Message, conn transport.Conn, tok admitToken) {
+// wait is how long the request sat in an admission queue before dispatch
+// (zero off the read loop), carried onto its wide event.
+func (s *Server) spawn(req *wire.Message, conn transport.Conn, tok admitToken, wait time.Duration) {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		defer s.adm.release(tok) // deferred LIFO: release precedes wg.Done
+		var start time.Time
+		if s.rec != nil {
+			start = s.clock.Now()
+		}
 		if s.oneway[req.Kind] {
-			_, _ = s.dispatch(req)
+			_, err := s.dispatch(req)
+			if s.rec != nil {
+				now := s.clock.Now()
+				s.recordDispatch(req, wait, now.Sub(start), now, err)
+			}
 			return
 		}
 		reply, err := s.dispatch(req)
+		if s.rec != nil {
+			now := s.clock.Now()
+			s.recordDispatch(req, wait, now.Sub(start), now, err)
+		}
 		if err != nil {
 			reply = &wire.Message{Kind: wire.KindError, Payload: []byte(err.Error())}
 		} else if reply == nil {
@@ -277,8 +322,12 @@ func (s *Server) spawn(req *wire.Message, conn transport.Conn, tok admitToken) {
 // reject answers a shed request with a HeaderShed-marked KindError reply
 // carrying the lane the shed was charged to; callers surface it as a
 // retryable *ShedError. One-way messages are dropped silently — counted as
-// shed, but there is no reply channel to reject them with.
-func (s *Server) reject(req *wire.Message, conn transport.Conn, lane Lane, reason string) {
+// shed, but there is no reply channel to reject them with. wait is time the
+// request spent queued before being shed (zero at admission).
+func (s *Server) reject(req *wire.Message, conn transport.Conn, lane Lane, reason string, wait time.Duration) {
+	if s.rec != nil {
+		s.recordShed(req, lane, reason, wait)
+	}
 	if s.oneway[req.Kind] {
 		return
 	}

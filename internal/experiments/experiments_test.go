@@ -443,6 +443,38 @@ func TestE13Shape(t *testing.T) {
 	}
 }
 
+func TestE15Shape(t *testing.T) {
+	res, err := E15(E15Options{
+		Nodes: 2, Requests: 4000, ColdTopics: 6,
+		Duration: 120 * time.Millisecond, Trials: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 3 {
+		t.Fatalf("tables: %d, want 3", len(res.Tables))
+	}
+	// Attribution: the injected hot topic must rank #1 in the cluster merge
+	// and the merged p99 must track the exact distribution.
+	if rank := cellFloat(t, res, 0, 0, 1); rank != 1 {
+		t.Fatalf("hot topic rank %v, want 1\n%s", rank, res.Tables[0].Render())
+	}
+	if p99 := cellFloat(t, res, 0, 0, 5); p99 > 5 {
+		t.Fatalf("hot p99 error %v%%, want <= 5\n%s", p99, res.Tables[0].Render())
+	}
+	// Overhead: the sampled-out path must be allocation-free, and the
+	// recorder's absolute cost on the no-op closed loop must stay in the
+	// sub-microsecond regime (10µs ceiling here for loaded CI machines —
+	// the tight 2µs gate belongs to ndsm-bench -compare, where the trials
+	// are longer).
+	if allocs := cellFloat(t, res, 1, 0, 1); allocs != 0 {
+		t.Fatalf("sampled-out path costs %v allocs/op, want 0\n%s", allocs, res.Tables[1].Render())
+	}
+	if ns := cellFloat(t, res, 2, 0, 3); ns > 10000 {
+		t.Fatalf("wide-event overhead %v ns/req, want <= 10000\n%s", ns, res.Tables[2].Render())
+	}
+}
+
 func TestRunnerUnknownID(t *testing.T) {
 	if _, err := (Runner{}).Run("E99"); err == nil {
 		t.Fatal("unknown id accepted")

@@ -20,7 +20,7 @@ type Runner struct {
 
 // IDs lists all experiment identifiers in run order.
 func IDs() []string {
-	return []string{"F1", "E1", "E2", "E3", "E4", "E4x", "E5", "E5a", "E6", "E6a", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+	return []string{"F1", "E1", "E2", "E3", "E4", "E4x", "E5", "E5a", "E6", "E6a", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
 }
 
 // Run executes one experiment by ID.
@@ -116,6 +116,14 @@ func (r Runner) Run(id string) (Result, error) {
 			})
 		}
 		return E14(E14Options{})
+	case "E15":
+		if q {
+			return E15(E15Options{
+				Nodes: 2, Requests: 4000, ColdTopics: 6,
+				Duration: 120 * time.Millisecond, Trials: 2,
+			})
+		}
+		return E15(E15Options{})
 	default:
 		return Result{}, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
 	}

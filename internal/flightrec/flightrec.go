@@ -24,6 +24,7 @@ import (
 
 	"ndsm/internal/health"
 	"ndsm/internal/obs"
+	"ndsm/internal/reqlog"
 	"ndsm/internal/simtime"
 	"ndsm/internal/telemetry"
 	"ndsm/internal/trace"
@@ -53,6 +54,13 @@ type Options struct {
 	// Aggregator contributes per-node telemetry freshness at the instant
 	// of the snapshot.
 	Aggregator *telemetry.Aggregator
+	// ReqLog contributes the wide-event tail ring — the anomalous request
+	// exemplars (sheds, errors, deadline-tight calls) retained at snapshot
+	// time.
+	ReqLog *reqlog.Recorder
+	// MaxRequests bounds the tail records copied per bundle (default 128,
+	// newest kept).
+	MaxRequests int
 }
 
 // Trigger describes why a bundle was cut — the firing SLO and its window
@@ -96,6 +104,9 @@ type Bundle struct {
 	Health []health.PeerStatus `json:"health,omitempty"`
 	// Telemetry is per-node freshness from the aggregator.
 	Telemetry []NodeFreshness `json:"telemetry,omitempty"`
+	// Requests is the wide-event tail ring at snapshot time, newest first:
+	// every shed, errored, or deadline-tight request the recorder retained.
+	Requests []reqlog.Record `json:"requests,omitempty"`
 }
 
 // Recorder keeps the bounded bundle ring. Safe for concurrent use.
@@ -122,6 +133,9 @@ func NewRecorder(opts Options) *Recorder {
 	}
 	if opts.MaxSpans <= 0 {
 		opts.MaxSpans = 256
+	}
+	if opts.MaxRequests <= 0 {
+		opts.MaxRequests = 128
 	}
 	return &Recorder{opts: opts}
 }
@@ -165,6 +179,13 @@ func (r *Recorder) Snapshot(t Trigger) *Bundle {
 		for _, node := range agg.Nodes() {
 			b.Telemetry = append(b.Telemetry, NodeFreshness{Node: node, Fresh: agg.Fresh(node)})
 		}
+	}
+	if rec := r.opts.ReqLog; rec != nil {
+		reqs := rec.Tail()
+		if len(reqs) > r.opts.MaxRequests {
+			reqs = reqs[:r.opts.MaxRequests] // newest first: keep the head
+		}
+		b.Requests = reqs
 	}
 	r.lastCut = now
 	r.hasCut = true

@@ -9,6 +9,7 @@ import (
 
 	"ndsm/internal/health"
 	"ndsm/internal/obs"
+	"ndsm/internal/reqlog"
 	"ndsm/internal/simtime"
 	"ndsm/internal/telemetry"
 	"ndsm/internal/trace"
@@ -138,6 +139,36 @@ func TestMaxSpansKeepsNewest(t *testing.T) {
 	b := rec.Snapshot(Trigger{Objective: "x", Severity: "critical"})
 	if len(b.Spans) != 3 || b.Spans[2].SpanID != 10 {
 		t.Fatalf("span tail wrong: %+v", b.Spans)
+	}
+}
+
+// TestBundleCarriesRequestTail pins the wide-event plane: a bundle embeds
+// the reqlog tail ring (sheds and errors), newest first, bounded by
+// MaxRequests, and healthy sampled records stay out of it.
+func TestBundleCarriesRequestTail(t *testing.T) {
+	vc := simtime.NewVirtual(time.Unix(0, 0))
+	rl := reqlog.New(reqlog.Options{Capacity: 64, SampleEvery: 1, Registry: obs.NewRegistry()})
+	for i := 0; i < 5; i++ {
+		rl.Record(reqlog.Record{
+			Time: vc.Now().Add(time.Duration(i) * time.Second), Kind: reqlog.KindServer,
+			Topic: fmt.Sprintf("t%d", i), Outcome: reqlog.OutcomeShed, ShedReason: "server at capacity",
+		})
+	}
+	rl.Record(reqlog.Record{Time: vc.Now(), Kind: reqlog.KindClient, Topic: "healthy",
+		Outcome: reqlog.OutcomeOK, Latency: time.Millisecond})
+
+	rec := NewRecorder(Options{Clock: vc, ReqLog: rl, MaxRequests: 3})
+	b := rec.Snapshot(Trigger{Objective: "x", Severity: "critical"})
+	if len(b.Requests) != 3 {
+		t.Fatalf("bundle holds %d requests, want MaxRequests=3", len(b.Requests))
+	}
+	if b.Requests[0].Topic != "t4" || b.Requests[2].Topic != "t2" {
+		t.Fatalf("request tail not newest-first: %+v", b.Requests)
+	}
+	for _, r := range b.Requests {
+		if r.Outcome != reqlog.OutcomeShed {
+			t.Fatalf("healthy record leaked into the tail plane: %+v", r)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ndsm/internal/endpoint"
+	"ndsm/internal/reqlog"
 	"ndsm/internal/simtime"
 	"ndsm/internal/trace"
 	"ndsm/internal/transport"
@@ -279,13 +280,34 @@ func Dial(tr transport.Transport, addr string) (*Client, error) {
 // dials with endpoint.LaneBulk so bounded servers along the path shed its
 // pushes before any control-lane work.
 func DialLane(tr transport.Transport, addr string, lane endpoint.Lane) (*Client, error) {
-	c := &Client{traceRef: trace.NewRef(nil), lane: lane}
+	return DialWith(tr, addr, DialConfig{Lane: lane})
+}
+
+// DialConfig tunes a client's lane classification and request analytics.
+type DialConfig struct {
+	// Lane classifies every request from this client (DialLane's parameter).
+	Lane endpoint.Lane
+	// ReqLog records one wide event per queue operation; nil disables it.
+	ReqLog *reqlog.Recorder
+}
+
+// DialWith is Dial with full configuration.
+func DialWith(tr transport.Transport, addr string, cfg DialConfig) (*Client, error) {
+	c := &Client{traceRef: trace.NewRef(nil), lane: cfg.Lane}
+	interceptors := []endpoint.ClientInterceptor{
+		endpoint.WithTracing(c.traceRef, "mq.call"),
+		endpoint.WithMetrics(nil, "mq.client", nil),
+	}
+	if cfg.ReqLog != nil {
+		interceptors = append([]endpoint.ClientInterceptor{
+			endpoint.WithWideEvents(endpoint.WideEventOptions{
+				Recorder: cfg.ReqLog, Peer: addr,
+			}),
+		}, interceptors...)
+	}
 	caller, err := endpoint.NewCaller(tr, addr, endpoint.CallerOptions{
-		Eager: true,
-		Interceptors: []endpoint.ClientInterceptor{
-			endpoint.WithTracing(c.traceRef, "mq.call"),
-			endpoint.WithMetrics(nil, "mq.client", nil),
-		},
+		Eager:        true,
+		Interceptors: interceptors,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mq: dial %s: %w", addr, err)

@@ -1,0 +1,115 @@
+package reqlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// The JSON codec is how wide events leave the process — /requests responses,
+// flight-recorder bundles, chaos tail dumps. DecodeRecord is the matching
+// trust boundary for anything reading those artifacts back (fuzzed by
+// FuzzWideEventDecode): a record that decodes is guaranteed well-formed, so
+// downstream tooling can index on Kind/Outcome without re-validating.
+
+// maxEncodedRecord bounds a single serialized record; topics and peers are
+// short path-like strings, so anything near this is hostile.
+const maxEncodedRecord = 1 << 16
+
+// EncodeRecord serializes one record as a single JSON object.
+func EncodeRecord(rec Record) ([]byte, error) {
+	return json.Marshal(rec)
+}
+
+// EncodeRecords serializes records as a JSON array (the /requests payload).
+func EncodeRecords(recs []Record) ([]byte, error) {
+	if recs == nil {
+		recs = []Record{}
+	}
+	return json.Marshal(recs)
+}
+
+func validKind(k string) bool { return k == KindClient || k == KindServer }
+
+func validOutcome(o string) bool {
+	switch o {
+	case OutcomeOK, OutcomeError, OutcomeShed, OutcomeTimeout, OutcomeUnavailable:
+		return true
+	}
+	return false
+}
+
+// validate enforces the invariants Record producers maintain; decode rejects
+// anything outside them so readers of dumped artifacts can trust the shape.
+func (r *Record) validate() error {
+	if !validKind(r.Kind) {
+		return fmt.Errorf("reqlog: kind %q invalid", r.Kind)
+	}
+	if r.Topic == "" {
+		return fmt.Errorf("reqlog: empty topic")
+	}
+	if !validOutcome(r.Outcome) {
+		return fmt.Errorf("reqlog: outcome %q invalid", r.Outcome)
+	}
+	if r.Latency < 0 {
+		return fmt.Errorf("reqlog: negative latency %v", r.Latency)
+	}
+	if r.QueueWait < 0 {
+		return fmt.Errorf("reqlog: negative queue wait %v", r.QueueWait)
+	}
+	if r.Retries < 0 {
+		return fmt.Errorf("reqlog: negative retries %d", r.Retries)
+	}
+	if r.ShedReason != "" && r.Outcome != OutcomeShed {
+		return fmt.Errorf("reqlog: shed reason on outcome %q", r.Outcome)
+	}
+	if !r.HasDeadline && r.DeadlineSlack != 0 {
+		return fmt.Errorf("reqlog: deadline slack without deadline")
+	}
+	if r.Time.IsZero() {
+		return fmt.Errorf("reqlog: zero time")
+	}
+	return nil
+}
+
+// DecodeRecord parses and validates one serialized record.
+func DecodeRecord(data []byte) (Record, error) {
+	var rec Record
+	if len(data) > maxEncodedRecord {
+		return rec, fmt.Errorf("reqlog: record too large (%d bytes)", len(data))
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		return Record{}, fmt.Errorf("reqlog: decode record: %w", err)
+	}
+	// Artifacts are written by this package; trailing data is corruption.
+	if dec.More() {
+		return Record{}, fmt.Errorf("reqlog: trailing data after record")
+	}
+	if err := rec.validate(); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// DecodeRecords parses a JSON array of records, validating each.
+func DecodeRecords(data []byte) ([]Record, error) {
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("reqlog: decode records: %w", err)
+	}
+	for i := range recs {
+		if err := recs[i].validate(); err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+	}
+	return recs, nil
+}
+
+// Age is a display helper: how long ago the record completed relative to
+// now, truncated for human output.
+func (r *Record) Age(now time.Time) time.Duration {
+	return now.Sub(r.Time).Truncate(time.Millisecond)
+}

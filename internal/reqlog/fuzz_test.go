@@ -1,0 +1,59 @@
+package reqlog
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzWideEventDecode hammers the record decoder with arbitrary bytes. The
+// decoder is the trust boundary for tail dumps and flight-recorder bundles
+// read back by tooling: it must never panic, and any input it accepts must
+// satisfy the producer invariants and re-encode losslessly.
+func FuzzWideEventDecode(f *testing.F) {
+	good := Record{
+		Time: time.Unix(1_700_000_000, 0).UTC(), Kind: KindServer,
+		Topic: "orders/create", Peer: "node-1", Lane: "control",
+		Outcome: OutcomeShed, ShedReason: "server at capacity",
+		Latency: time.Millisecond, QueueWait: 250 * time.Microsecond,
+		TraceID: 1, SpanID: 2,
+	}
+	if data, err := EncodeRecord(good); err == nil {
+		f.Add(data)
+	}
+	ok := Record{Time: time.Unix(1_700_000_000, 0).UTC(), Kind: KindClient,
+		Topic: "t", Outcome: OutcomeOK, Latency: time.Microsecond}
+	if data, err := EncodeRecord(ok); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"time":"2024-01-01T00:00:00Z","kind":"client","topic":"t","outcome":"ok"}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := DecodeRecord(data)
+		if err != nil {
+			return
+		}
+		// Accepted records satisfy the producer invariants...
+		if err := rec.validate(); err != nil {
+			t.Fatalf("accepted record fails validate: %v", err)
+		}
+		// ...and survive a re-encode/re-decode cycle intact.
+		re, err := EncodeRecord(rec)
+		if err != nil {
+			t.Fatalf("re-encode of accepted record failed: %v", err)
+		}
+		back, err := DecodeRecord(re)
+		if err != nil {
+			t.Fatalf("re-decode of accepted record failed: %v", err)
+		}
+		if !back.Time.Equal(rec.Time) {
+			t.Fatalf("time drifted across round trip: %v vs %v", back.Time, rec.Time)
+		}
+		back.Time, rec.Time = time.Time{}, time.Time{}
+		if back != rec {
+			t.Fatalf("record drifted across round trip:\n%+v\n%+v", back, rec)
+		}
+	})
+}

@@ -1,0 +1,382 @@
+// Package reqlog is the middleware's per-request analytics plane: one
+// structured *wide event* per request — topic, lane, peer, queue wait,
+// retries, shed reason, deadline slack, trace/span exemplar IDs — recorded
+// at the endpoint layer so every rpc/mq/discovery/core call is covered
+// without new call sites.
+//
+// Two consumers with opposite needs share the plane, so the recorder keeps
+// two representations:
+//
+//   - Aggregates: every request feeds a per-topic t-digest (latency
+//     quantiles) and a space-saving top-k (heavy-hitter topics), both
+//     cardinality-bounded and mergeable — the telemetry publisher ships them
+//     inside ordinary reports and the aggregator folds them cluster-wide.
+//     This path is O(1) and allocation-free per request in steady state.
+//
+//   - Exemplars: a bounded ring of raw records with *tail-based retention* —
+//     slow, shed, errored, and deadline-tight requests are always kept
+//     (their own sub-ring, which a flood of healthy traffic cannot evict),
+//     healthy requests are sampled down to one in SampleEvery. The tail ring
+//     is what GET /requests serves and what flight-recorder bundles and
+//     failing chaos seeds capture.
+//
+// The recorder is deliberately independent of the endpoint package (the
+// endpoint imports it, not the reverse), so anything with a request-shaped
+// event — schedulers, the WAL, future planes — can record into the same
+// ring.
+package reqlog
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"ndsm/internal/obs"
+	"ndsm/internal/simtime"
+	"ndsm/internal/sketch"
+)
+
+// Record kinds: which side of the wire observed the request.
+const (
+	KindClient = "client"
+	KindServer = "server"
+)
+
+// Outcomes classify how a request concluded.
+const (
+	OutcomeOK          = "ok"
+	OutcomeError       = "error"
+	OutcomeShed        = "shed"
+	OutcomeTimeout     = "timeout"
+	OutcomeUnavailable = "unavailable"
+)
+
+// OverflowTopic absorbs per-topic digests beyond MaxTopics, keeping the
+// aggregate plane cardinality-bounded whatever the topic space does.
+const OverflowTopic = "~other"
+
+// Record is one wide event. Durations are nanoseconds on the wire (Go's
+// native Duration encoding); exemplar IDs are the in-band trace context, so
+// a tail record links straight to its span tree.
+type Record struct {
+	Time       time.Time     `json:"time"`
+	Kind       string        `json:"kind"`
+	Topic      string        `json:"topic"`
+	Peer       string        `json:"peer,omitempty"`
+	Lane       string        `json:"lane,omitempty"`
+	Outcome    string        `json:"outcome"`
+	ShedReason string        `json:"shedReason,omitempty"`
+	Latency    time.Duration `json:"latencyNs"`
+	QueueWait  time.Duration `json:"queueWaitNs,omitempty"`
+	Retries    int           `json:"retries,omitempty"`
+	// DeadlineSlack is the time remaining to the request's wire deadline at
+	// completion (negative: it finished past its deadline). Only meaningful
+	// with HasDeadline.
+	DeadlineSlack time.Duration `json:"deadlineSlackNs,omitempty"`
+	HasDeadline   bool          `json:"hasDeadline,omitempty"`
+	TraceID       uint64        `json:"traceId,omitempty"`
+	SpanID        uint64        `json:"spanId,omitempty"`
+}
+
+// tailWorthy classifies a record for retention: anything anomalous — a
+// non-ok outcome, latency at or beyond the slow threshold, a deadline
+// finished tight (under a quarter of its budget left) or blown — is always
+// kept. Healthy traffic is sampled instead.
+func (r *Record) tailWorthy(slow time.Duration) bool {
+	if r.Outcome != OutcomeOK {
+		return true
+	}
+	if slow > 0 && r.Latency >= slow {
+		return true
+	}
+	if r.HasDeadline {
+		if r.DeadlineSlack < 0 {
+			return true
+		}
+		// Tight: under 25% of the original budget (latency + slack) left.
+		if 4*r.DeadlineSlack < r.Latency+r.DeadlineSlack {
+			return true
+		}
+	}
+	return false
+}
+
+// Options assembles a Recorder.
+type Options struct {
+	// Clock is unused by the hot path today (callers stamp Record.Time) but
+	// anchors Snapshot ordering in tests; default real time.
+	Clock simtime.Clock
+	// Capacity bounds the exemplar rings: 3/4 tail, 1/4 healthy (default
+	// 1024, minimum 8).
+	Capacity int
+	// SampleEvery keeps one in N healthy records (default 64; 1 keeps all).
+	SampleEvery int
+	// SlowThreshold marks a healthy request tail-worthy by latency alone
+	// (default 100ms; <0 disables the latency criterion).
+	SlowThreshold time.Duration
+	// Compression is the per-topic t-digest δ (default sketch default).
+	Compression float64
+	// TopKCapacity bounds the heavy-hitter summary (default sketch default).
+	TopKCapacity int
+	// MaxTopics bounds per-topic digest cardinality; overflow folds into
+	// OverflowTopic (default 64).
+	MaxTopics int
+	// Registry receives the recorder's counters (nil: the process default):
+	// "reqlog.recorded", "reqlog.tail", "reqlog.sampled".
+	Registry *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.Clock == nil {
+		o.Clock = simtime.Real{}
+	}
+	if o.Capacity <= 0 {
+		o.Capacity = 1024
+	}
+	if o.Capacity < 8 {
+		o.Capacity = 8
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 64
+	}
+	if o.SlowThreshold == 0 {
+		o.SlowThreshold = 100 * time.Millisecond
+	}
+	if o.SlowThreshold < 0 {
+		o.SlowThreshold = 0
+	}
+	if o.MaxTopics <= 0 {
+		o.MaxTopics = 64
+	}
+	return o
+}
+
+// ring is a fixed-capacity overwrite-oldest record buffer.
+type ring struct {
+	buf   []Record
+	start int
+	n     int
+}
+
+func (r *ring) push(rec Record) {
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = rec
+		r.n++
+		return
+	}
+	r.buf[r.start] = rec
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+// appendNewestFirst appends the ring's records newest-first to dst.
+func (r *ring) appendNewestFirst(dst []Record) []Record {
+	for i := r.n - 1; i >= 0; i-- {
+		dst = append(dst, r.buf[(r.start+i)%len(r.buf)])
+	}
+	return dst
+}
+
+// topicStat is one topic's aggregate state.
+type topicStat struct {
+	dig *sketch.TDigest
+}
+
+// Recorder is the per-node wide-event sink. Safe for concurrent use; the
+// hot path is one short critical section and, in steady state, zero
+// allocations even for records that are sampled out (the AllocsPerRun guard
+// in ndsm-bench pins that).
+type Recorder struct {
+	opts Options
+
+	recorded *obs.Counter
+	tailKept *obs.Counter
+	sampled  *obs.Counter
+
+	mu       sync.Mutex
+	tail     ring
+	healthy  ring
+	seen     uint64 // healthy records seen, for 1-in-N sampling
+	topics   map[string]*topicStat
+	overflow *topicStat
+	topk     *sketch.TopK
+}
+
+// New builds a recorder.
+func New(opts Options) *Recorder {
+	opts = opts.withDefaults()
+	reg := obs.Or(opts.Registry)
+	tailCap := opts.Capacity * 3 / 4
+	healthyCap := opts.Capacity - tailCap
+	return &Recorder{
+		opts:     opts,
+		recorded: reg.Counter("reqlog.recorded"),
+		tailKept: reg.Counter("reqlog.tail"),
+		sampled:  reg.Counter("reqlog.sampled"),
+		tail:     ring{buf: make([]Record, tailCap)},
+		healthy:  ring{buf: make([]Record, healthyCap)},
+		topics:   make(map[string]*topicStat, opts.MaxTopics),
+		topk:     sketch.NewTopK(opts.TopKCapacity),
+	}
+}
+
+// Record folds one wide event in: aggregates always, the exemplar ring by
+// tail classification (always) or healthy sampling (1-in-SampleEvery).
+func (r *Recorder) Record(rec Record) {
+	r.recorded.Inc(1)
+	r.mu.Lock()
+	r.topk.Offer(rec.Topic, 1)
+	st := r.topics[rec.Topic]
+	if st == nil {
+		st = r.newTopicLocked(rec.Topic)
+	}
+	st.dig.Add(float64(rec.Latency) / float64(time.Millisecond))
+	if rec.tailWorthy(r.opts.SlowThreshold) {
+		r.tail.push(rec)
+		r.mu.Unlock()
+		r.tailKept.Inc(1)
+		return
+	}
+	r.seen++
+	keep := r.seen%uint64(r.opts.SampleEvery) == 0
+	if keep {
+		r.healthy.push(rec)
+	}
+	r.mu.Unlock()
+	if keep {
+		r.sampled.Inc(1)
+	}
+}
+
+// newTopicLocked creates (or overflows) a topic's aggregate slot.
+func (r *Recorder) newTopicLocked(topic string) *topicStat {
+	if len(r.topics) >= r.opts.MaxTopics {
+		if r.overflow == nil {
+			r.overflow = &topicStat{dig: sketch.NewTDigest(r.opts.Compression)}
+			r.topics[OverflowTopic] = r.overflow
+		}
+		return r.overflow
+	}
+	st := &topicStat{dig: sketch.NewTDigest(r.opts.Compression)}
+	r.topics[topic] = st
+	return st
+}
+
+// Filter selects records out of Snapshot; zero fields match everything.
+type Filter struct {
+	Topic   string
+	Lane    string
+	Outcome string
+	Kind    string
+	// Limit caps returned records (<= 0: no cap).
+	Limit int
+}
+
+func (f *Filter) match(rec *Record) bool {
+	if f.Topic != "" && rec.Topic != f.Topic {
+		return false
+	}
+	if f.Lane != "" && rec.Lane != f.Lane {
+		return false
+	}
+	if f.Outcome != "" && rec.Outcome != f.Outcome {
+		return false
+	}
+	if f.Kind != "" && rec.Kind != f.Kind {
+		return false
+	}
+	return true
+}
+
+// Snapshot copies matching retained records, newest first (tail and sampled
+// healthy records interleaved by time).
+func (r *Recorder) Snapshot(f Filter) []Record {
+	r.mu.Lock()
+	all := make([]Record, 0, r.tail.n+r.healthy.n)
+	all = r.tail.appendNewestFirst(all)
+	all = r.healthy.appendNewestFirst(all)
+	r.mu.Unlock()
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Time.After(all[j].Time) })
+	out := all[:0]
+	for i := range all {
+		if f.match(&all[i]) {
+			out = append(out, all[i])
+			if f.Limit > 0 && len(out) == f.Limit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Tail copies just the tail ring — the anomalous exemplars — newest first.
+// This is what flight-recorder bundles and chaos failure artifacts embed: the
+// requests that went wrong, guaranteed unevicted by healthy traffic.
+func (r *Recorder) Tail() []Record {
+	r.mu.Lock()
+	out := r.tail.appendNewestFirst(make([]Record, 0, r.tail.n))
+	r.mu.Unlock()
+	return out
+}
+
+// Topics lists topics with aggregate state, sorted.
+func (r *Recorder) Topics() []string {
+	r.mu.Lock()
+	out := make([]string, 0, len(r.topics))
+	for t := range r.topics {
+		out = append(out, t)
+	}
+	r.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// TopicQuantile reads one topic's local latency quantile in milliseconds.
+func (r *Recorder) TopicQuantile(topic string, q float64) (float64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.topics[topic]
+	if st == nil || st.dig.Count() == 0 {
+		return 0, false
+	}
+	return st.dig.Quantile(q), true
+}
+
+// TopicDigests serializes every per-topic t-digest — the payload the
+// telemetry publisher ships. Digests are cumulative since recorder start;
+// aggregators keep the newest per node and merge across nodes.
+func (r *Recorder) TopicDigests() map[string][]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.topics) == 0 {
+		return nil
+	}
+	out := make(map[string][]byte, len(r.topics))
+	for t, st := range r.topics {
+		out[t] = st.dig.AppendBinary(nil)
+	}
+	return out
+}
+
+// TopKBinary serializes the heavy-hitter summary (nil before any traffic).
+func (r *Recorder) TopKBinary() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.topk.Total() == 0 {
+		return nil
+	}
+	return r.topk.AppendBinary(nil)
+}
+
+// TopK returns the n heaviest local topics.
+func (r *Recorder) TopK(n int) []sketch.TopKEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.topk.Top(n)
+}
+
+// Len reports retained exemplar counts (tail, sampled healthy).
+func (r *Recorder) Len() (tail, healthy int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tail.n, r.healthy.n
+}

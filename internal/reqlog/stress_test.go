@@ -1,0 +1,112 @@
+package reqlog
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ndsm/internal/obs"
+)
+
+// TestConcurrentRecordSnapshot runs recorders and readers concurrently so
+// `go test -race` exercises every lock edge: Record vs Snapshot vs digest
+// export vs top-k reads.
+func TestConcurrentRecordSnapshot(t *testing.T) {
+	r := New(Options{Capacity: 128, SampleEvery: 2, Registry: obs.NewRegistry()})
+	base := time.Unix(1_700_000_000, 0)
+	var wg sync.WaitGroup
+	const writers, readers, perWriter = 8, 4, 2000
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				rec := Record{
+					Time:    base.Add(time.Duration(i) * time.Microsecond),
+					Kind:    KindServer,
+					Topic:   fmt.Sprintf("topic-%d", i%10),
+					Lane:    "default",
+					Outcome: OutcomeOK,
+					Latency: time.Duration(i%50) * time.Millisecond,
+				}
+				if i%97 == 0 {
+					rec.Outcome = OutcomeShed
+					rec.ShedReason = "server at capacity"
+				}
+				r.Record(rec)
+			}
+		}(w)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = r.Snapshot(Filter{Outcome: OutcomeShed, Limit: 16})
+				_ = r.TopicDigests()
+				_ = r.TopKBinary()
+				_ = r.TopK(5)
+				_, _ = r.TopicQuantile("topic-1", 0.99)
+				_ = r.Topics()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Totals reconcile: every record landed in exactly one aggregate stream.
+	var total uint64
+	for _, e := range r.TopK(0) {
+		total += e.Count
+	}
+	if want := uint64(writers * perWriter); total != want {
+		t.Errorf("topk total = %d, want %d", total, want)
+	}
+	tail, healthy := r.Len()
+	if tail == 0 || healthy == 0 {
+		t.Errorf("rings empty after stress: tail=%d healthy=%d", tail, healthy)
+	}
+}
+
+// TestSampledOutRecordZeroAllocs pins the E15 overhead claim: once topics
+// are warm, a healthy request that the sampler drops costs zero allocations
+// end to end (counter, top-k offer, digest add, classification).
+func TestSampledOutRecordZeroAllocs(t *testing.T) {
+	r := New(Options{
+		Capacity:    64,
+		SampleEvery: 1 << 30, // never keep → every run is the sampled-out path
+		Registry:    obs.NewRegistry(),
+	})
+	base := time.Unix(1_700_000_000, 0)
+	rec := okRecord(base, "warm/topic")
+	// Warm: topic slot, top-k slot, digest buffers through many compressions.
+	for i := 0; i < 50_000; i++ {
+		rec.Latency = time.Duration(i%100) * time.Millisecond / 10
+		r.Record(rec)
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(20_000, func() {
+		rec.Latency = time.Duration(i%100) * time.Millisecond / 10
+		r.Record(rec)
+		i++
+	}); avg != 0 {
+		t.Errorf("sampled-out Record allocates %.3f allocs/op, want 0", avg)
+	}
+}
+
+// TestKeptRecordCheapAllocs documents the kept path too: a ring write copies
+// the record into a preallocated slot, so even kept records stay alloc-free.
+func TestKeptRecordCheapAllocs(t *testing.T) {
+	r := New(Options{Capacity: 64, SampleEvery: 1, Registry: obs.NewRegistry()})
+	base := time.Unix(1_700_000_000, 0)
+	rec := okRecord(base, "warm/topic")
+	for i := 0; i < 50_000; i++ {
+		r.Record(rec)
+	}
+	if avg := testing.AllocsPerRun(20_000, func() {
+		r.Record(rec)
+	}); avg != 0 {
+		t.Errorf("kept Record allocates %.3f allocs/op, want 0", avg)
+	}
+}

@@ -1,0 +1,54 @@
+package sketch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzSketchDecode hammers both binary decoders with arbitrary input. The
+// invariants: never panic, and any input a decoder accepts must re-encode to
+// a form the decoder accepts again with identical aggregate state (decoders
+// are the trust boundary for digests arriving inside telemetry reports).
+func FuzzSketchDecode(f *testing.F) {
+	td := NewTDigest(0)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		td.Add(rng.Float64() * 100)
+	}
+	f.Add(td.AppendBinary(nil))
+	f.Add(NewTDigest(0).AppendBinary(nil))
+	tk := NewTopK(8)
+	tk.Offer("alpha", 7)
+	tk.Offer("beta", 3)
+	f.Add(tk.AppendBinary(nil))
+	f.Add(NewTopK(4).AppendBinary(nil))
+	f.Add([]byte{})
+	f.Add([]byte{tdigestMagic})
+	f.Add([]byte{topkMagic, 0, 0, 0, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if d, err := DecodeTDigest(data); err == nil {
+			re := d.AppendBinary(nil)
+			d2, err2 := DecodeTDigest(re)
+			if err2 != nil {
+				t.Fatalf("re-decode of accepted tdigest failed: %v", err2)
+			}
+			if d2.Count() != d.Count() {
+				t.Fatalf("tdigest count drifted across re-encode: %v vs %v", d2.Count(), d.Count())
+			}
+			_ = d.Quantile(0.99) // must not panic on any accepted state
+		}
+		if k, err := DecodeTopK(data); err == nil {
+			re := k.AppendBinary(nil)
+			k2, err2 := DecodeTopK(re)
+			if err2 != nil {
+				t.Fatalf("re-decode of accepted topk failed: %v", err2)
+			}
+			if !bytes.Equal(re, k2.AppendBinary(nil)) {
+				t.Fatalf("topk encoding not stable across round trip")
+			}
+			_ = k.Top(3)
+		}
+	})
+}

@@ -1,0 +1,279 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile computes the true q-th quantile of a sorted sample set.
+func exactQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// lognormal draws a heavy-tailed latency-like sample.
+func lognormal(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*rng.NormFloat64())
+}
+
+func TestTDigestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	td := NewTDigest(0)
+	const n = 200_000
+	samples := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v := lognormal(rng, 3, 1) // median ~20, long right tail
+		samples = append(samples, v)
+		td.Add(v)
+	}
+	sort.Float64s(samples)
+	if got := td.Count(); got != n {
+		t.Fatalf("Count = %v, want %d", got, n)
+	}
+	// Pinned bounds: ≤5% through p99 (the E15 gate), ≤20% at p999 — beyond
+	// p99 the default compression's edge clusters dominate the estimate.
+	for _, tc := range []struct{ q, bound float64 }{
+		{0.5, 0.05}, {0.9, 0.05}, {0.99, 0.05}, {0.999, 0.20},
+	} {
+		exact := exactQuantile(samples, tc.q)
+		est := td.Quantile(tc.q)
+		relErr := math.Abs(est-exact) / exact
+		if relErr > tc.bound {
+			t.Errorf("q=%v: estimate %.2f vs exact %.2f (rel err %.1f%%)", tc.q, est, exact, 100*relErr)
+		}
+	}
+	if td.Quantile(0) != td.Min() || td.Quantile(1) != td.Max() {
+		t.Errorf("extreme quantiles: got [%v, %v], want [%v, %v]",
+			td.Quantile(0), td.Quantile(1), td.Min(), td.Max())
+	}
+}
+
+func TestTDigestMergeMatchesUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var parts [4]*TDigest
+	union := NewTDigest(0)
+	all := make([]float64, 0, 80_000)
+	for i := range parts {
+		parts[i] = NewTDigest(0)
+		for j := 0; j < 20_000; j++ {
+			// Each node sees a different latency regime — the situation
+			// cluster merging exists for.
+			v := lognormal(rng, 2+float64(i), 0.7)
+			parts[i].Add(v)
+			all = append(all, v)
+		}
+	}
+	for _, p := range parts {
+		union.Merge(p)
+	}
+	sort.Float64s(all)
+	if got, want := union.Count(), float64(len(all)); got != want {
+		t.Fatalf("merged Count = %v, want %v", got, want)
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		exact := exactQuantile(all, q)
+		est := union.Quantile(q)
+		if relErr := math.Abs(est-exact) / exact; relErr > 0.05 {
+			t.Errorf("merged q=%v: %.2f vs exact %.2f (rel err %.1f%%)", q, est, exact, 100*relErr)
+		}
+	}
+}
+
+func TestTDigestEmptyAndSingle(t *testing.T) {
+	td := NewTDigest(0)
+	if got := td.Quantile(0.5); got != 0 {
+		t.Errorf("empty digest quantile = %v, want 0", got)
+	}
+	td.Add(42)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := td.Quantile(q); got != 42 {
+			t.Errorf("single-sample quantile(%v) = %v, want 42", q, got)
+		}
+	}
+	// Invalid samples are ignored, not folded in.
+	td.Add(math.NaN())
+	td.Add(math.Inf(1))
+	td.AddWeighted(7, -1)
+	if got := td.Count(); got != 1 {
+		t.Errorf("Count after invalid adds = %v, want 1", got)
+	}
+}
+
+func TestTDigestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	td := NewTDigest(50)
+	for i := 0; i < 10_000; i++ {
+		td.Add(lognormal(rng, 3, 1))
+	}
+	data := td.AppendBinary(nil)
+	back, err := DecodeTDigest(data)
+	if err != nil {
+		t.Fatalf("DecodeTDigest: %v", err)
+	}
+	if back.Count() != td.Count() || back.Min() != td.Min() || back.Max() != td.Max() {
+		t.Fatalf("round trip lost count/min/max: %v/%v/%v vs %v/%v/%v",
+			back.Count(), back.Min(), back.Max(), td.Count(), td.Min(), td.Max())
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if got, want := back.Quantile(q), td.Quantile(q); got != want {
+			t.Errorf("round trip quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	// Encoding an empty digest round-trips too (a node with no traffic).
+	empty, err := DecodeTDigest(NewTDigest(0).AppendBinary(nil))
+	if err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if empty.Count() != 0 {
+		t.Errorf("empty round trip count = %v", empty.Count())
+	}
+}
+
+func TestTDigestDecodeRejectsCorruption(t *testing.T) {
+	td := NewTDigest(0)
+	for i := 0; i < 100; i++ {
+		td.Add(float64(i))
+	}
+	good := td.AppendBinary(nil)
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad magic":    append([]byte{0xFF}, good[1:]...),
+		"truncated":    good[:len(good)-3],
+		"trailing":     append(append([]byte(nil), good...), 0),
+		"count bomb":   func() []byte { b := append([]byte(nil), good...); b[25], b[26] = 0xFF, 0xFF; return b }(),
+		"nan compress": func() []byte { b := append([]byte(nil), good...); b[1] = 0x7F; b[2] = 0xF8; return b }(),
+	}
+	for name, data := range cases {
+		if _, err := DecodeTDigest(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+}
+
+func TestTDigestAddAllocFree(t *testing.T) {
+	td := NewTDigest(0)
+	// Warm up: grow every internal buffer to steady state.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50_000; i++ {
+		td.Add(lognormal(rng, 3, 1))
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(10_000, func() {
+		td.Add(float64(i%1000) + 0.5)
+		i++
+	}); avg != 0 {
+		t.Errorf("steady-state Add allocates %.3f allocs/op, want 0", avg)
+	}
+}
+
+func TestTopKHotKeyAlwaysRanksFirst(t *testing.T) {
+	tk := NewTopK(8)
+	rng := rand.New(rand.NewSource(5))
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l", "m", "n", "o", "p"}
+	for i := 0; i < 100_000; i++ {
+		// "hot" gets ~30% of the stream; the rest spread over 16 cold keys.
+		if rng.Intn(10) < 3 {
+			tk.Offer("hot", 1)
+		} else {
+			tk.Offer(keys[rng.Intn(len(keys))], 1)
+		}
+	}
+	top := tk.Top(3)
+	if len(top) == 0 || top[0].Key != "hot" {
+		t.Fatalf("Top(3) = %+v, want hot first", top)
+	}
+	// Space-saving guarantee: the estimate brackets the true count.
+	if top[0].Count < 25_000 || top[0].Count-top[0].Err > 35_000 {
+		t.Errorf("hot estimate %d (err %d) outside plausible range", top[0].Count, top[0].Err)
+	}
+	if tk.Total() != 100_000 {
+		t.Errorf("Total = %d, want 100000", tk.Total())
+	}
+}
+
+func TestTopKMerge(t *testing.T) {
+	a, b := NewTopK(8), NewTopK(8)
+	for i := 0; i < 600; i++ {
+		a.Offer("hot", 1)
+	}
+	for i := 0; i < 500; i++ {
+		b.Offer("hot", 1)
+		b.Offer("warm", 1)
+	}
+	a.Offer("only-a", 10)
+	a.Merge(b)
+	if got := a.Total(); got != 600+500+500+10 {
+		t.Fatalf("merged Total = %d", got)
+	}
+	top := a.Top(0)
+	if top[0].Key != "hot" || top[0].Count != 1100 {
+		t.Fatalf("merged top = %+v, want hot=1100", top[0])
+	}
+	found := map[string]uint64{}
+	for _, e := range top {
+		found[e.Key] = e.Count
+	}
+	if found["warm"] != 500 || found["only-a"] != 10 {
+		t.Errorf("merged entries = %v", found)
+	}
+}
+
+func TestTopKOfferAllocFree(t *testing.T) {
+	tk := NewTopK(16)
+	keys := []string{"q/a", "q/b", "q/c", "q/d"}
+	for _, k := range keys {
+		tk.Offer(k, 1)
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(10_000, func() {
+		tk.Offer(keys[i%len(keys)], 1)
+		i++
+	}); avg != 0 {
+		t.Errorf("steady-state Offer allocates %.3f allocs/op, want 0", avg)
+	}
+}
+
+func TestTopKBinaryRoundTrip(t *testing.T) {
+	tk := NewTopK(8)
+	tk.Offer("alpha", 100)
+	tk.Offer("beta", 50)
+	tk.Offer("gamma", 25)
+	data := tk.AppendBinary(nil)
+	back, err := DecodeTopK(data)
+	if err != nil {
+		t.Fatalf("DecodeTopK: %v", err)
+	}
+	if back.Total() != tk.Total() || back.Len() != tk.Len() {
+		t.Fatalf("round trip total/len: %d/%d vs %d/%d", back.Total(), back.Len(), tk.Total(), tk.Len())
+	}
+	want, got := tk.Top(0), back.Top(0)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("entry %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTopKDecodeRejectsCorruption(t *testing.T) {
+	tk := NewTopK(4)
+	tk.Offer("x", 3)
+	tk.Offer("y", 2)
+	good := tk.AppendBinary(nil)
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte{0}, good[1:]...),
+		"truncated": good[:len(good)-1],
+		"trailing":  append(append([]byte(nil), good...), 1, 2, 3),
+		"cap zero":  func() []byte { b := append([]byte(nil), good...); b[1], b[2], b[3], b[4] = 0, 0, 0, 0; return b }(),
+	}
+	for name, data := range cases {
+		if _, err := DecodeTopK(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+}

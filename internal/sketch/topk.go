@@ -1,0 +1,229 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TopKEntry is one heavy-hitter estimate: the key's count is overestimated
+// by at most Err (the count the slot held when the key evicted its previous
+// occupant — the space-saving guarantee).
+type TopKEntry struct {
+	Key   string `json:"key"`
+	Count uint64 `json:"count"`
+	// Err bounds the overestimate: true count >= Count - Err.
+	Err uint64 `json:"err,omitempty"`
+}
+
+// TopK tracks the heaviest keys of a stream in bounded memory with the
+// space-saving algorithm: a fixed set of counters; an unseen key evicts the
+// minimum counter and inherits its count as error bound. Any key whose true
+// frequency exceeds total/capacity is guaranteed present, which is what
+// makes a hot topic un-hideable. Not safe for concurrent use (callers lock).
+type TopK struct {
+	capacity int
+	idx      map[string]int
+	entries  []TopKEntry
+	total    uint64
+}
+
+// DefaultTopKCapacity balances footprint (a few KB serialized) against the
+// guarantee threshold (any key above 1/32 of traffic is always tracked).
+const DefaultTopKCapacity = 32
+
+// NewTopK builds a summary tracking up to capacity keys (<= 0 gets
+// DefaultTopKCapacity).
+func NewTopK(capacity int) *TopK {
+	if capacity <= 0 {
+		capacity = DefaultTopKCapacity
+	}
+	return &TopK{
+		capacity: capacity,
+		idx:      make(map[string]int, capacity),
+		entries:  make([]TopKEntry, 0, capacity),
+	}
+}
+
+// Offer counts w occurrences of key (w == 0 ignored). Steady-state
+// allocation-free for keys already tracked; an eviction re-keys an existing
+// slot.
+func (t *TopK) Offer(key string, w uint64) {
+	if w == 0 {
+		return
+	}
+	t.total += w
+	if i, ok := t.idx[key]; ok {
+		t.entries[i].Count += w
+		return
+	}
+	if len(t.entries) < t.capacity {
+		t.idx[key] = len(t.entries)
+		t.entries = append(t.entries, TopKEntry{Key: key, Count: w})
+		return
+	}
+	// Evict the minimum counter: the newcomer inherits its count as error
+	// bound. Linear scan — capacity is small by design.
+	min := 0
+	for i := 1; i < len(t.entries); i++ {
+		if t.entries[i].Count < t.entries[min].Count {
+			min = i
+		}
+	}
+	evicted := &t.entries[min]
+	delete(t.idx, evicted.Key)
+	t.idx[key] = min
+	evicted.Err = evicted.Count
+	evicted.Count += w
+	evicted.Key = key
+}
+
+// Total is the stream weight folded in.
+func (t *TopK) Total() uint64 { return t.total }
+
+// Len is the number of tracked keys.
+func (t *TopK) Len() int { return len(t.entries) }
+
+// Top returns the n heaviest tracked keys, count-descending (key-ascending
+// on ties, so output is deterministic). n <= 0 returns all tracked keys.
+func (t *TopK) Top(n int) []TopKEntry {
+	out := append([]TopKEntry(nil), t.entries...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Merge folds another summary in: counts and error bounds of shared keys
+// add; distinct keys are offered with their error carried over. The merged
+// summary keeps the heavy-hitter guarantee over the combined stream (error
+// bounds remain valid overestimate caps, since dropped keys in either input
+// were already below that input's minimum counter).
+func (t *TopK) Merge(other *TopK) {
+	if other == nil {
+		return
+	}
+	for _, e := range other.entries {
+		t.total += e.Count
+		if i, ok := t.idx[e.Key]; ok {
+			t.entries[i].Count += e.Count
+			t.entries[i].Err += e.Err
+			continue
+		}
+		if len(t.entries) < t.capacity {
+			t.idx[e.Key] = len(t.entries)
+			t.entries = append(t.entries, e)
+			continue
+		}
+		min := 0
+		for i := 1; i < len(t.entries); i++ {
+			if t.entries[i].Count < t.entries[min].Count {
+				min = i
+			}
+		}
+		victim := &t.entries[min]
+		if victim.Count >= e.Count {
+			// The incoming key cannot displace a heavier slot; its weight is
+			// still part of the total (absorbed below the tracking floor).
+			continue
+		}
+		delete(t.idx, victim.Key)
+		t.idx[e.Key] = min
+		newErr := victim.Count + e.Err
+		victim.Key = e.Key
+		victim.Count += e.Count
+		victim.Err = newErr
+	}
+}
+
+// topkMagic versions the binary encoding.
+const topkMagic = 0x7C
+
+// maxTopKCapacity bounds what DecodeTopK accepts from untrusted input.
+const maxTopKCapacity = 1 << 12
+
+// maxTopKKeyLen bounds a single serialized key.
+const maxTopKKeyLen = 1 << 10
+
+// AppendBinary appends the summary's binary encoding to dst: magic,
+// capacity, total, entry count, then length-prefixed key + count + err per
+// entry.
+func (t *TopK) AppendBinary(dst []byte) []byte {
+	dst = append(dst, topkMagic)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(t.capacity))
+	dst = binary.BigEndian.AppendUint64(dst, t.total)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(t.entries)))
+	for _, e := range t.entries {
+		key := e.Key
+		if len(key) > maxTopKKeyLen {
+			key = key[:maxTopKKeyLen]
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(key)))
+		dst = append(dst, key...)
+		dst = binary.BigEndian.AppendUint64(dst, e.Count)
+		dst = binary.BigEndian.AppendUint64(dst, e.Err)
+	}
+	return dst
+}
+
+// DecodeTopK parses an AppendBinary encoding, validating every length and
+// count against untrusted input (fuzzed by FuzzSketchDecode).
+func DecodeTopK(data []byte) (*TopK, error) {
+	if len(data) < 1+4+8+4 {
+		return nil, fmt.Errorf("sketch: topk truncated (%d bytes)", len(data))
+	}
+	if data[0] != topkMagic {
+		return nil, fmt.Errorf("sketch: topk bad magic 0x%02x", data[0])
+	}
+	capacity := int(binary.BigEndian.Uint32(data[1:]))
+	if capacity <= 0 || capacity > maxTopKCapacity {
+		return nil, fmt.Errorf("sketch: topk capacity %d out of range", capacity)
+	}
+	total := binary.BigEndian.Uint64(data[5:])
+	n := int(binary.BigEndian.Uint32(data[13:]))
+	if n > capacity {
+		return nil, fmt.Errorf("sketch: topk entry count %d exceeds capacity %d", n, capacity)
+	}
+	t := NewTopK(capacity)
+	off := 17
+	var sum uint64
+	for i := 0; i < n; i++ {
+		if off+2 > len(data) {
+			return nil, fmt.Errorf("sketch: topk entry %d truncated", i)
+		}
+		klen := int(binary.BigEndian.Uint16(data[off:]))
+		off += 2
+		if klen == 0 || klen > maxTopKKeyLen || off+klen+16 > len(data) {
+			return nil, fmt.Errorf("sketch: topk entry %d key length %d invalid", i, klen)
+		}
+		key := string(data[off : off+klen])
+		off += klen
+		count := binary.BigEndian.Uint64(data[off:])
+		err := binary.BigEndian.Uint64(data[off+8:])
+		off += 16
+		if _, dup := t.idx[key]; dup {
+			return nil, fmt.Errorf("sketch: topk duplicate key %q", key)
+		}
+		if err > count || count > math.MaxUint64-sum {
+			return nil, fmt.Errorf("sketch: topk entry %q counts invalid", key)
+		}
+		sum += count
+		t.idx[key] = len(t.entries)
+		t.entries = append(t.entries, TopKEntry{Key: key, Count: count, Err: err})
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("sketch: topk trailing %d bytes", len(data)-off)
+	}
+	if sum > total {
+		return nil, fmt.Errorf("sketch: topk entry sum %d exceeds total %d", sum, total)
+	}
+	t.total = total
+	return t, nil
+}

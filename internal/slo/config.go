@@ -17,6 +17,8 @@ type objectiveConfig struct {
 	BadSeries   string  `json:"badSeries,omitempty"`
 	TotalSeries string  `json:"totalSeries,omitempty"`
 	Series      string  `json:"series,omitempty"`
+	Topic       string  `json:"topic,omitempty"`
+	Quantile    float64 `json:"quantile,omitempty"`
 	Max         float64 `json:"max,omitempty"`
 	Budget      float64 `json:"budget,omitempty"`
 	Window      string  `json:"window,omitempty"`
@@ -42,6 +44,8 @@ func ParseObjectives(data []byte) ([]Objective, error) {
 			BadSeries:   c.BadSeries,
 			TotalSeries: c.TotalSeries,
 			Series:      c.Series,
+			Topic:       c.Topic,
+			Quantile:    c.Quantile,
 			Max:         c.Max,
 			Budget:      c.Budget,
 			WarnBurn:    c.WarnBurn,
@@ -55,6 +59,8 @@ func ParseObjectives(data []byte) ([]Objective, error) {
 			o.Kind = KindThreshold
 		case "freshness":
 			o.Kind = KindFreshness
+		case "quantile":
+			o.Kind = KindQuantile
 		default:
 			return nil, fmt.Errorf("slo: config objective %d: unknown kind %q", i, c.Kind)
 		}

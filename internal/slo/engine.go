@@ -242,7 +242,9 @@ func (e *Engine) Evaluate() []Transition {
 	live := make(map[string]bool)
 	for _, o := range e.objs {
 		nodes := []string{o.Node}
-		if o.Node == "" {
+		// Quantile objectives judge the cluster-merged digest, so they get
+		// exactly one instance even with Node unset.
+		if o.Node == "" && o.Kind != KindQuantile {
 			nodes = e.opts.Aggregator.Nodes()
 		}
 		for _, node := range nodes {
@@ -251,7 +253,7 @@ func (e *Engine) Evaluate() []Transition {
 			inst := e.instances[k]
 			if inst == nil {
 				inst = &alertInstance{obj: o, node: node, since: now}
-				if o.Kind == KindFreshness {
+				if o.Kind == KindFreshness || o.Kind == KindQuantile {
 					inst.freshRing = make([]telemetry.Point, e.opts.FreshnessWindow)
 				}
 				e.instances[k] = inst
@@ -323,6 +325,17 @@ func (e *Engine) judgeLocked(inst *alertInstance, now time.Time) (Transition, bo
 		pts := inst.freshPoints()
 		longFrac, longOK = overFraction(pts, now, o.Window, 0.5)
 		shortFrac, shortOK = overFraction(pts, now, o.ShortWindow, 0.5)
+	case KindQuantile:
+		// Sample the cluster-merged digest into the instance's ring — the
+		// same engine-recorded mechanism freshness uses, because a merged
+		// quantile (like a staleness verdict) is not a stored series. No
+		// digests yet: no sample, and the windows stay inconclusive.
+		if v, ok := e.opts.Aggregator.TopicQuantile(o.Topic, o.Quantile); ok {
+			inst.pushFresh(telemetry.Point{T: now, V: v})
+		}
+		pts := inst.freshPoints()
+		longFrac, longOK = overFraction(pts, now, o.Window, o.Max)
+		shortFrac, shortOK = overFraction(pts, now, o.ShortWindow, o.Max)
 	}
 	inst.burnLong, inst.burnShort, inst.badFrac = 0, 0, 0
 	if longOK {

@@ -76,6 +76,13 @@ const (
 	// telemetry has gone stale. It needs no series name — the absence of
 	// reports is the signal.
 	KindFreshness
+	// KindQuantile samples the cluster-merged t-digest latency quantile for
+	// one Topic (telemetry.Aggregator.TopicQuantile) each evaluation, bad
+	// when it exceeds Max milliseconds. Unlike KindThreshold — which judges a
+	// per-node published p99 gauge — this reads the merged digest of every
+	// node's samples, so a quantile target holds across the cluster, not per
+	// node. One alert instance per objective, regardless of Node.
+	KindQuantile
 )
 
 // String names the kind for documents and config files.
@@ -85,6 +92,8 @@ func (k Kind) String() string {
 		return "threshold"
 	case KindFreshness:
 		return "freshness"
+	case KindQuantile:
+		return "quantile"
 	default:
 		return "ratio"
 	}
@@ -111,7 +120,14 @@ type Objective struct {
 	TotalSeries string
 	// Series names the gauge/rate series a KindThreshold objective samples.
 	Series string
-	// Max is the KindThreshold limit: a sample above it is a bad event.
+	// Topic names the request topic a KindQuantile objective judges, as
+	// recorded by the reqlog wide events.
+	Topic string
+	// Quantile is the KindQuantile probe point in (0,1) (default 0.99).
+	Quantile float64
+	// Max is the KindThreshold / KindQuantile limit: a sample above it is a
+	// bad event. For KindQuantile the unit is milliseconds (the digests
+	// record latency in ms).
 	Max float64
 	// Budget is the tolerated bad-event fraction — the error budget. A
 	// 99.9% availability target is Budget 0.001. Default 0.01.
@@ -153,6 +169,19 @@ func (o Objective) withDefaults() (Objective, error) {
 		}
 	case KindFreshness:
 		// No series: the aggregator's staleness verdict is the signal.
+	case KindQuantile:
+		if o.Topic == "" {
+			return o, fmt.Errorf("slo: quantile objective %s needs a Topic", o.Name)
+		}
+		if o.Max <= 0 {
+			return o, fmt.Errorf("slo: quantile objective %s needs Max > 0 (ms)", o.Name)
+		}
+		if o.Quantile < 0 || o.Quantile >= 1 {
+			return o, fmt.Errorf("slo: quantile objective %s quantile %v outside [0,1)", o.Name, o.Quantile)
+		}
+		if o.Quantile == 0 {
+			o.Quantile = 0.99
+		}
 	default:
 		return o, fmt.Errorf("slo: objective %s has unknown kind %d", o.Name, o.Kind)
 	}

@@ -10,6 +10,7 @@ import (
 	"ndsm/internal/health"
 	"ndsm/internal/obs"
 	"ndsm/internal/simtime"
+	"ndsm/internal/sketch"
 	"ndsm/internal/wire"
 )
 
@@ -54,6 +55,11 @@ type nodeState struct {
 	traceLen int
 	traceTot uint64
 	traceDrp uint64
+	// digests and topk are the node's newest request-analytics sketches,
+	// decoded at ingest. Cumulative summaries: the latest report supersedes
+	// all earlier ones, so there is nothing to window.
+	digests map[string]*sketch.TDigest
+	topk    *sketch.TopK
 }
 
 // Aggregator folds node reports into per-node, per-metric windowed time
@@ -114,6 +120,29 @@ func (a *Aggregator) Ingest(r *Report) error {
 			return fmt.Errorf("telemetry: ingest %s: time %v not after %v", r.Node, r.Time, ns.lastTime)
 		}
 	}
+	// Decode analytics sketches before mutating any state: a report with a
+	// corrupt digest is rejected whole, like one with a bad sequence number.
+	var digests map[string]*sketch.TDigest
+	if len(r.TopicDigests) > 0 {
+		digests = make(map[string]*sketch.TDigest, len(r.TopicDigests))
+		for topic, raw := range r.TopicDigests {
+			d, err := sketch.DecodeTDigest(raw)
+			if err != nil {
+				a.rejected.Inc(1)
+				return fmt.Errorf("telemetry: ingest %s: topic %q digest: %w", r.Node, topic, err)
+			}
+			digests[topic] = d
+		}
+	}
+	var topk *sketch.TopK
+	if len(r.TopKDigest) > 0 {
+		tk, err := sketch.DecodeTopK(r.TopKDigest)
+		if err != nil {
+			a.rejected.Inc(1)
+			return fmt.Errorf("telemetry: ingest %s: topk digest: %w", r.Node, err)
+		}
+		topk = tk
+	}
 	ns.lastSeq = r.Seq
 	ns.lastTime = r.Time
 	ns.lastSeen = now
@@ -132,6 +161,12 @@ func (a *Aggregator) Ingest(r *Report) error {
 	ns.traceLen = r.TraceLen
 	ns.traceTot = r.TraceTotal
 	ns.traceDrp = r.TraceDropped
+	if digests != nil {
+		ns.digests = digests
+	}
+	if topk != nil {
+		ns.topk = topk
+	}
 	a.ingested.Inc(1)
 	return nil
 }
@@ -214,6 +249,12 @@ type ClusterView struct {
 	Now        time.Time     `json:"now"`
 	StaleAfter time.Duration `json:"staleAfterNs"`
 	Nodes      []NodeView    `json:"nodes"`
+	// Topics is the cluster-merged per-topic latency attribution (empty when
+	// no node publishes request-analytics digests).
+	Topics []TopicStat `json:"topics,omitempty"`
+	// HotTopics is the cluster-merged heavy-hitter estimate from the nodes'
+	// space-saving summaries.
+	HotTopics []sketch.TopKEntry `json:"hotTopics,omitempty"`
 }
 
 // View snapshots the whole cluster: every node's series (copied), freshness
@@ -240,6 +281,10 @@ func (a *Aggregator) View() ClusterView {
 			nv.Series[metric] = s.Points()
 		}
 		view.Nodes = append(view.Nodes, nv)
+	}
+	view.Topics = statsFromDigests(a.mergedDigestsLocked())
+	if m := a.mergedTopKLocked(); m != nil {
+		view.HotTopics = m.Top(m.Len())
 	}
 	a.mu.Unlock()
 	sort.Slice(view.Nodes, func(i, j int) bool { return view.Nodes[i].Node < view.Nodes[j].Node })

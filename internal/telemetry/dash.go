@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"ndsm/internal/sketch"
 )
 
 // sparkW/sparkH size the inline SVG sparklines.
@@ -59,6 +61,7 @@ td,th{padding:.1em .6em;text-align:left;border-bottom:1px solid #2a2a2a}
 	fmt.Fprintf(&b, "<h1>ndsm cluster telemetry</h1>\n<p class=\"meta\">%d node(s) &middot; view at %s &middot; stale after %s</p>\n",
 		len(v.Nodes), html.EscapeString(v.Now.Format(time.RFC3339)), v.StaleAfter)
 	writeAlertsPanel(&b, v.Now, alerts)
+	writeTopicsPanel(&b, v.Topics, v.HotTopics)
 	for _, n := range v.Nodes {
 		badge := `<span class="badge fresh">fresh</span>`
 		if !n.Fresh {
@@ -112,6 +115,52 @@ func writeAlertsPanel(b *strings.Builder, now time.Time, alerts []DashAlert) {
 			a.Burn, html.EscapeString(since))
 	}
 	b.WriteString("</table></div>\n")
+}
+
+// writeTopicsPanel renders the cluster-merged per-topic attribution: call
+// share bars from the merged top-k, latency quantiles from the merged
+// t-digests. No digests published: no panel.
+func writeTopicsPanel(b *strings.Builder, topics []TopicStat, hot []sketch.TopKEntry) {
+	if len(topics) == 0 && len(hot) == 0 {
+		return
+	}
+	b.WriteString("<div class=\"alerts\"><h2>Request attribution</h2>\n")
+	if len(topics) > 0 {
+		total := 0.0
+		for _, t := range topics {
+			total += t.Count
+		}
+		b.WriteString("<table><tr><th>topic</th><th>calls</th><th>share</th><th>p50 ms</th><th>p99 ms</th></tr>\n")
+		for _, t := range topics {
+			share := 0.0
+			if total > 0 {
+				share = t.Count / total
+			}
+			fmt.Fprintf(b, "<tr><td>%s</td><td class=\"val\">%s</td><td>%s %.1f%%</td><td class=\"val\">%s</td><td class=\"val\">%s</td></tr>\n",
+				html.EscapeString(t.Topic), trimNum(t.Count), shareBar(share), 100*share,
+				trimNum(t.P50), trimNum(t.P99))
+		}
+		b.WriteString("</table>\n")
+	}
+	if len(hot) > 0 {
+		b.WriteString("<p class=\"peers\">hot topics:")
+		for i, e := range hot {
+			if i >= 5 {
+				break
+			}
+			fmt.Fprintf(b, " %s(%d&plusmn;%d)", html.EscapeString(e.Key), e.Count, e.Err)
+		}
+		b.WriteString("</p>\n")
+	}
+	b.WriteString("</div>\n")
+}
+
+// shareBar renders a topic's traffic share as a fixed-width inline SVG bar.
+func shareBar(share float64) string {
+	w := share * (sparkW - 2)
+	return fmt.Sprintf(
+		`<svg class="spark" width="%d" height="10" viewBox="0 0 %d 10"><rect x="1" y="2" width="%.1f" height="6" fill="#6cf"/></svg>`,
+		sparkW, sparkW, w)
 }
 
 func writeSeriesTable(b *strings.Builder, series map[string][]Point) {

@@ -8,6 +8,7 @@ import (
 	"ndsm/internal/endpoint"
 	"ndsm/internal/health"
 	"ndsm/internal/obs"
+	"ndsm/internal/reqlog"
 	"ndsm/internal/simtime"
 	"ndsm/internal/trace"
 )
@@ -25,6 +26,11 @@ type PublisherOptions struct {
 	Health *health.Monitor
 	// Spans, when set, embeds the node's trace-collector depth.
 	Spans *trace.Collector
+	// ReqLog, when set, embeds the node's request-analytics sketches — the
+	// per-topic latency t-digests and the topic top-k summary — in every
+	// report, so the aggregator can merge cluster-wide per-topic quantiles
+	// and heavy hitters (see reqlog and sketch).
+	ReqLog *reqlog.Recorder
 	// Clock stamps reports and paces Start's loop (default real time; a
 	// *simtime.Virtual makes simulated-world telemetry deterministic).
 	Clock simtime.Clock
@@ -114,6 +120,10 @@ func (p *Publisher) Publish() error {
 		r.TraceLen = c.Len()
 		r.TraceTotal = c.Total()
 		r.TraceDropped = c.Dropped()
+	}
+	if rec := p.opts.ReqLog; rec != nil {
+		r.TopicDigests = rec.TopicDigests()
+		r.TopKDigest = rec.TopKBinary()
 	}
 	p.prev = snap
 	p.prevTime = now

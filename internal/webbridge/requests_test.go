@@ -1,0 +1,130 @@
+package webbridge
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ndsm/internal/discovery"
+	"ndsm/internal/obs"
+	"ndsm/internal/reqlog"
+)
+
+// reqlogFixture builds a bridge with a populated wide-event recorder.
+func reqlogFixture(t *testing.T) (*reqlog.Recorder, *httptest.Server) {
+	t.Helper()
+	rec := reqlog.New(reqlog.Options{Capacity: 64, SampleEvery: 1, Registry: obs.NewRegistry()})
+	base := time.Unix(1_700_000_000, 0)
+	for i := 0; i < 8; i++ {
+		rec.Record(reqlog.Record{
+			Time: base.Add(time.Duration(i) * time.Second), Kind: reqlog.KindServer,
+			Topic: "svc/hot", Lane: "default", Outcome: reqlog.OutcomeOK,
+			Latency: 5 * time.Millisecond,
+		})
+	}
+	rec.Record(reqlog.Record{
+		Time: base.Add(10 * time.Second), Kind: reqlog.KindServer,
+		Topic: "svc/hot", Lane: "bulk", Outcome: reqlog.OutcomeShed,
+		ShedReason: "server at capacity",
+	})
+	rec.Record(reqlog.Record{
+		Time: base.Add(11 * time.Second), Kind: reqlog.KindClient,
+		Topic: "svc/cold", Lane: "default", Outcome: reqlog.OutcomeOK,
+		Latency: 40 * time.Millisecond,
+	})
+
+	bridge := New(discovery.NewStore(nil, 0), nil)
+	t.Cleanup(func() { _ = bridge.Close() })
+	bridge.SetReqLog(rec)
+	srv := httptest.NewServer(bridge)
+	t.Cleanup(srv.Close)
+	return rec, srv
+}
+
+// TestRequestsEndpoint exercises GET /requests: 404 when unattached, full
+// listing, and each filter parameter.
+func TestRequestsEndpoint(t *testing.T) {
+	bare := New(discovery.NewStore(nil, 0), nil)
+	bareSrv := httptest.NewServer(bare)
+	t.Cleanup(bareSrv.Close)
+	if code, _ := get(t, bareSrv.URL+"/requests"); code != http.StatusNotFound {
+		t.Fatalf("/requests without recorder = %d, want 404", code)
+	}
+	if code, _ := get(t, bareSrv.URL+"/topk"); code != http.StatusNotFound {
+		t.Fatalf("/topk without recorder = %d, want 404", code)
+	}
+
+	_, srv := reqlogFixture(t)
+	var doc struct {
+		Records []reqlog.Record `json:"records"`
+		Tail    int             `json:"tailRetained"`
+		Healthy int             `json:"healthyRetained"`
+	}
+	fetch := func(query string) []reqlog.Record {
+		t.Helper()
+		code, body := get(t, srv.URL+"/requests"+query)
+		if code != http.StatusOK {
+			t.Fatalf("/requests%s = %d body=%q", query, code, body)
+		}
+		doc.Records = nil
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("/requests%s not JSON: %v", query, err)
+		}
+		return doc.Records
+	}
+
+	if all := fetch(""); len(all) != 10 || !all[0].Time.After(all[9].Time) {
+		t.Fatalf("unfiltered: %d records (newest-first=%v), want 10", len(all), len(all) > 1 && all[0].Time.After(all[len(all)-1].Time))
+	}
+	if doc.Tail != 1 || doc.Healthy != 9 {
+		t.Fatalf("retained counts tail=%d healthy=%d, want 1/9", doc.Tail, doc.Healthy)
+	}
+	if sheds := fetch("?outcome=shed"); len(sheds) != 1 || sheds[0].ShedReason != "server at capacity" {
+		t.Fatalf("outcome filter: %+v", sheds)
+	}
+	if cold := fetch("?topic=svc/cold&kind=client"); len(cold) != 1 || cold[0].Latency != 40*time.Millisecond {
+		t.Fatalf("topic+kind filter: %+v", cold)
+	}
+	if lane := fetch("?lane=bulk"); len(lane) != 1 || lane[0].Outcome != reqlog.OutcomeShed {
+		t.Fatalf("lane filter: %+v", lane)
+	}
+	if lim := fetch("?limit=3"); len(lim) != 3 {
+		t.Fatalf("limit: %d records, want 3", len(lim))
+	}
+	if code, _ := get(t, srv.URL+"/requests?limit=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad limit accepted: %d", code)
+	}
+}
+
+// TestTopKEndpoint exercises GET /topk: ranked topics with local quantiles.
+func TestTopKEndpoint(t *testing.T) {
+	_, srv := reqlogFixture(t)
+	code, body := get(t, srv.URL+"/topk")
+	if code != http.StatusOK {
+		t.Fatalf("/topk = %d body=%q", code, body)
+	}
+	var doc struct {
+		Topics []struct {
+			Topic string  `json:"topic"`
+			Count uint64  `json:"count"`
+			P99   float64 `json:"p99Ms"`
+		} `json:"topics"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/topk not JSON: %v\n%s", err, body)
+	}
+	if len(doc.Topics) != 2 || doc.Topics[0].Topic != "svc/hot" || doc.Topics[0].Count != 9 {
+		t.Fatalf("/topk ranking: %+v", doc.Topics)
+	}
+	if doc.Topics[1].Topic != "svc/cold" || doc.Topics[1].P99 < 35 {
+		t.Fatalf("/topk quantiles: %+v", doc.Topics)
+	}
+	if n1, _ := get(t, srv.URL+"/topk?n=1"); n1 != http.StatusOK {
+		t.Fatalf("/topk?n=1 = %d", n1)
+	}
+	if code, _ := get(t, srv.URL+"/topk?n=-2"); code != http.StatusBadRequest {
+		t.Fatalf("bad n accepted: %d", code)
+	}
+}

@@ -27,6 +27,11 @@
 //	GET /flight                    -> the flight recorder's retained
 //	                                  post-mortem bundles, when one is
 //	                                  attached
+//	GET /requests                  -> retained wide-event records from the
+//	                                  request-analytics recorder, filterable
+//	                                  by ?topic=&lane=&outcome=&kind=&limit=
+//	GET /topk                      -> the recorder's heaviest topics plus
+//	                                  per-topic latency quantiles
 //	GET /debug/pprof/*             -> Go profiling endpoints, only after an
 //	                                  explicit EnablePprof (opt-in: profiles
 //	                                  leak internals and burn CPU)
@@ -41,6 +46,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -52,6 +58,7 @@ import (
 	"ndsm/internal/health"
 	"ndsm/internal/obs"
 	"ndsm/internal/qos"
+	"ndsm/internal/reqlog"
 	"ndsm/internal/slo"
 	"ndsm/internal/svcdesc"
 	"ndsm/internal/telemetry"
@@ -73,6 +80,7 @@ type serverConfig struct {
 	agg     *telemetry.Aggregator
 	slo     *slo.Engine
 	flight  *flightrec.Recorder
+	reqlog  *reqlog.Recorder
 	// sampleRuntime refreshes the runtime gauges (EnableRuntimeMetrics);
 	// /metrics calls it before snapshotting.
 	sampleRuntime func()
@@ -172,6 +180,15 @@ func (b *Bridge) SetFlightRecorder(r *flightrec.Recorder) {
 	b.cfgMu.Unlock()
 }
 
+// SetReqLog attaches a wide-event recorder, enabling GET /requests (retained
+// exemplars, filterable) and GET /topk (heaviest topics with latency
+// quantiles).
+func (b *Bridge) SetReqLog(r *reqlog.Recorder) {
+	b.cfgMu.Lock()
+	b.cfg.reqlog = r
+	b.cfgMu.Unlock()
+}
+
 // EnableRuntimeMetrics registers the Go runtime gauges (goroutines, heap
 // bytes, GC pause total) in the bridge's metrics registry and refreshes them
 // on every /metrics request.
@@ -227,6 +244,10 @@ func (b *Bridge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		b.handleAlerts(w, r)
 	case r.URL.Path == "/flight":
 		b.handleFlight(w, r)
+	case r.URL.Path == "/requests":
+		b.handleRequests(w, r)
+	case r.URL.Path == "/topk":
+		b.handleTopK(w, r)
 	case r.URL.Path == "/services":
 		b.handleServices(w, r)
 	case strings.HasPrefix(r.URL.Path, "/call/"):
@@ -348,6 +369,97 @@ func (b *Bridge) handleFlight(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = c.flight.WriteJSON(w)
+}
+
+// handleRequests serves the wide-event recorder's retained exemplars,
+// newest first, filtered by the query parameters the reqlog Filter knows:
+// topic, lane, outcome, kind, limit (default 100).
+func (b *Bridge) handleRequests(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	c := b.config()
+	if c.reqlog == nil {
+		http.Error(w, "request analytics not attached", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	f := reqlog.Filter{
+		Topic:   q.Get("topic"),
+		Lane:    q.Get("lane"),
+		Outcome: q.Get("outcome"),
+		Kind:    q.Get("kind"),
+		Limit:   100,
+	}
+	if lim := q.Get("limit"); lim != "" {
+		n, err := strconv.Atoi(lim)
+		if err != nil || n <= 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		f.Limit = n
+	}
+	records := c.reqlog.Snapshot(f)
+	tail, healthy := c.reqlog.Len()
+	doc := struct {
+		Records []reqlog.Record `json:"records"`
+		Tail    int             `json:"tailRetained"`
+		Healthy int             `json:"healthyRetained"`
+	}{Records: records, Tail: tail, Healthy: healthy}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+// handleTopK serves the recorder's heavy-hitter estimate with each tracked
+// topic's local latency quantiles — the single-node attribution answer (the
+// cluster-merged one lives in /cluster and /dash via the aggregator).
+func (b *Bridge) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	c := b.config()
+	if c.reqlog == nil {
+		http.Error(w, "request analytics not attached", http.StatusNotFound)
+		return
+	}
+	n := 10
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	type topicRow struct {
+		Topic string  `json:"topic"`
+		Count uint64  `json:"count"`
+		Err   uint64  `json:"err,omitempty"`
+		P50   float64 `json:"p50Ms"`
+		P99   float64 `json:"p99Ms"`
+	}
+	entries := c.reqlog.TopK(n)
+	rows := make([]topicRow, 0, len(entries))
+	for _, e := range entries {
+		row := topicRow{Topic: e.Key, Count: e.Count, Err: e.Err}
+		if p, ok := c.reqlog.TopicQuantile(e.Key, 0.50); ok {
+			row.P50 = p
+		}
+		if p, ok := c.reqlog.TopicQuantile(e.Key, 0.99); ok {
+			row.P99 = p
+		}
+		rows = append(rows, row)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Topics []topicRow `json:"topics"`
+	}{Topics: rows})
 }
 
 // handlePprof gates the Go profiling endpoints behind EnablePprof.
